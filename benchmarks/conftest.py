@@ -1,0 +1,45 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each module in this directory regenerates one table or figure from the
+paper: it runs the corresponding workloads, prints the same rows/series
+the paper reports, asserts the *shape* of the result (who wins, by
+roughly what factor), and archives the rendered table under
+``benchmarks/out/``.  Absolute numbers differ from the paper — the
+substrate is a simulator, not a 24-core Broadwell — but the comparisons
+are the paper's comparisons.
+"""
+
+import os
+
+import pytest
+
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture
+def archive():
+    """Print a rendered experiment table and save it to benchmarks/out."""
+
+    def _archive(experiment_id: str, text: str) -> None:
+        os.makedirs(OUT_DIR, exist_ok=True)
+        path = os.path.join(OUT_DIR, f"{experiment_id}.txt")
+        with open(path, "w") as fp:
+            fp.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _archive
+
+
+def format_table(title: str, headers, rows) -> str:
+    """Plain-text table renderer for experiment output."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h)
+              for i, h in enumerate(headers)]
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [title, "=" * len(title), fmt(headers),
+             fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Ablations on DJXPerf's design choices.
+
+Not a paper table, but the design decisions the paper argues for in
+prose; each ablation quantifies one of them on this implementation:
+
+* **splay tree vs linear lookup** (§4.2): PMU-sample address lookup is
+  the hot operation; the self-adjusting tree beats a linear scan of the
+  object table by orders of magnitude at realistic object counts.
+* **sampling period** (§5.3): cheaper sampling costs accuracy — the top
+  object's measured share stays stable across periods while overhead
+  falls.
+* **mechanical hoisting** (repro extension): the bytecode hoisting pass
+  matches the hand-applied singleton fix.
+* **GC handling on/off** (§4.5): disabling the memmove/finalize
+  machinery mis-attributes samples once the collector moves objects.
+"""
+
+import pytest
+
+from repro.core import DJXPerf, DjxConfig
+from repro.core.splay import IntervalSplayTree
+from repro.jvm import Machine
+from repro.optim import hoist_program
+from repro.workloads import get_workload, run_native, run_profiled
+
+from benchmarks.conftest import format_table
+
+
+# ----------------------------------------------------------------------
+# Splay tree vs linear scan
+# ----------------------------------------------------------------------
+NUM_OBJECTS = 2000
+LOOKUPS = 4000
+
+
+def _build_intervals():
+    tree = IntervalSplayTree()
+    linear = []
+    for i in range(NUM_OBJECTS):
+        start = i * 128
+        tree.insert(start, start + 96, i)
+        linear.append((start, start + 96, i))
+    # A hot-object access pattern: 90% of lookups hit one object.
+    hot = (NUM_OBJECTS // 2) * 128 + 48
+    addresses = [hot if k % 10 else (k * 37 % NUM_OBJECTS) * 128 + 5
+                 for k in range(LOOKUPS)]
+    return tree, linear, addresses
+
+
+def test_ablation_splay_lookup(benchmark):
+    tree, _linear, addresses = _build_intervals()
+
+    def splay_lookups():
+        return sum(1 for a in addresses if tree.lookup(a) is not None)
+
+    hits = benchmark(splay_lookups)
+    assert hits == LOOKUPS
+
+
+def test_ablation_linear_lookup(benchmark):
+    _tree, linear, addresses = _build_intervals()
+
+    def linear_lookups():
+        hits = 0
+        for a in addresses:
+            for start, end, _payload in linear:
+                if start <= a < end:
+                    hits += 1
+                    break
+        return hits
+
+    hits = benchmark(linear_lookups)
+    assert hits == LOOKUPS
+
+
+# ----------------------------------------------------------------------
+# Sampling-period sensitivity (5.3)
+# ----------------------------------------------------------------------
+PERIODS = (16, 64, 256)
+
+
+def test_ablation_sampling_period(benchmark, archive):
+    def sweep():
+        rows = []
+        workload = get_workload("objectlayout")
+        native = run_native(workload).wall_cycles
+        for period in PERIODS:
+            run = run_profiled(workload,
+                               config=DjxConfig(sample_period=period))
+            top = run.analysis.top_sites(1)[0]
+            rows.append((period,
+                         run.analysis.total(),
+                         run.analysis.share(top),
+                         run.result.wall_cycles / native))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    archive("ablation_sampling_period", format_table(
+        "Ablation: sampling period vs accuracy and overhead",
+        ["period", "samples", "top-object share", "runtime overhead"],
+        [(p, n, f"{s:.1%}", f"{o:.3f}x") for p, n, s, o in rows]))
+
+    shares = [s for _, _, s, _ in rows]
+    overheads = [o for _, _, _, o in rows]
+    # The ranking signal is stable across a 16x period range...
+    assert max(shares) - min(shares) < 0.15
+    # ...while sparser sampling is strictly cheaper.
+    assert overheads[0] > overheads[-1]
+
+
+# ----------------------------------------------------------------------
+# Mechanical hoisting pass ≈ hand-applied singleton fix
+# ----------------------------------------------------------------------
+def test_ablation_hoist_pass_matches_manual(benchmark, archive):
+    def compare():
+        workload = get_workload("cache2k")
+        baseline_cycles = run_native(workload, "baseline").wall_cycles
+        manual_cycles = run_native(workload, "hoisted").wall_cycles
+        program, hoisted_count = hoist_program(
+            workload.build_verified("baseline"))
+        machine = Machine(program, workload.machine_config())
+        pass_cycles = machine.run().wall_cycles
+        return baseline_cycles, manual_cycles, pass_cycles, hoisted_count
+
+    baseline, manual, via_pass, count = benchmark.pedantic(
+        compare, rounds=1, iterations=1)
+    archive("ablation_hoist_pass", format_table(
+        "Ablation: hoisting pass vs hand-applied singleton",
+        ["variant", "cycles", "speedup vs baseline"],
+        [("baseline", baseline, "1.00x"),
+         ("hand-hoisted", manual, f"{baseline / manual:.2f}x"),
+         ("hoisting pass", via_pass, f"{baseline / via_pass:.2f}x")]))
+
+    assert count >= 1
+    # The pass recovers (at least) the manual fix's benefit.
+    assert via_pass < baseline
+    assert abs(via_pass - manual) / manual < 0.10
+
+
+# ----------------------------------------------------------------------
+# GC handling on/off (4.5)
+# ----------------------------------------------------------------------
+def test_ablation_gc_handling(benchmark, archive):
+    def compare():
+        workload = get_workload("objectlayout")
+
+        def run_with(gc_handling: bool):
+            profiler = DJXPerf(DjxConfig(sample_period=32))
+            program = profiler.instrument(workload.build_verified())
+            machine = Machine(program, workload.machine_config())
+            profiler.attach(machine)
+            if not gc_handling:
+                # Sever the 4.5 machinery: no relocation map updates,
+                # no finalize-driven interval removal.
+                machine.collector.on_memmove = [
+                    cb for cb in machine.collector.on_memmove
+                    if cb is not profiler.agent._on_memmove]
+                machine.collector.on_finalize = [
+                    cb for cb in machine.collector.on_finalize
+                    if cb is not profiler.agent._on_finalize]
+            result = machine.run()
+            analysis = profiler.analyze()
+            return result.gc_collections, analysis.coverage()
+
+        gcs, with_handling = run_with(True)
+        _, without_handling = run_with(False)
+        return gcs, with_handling, without_handling
+
+    gcs, with_handling, without = benchmark.pedantic(
+        compare, rounds=1, iterations=1)
+    archive("ablation_gc_handling", format_table(
+        "Ablation: GC handling (4.5) on vs off",
+        ["configuration", "GC runs", "attributed samples"],
+        [("memmove+finalize handled", gcs, f"{with_handling:.1%}"),
+         ("GC ignored", gcs, f"{without:.1%}")]))
+
+    assert gcs > 0, "workload must exercise the collector"
+    assert with_handling > 0.95
+    # Ignoring GC degrades (or at best matches) attribution quality.
+    assert without <= with_handling

@@ -1,0 +1,77 @@
+"""FIG4 — Figure 4: DJXPerf runtime & memory overhead per benchmark.
+
+Runs every row of the overhead suite (mini versions of Renaissance /
+DaCapo 9.12 / SPECjvm2008 with the corresponding allocation/work
+profiles) natively and under DJXPerf, and reports the two overhead
+series of the figure.
+
+Shape assertions mirror the paper's summary:
+* typical runtime overhead ≈ 8% (we accept 2-15% per row);
+* typical memory overhead ≈ 5% (we accept <10% per row);
+* the named allocation-heavy outliers (mnemonics, par-mnemonics,
+  scrabble, akka-uct, db-shootout, dec-tree, neo4j-analytics) exceed
+  the >30% runtime-overhead line the paper calls out.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import DjxConfig
+from repro.workloads import get_workload, measure_overhead
+from repro.workloads.suite import SUITE_ROWS, alloc_heavy_names
+
+from benchmarks.conftest import format_table
+
+#: Sampling period scaled to the simulator's event rates; the paper's
+#: 5M period plays the same role against real event rates.
+PERIOD = 48
+
+
+def run_suite():
+    results = []
+    config = DjxConfig(sample_period=PERIOD)
+    for name, spec in SUITE_ROWS.items():
+        m = measure_overhead(get_workload(name), config=config)
+        results.append((name, spec.suite, spec.alloc_heavy,
+                        m.runtime_overhead, m.memory_overhead))
+    return results
+
+
+def test_fig4_overhead(benchmark, archive):
+    results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    rows = [(name, suite, f"{rt:.3f}x", f"{mem:.3f}x",
+             "alloc-heavy" if heavy else "")
+            for name, suite, heavy, rt, mem in results]
+    typical_rt = [rt for _, _, heavy, rt, _ in results if not heavy]
+    heavy_rt = [rt for _, _, heavy, rt, _ in results if heavy]
+    typical_mem = [mem for _, _, heavy, _, mem in results if not heavy]
+    summary = (f"typical: runtime {statistics.mean(typical_rt):.3f}x, "
+               f"memory {statistics.mean(typical_mem):.3f}x; "
+               f"alloc-heavy runtime {min(heavy_rt):.3f}-"
+               f"{max(heavy_rt):.3f}x "
+               f"(paper: ~1.08x / ~1.05x typical; >1.3x outliers)")
+    archive("fig4_overhead", format_table(
+        "Figure 4: DJXPerf runtime and memory overhead",
+        ["benchmark", "suite", "runtime", "memory", "note"], rows)
+        + "\n\n" + summary)
+
+    # Typical rows: single-digit percentage overheads.
+    for name, _suite, heavy, rt, mem in results:
+        if heavy:
+            continue
+        assert 1.0 <= rt <= 1.15, f"{name}: runtime overhead {rt:.3f}"
+        assert 1.0 <= mem <= 1.10, f"{name}: memory overhead {mem:.3f}"
+    assert statistics.mean(typical_rt) <= 1.10
+    assert statistics.mean(typical_mem) <= 1.06
+
+    # The paper's named outliers cross the 30% line.
+    heavy_names = set(alloc_heavy_names())
+    assert heavy_names == {"mnemonics", "par-mnemonics", "scrabble",
+                           "akka-uct", "db-shootout", "dec-tree",
+                           "neo4j-analytics"}
+    for name, _suite, heavy, rt, _mem in results:
+        if heavy:
+            assert rt > 1.25, f"{name}: expected >30%-class overhead, " \
+                              f"got {rt:.3f}"

@@ -1,0 +1,117 @@
+"""Extension: head-to-head of the four profiler families (§2 framing).
+
+The paper's related-work argument in one experiment.  On the same
+workload (ObjectLayout) with the same planted problem:
+
+* **DJXPerf** (PMU-sampled, object-centric) — finds the object, ~10%
+  overhead;
+* **code-centric** (perf/VTune analogue) — sees the misses but cannot
+  name the object; its top entries are access locations;
+* **allocation-frequency** (prior bloat detectors) — names allocation
+  sites but ranks by a misleading metric and pays instrumentation cost
+  on every allocation;
+* **reuse-distance** (ViRDA-style trace analysis) — finds the object
+  with an architecture-independent metric, at trace-everything cost
+  (the 30-200x family).
+"""
+
+import pytest
+
+from repro.baselines import (
+    AllocFrequencyProfiler,
+    CodeCentricProfiler,
+    ReuseDistanceProfiler,
+)
+from repro.core import DJXPerf, DjxConfig
+from repro.core.javaagent import instrument_program
+from repro.jvm import Machine
+from repro.workloads import get_workload, run_native
+
+from benchmarks.conftest import format_table
+
+WORKLOAD = "objectlayout"
+CULPRIT = "Objectlayout.run:292"
+
+
+def fresh_machine(instrumented=True):
+    workload = get_workload(WORKLOAD)
+    program = workload.build_verified()
+    if instrumented:
+        program = instrument_program(program)
+    return Machine(program, workload.machine_config())
+
+
+def run_families():
+    native = run_native(get_workload(WORKLOAD)).wall_cycles
+    rows = []
+
+    # DJXPerf
+    djx = DJXPerf(DjxConfig(sample_period=48))
+    machine = fresh_machine()
+    djx.attach(machine)
+    cycles = machine.run().wall_cycles
+    top = djx.analyze().top_sites(1)[0]
+    rows.append(("DJXPerf (object-centric, PMU)", top.location,
+                 cycles / native, True))
+
+    # Code-centric
+    perf = CodeCentricProfiler(sample_period=48)
+    machine = fresh_machine(instrumented=False)
+    perf.attach(machine)
+    cycles = machine.run().wall_cycles
+    code_top = perf.analyze(perf.frame_resolver()).top_locations(1)[0]
+    rows.append(("code-centric (perf-style, PMU)",
+                 code_top.location.location, cycles / native, False))
+
+    # Allocation frequency
+    freq = AllocFrequencyProfiler()
+    machine = fresh_machine()
+    freq.attach(machine)
+    cycles = machine.run().wall_cycles
+    freq_top = freq.analyze().top_sites(1)[0]
+    rows.append(("allocation-frequency (instrumented)",
+                 freq_top.location, cycles / native, None))
+
+    # Reuse distance
+    reuse = ReuseDistanceProfiler(modelled_cache_lines=128)
+    machine = fresh_machine()
+    reuse.attach(machine)
+    cycles = machine.run().wall_cycles
+    reuse_top = reuse.analyze().top_sites(1)[0]
+    rows.append(("reuse-distance (trace-based)", reuse_top.location,
+                 cycles / native, True))
+
+    return rows
+
+
+def test_profiler_families(benchmark, archive):
+    rows = benchmark.pedantic(run_families, rounds=1, iterations=1)
+
+    archive("profiler_families", format_table(
+        "Profiler families on the same planted problem (objectlayout)",
+        ["profiler", "top-ranked entity", "runtime overhead"],
+        [(name, loc, f"{oh:.2f}x") for name, loc, oh, _ in rows]))
+
+    by_name = {name: (loc, oh) for name, loc, oh, _ in rows}
+
+    djx_loc, djx_oh = by_name["DJXPerf (object-centric, PMU)"]
+    assert djx_loc == CULPRIT
+    assert djx_oh < 1.3
+
+    # Code-centric: cheap, but its top entry is an *access* location,
+    # not the allocation site a developer must fix.
+    code_loc, code_oh = by_name["code-centric (perf-style, PMU)"]
+    assert code_loc != CULPRIT
+    assert code_oh < 1.1
+
+    # Allocation frequency: names an allocation site, pays per-alloc
+    # cost; on this workload the hottest site also allocates the most,
+    # but Table 2 shows the metric itself misleads.
+    _freq_loc, freq_oh = by_name["allocation-frequency (instrumented)"]
+    assert freq_oh > djx_oh
+
+    # Reuse distance: finds the culprit but at trace-everything cost.
+    reuse_loc, reuse_oh = by_name["reuse-distance (trace-based)"]
+    assert reuse_loc == CULPRIT
+    assert reuse_oh > 3.0
+    assert reuse_oh > 10 * (djx_oh - 1) + 1

@@ -1,0 +1,103 @@
+"""TAB1 — Table 1: guided optimisations across 13 applications.
+
+For every row of the paper's Table 1 this harness (a) profiles the
+baseline with DJXPerf and checks the reported problematic object is the
+paper's object, then (b) applies the paper's fix (the workload's
+optimised variant) and measures the whole-program speedup.
+
+Paper-vs-measured speedups are asserted as bands: the simulated machine
+will not match a Broadwell's absolute numbers, but each optimisation
+must pay off in the same league, and the insignificant rows of Table 2
+(separate bench) must stay flat.
+"""
+
+import pytest
+
+from repro.core import DjxConfig
+from repro.workloads import get_workload, measure_speedup, run_profiled
+
+from benchmarks.conftest import format_table
+
+#: (workload, paper speedup, accepted band, problematic site
+#:  (class, method, line), site must rank in top-k of the profile)
+TABLE1 = [
+    ("objectlayout", 1.45, (1.25, 1.75),
+     ("Objectlayout", "run", 292), 1),
+    ("findbugs", 1.11, (1.05, 1.25),
+     ("Findbugs", "run", 120), 2),
+    ("ranklib", 1.25, (1.15, 1.50),
+     ("Ranklib", "run", 218), 1),
+    ("cache2k", 1.09, (1.03, 1.20),
+     ("Cache2K", "run", 313), 2),
+    ("samoa", 1.17, (1.10, 1.45),
+     ("Samoa", "run", 165), 2),
+    ("commons-collections", 1.08, (1.02, 1.18),
+     ("CommonsCollections", "run", 151), 2),
+    ("scala-stm-bench7", 1.12, (1.05, 1.35),
+     ("AccessHistory", "grow", 619), 2),
+    ("scimark-fft", 2.37, (1.50, 3.00),
+     ("FFT", "transform_internal", 166), 1),
+    ("montecarlo", 1.07, (1.02, 1.15),
+     ("RatePath", "run", 205), 1),
+    ("moldyn", 1.24, (1.10, 1.40),
+     ("md", "run", 348), 1),
+    ("eclipse-collections", 1.13, (1.05, 1.35),
+     ("Interval", "toArray", 758), 1),
+    ("npb-sp", 1.10, (1.04, 1.30),
+     ("SPBase", "toArray", 155), 1),
+    ("apache-druid", 1.75, (1.40, 2.20),
+     ("WrappedImmutableBitSetBitmap", "<init>", 37), 1),
+]
+
+
+def run_row(name, site):
+    workload = get_workload(name)
+    speedup, _, _ = measure_speedup(workload)
+    run = run_profiled(workload, config=DjxConfig(sample_period=32))
+    cls, method, line = site
+    found = run.analysis.site_at(cls, method, line)
+    rank = None
+    if found is not None:
+        ranked = run.analysis.top_sites(len(run.analysis.sites))
+        rank = 1 + ranked.index(found)
+    share = run.analysis.share(found) if found else 0.0
+    remote = found.remote_ratio if found else 0.0
+    return speedup, rank, share, remote
+
+
+@pytest.mark.parametrize(
+    "name,paper,band,site,topk",
+    TABLE1, ids=[row[0] for row in TABLE1])
+def test_table1_row(benchmark, name, paper, band, site, topk):
+    speedup, rank, share, _remote = benchmark.pedantic(
+        run_row, args=(name, site), rounds=1, iterations=1)
+    lo, hi = band
+    assert lo <= speedup <= hi, (
+        f"{name}: measured {speedup:.2f}x outside band "
+        f"[{lo}, {hi}] (paper: {paper}x)")
+    assert rank is not None, f"{name}: problematic site not in profile"
+    assert rank <= topk, (
+        f"{name}: problematic site ranked #{rank}, expected top-{topk}")
+
+
+def test_table1_summary(benchmark, archive):
+    def run_all():
+        rows = []
+        for name, paper, band, site, _topk in TABLE1:
+            speedup, rank, share, remote = run_row(name, site)
+            rows.append((name, f"{paper:.2f}x", f"{speedup:.2f}x",
+                         f"#{rank}", f"{share:.1%}",
+                         f"{remote:.0%}" if remote else "-"))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    archive("table1_case_studies", format_table(
+        "Table 1: whole-program speedups from DJXPerf-guided fixes",
+        ["application", "paper WS", "measured WS", "object rank",
+         "miss share", "remote"], rows))
+
+    # Ordering shape: the three standout rows of the paper (fft, druid,
+    # objectlayout) must also be our three largest speedups.
+    measured = {row[0]: float(row[2].rstrip("x")) for row in rows}
+    top3 = sorted(measured, key=measured.get, reverse=True)[:3]
+    assert set(top3) == {"scimark-fft", "apache-druid", "objectlayout"}

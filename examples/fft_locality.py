@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""FFT locality study: from access contexts to loop interchange.
+
+Reproduces the paper's §7.4 case study (SPECjvm2008 Scimark.fft.large):
+DJXPerf reports the ``data`` array as the dominant miss source and lists
+the butterfly loop's access lines; the fix is interchanging the ``a``
+and ``b`` loops to shrink the access stride.
+
+Run:  python examples/fft_locality.py
+"""
+
+from repro.core import DjxConfig, render_site
+from repro.workloads import get_workload, measure_speedup, run_profiled
+
+
+def main() -> None:
+    workload = get_workload("scimark-fft")
+
+    print("=== 1. profile the strided baseline ===")
+    run = run_profiled(workload, config=DjxConfig(sample_period=64))
+    top = run.analysis.top_sites(1)[0]
+    print(render_site(run.analysis, top, rank=1, max_access_contexts=4))
+
+    hot_lines = sorted({path[-1].line
+                        for path in top.access_contexts})
+    print(f"\nhot access lines on data[]: {hot_lines} "
+          f"(paper: FFT.java 171, 172, 174, 175)")
+
+    print("\n=== 2. interchange the loops and measure ===")
+    speedup, baseline, fixed = measure_speedup(workload)
+    miss_drop = 1 - fixed.l1_misses / baseline.l1_misses
+    print(f"  baseline     : {baseline.wall_cycles} cycles, "
+          f"{baseline.l1_misses} L1 misses")
+    print(f"  interchanged : {fixed.wall_cycles} cycles, "
+          f"{fixed.l1_misses} L1 misses")
+    print(f"  speedup {speedup:.2f}x, misses -{miss_drop:.0%} "
+          f"(paper: 2.37x, -70%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Memory-bloat hunt: profile → advice → mechanical fix → speedup.
+
+Reproduces the paper's §7.1-style workflow on the ObjectLayout workload:
+
+1. profile the baseline with DJXPerf;
+2. turn the profile into ranked optimisation advice;
+3. apply the singleton fix *mechanically* with the bytecode hoisting
+   pass (``repro.optim.hoist``);
+4. re-run and report the whole-program speedup and miss reduction.
+
+Run:  python examples/memory_bloat_hunt.py
+"""
+
+from repro.core import DjxConfig, render_report
+from repro.jvm import Machine
+from repro.optim import advise, hoist_program
+from repro.workloads import get_workload, run_native, run_profiled
+
+
+def main() -> None:
+    workload = get_workload("objectlayout")
+
+    print("=== 1. profile the baseline ===")
+    run = run_profiled(workload, config=DjxConfig(sample_period=32))
+    print(render_report(run.analysis, top=4))
+
+    print("\n=== 2. optimisation advice ===")
+    advices = advise(run.analysis, top=5)
+    for advice in advices:
+        print(f"  {advice}")
+
+    print("\n=== 3. apply the hoisting pass ===")
+    baseline_program = workload.build_verified("baseline")
+    fixed_program, hoisted = hoist_program(baseline_program)
+    print(f"  hoisted {hoisted} allocation site(s) out of their loops")
+
+    print("\n=== 4. measure ===")
+    baseline = run_native(workload, "baseline")
+    machine = Machine(fixed_program, workload.machine_config())
+    fixed = machine.run()
+    speedup = baseline.wall_cycles / fixed.wall_cycles
+    miss_drop = 1 - fixed.l1_misses / baseline.l1_misses
+    print(f"  baseline : {baseline.wall_cycles:>10} cycles, "
+          f"{baseline.l1_misses} L1 misses, "
+          f"{baseline.heap_allocations} allocations")
+    print(f"  fixed    : {fixed.wall_cycles:>10} cycles, "
+          f"{fixed.l1_misses} L1 misses, "
+          f"{fixed.heap_allocations} allocations")
+    print(f"  speedup  : {speedup:.2f}x   "
+          f"L1 misses: -{miss_drop:.0%}   (paper: 1.45x, -76%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Baseline profilers DJXPerf is compared against."""
+
+from repro.baselines.allocfreq import (
+    AllocFreqResult,
+    AllocFrequencyProfiler,
+    AllocSiteCount,
+)
+from repro.baselines.reusedist import (
+    ReuseDistanceProfiler,
+    ReuseDistanceResult,
+    ReuseDistanceTracker,
+)
+from repro.baselines.codecentric import (
+    CodeCentricProfiler,
+    CodeCentricResult,
+    CodeLocationStats,
+)
+
+__all__ = [
+    "AllocFreqResult",
+    "AllocFrequencyProfiler",
+    "AllocSiteCount",
+    "CodeCentricProfiler",
+    "ReuseDistanceProfiler",
+    "ReuseDistanceResult",
+    "ReuseDistanceTracker",
+    "CodeCentricResult",
+    "CodeLocationStats",
+]

@@ -1,0 +1,162 @@
+"""Code-centric PMU profiler — the Linux perf / VTune baseline.
+
+Consumes the *same* PMU sample stream as DJXPerf but attributes each
+sample only to the sampled code location (method + line, with full call
+path), with no notion of objects.  This is the comparison in the paper's
+Figure 1: code-centric profiles fragment an object's misses across the
+many instructions that touch it, so no single code location reveals the
+problematic object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.profile import FrameResolver, RawPath, ResolvedFrame
+from repro.jvm.interpreter import JavaThread
+from repro.jvm.machine import Machine
+from repro.jvmti.agent_iface import JvmtiEnv
+from repro.memsys.hierarchy import AccessResult
+from repro.pmu.events import L1_MISS, PmuEvent
+from repro.pmu.pmu import PerfEventConfig, Sample, ThreadPmu
+
+
+@dataclass
+class CodeLocationStats:
+    """Samples attributed to one source location (the leaf frame)."""
+
+    location: ResolvedFrame
+    samples: Dict[str, int] = field(default_factory=dict)
+    call_paths: Dict[RawPath, int] = field(default_factory=dict)
+
+    def total(self, event: str) -> int:
+        return self.samples.get(event, 0)
+
+
+@dataclass
+class CodeCentricResult:
+    """Ranked code-centric profile."""
+
+    primary_event: str
+    locations: List[CodeLocationStats]
+    total_samples: Dict[str, int]
+
+    def total(self, event: Optional[str] = None) -> int:
+        return self.total_samples.get(event or self.primary_event, 0)
+
+    def share(self, stats: CodeLocationStats,
+              event: Optional[str] = None) -> float:
+        total = self.total(event)
+        if total == 0:
+            return 0.0
+        return stats.total(event or self.primary_event) / total
+
+    def top_locations(self, n: int = 10,
+                      event: Optional[str] = None) -> List[CodeLocationStats]:
+        event = event or self.primary_event
+        return sorted(self.locations, key=lambda s: s.total(event),
+                      reverse=True)[:n]
+
+
+class CodeCentricProfiler:
+    """perf-record analogue over the simulated PMU."""
+
+    def __init__(self, events: "tuple[PmuEvent, ...]" = (L1_MISS,),
+                 sample_period: int = 64) -> None:
+        if sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+        self.events = list(events)
+        self.sample_period = sample_period
+        self.machine: Optional[Machine] = None
+        self.env: Optional[JvmtiEnv] = None
+        self._pmus: Dict[int, ThreadPmu] = {}
+        #: (method_id, bci) leaf → per-event counts + call paths
+        self._by_leaf: Dict[Tuple[int, int], Dict] = {}
+        self.total_samples: Dict[str, int] = {}
+        self.enabled = False
+
+    def attach(self, machine: Machine) -> None:
+        self.machine = machine
+        self.env = JvmtiEnv(machine)
+        self.enabled = True
+        self.env.on_thread_start(self._thread_started)
+        machine.access_observers.append(self._on_access)
+        for thread in machine.threads:
+            if thread.alive:
+                self._thread_started(thread)
+
+    def detach(self) -> None:
+        self.enabled = False
+        for pmu in self._pmus.values():
+            pmu.disable_all()
+
+    # ------------------------------------------------------------------
+    def _thread_started(self, thread: JavaThread) -> None:
+        if not self.enabled or thread.tid in self._pmus:
+            return
+        pmu = ThreadPmu(thread.tid)
+        for event in self.events:
+            pmu.open(PerfEventConfig(event, self.sample_period),
+                     self._handle_sample)
+        self._pmus[thread.tid] = pmu
+
+    def _on_access(self, thread: JavaThread, result: AccessResult) -> None:
+        if not self.enabled:
+            return
+        pmu = self._pmus.get(thread.tid)
+        if pmu is not None:
+            pmu.observe(result, ucontext=thread)
+
+    def _handle_sample(self, sample: Sample) -> None:
+        thread: JavaThread = sample.ucontext
+        frames = self.env.async_get_call_trace(thread)
+        if not frames:
+            return
+        self.total_samples[sample.event] = \
+            self.total_samples.get(sample.event, 0) + 1
+        path: RawPath = tuple((f.method_id, f.bci) for f in frames)
+        leaf = path[-1]
+        record = self._by_leaf.setdefault(
+            leaf, {"samples": {}, "paths": {}})
+        record["samples"][sample.event] = \
+            record["samples"].get(sample.event, 0) + 1
+        record["paths"][path] = record["paths"].get(path, 0) + 1
+
+    # ------------------------------------------------------------------
+    def analyze(self, resolver: FrameResolver,
+                event: Optional[str] = None) -> CodeCentricResult:
+        """Merge leaves that resolve to the same source location."""
+        primary = event or self.events[0].name
+        merged: Dict[Tuple[str, str, str, int], CodeLocationStats] = {}
+        for leaf, record in self._by_leaf.items():
+            location = resolver(leaf)
+            key = location.as_tuple()
+            stats = merged.get(key)
+            if stats is None:
+                stats = CodeLocationStats(location=location)
+                merged[key] = stats
+            for name, count in record["samples"].items():
+                stats.samples[name] = stats.samples.get(name, 0) + count
+            for path, count in record["paths"].items():
+                stats.call_paths[path] = stats.call_paths.get(path, 0) + count
+        locations = sorted(merged.values(),
+                           key=lambda s: s.total(primary), reverse=True)
+        return CodeCentricResult(
+            primary_event=primary,
+            locations=locations,
+            total_samples=dict(self.total_samples))
+
+    def frame_resolver(self) -> FrameResolver:
+        env = self.env
+        if env is None:
+            raise RuntimeError("profiler not attached")
+
+        def resolve(frame) -> ResolvedFrame:
+            method_id, bci = frame
+            info = env.get_method_info(method_id)
+            table = env.get_line_number_table(method_id)
+            return ResolvedFrame(info.class_name, info.method_name,
+                                 info.source_file, table.get(bci, 0))
+
+        return resolve

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List registered workloads (optionally filtered by prefix).
+``profile <workload>``
+    Run a workload under DJXPerf and print the object-centric report
+    (``--html FILE`` also writes the Figure 5-style HTML view).
+``speedup <workload>``
+    Run baseline and optimised variants; report the whole-program
+    speedup (the paper's WS column).
+``overhead <workload>``
+    Measure DJXPerf's runtime/memory overhead on a workload (Figure 4
+    methodology).
+``advise <workload>``
+    Profile and print ranked optimisation advice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import DJXPerf, DjxConfig, render_numa_report, render_report
+from repro.core.htmlreport import write_html
+from repro.optim import advise
+from repro.workloads import (
+    get_workload,
+    measure_overhead,
+    measure_speedup,
+    run_profiled,
+    workload_names,
+)
+
+
+def _add_profiler_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--period", type=int, default=64,
+                        help="PMU sampling period (default 64)")
+    parser.add_argument("--threshold", type=int, default=1024,
+                        help="size threshold S in bytes (default 1024; "
+                             "0 monitors every allocation)")
+
+
+def _config(args) -> DjxConfig:
+    return DjxConfig(sample_period=args.period,
+                     size_threshold=args.threshold)
+
+
+def cmd_list(args) -> int:
+    names = [n for n in workload_names() if n.startswith(args.prefix)]
+    for name in names:
+        workload = get_workload(name)
+        variants = "/".join(workload.variants)
+        print(f"{name:24s} [{variants}]  {workload.paper_ref}")
+    if not names:
+        print(f"no workloads matching prefix {args.prefix!r}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_profile(args) -> int:
+    workload = get_workload(args.workload)
+    run = run_profiled(workload, variant=args.variant,
+                       config=_config(args))
+    print(render_report(run.analysis, top=args.top))
+    if run.analysis.top_remote_sites(1):
+        print()
+        print(render_numa_report(run.analysis, top=args.top))
+    if args.html:
+        path = write_html(run.analysis, args.html,
+                          title=f"DJXPerf: {workload.name}")
+        print(f"\nHTML report written to {path}")
+    return 0
+
+
+def cmd_speedup(args) -> int:
+    workload = get_workload(args.workload)
+    speedup, baseline, optimized = measure_speedup(workload)
+    print(f"workload   : {workload.name} ({workload.paper_ref})")
+    print(f"baseline   : {baseline.wall_cycles} cycles, "
+          f"{baseline.l1_misses} L1 misses, "
+          f"{baseline.heap_allocations} allocations")
+    print(f"optimised  : {optimized.wall_cycles} cycles "
+          f"({workload.optimized_variant}), "
+          f"{optimized.l1_misses} L1 misses, "
+          f"{optimized.heap_allocations} allocations")
+    print(f"speedup    : {speedup:.3f}x")
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    workload = get_workload(args.workload)
+    m = measure_overhead(workload, config=_config(args))
+    print(f"workload          : {workload.name}")
+    print(f"native            : {m.native_cycles} cycles, "
+          f"peak heap {m.native_peak_memory} bytes")
+    print(f"profiled          : {m.profiled_cycles} cycles, "
+          f"profiler {m.profiler_memory} bytes")
+    print(f"runtime overhead  : {m.runtime_overhead:.3f}x")
+    print(f"memory overhead   : {m.memory_overhead:.3f}x")
+    return 0
+
+
+def cmd_advise(args) -> int:
+    workload = get_workload(args.workload)
+    run = run_profiled(workload, config=_config(args))
+    advices = advise(run.analysis, top=args.top)
+    if not advices:
+        print("no sites worth optimising (all below the share threshold)")
+        return 0
+    for advice in advices:
+        print(advice)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DJXPerf reproduction: object-centric memory profiling")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list workloads")
+    p_list.add_argument("prefix", nargs="?", default="")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_profile = sub.add_parser("profile", help="profile a workload")
+    p_profile.add_argument("workload")
+    p_profile.add_argument("--variant", default="baseline")
+    p_profile.add_argument("--top", type=int, default=5)
+    p_profile.add_argument("--html", metavar="FILE",
+                           help="also write an HTML report")
+    _add_profiler_options(p_profile)
+    p_profile.set_defaults(fn=cmd_profile)
+
+    p_speedup = sub.add_parser("speedup",
+                               help="measure an optimisation's speedup")
+    p_speedup.add_argument("workload")
+    p_speedup.set_defaults(fn=cmd_speedup)
+
+    p_overhead = sub.add_parser("overhead",
+                                help="measure profiling overhead")
+    p_overhead.add_argument("workload")
+    _add_profiler_options(p_overhead)
+    p_overhead.set_defaults(fn=cmd_overhead)
+
+    p_advise = sub.add_parser("advise",
+                              help="profile and print optimisation advice")
+    p_advise.add_argument("workload")
+    p_advise.add_argument("--top", type=int, default=10)
+    _add_profiler_options(p_advise)
+    p_advise.set_defaults(fn=cmd_advise)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Offline analyzer: merge per-thread profiles, rank problematic objects.
+
+The analyzer resolves raw ``(method_id, bci)`` frames to source
+locations — so call paths from different threads, and from different
+JITted instances of the same method, coalesce — then merges all thread
+profiles top-down and orders allocation sites by their share of the
+sampled metric (paper §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.profile import (
+    FrameResolver,
+    RawPath,
+    ResolvedPath,
+    ResolvedSite,
+    ThreadProfile,
+)
+
+
+@dataclass
+class AnalysisResult:
+    """Merged, resolved, ranked object-centric profile."""
+
+    primary_event: str
+    sites: List[ResolvedSite]
+    #: event → total samples across all threads (known + unknown).
+    total_samples: Dict[str, int]
+    #: event → samples not attributable to any tracked object.
+    unknown_samples: Dict[str, int]
+    thread_count: int
+
+    def total(self, event: Optional[str] = None) -> int:
+        return self.total_samples.get(event or self.primary_event, 0)
+
+    def share(self, site: ResolvedSite, event: Optional[str] = None) -> float:
+        """Site's fraction of all samples of ``event`` (0..1)."""
+        total = self.total(event)
+        if total == 0:
+            return 0.0
+        return site.metric(event or self.primary_event) / total
+
+    def top_sites(self, n: int = 10,
+                  event: Optional[str] = None) -> List[ResolvedSite]:
+        event = event or self.primary_event
+        ranked = sorted(self.sites, key=lambda s: s.metric(event),
+                        reverse=True)
+        return ranked[:n]
+
+    def top_remote_sites(self, n: int = 10) -> List[ResolvedSite]:
+        """Sites ordered by NUMA remote-access samples (§4.3)."""
+        ranked = sorted(self.sites, key=lambda s: s.remote_samples,
+                        reverse=True)
+        return [s for s in ranked[:n] if s.remote_samples > 0]
+
+    def site_at(self, class_name: str, method_name: str,
+                line: Optional[int] = None) -> Optional[ResolvedSite]:
+        """Find a site by its allocation leaf frame."""
+        for site in self.sites:
+            leaf = site.leaf
+            if leaf is None:
+                continue
+            if leaf.class_name == class_name \
+                    and leaf.method_name == method_name \
+                    and (line is None or leaf.line == line):
+                return site
+        return None
+
+    def coverage(self, event: Optional[str] = None) -> float:
+        """Fraction of samples attributed to *some* tracked object."""
+        event = event or self.primary_event
+        total = self.total(event)
+        if total == 0:
+            return 0.0
+        unknown = self.unknown_samples.get(event, 0)
+        return 1.0 - unknown / total
+
+
+def _resolve_path(path: RawPath, resolver: FrameResolver,
+                  cache: dict) -> ResolvedPath:
+    resolved = cache.get(path)
+    if resolved is None:
+        resolved = tuple(resolver(frame) for frame in path)
+        cache[path] = resolved
+    return resolved
+
+
+def analyze_profiles(profiles: Sequence[ThreadProfile],
+                     resolver: FrameResolver,
+                     primary_event: str) -> AnalysisResult:
+    """Merge per-thread profiles into one ranked result (top-down merge).
+
+    Merging is associative and commutative: allocation paths with the
+    same resolved frames coalesce, their metrics and access contexts sum.
+    """
+    cache: dict = {}
+    merged: Dict[ResolvedPath, ResolvedSite] = {}
+    total_samples: Dict[str, int] = {}
+    unknown_samples: Dict[str, int] = {}
+
+    for profile in profiles:
+        for event, count in profile.total_samples.items():
+            total_samples[event] = total_samples.get(event, 0) + count
+        for event, count in profile.unknown_samples.items():
+            unknown_samples[event] = unknown_samples.get(event, 0) + count
+        for raw_path, stats in profile.sites.items():
+            path = _resolve_path(raw_path, resolver, cache)
+            site = merged.get(path)
+            if site is None:
+                site = ResolvedSite(path=path)
+                merged[path] = site
+            site.alloc_count += stats.alloc_count
+            site.allocated_bytes += stats.allocated_bytes
+            if stats.min_size:
+                site.min_size = (stats.min_size if site.min_size == 0
+                                 else min(site.min_size, stats.min_size))
+            site.max_size = max(site.max_size, stats.max_size)
+            for name, count in stats.type_names.items():
+                site.type_names[name] = site.type_names.get(name, 0) + count
+            for event, count in stats.metrics.items():
+                site.metrics[event] = site.metrics.get(event, 0) + count
+            site.remote_samples += stats.remote_samples
+            site.local_samples += stats.local_samples
+            for raw_access, metrics in stats.access_contexts.items():
+                access = _resolve_path(raw_access, resolver, cache)
+                ctx = site.access_contexts.setdefault(access, {})
+                for event, count in metrics.items():
+                    ctx[event] = ctx.get(event, 0) + count
+
+    sites = sorted(merged.values(),
+                   key=lambda s: s.metric(primary_event), reverse=True)
+    return AnalysisResult(
+        primary_event=primary_event,
+        sites=sites,
+        total_samples=total_samples,
+        unknown_samples=unknown_samples,
+        thread_count=len(profiles))

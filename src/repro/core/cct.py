@@ -1,0 +1,152 @@
+"""Compact calling-context tree (paper §5.1).
+
+Each thread keeps its contexts in a CCT that merges common prefixes of
+call paths.  Nodes are keyed by frame — ``(method_id, bci)`` during
+collection; the offline analyzer re-keys by resolved source location so
+paths from different threads (and different JITted instances of the same
+method) coalesce (paper §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+
+class CctNode:
+    """One calling-context node; the path root→node is the context."""
+
+    __slots__ = ("key", "children", "metrics", "parent")
+
+    def __init__(self, key: Hashable, parent: Optional["CctNode"] = None) -> None:
+        self.key = key
+        self.parent = parent
+        self.children: Dict[Hashable, "CctNode"] = {}
+        self.metrics: Dict[str, float] = {}
+
+    def child(self, key: Hashable) -> "CctNode":
+        node = self.children.get(key)
+        if node is None:
+            node = CctNode(key, parent=self)
+            self.children[key] = node
+        return node
+
+    def add_metric(self, name: str, value: float = 1) -> None:
+        self.metrics[name] = self.metrics.get(name, 0) + value
+
+    def metric(self, name: str) -> float:
+        return self.metrics.get(name, 0)
+
+    def path(self) -> Tuple[Hashable, ...]:
+        """Keys from the root (exclusive) down to this node."""
+        frames: List[Hashable] = []
+        node: Optional[CctNode] = self
+        while node is not None and node.parent is not None:
+            frames.append(node.key)
+            node = node.parent
+        return tuple(reversed(frames))
+
+    def subtree_metric(self, name: str) -> float:
+        """Inclusive metric: this node plus all descendants."""
+        total = self.metric(name)
+        for child in self.children.values():
+            total += child.subtree_metric(name)
+        return total
+
+    def __repr__(self) -> str:
+        return f"CctNode({self.key!r}, {len(self.children)} children)"
+
+
+class CallingContextTree:
+    """A CCT rooted at a synthetic node."""
+
+    def __init__(self) -> None:
+        self.root = CctNode(key=None)
+
+    def insert_path(self, frames: Sequence[Hashable]) -> CctNode:
+        """Intern a root-first call path; returns the leaf node."""
+        node = self.root
+        for frame in frames:
+            node = node.child(frame)
+        return node
+
+    def record(self, frames: Sequence[Hashable], metric: str,
+               value: float = 1) -> CctNode:
+        """Intern a path and bump a metric at its leaf."""
+        leaf = self.insert_path(frames)
+        leaf.add_metric(metric, value)
+        return leaf
+
+    def find(self, frames: Sequence[Hashable]) -> Optional[CctNode]:
+        node = self.root
+        for frame in frames:
+            node = node.children.get(frame)
+            if node is None:
+                return None
+        return node
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.walk()) + 1  # + root
+
+    def walk(self) -> Iterator[CctNode]:
+        """All non-root nodes, preorder."""
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def leaves(self) -> Iterator[CctNode]:
+        for node in self.walk():
+            if not node.children:
+                yield node
+
+    def total_metric(self, name: str) -> float:
+        return self.root.subtree_metric(name)
+
+    # ------------------------------------------------------------------
+    # Offline merging (paper §5.2: "merges CCTs in a top-down way")
+    # ------------------------------------------------------------------
+    def merge_into(self, other: "CallingContextTree",
+                   key_fn: Callable[[Hashable], Hashable] = lambda k: k
+                   ) -> None:
+        """Merge this tree into ``other``, re-keying frames via ``key_fn``.
+
+        Metrics of coinciding nodes are summed; this is the analyzer's
+        top-down (root-to-leaf) recursive coalescing.
+        """
+        def merge_node(src: CctNode, dst: CctNode) -> None:
+            for name, value in src.metrics.items():
+                dst.add_metric(name, value)
+            for child in src.children.values():
+                merge_node(child, dst.child(key_fn(child.key)))
+
+        merge_node(self.root, other.root)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self, key_encoder: Callable[[Hashable], object] = lambda k: k
+                ) -> dict:
+        def encode(node: CctNode) -> dict:
+            return {
+                "key": key_encoder(node.key) if node.parent else None,
+                "metrics": dict(node.metrics),
+                "children": [encode(c) for c in node.children.values()],
+            }
+        return encode(self.root)
+
+    @classmethod
+    def from_dict(cls, data: dict,
+                  key_decoder: Callable[[object], Hashable] = lambda k: k
+                  ) -> "CallingContextTree":
+        tree = cls()
+
+        def decode(payload: dict, node: CctNode) -> None:
+            node.metrics = dict(payload.get("metrics", {}))
+            for child_payload in payload.get("children", []):
+                key = key_decoder(child_payload["key"])
+                decode(child_payload, node.child(key))
+
+        decode(data, tree.root)
+        return tree

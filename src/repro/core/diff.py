@@ -1,0 +1,146 @@
+"""Profile diffing: compare two object-centric profiles.
+
+The paper's workflow is iterative — profile, fix the top object,
+re-profile, confirm the misses moved.  This module makes step three a
+first-class operation: diff two :class:`AnalysisResult`s (e.g. baseline
+vs optimised run) and report, per allocation site, how its sample share
+changed, plus sites that appeared or disappeared entirely (a hoisted
+allocation site vanishes from the optimised profile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.analyzer import AnalysisResult
+from repro.core.profile import ResolvedSite
+
+#: Site identity for diffing: the allocation leaf's source identity.
+SiteKey = Tuple[str, str, str, int]
+
+
+def _key(site: ResolvedSite) -> Optional[SiteKey]:
+    leaf = site.leaf
+    if leaf is None:
+        return None
+    return leaf.as_tuple()
+
+
+@dataclass(frozen=True)
+class SiteDelta:
+    """Change of one allocation site between two profiles."""
+
+    key: SiteKey
+    before_share: float
+    after_share: float
+    before_samples: int
+    after_samples: int
+    before_allocs: int
+    after_allocs: int
+
+    @property
+    def location(self) -> str:
+        class_name, method, _source, line = self.key
+        return f"{class_name}.{method}:{line}"
+
+    @property
+    def share_delta(self) -> float:
+        return self.after_share - self.before_share
+
+    @property
+    def appeared(self) -> bool:
+        return self.before_samples == 0 and self.before_allocs == 0
+
+    @property
+    def disappeared(self) -> bool:
+        return self.after_samples == 0 and self.after_allocs == 0
+
+
+@dataclass
+class ProfileDiff:
+    """Full diff between two analyses (same primary event)."""
+
+    event: str
+    deltas: List[SiteDelta]
+    before_total: int
+    after_total: int
+
+    def improved(self, min_share_drop: float = 0.01) -> List[SiteDelta]:
+        """Sites whose share dropped by at least ``min_share_drop``."""
+        return [d for d in self.deltas
+                if d.share_delta <= -min_share_drop]
+
+    def regressed(self, min_share_gain: float = 0.01) -> List[SiteDelta]:
+        return [d for d in self.deltas if d.share_delta >= min_share_gain]
+
+    def removed_sites(self) -> List[SiteDelta]:
+        """Sites present before but entirely gone after (e.g. hoisted)."""
+        return [d for d in self.deltas if d.disappeared and not d.appeared]
+
+    def render(self, top: int = 10) -> str:
+        lines = [
+            f"Profile diff ({self.event})",
+            f"  samples: {self.before_total} -> {self.after_total}",
+        ]
+        ranked = sorted(self.deltas, key=lambda d: d.share_delta)
+        shown = [d for d in ranked
+                 if abs(d.share_delta) >= 0.005][:top]
+        for d in shown:
+            marker = ("GONE " if d.disappeared
+                      else "NEW  " if d.appeared else "     ")
+            lines.append(
+                f"  {marker}{d.location:40s} "
+                f"{d.before_share:6.1%} -> {d.after_share:6.1%} "
+                f"({d.share_delta:+.1%})")
+        if not shown:
+            lines.append("  (no site's share moved by >=0.5pp)")
+        return "\n".join(lines)
+
+
+def diff_profiles(before: AnalysisResult,
+                  after: AnalysisResult,
+                  event: Optional[str] = None) -> ProfileDiff:
+    """Diff two analyses; sites are matched by allocation-leaf identity."""
+    event = event or before.primary_event
+    if event != (after.primary_event if after.primary_event else event) \
+            and event not in after.total_samples \
+            and after.total_samples:
+        raise ValueError(
+            f"event {event!r} not present in the 'after' profile")
+
+    table: Dict[SiteKey, Dict[str, int]] = {}
+
+    def fold(result: AnalysisResult, prefix: str) -> None:
+        for site in result.sites:
+            key = _key(site)
+            if key is None:
+                continue
+            entry = table.setdefault(key, {
+                "before_samples": 0, "after_samples": 0,
+                "before_allocs": 0, "after_allocs": 0})
+            entry[f"{prefix}_samples"] += site.metric(event)
+            entry[f"{prefix}_allocs"] += site.alloc_count
+
+    fold(before, "before")
+    fold(after, "after")
+
+    before_total = before.total(event)
+    after_total = after.total(event)
+    deltas = []
+    for key, entry in table.items():
+        before_share = (entry["before_samples"] / before_total
+                        if before_total else 0.0)
+        after_share = (entry["after_samples"] / after_total
+                       if after_total else 0.0)
+        deltas.append(SiteDelta(
+            key=key,
+            before_share=before_share,
+            after_share=after_share,
+            before_samples=entry["before_samples"],
+            after_samples=entry["after_samples"],
+            before_allocs=entry["before_allocs"],
+            after_allocs=entry["after_allocs"]))
+    deltas.sort(key=lambda d: d.share_delta)
+    return ProfileDiff(event=event, deltas=deltas,
+                       before_total=before_total, after_total=after_total)

@@ -1,0 +1,129 @@
+"""HTML rendering of object-centric profiles.
+
+The paper ships "a Python-based GUI to visualize the profiles" (§5.2,
+Figure 5).  This module is that component's analogue: it renders an
+:class:`~repro.core.analyzer.AnalysisResult` as a standalone HTML page
+with the same three panes per object — allocation call path, access call
+paths ordered by contribution, and the metric summary — plus the NUMA
+view.  No external assets; the file opens in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List
+
+from repro.core.analyzer import AnalysisResult
+from repro.core.profile import ResolvedPath, ResolvedSite
+
+_STYLE = """
+body { font-family: -apple-system, "Segoe UI", sans-serif; margin: 2em;
+       color: #1a1a1a; max-width: 70em; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+.summary { color: #444; margin-bottom: 1.5em; }
+.site { border: 1px solid #ddd; border-radius: 6px; padding: 1em;
+        margin: 1em 0; }
+.site h3 { margin: 0 0 .4em 0; font-size: 1em; }
+.metrics { color: #333; font-size: .92em; margin-bottom: .6em; }
+.bar { background: #eee; border-radius: 3px; height: 10px; width: 24em;
+       display: inline-block; vertical-align: middle; }
+.bar > div { background: #c0392b; height: 10px; border-radius: 3px; }
+.path { font-family: ui-monospace, monospace; font-size: .88em;
+        white-space: pre; margin: .3em 0 .6em 1em; }
+.alloc { color: #c0392b; }   /* allocation context: "red" pane */
+.access { color: #2155a3; }  /* access contexts: "blue" pane */
+.ctx-count { color: #666; font-size: .85em; }
+table { border-collapse: collapse; margin-top: .6em; }
+td, th { padding: .25em .8em; border-bottom: 1px solid #eee;
+         text-align: left; font-size: .92em; }
+"""
+
+
+def _render_path(path: ResolvedPath, css_class: str) -> str:
+    if not path:
+        return f'<div class="path {css_class}">&lt;no context&gt;</div>'
+    lines = []
+    for depth, frame in enumerate(path):
+        indent = "  " * depth
+        lines.append(f"{indent}{html.escape(frame.location)}  "
+                     f"({html.escape(frame.source_file)})")
+    return f'<div class="path {css_class}">' + "\n".join(lines) + "</div>"
+
+
+def _render_site(result: AnalysisResult, site: ResolvedSite,
+                 rank: int, max_access_contexts: int) -> str:
+    event = result.primary_event
+    share = result.share(site)
+    width = max(1, int(share * 100))
+    parts: List[str] = [
+        '<div class="site">',
+        f"<h3>#{rank} {html.escape(site.dominant_type())} — "
+        f"{site.metric(event)} samples "
+        f'<span class="bar"><div style="width:{width}%"></div></span> '
+        f"{share:.1%}</h3>",
+        f'<div class="metrics">allocations: {site.alloc_count} · '
+        f"bytes: {site.allocated_bytes} · "
+        f"NUMA remote: {site.remote_ratio:.1%}</div>",
+        "<strong>allocation context</strong>",
+        _render_path(site.path, "alloc"),
+    ]
+    contexts = sorted(site.access_contexts.items(),
+                      key=lambda kv: kv[1].get(event, 0), reverse=True)
+    if contexts:
+        parts.append("<strong>access contexts</strong>")
+        for path, metrics in contexts[:max_access_contexts]:
+            parts.append(f'<div class="ctx-count">'
+                         f"{metrics.get(event, 0)} samples</div>")
+            parts.append(_render_path(path, "access"))
+        hidden = len(contexts) - max_access_contexts
+        if hidden > 0:
+            parts.append(f'<div class="ctx-count">… {hidden} more '
+                         f"access context(s)</div>")
+    parts.append("</div>")
+    return "\n".join(parts)
+
+
+def render_html(result: AnalysisResult, top: int = 10,
+                max_access_contexts: int = 5,
+                title: str = "DJXPerf object-centric profile") -> str:
+    """Render a full profile as a standalone HTML document."""
+    event = result.primary_event
+    body: List[str] = [
+        f"<h1>{html.escape(title)}</h1>",
+        f'<div class="summary">primary event: '
+        f"<code>{html.escape(event)}</code> · "
+        f"{result.total(event)} samples across "
+        f"{result.thread_count} thread(s) · "
+        f"{result.coverage(event):.1%} attributed</div>",
+    ]
+    ranked = [s for s in result.top_sites(top) if s.metric(event) > 0]
+    if not ranked:
+        body.append("<p>(no samples attributed to tracked objects)</p>")
+    for rank, site in enumerate(ranked, start=1):
+        body.append(_render_site(result, site, rank, max_access_contexts))
+
+    remote = result.top_remote_sites(top)
+    if remote:
+        body.append("<h2>NUMA remote accesses</h2><table>")
+        body.append("<tr><th>object</th><th>allocation site</th>"
+                    "<th>remote</th><th>sampled</th></tr>")
+        for site in remote:
+            body.append(
+                f"<tr><td>{html.escape(site.dominant_type())}</td>"
+                f"<td>{html.escape(site.location)}</td>"
+                f"<td>{site.remote_ratio:.1%}</td>"
+                f"<td>{site.total_samples}</td></tr>")
+        body.append("</table>")
+
+    return ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{html.escape(title)}</title>"
+            f"<style>{_STYLE}</style></head><body>"
+            + "\n".join(body) + "</body></html>")
+
+
+def write_html(result: AnalysisResult, path: str, **kwargs) -> str:
+    """Render and write the HTML report; returns the path."""
+    document = render_html(result, **kwargs)
+    with open(path, "w") as fp:
+        fp.write(document)
+    return path

@@ -1,0 +1,107 @@
+"""The Java agent: bytecode instrumentation of allocation sites (§4.1).
+
+DJXPerf's Java agent uses ASM to rewrite the four allocation opcodes —
+``new``, ``newarray``, ``anewarray``, ``multianewarray`` — inserting a
+post-allocation hook that hands the fresh object reference to the
+profiler.  This module performs the same rewrite on simulated bytecode:
+after every allocation instruction it inserts
+
+    DUP                      ; keep the reference for the program
+    NATIVE hook, 1 arg       ; pass the duplicate to the profiler
+
+with the allocation site (class, method, original BCI, line) attached as
+constant operands.  Branch targets are remapped around the inserted
+instructions, and the result is re-verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.jvm.bytecode import (
+    ALLOCATION_OPS,
+    BRANCH_OPS,
+    Instruction,
+    Op,
+)
+from repro.jvm.classfile import JMethod, JProgram
+from repro.jvm.verifier import verify
+
+#: Native hook name the instrumentation emits; the profiler registers it.
+ALLOC_HOOK = "_djx_on_alloc"
+
+
+@dataclass(frozen=True)
+class AllocationSite:
+    """Static identity of one allocation site (the hook's constants)."""
+
+    class_name: str
+    method_name: str
+    bci: int            # BCI of the allocation opcode in the original code
+    line: int
+    opcode: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.class_name}.{self.method_name}:{self.line}"
+
+
+def instrument_method(method: JMethod, hook_name: str = ALLOC_HOOK) -> JMethod:
+    """Return a copy of ``method`` with allocation hooks inserted."""
+    sites = method.allocation_sites()
+    if not sites:
+        return method
+
+    new_code: List[Instruction] = []
+    mapping: Dict[int, int] = {}
+    for bci, ins in enumerate(method.code):
+        mapping[bci] = len(new_code)
+        new_code.append(ins)
+        if ins.op in ALLOCATION_OPS:
+            site = AllocationSite(
+                class_name=method.class_name,
+                method_name=method.name,
+                bci=bci,
+                line=ins.line,
+                opcode=ins.op.value)
+            new_code.append(Instruction(Op.DUP, (), ins.line))
+            new_code.append(Instruction(
+                Op.NATIVE, (hook_name, 1, False, site), ins.line))
+    # End-of-method sentinel for targets equal to len(code) (cannot occur
+    # for verified code, but keep the mapping total).
+    mapping[len(method.code)] = len(new_code)
+
+    fixed: List[Instruction] = []
+    for ins in new_code:
+        if ins.op in BRANCH_OPS:
+            fixed.append(ins.with_target(mapping[ins.target]))
+        else:
+            fixed.append(ins)
+
+    out = JMethod(method.class_name, method.name, method.num_args, fixed,
+                  method.source_file, method.max_locals)
+    # Instrumentation must never produce unverifiable code.
+    verify(out.code, out.num_args, None, f"{out.qualified_name}(instr)")
+    return out
+
+
+def instrument_program(program: JProgram,
+                       hook_name: str = ALLOC_HOOK) -> JProgram:
+    """Instrument every method of a program (the agent's premain pass).
+
+    Returns a new program; the input is untouched.  The machine running
+    the instrumented program must register the ``hook_name`` native —
+    :class:`repro.core.profiler.DJXPerf` does this on attach, and also
+    installs a no-op stub at machine creation so the program can run
+    before the profiler attaches (attach/detach mode, §5.1).
+    """
+    out = program.clone()
+    out.methods = {name: instrument_method(m, hook_name)
+                   for name, m in out.methods.items()}
+    return out
+
+
+def allocation_site_count(program: JProgram) -> int:
+    """Total static allocation sites (instrumentation points)."""
+    return sum(len(m.allocation_sites()) for m in program.methods.values())

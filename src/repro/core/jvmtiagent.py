@@ -1,0 +1,289 @@
+"""The JVMTI agent: PMU control, object attribution, GC handling.
+
+This is the native half of DJXPerf (paper §4):
+
+* **Thread start** → program the thread's PMU with the configured
+  precise events and sampling period; install the overflow handler.
+* **Overflow handler** → look the PEBS effective address up in the
+  shared interval splay tree; attribute the metric to the enclosing
+  object's *allocation call path*, record the sampling thread's own call
+  path as an access context, and classify the access as NUMA-local or
+  -remote by comparing the page's node (``move_pages`` query) with the
+  sampling CPU's node (``PERF_SAMPLE_CPU``).
+* **Allocation hook** (invoked by the Java agent's instrumentation) →
+  capture the allocation call path with ``AsyncGetCallTrace``, apply the
+  size threshold ``S``, insert the object's memory range into the splay
+  tree.
+* **GC** → buffer ``memmove`` interpositions in a relocation map and
+  batch-apply them to the splay tree on the MXBean GC-completion
+  notification; drop intervals whose objects were ``finalize``d.
+
+Every operation charges a cycle cost to the thread it runs on, which is
+what the overhead experiments (Figure 4) measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.profile import RawPath, ThreadProfile, TrackedObject
+from repro.core.splay import IntervalSplayTree
+from repro.heap.gc import FinalizeEvent, GcNotification, MemmoveEvent
+from repro.jvm.interpreter import JavaThread
+from repro.jvm.machine import Machine, NativeCall
+from repro.jvmti.agent_iface import JvmtiEnv
+from repro.memsys.hierarchy import AccessResult
+from repro.pmu.events import PmuEvent
+from repro.pmu.pmu import PerfEventConfig, Sample, ThreadPmu
+
+
+@dataclass(frozen=True)
+class AgentCostModel:
+    """Cycle cost of the agent's own work (the source of overhead)."""
+
+    #: Charged for *every* allocation callback, even ones the size
+    #: threshold filters out — the JNI hook fires regardless, which is
+    #: why allocation-heavy benchmarks pay >30% overhead (Figure 4).
+    alloc_hook_dispatch: int = 50
+    alloc_hook_base: int = 120          # path capture + splay insert
+    alloc_hook_per_frame: int = 12      # AsyncGetCallTrace per frame
+    sample_base: int = 300              # signal + splay lookup + CCT
+    sample_per_frame: int = 12
+    numa_query: int = 60                # move_pages syscall
+    memmove_record: int = 15            # append to relocation map
+    gc_batch_per_entry: int = 40        # splay delete+insert
+    finalize_remove: int = 30
+
+
+@dataclass
+class AgentStats:
+    allocations_seen: int = 0
+    allocations_filtered: int = 0       # below the size threshold S
+    samples_handled: int = 0
+    samples_unknown: int = 0
+    relocations_applied: int = 0
+    relocations_unknown: int = 0        # moves of untracked objects
+    finalized_removed: int = 0
+
+
+class DjxJvmtiAgent:
+    """One agent instance per profiled machine."""
+
+    def __init__(self, machine: Machine, events: List[PmuEvent],
+                 sample_period: int, size_threshold: int,
+                 track_numa: bool = True,
+                 collect_access_contexts: bool = True,
+                 costs: Optional[AgentCostModel] = None) -> None:
+        self.machine = machine
+        self.env = JvmtiEnv(machine)
+        self.events = list(events)
+        self.sample_period = sample_period
+        self.size_threshold = size_threshold
+        self.track_numa = track_numa
+        self.collect_access_contexts = collect_access_contexts
+        self.costs = costs or AgentCostModel()
+        self.stats = AgentStats()
+
+        #: Shared across threads (spin-lock protected in the paper; the
+        #: simulator is single-stepped so the lock cost folds into the
+        #: per-operation cost model).
+        self.splay = IntervalSplayTree()
+        self.profiles: Dict[int, ThreadProfile] = {}
+        self._pmus: Dict[int, ThreadPmu] = {}
+        #: Relocation map, reset at each GC completion (paper §4.5):
+        #: src address → (dst address, size).
+        self._relocation_map: Dict[int, Tuple[int, int]] = {}
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Subscribe to VM events and arm PMUs (agent OnLoad/OnAttach)."""
+        self.enabled = True
+        self.env.on_thread_start(self._thread_started)
+        self.env.on_thread_end(self._thread_ended)
+        self.env.on_memmove(self._on_memmove)
+        self.env.on_finalize(self._on_finalize)
+        self.env.on_gc_notification(self._on_gc_notification)
+        self.machine.access_observers.append(self._on_access)
+        # Attach mode: arm threads that are already running.
+        for thread in self.machine.threads:
+            if thread.alive and thread.tid not in self._pmus:
+                self._thread_started(thread)
+
+    def stop(self) -> None:
+        """Disable sampling (agent detach).  Profiles stay readable."""
+        self.enabled = False
+        for pmu in self._pmus.values():
+            pmu.disable_all()
+
+    def profile_of(self, tid: int) -> ThreadProfile:
+        profile = self.profiles.get(tid)
+        if profile is None:
+            profile = ThreadProfile(tid)
+            self.profiles[tid] = profile
+        return profile
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle → PMU control (paper §4.1)
+    # ------------------------------------------------------------------
+    def _thread_started(self, thread: JavaThread) -> None:
+        if not self.enabled:
+            return
+        pmu = ThreadPmu(thread.tid)
+        for event in self.events:
+            pmu.open(PerfEventConfig(event, self.sample_period),
+                     self._handle_sample)
+        self._pmus[thread.tid] = pmu
+        self.profile_of(thread.tid)
+
+    def _thread_ended(self, thread: JavaThread) -> None:
+        pmu = self._pmus.get(thread.tid)
+        if pmu is not None:
+            pmu.disable_all()
+
+    def _on_access(self, thread: JavaThread, result: AccessResult) -> None:
+        if not self.enabled:
+            return
+        pmu = self._pmus.get(thread.tid)
+        if pmu is not None:
+            pmu.observe(result, ucontext=thread)
+
+    # ------------------------------------------------------------------
+    # Allocation hook (called from instrumented bytecode, §4.1-4.2)
+    # ------------------------------------------------------------------
+    def on_alloc(self, call: NativeCall) -> None:
+        """The ``_djx_on_alloc`` native: track one fresh object."""
+        if not self.enabled:
+            return
+        thread = call.thread
+        (ref,) = call.args
+        obj = self.machine.heap.get(ref)
+        self.stats.allocations_seen += 1
+        thread.cycles += self.costs.alloc_hook_dispatch
+        if obj.size < self.size_threshold:
+            self.stats.allocations_filtered += 1
+            return
+        frames = self.env.async_get_call_trace(thread)
+        path: RawPath = tuple((f.method_id, f.bci) for f in frames)
+        thread.cycles += (self.costs.alloc_hook_base
+                          + self.costs.alloc_hook_per_frame * len(frames))
+        tracked = TrackedObject(alloc_path=path, alloc_tid=thread.tid,
+                                type_name=obj.type_name, size=obj.size)
+        self.splay.insert(obj.addr, obj.end, tracked)
+        self.profile_of(thread.tid).site(path).record_allocation(
+            obj.type_name, obj.size)
+
+    # ------------------------------------------------------------------
+    # PMU overflow handler (§4.2, §4.3)
+    # ------------------------------------------------------------------
+    def _handle_sample(self, sample: Sample) -> None:
+        thread: JavaThread = sample.ucontext
+        profile = self.profile_of(sample.tid)
+        profile.record_total(sample.event)
+        self.stats.samples_handled += 1
+
+        frames = self.env.async_get_call_trace(thread)
+        thread.cycles += (self.costs.sample_base
+                          + self.costs.sample_per_frame * len(frames))
+
+        tracked = self.splay.lookup(sample.address)
+        if tracked is None or not isinstance(tracked, TrackedObject) \
+                or not tracked.known:
+            profile.record_unknown(sample.event)
+            self.stats.samples_unknown += 1
+            return
+
+        remote = False
+        if self.track_numa:
+            thread.cycles += self.costs.numa_query
+            (page_node,) = self.env.move_pages_query([sample.address])
+            cpu_node = self.env.node_of_cpu(sample.cpu)
+            remote = page_node is not None and page_node != cpu_node
+
+        access_path: RawPath = ()
+        if self.collect_access_contexts:
+            access_path = tuple((f.method_id, f.bci) for f in frames)
+        profile.site(tracked.alloc_path).record_sample(
+            sample.event, access_path, remote)
+
+    # ------------------------------------------------------------------
+    # GC handling (§4.5)
+    # ------------------------------------------------------------------
+    def _on_memmove(self, event: MemmoveEvent) -> None:
+        """``memmove`` interposition: record the move, apply later."""
+        if not self.enabled:
+            return
+        self._relocation_map[event.src] = (event.dst, event.size)
+        thread = self.machine._current_thread
+        if thread is not None:
+            thread.cycles += self.costs.memmove_record
+
+    def _on_gc_notification(self, notification: GcNotification) -> None:
+        """MXBean GC-completion callback: batch-update the splay tree."""
+        if not self.enabled:
+            return
+        if not self._relocation_map:
+            return
+        thread = self.machine._current_thread
+        cost = 0
+        # Apply moves in ascending destination order: the collector slides
+        # objects downward, so this order never tramples a pending source.
+        moves = sorted(self._relocation_map.items(), key=lambda kv: kv[1][0])
+        for src, (dst, size) in moves:
+            payload = self.splay.remove_start(src)
+            cost += self.costs.gc_batch_per_entry
+            if payload is None:
+                # Attach mode can miss the allocation; insert the moved
+                # interval anyway so future samples at least match an
+                # (unknown) object rather than nothing (paper §4.5).
+                self.stats.relocations_unknown += 1
+                self.splay.insert(dst, dst + size,
+                                  TrackedObject(alloc_path=(), alloc_tid=-1,
+                                                type_name="<moved>",
+                                                size=size, known=False))
+            else:
+                self.splay.insert(dst, dst + size, payload)
+                self.stats.relocations_applied += 1
+        self._relocation_map.clear()
+        if thread is not None:
+            thread.cycles += cost
+
+    def _on_finalize(self, event: FinalizeEvent) -> None:
+        """``finalize`` interception: the object is about to be reclaimed."""
+        if not self.enabled:
+            return
+        removed = self.splay.remove_start(event.addr)
+        if removed is not None:
+            self.stats.finalized_removed += 1
+            thread = self.machine._current_thread
+            if thread is not None:
+                thread.cycles += self.costs.finalize_remove
+        # The object may also have a pending relocation entry; a reclaimed
+        # object must not be re-inserted at GC end.
+        self._relocation_map.pop(event.addr, None)
+
+    # ------------------------------------------------------------------
+    # Memory footprint (for the memory-overhead experiments)
+    # ------------------------------------------------------------------
+    #: Rough per-entry sizes, mirroring the C++ implementation's structs.
+    _SPLAY_NODE_BYTES = 64
+    _SITE_BYTES = 96
+    _CONTEXT_BYTES = 48
+    _RELOC_ENTRY_BYTES = 24
+    _PMU_BYTES = 256
+
+    def memory_footprint(self) -> int:
+        """Estimated profiler memory in bytes."""
+        total = len(self.splay) * self._SPLAY_NODE_BYTES
+        total += len(self._relocation_map) * self._RELOC_ENTRY_BYTES
+        total += len(self._pmus) * self._PMU_BYTES
+        for profile in self.profiles.values():
+            total += len(profile.sites) * self._SITE_BYTES
+            for stats in profile.sites.values():
+                total += len(stats.access_contexts) * self._CONTEXT_BYTES
+                total += (len(stats.path) + sum(
+                    len(p) for p in stats.access_contexts)) * 16
+        return total

@@ -1,0 +1,90 @@
+"""Text rendering of object-centric profiles.
+
+Mirrors the three panes of DJXPerf's GUI (paper Figure 5): for each
+problematic object, the allocation call path ("red"), the access call
+paths under it ordered by contribution ("blue"), and the metric pane
+(sample counts, allocation counts, NUMA locality).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.analyzer import AnalysisResult
+from repro.core.profile import ResolvedPath, ResolvedSite
+
+
+def _render_path(path: ResolvedPath, indent: str) -> List[str]:
+    if not path:
+        return [f"{indent}<no context>"]
+    lines = []
+    for depth, frame in enumerate(path):
+        lines.append(f"{indent}{'  ' * depth}{frame.location} "
+                     f"({frame.source_file})")
+    return lines
+
+
+def render_site(result: AnalysisResult, site: ResolvedSite,
+                rank: int, max_access_contexts: int = 3) -> str:
+    """One object's report block."""
+    event = result.primary_event
+    share = result.share(site)
+    lines = [
+        f"#{rank} object {site.dominant_type()} — "
+        f"{site.metric(event)} samples ({share:.1%} of {event})",
+        f"   allocations: {site.alloc_count}  "
+        f"bytes: {site.allocated_bytes}  "
+        f"NUMA remote: {site.remote_ratio:.1%}",
+        "   allocation context:",
+    ]
+    lines.extend(_render_path(site.path, "     "))
+    contexts = sorted(site.access_contexts.items(),
+                      key=lambda kv: kv[1].get(event, 0), reverse=True)
+    if contexts:
+        lines.append("   access contexts:")
+        for path, metrics in contexts[:max_access_contexts]:
+            count = metrics.get(event, 0)
+            lines.append(f"     [{count} samples]")
+            lines.extend(_render_path(path, "       "))
+        hidden = len(contexts) - max_access_contexts
+        if hidden > 0:
+            lines.append(f"     ... {hidden} more access context(s)")
+    return "\n".join(lines)
+
+
+def render_report(result: AnalysisResult, top: int = 5,
+                  max_access_contexts: int = 3) -> str:
+    """The full ranked report (the analyzer's human-readable output)."""
+    event = result.primary_event
+    header = [
+        "DJXPerf object-centric profile",
+        f"  primary event : {event}",
+        f"  total samples : {result.total(event)} "
+        f"across {result.thread_count} thread(s)",
+        f"  attributed    : {result.coverage(event):.1%}",
+        "",
+    ]
+    blocks = []
+    for rank, site in enumerate(result.top_sites(top), start=1):
+        if site.metric(event) == 0:
+            break
+        blocks.append(render_site(result, site, rank, max_access_contexts))
+    if not blocks:
+        blocks.append("(no samples attributed to tracked objects)")
+    return "\n".join(header) + "\n\n".join(blocks)
+
+
+def render_numa_report(result: AnalysisResult, top: int = 5) -> str:
+    """Remote-access ranking (the §4.3 NUMA view)."""
+    lines = ["DJXPerf NUMA locality report", ""]
+    sites = result.top_remote_sites(top)
+    if not sites:
+        return "\n".join(lines + ["(no remote accesses observed)"])
+    for rank, site in enumerate(sites, start=1):
+        lines.append(
+            f"#{rank} {site.dominant_type()} at {site.location} — "
+            f"{site.remote_samples} remote / {site.total_samples} sampled "
+            f"accesses ({site.remote_ratio:.1%} remote)")
+        lines.extend(_render_path(site.path, "     "))
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,246 @@
+"""Interval splay tree — the object address-range index (paper §4.2).
+
+DJXPerf keeps the memory ranges of all monitored objects in a splay tree
+keyed by interval start.  PMU samples look up the effective address; the
+self-adjusting property keeps recently sampled (hot) objects near the
+root, which is exactly why the paper picked a splay tree [Sleator &
+Tarjan 1985] over a balanced tree.
+
+Intervals are half-open ``[start, end)`` and non-overlapping.  Inserting
+an interval that overlaps existing ones evicts them first — that is the
+correct semantics for a heap index where an address range being reused
+means the old object is gone (e.g. an allocation DJXPerf missed the
+finalize for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("start", "end", "payload", "left", "right")
+
+    def __init__(self, start: int, end: int, payload) -> None:
+        self.start = start
+        self.end = end
+        self.payload = payload
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+@dataclass
+class SplayStats:
+    inserts: int = 0
+    removes: int = 0
+    lookups: int = 0
+    hits: int = 0
+    evictions: int = 0  # intervals evicted by overlapping inserts
+
+
+class IntervalSplayTree:
+    """Self-adjusting BST over disjoint address intervals."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+        self.stats = SplayStats()
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Core splay operation (top-down, Sleator & Tarjan)
+    # ------------------------------------------------------------------
+    def _splay(self, root: Optional[_Node], key: int) -> Optional[_Node]:
+        """Splay the node with the greatest start <= key (or the smallest
+        node if none) to the root.  Returns the new root."""
+        if root is None:
+            return None
+        header = _Node(0, 0, None)
+        left = right = header
+        t = root
+        while True:
+            if key < t.start:
+                if t.left is None:
+                    break
+                if key < t.left.start:
+                    # rotate right
+                    y = t.left
+                    t.left = y.right
+                    y.right = t
+                    t = y
+                    if t.left is None:
+                        break
+                # link right
+                right.left = t
+                right = t
+                t = t.left
+            elif key > t.start:
+                if t.right is None:
+                    break
+                if key > t.right.start:
+                    # rotate left
+                    y = t.right
+                    t.right = y.left
+                    y.left = t
+                    t = y
+                    if t.right is None:
+                        break
+                # link left
+                left.right = t
+                left = t
+                t = t.right
+            else:
+                break
+        # assemble
+        left.right = t.left
+        right.left = t.right
+        t.left = header.right
+        t.right = header.left
+        return t
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def lookup(self, address: int):
+        """Payload of the interval containing ``address``, or None.
+
+        Splays, so repeated lookups of a hot object are amortised-fast.
+        """
+        self.stats.lookups += 1
+        if self._root is None:
+            return None
+        self._root = self._splay(self._root, address)
+        node = self._root
+        if node.start > address:
+            # Root is the smallest node > address; predecessor is the
+            # maximum of the left subtree.
+            node = node.left
+            while node is not None and node.right is not None:
+                node = node.right
+        if node is not None and node.start <= address < node.end:
+            self.stats.hits += 1
+            # Bring the hit to the root (the self-adjusting payoff).
+            self._root = self._splay(self._root, node.start)
+            return self._root.payload
+        return None
+
+    def interval_at(self, address: int) -> Optional[Tuple[int, int]]:
+        """(start, end) of the interval containing ``address``, if any."""
+        if self._root is None:
+            return None
+        self._root = self._splay(self._root, address)
+        node = self._root
+        if node.start > address:
+            node = node.left
+            while node is not None and node.right is not None:
+                node = node.right
+        if node is not None and node.start <= address < node.end:
+            return (node.start, node.end)
+        return None
+
+    def __iter__(self) -> Iterator[Tuple[int, int, object]]:
+        """In-order iteration of (start, end, payload)."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield (node.start, node.end, node.payload)
+            node = node.right
+
+    def overlapping(self, start: int, end: int) -> List[Tuple[int, int, object]]:
+        """All intervals intersecting ``[start, end)``."""
+        out = []
+        for s, e, payload in self:
+            if s >= end:
+                break
+            if e > start:
+                out.append((s, e, payload))
+        return out
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, start: int, end: int, payload) -> None:
+        """Insert ``[start, end)``, evicting any overlapping intervals."""
+        if end <= start:
+            raise ValueError(f"empty interval [{start:#x}, {end:#x})")
+        for s, _e, _p in self.overlapping(start, end):
+            self._remove_exact(s)
+            self.stats.evictions += 1
+        node = _Node(start, end, payload)
+        if self._root is None:
+            self._root = node
+        else:
+            self._root = self._splay(self._root, start)
+            root = self._root
+            if start < root.start:
+                node.left = root.left
+                node.right = root
+                root.left = None
+            else:
+                node.right = root.right
+                node.left = root
+                root.right = None
+            self._root = node
+        self._size += 1
+        self.stats.inserts += 1
+
+    def remove_containing(self, address: int) -> Optional[object]:
+        """Remove the interval containing ``address``; returns its payload."""
+        interval = self.interval_at(address)
+        if interval is None:
+            return None
+        payload = self._remove_exact(interval[0])
+        self.stats.removes += 1
+        return payload
+
+    def remove_start(self, start: int) -> Optional[object]:
+        """Remove the interval starting exactly at ``start``."""
+        if self._root is None:
+            return None
+        self._root = self._splay(self._root, start)
+        if self._root.start != start:
+            return None
+        payload = self._remove_exact(start)
+        self.stats.removes += 1
+        return payload
+
+    def _remove_exact(self, start: int) -> Optional[object]:
+        self._root = self._splay(self._root, start)
+        root = self._root
+        if root is None or root.start != start:
+            return None
+        payload = root.payload
+        if root.left is None:
+            self._root = root.right
+        else:
+            new_root = self._splay(root.left, start)
+            new_root.right = root.right
+            self._root = new_root
+        self._size -= 1
+        return payload
+
+    def clear(self) -> None:
+        self._root = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert BST order and interval disjointness (test support)."""
+        prev_end = None
+        prev_start = None
+        for start, end, _payload in self:
+            if end <= start:
+                raise AssertionError(f"empty interval [{start}, {end})")
+            if prev_start is not None and start <= prev_start:
+                raise AssertionError("BST order violated")
+            if prev_end is not None and start < prev_end:
+                raise AssertionError(
+                    f"overlap: [{start}, {end}) begins before {prev_end}")
+            prev_start, prev_end = start, end

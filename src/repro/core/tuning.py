@@ -1,0 +1,93 @@
+"""Sampling-period calibration (paper §5.1).
+
+DJXPerf "empirically chooses a sampling period to ensure 20-200 samples
+per second per thread" — a target *sample rate*, not a fixed period.
+This module implements that calibration for the simulator: run a short
+pilot of the program, count how often the configured event fires per
+simulated second, and derive the period that lands the full run inside
+the target window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.jvm.classfile import JProgram
+from repro.jvm.machine import Machine, MachineConfig
+from repro.pmu.events import PmuEvent
+from repro.pmu.pmu import PerfEventConfig, ThreadPmu
+
+#: The paper's target sample-rate window, per thread.
+TARGET_MIN_PER_SEC = 20.0
+TARGET_MAX_PER_SEC = 200.0
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a pilot run."""
+
+    period: int
+    #: Event occurrences observed in the pilot.
+    pilot_events: int
+    #: Simulated seconds covered by the pilot.
+    pilot_seconds: float
+    #: Predicted samples/second/thread at the chosen period.
+    predicted_rate: float
+
+
+def calibrate_period(program: JProgram,
+                     event: PmuEvent,
+                     machine_config: Optional[MachineConfig] = None,
+                     clock_hz: float = 2.2e9,
+                     pilot_instructions: int = 50_000,
+                     target_per_sec: float = 100.0) -> CalibrationResult:
+    """Pick a sampling period targeting ``target_per_sec`` samples/s.
+
+    Runs an unprofiled pilot (counting, not sampling — so the pilot
+    itself perturbs nothing), then solves
+    ``period = event_rate / target_rate``.  ``clock_hz`` converts
+    simulated cycles to seconds; the default is the paper machine's
+    2.2GHz.
+    """
+    if target_per_sec <= 0:
+        raise ValueError("target_per_sec must be positive")
+    machine = Machine(program.clone(), machine_config)
+    # Counting-only PMU on every thread.
+    pmus = {}
+
+    def arm(thread):
+        pmu = ThreadPmu(thread.tid)
+        # A huge period: we only read totals, never deliver samples.
+        pmu.open(PerfEventConfig(event, sample_period=1 << 62),
+                 lambda sample: None)
+        pmus[thread.tid] = pmu
+
+    machine.on_thread_start.append(arm)
+    machine.access_observers.append(
+        lambda thread, result: pmus[thread.tid].observe(result))
+    machine.run(max_instructions=pilot_instructions)
+
+    events = sum(pmu.total_for(event.name) for pmu in pmus.values())
+    cycles = max((t.cycles for t in machine.threads), default=0)
+    seconds = cycles / clock_hz if cycles else 0.0
+    if events == 0 or seconds == 0:
+        # Nothing fired in the pilot: fall back to the most sensitive
+        # sane period so the real run can still catch rare events.
+        return CalibrationResult(period=1, pilot_events=events,
+                                 pilot_seconds=seconds,
+                                 predicted_rate=0.0)
+    event_rate = events / seconds
+    period = max(1, int(round(event_rate / target_per_sec)))
+    return CalibrationResult(
+        period=period,
+        pilot_events=events,
+        pilot_seconds=seconds,
+        predicted_rate=event_rate / period)
+
+
+def rate_in_target_window(rate: float,
+                          lo: float = TARGET_MIN_PER_SEC,
+                          hi: float = TARGET_MAX_PER_SEC) -> bool:
+    """Whether a samples/second rate falls in the paper's window."""
+    return lo <= rate <= hi

@@ -1,0 +1,57 @@
+"""Heap substrate: object layout, bump allocation, and a moving GC."""
+
+from repro.heap.allocator import (
+    AllocHook,
+    Heap,
+    HeapObject,
+    HeapStats,
+    OutOfMemoryError,
+    Ref,
+)
+from repro.heap.gc import (
+    FinalizeEvent,
+    GcCostModel,
+    GcNotification,
+    GcStats,
+    MarkCompactCollector,
+    MemmoveEvent,
+)
+from repro.heap.layout import (
+    ELEM_SIZES,
+    HEADER_SIZE,
+    OBJECT_ALIGNMENT,
+    FieldSpec,
+    JClass,
+    Kind,
+    align,
+    array_elem_offset,
+    array_size,
+)
+
+__all__ = [
+    "AllocHook",
+    "ELEM_SIZES",
+    "FieldSpec",
+    "FinalizeEvent",
+    "GcCostModel",
+    "GcNotification",
+    "GcStats",
+    "HEADER_SIZE",
+    "Heap",
+    "HeapObject",
+    "HeapStats",
+    "JClass",
+    "Kind",
+    "MarkCompactCollector",
+    "MemmoveEvent",
+    "OBJECT_ALIGNMENT",
+    "OutOfMemoryError",
+    "Ref",
+    "align",
+    "array_elem_offset",
+    "array_size",
+]
+
+from repro.heap.semispace import SemispaceCollector  # noqa: E402
+
+__all__.append("SemispaceCollector")

@@ -1,0 +1,127 @@
+"""Object layout: classes, fields, arrays, headers, alignment.
+
+The simulated heap lays objects out the way HotSpot does in spirit:
+a fixed-size header followed by fields (for instances) or elements (for
+arrays).  Layout determines the *address* each field/element access
+touches, which is what drives cache behaviour and what the PMU's
+effective-address samples report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Bytes occupied by the object header (mark word + klass pointer).
+HEADER_SIZE = 16
+
+#: All object sizes are rounded up to this alignment.
+OBJECT_ALIGNMENT = 8
+
+
+class Kind(enum.Enum):
+    """Value kinds stored in fields and array elements."""
+
+    INT = "int"
+    FLOAT = "float"
+    REF = "ref"
+
+    @property
+    def default(self):
+        if self is Kind.REF:
+            return None
+        if self is Kind.FLOAT:
+            return 0.0
+        return 0
+
+
+#: Element sizes in bytes for primitive array kinds (Java-like).
+ELEM_SIZES = {Kind.INT: 8, Kind.FLOAT: 8, Kind.REF: 8}
+
+
+def align(size: int, alignment: int = OBJECT_ALIGNMENT) -> int:
+    """Round ``size`` up to a multiple of ``alignment``."""
+    return (size + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One declared instance field."""
+
+    name: str
+    kind: Kind = Kind.INT
+
+
+class JClass:
+    """A simulated Java class: a name plus an ordered field list.
+
+    Field offsets are assigned in declaration order after the header.
+    Every field occupies 8 bytes (the HotSpot-on-x86_64 slot size for
+    longs/doubles/oops; we do not model field packing of sub-word types).
+    """
+
+    def __init__(self, name: str, fields: Sequence[FieldSpec] = (),
+                 superclass: Optional["JClass"] = None) -> None:
+        if not name:
+            raise ValueError("class name must be non-empty")
+        self.name = name
+        self.superclass = superclass
+        inherited: List[FieldSpec] = list(superclass.all_fields) if superclass else []
+        own_names = {f.name for f in fields}
+        if len(own_names) != len(tuple(fields)):
+            raise ValueError(f"duplicate field names in class {name}")
+        clash = own_names & {f.name for f in inherited}
+        if clash:
+            raise ValueError(f"class {name} redeclares inherited fields {clash}")
+        self.all_fields: List[FieldSpec] = inherited + list(fields)
+        self._offsets: Dict[str, int] = {}
+        self._kinds: Dict[str, Kind] = {}
+        offset = HEADER_SIZE
+        for spec in self.all_fields:
+            self._offsets[spec.name] = offset
+            self._kinds[spec.name] = spec.kind
+            offset += 8
+        self.instance_size = align(offset)
+
+    def field_offset(self, name: str) -> int:
+        try:
+            return self._offsets[name]
+        except KeyError:
+            raise KeyError(f"class {self.name} has no field {name!r}") from None
+
+    def field_kind(self, name: str) -> Kind:
+        try:
+            return self._kinds[name]
+        except KeyError:
+            raise KeyError(f"class {self.name} has no field {name!r}") from None
+
+    def has_field(self, name: str) -> bool:
+        return name in self._offsets
+
+    def ref_fields(self) -> List[str]:
+        """Names of reference-kind fields (for GC tracing)."""
+        return [f.name for f in self.all_fields if f.kind is Kind.REF]
+
+    def is_subclass_of(self, other: "JClass") -> bool:
+        cls: Optional[JClass] = self
+        while cls is not None:
+            if cls is other:
+                return True
+            cls = cls.superclass
+        return False
+
+    def __repr__(self) -> str:
+        return f"JClass({self.name}, {len(self.all_fields)} fields)"
+
+
+def array_size(elem_kind: Kind, length: int) -> int:
+    """Total byte size of an array object, header included."""
+    if length < 0:
+        raise ValueError(f"negative array length {length}")
+    return align(HEADER_SIZE + ELEM_SIZES[elem_kind] * length)
+
+
+def array_elem_offset(elem_kind: Kind, index: int) -> int:
+    """Byte offset of element ``index`` from the array base address."""
+    return HEADER_SIZE + ELEM_SIZES[elem_kind] * index

@@ -1,0 +1,81 @@
+"""Simulated JVM: bytecode, classes, interpreter, JIT, machine."""
+
+from repro.jvm.analysis import (
+    BasicBlock,
+    ControlFlowGraph,
+    NaturalLoop,
+    bcis_in_loops,
+    dominators,
+    liveness,
+    natural_loops,
+)
+from repro.jvm.bytecode import (
+    ALLOCATION_OPS,
+    BRANCH_OPS,
+    CONDITIONAL_BRANCHES,
+    AssemblyError,
+    Instruction,
+    Label,
+    MethodBuilder,
+    Op,
+    disassemble,
+)
+from repro.jvm.classfile import EntryPoint, JMethod, JProgram
+from repro.jvm.interpreter import (
+    ArithmeticTrap,
+    Frame,
+    Interpreter,
+    JavaThread,
+    NullPointerError,
+    ThreadState,
+    TrapError,
+)
+from repro.jvm.jit import JitConfig, MethodRuntime, MethodTable
+from repro.jvm.machine import (
+    DeadlockError,
+    Machine,
+    MachineConfig,
+    MachineResult,
+    NativeCall,
+)
+from repro.jvm.verifier import VerificationError, verify, verify_program
+
+__all__ = [
+    "ALLOCATION_OPS",
+    "ArithmeticTrap",
+    "AssemblyError",
+    "BasicBlock",
+    "BRANCH_OPS",
+    "CONDITIONAL_BRANCHES",
+    "ControlFlowGraph",
+    "DeadlockError",
+    "EntryPoint",
+    "Frame",
+    "Instruction",
+    "Interpreter",
+    "JavaThread",
+    "JitConfig",
+    "JMethod",
+    "JProgram",
+    "Label",
+    "Machine",
+    "MachineConfig",
+    "MachineResult",
+    "MethodBuilder",
+    "MethodRuntime",
+    "MethodTable",
+    "NativeCall",
+    "NaturalLoop",
+    "NullPointerError",
+    "Op",
+    "ThreadState",
+    "TrapError",
+    "VerificationError",
+    "bcis_in_loops",
+    "dominators",
+    "disassemble",
+    "liveness",
+    "natural_loops",
+    "verify",
+    "verify_program",
+]

@@ -1,0 +1,153 @@
+"""Classes, methods and programs — the simulated class-file model.
+
+A :class:`JProgram` bundles everything the runtime needs to execute:
+class definitions (field layout, from :mod:`repro.heap.layout`), method
+bodies (bytecode), and the entry points each simulated Java thread runs.
+
+Each method carries a line-number table (BCI → source line), which is the
+analogue of the JVMTI ``GetLineNumberTable`` data DJXPerf queries to map
+profile frames back to source locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.heap.layout import JClass, Kind
+from repro.jvm.bytecode import Instruction, Op
+
+
+class JMethod:
+    """One method: bytecode plus metadata."""
+
+    def __init__(self, class_name: str, name: str, num_args: int,
+                 code: Sequence[Instruction], source_file: str = "",
+                 max_locals: Optional[int] = None) -> None:
+        if not code:
+            raise ValueError(f"method {class_name}.{name} has empty body")
+        self.class_name = class_name
+        self.name = name
+        self.num_args = num_args
+        self.code: List[Instruction] = list(code)
+        self.source_file = source_file or f"{class_name}.java"
+        self.max_locals = max_locals if max_locals is not None else num_args
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.class_name}.{self.name}"
+
+    def line_number_table(self) -> Dict[int, int]:
+        """BCI → source line (the ``GetLineNumberTable`` analogue)."""
+        return {bci: ins.line for bci, ins in enumerate(self.code)}
+
+    def line_of_bci(self, bci: int) -> int:
+        if not 0 <= bci < len(self.code):
+            raise IndexError(f"bci {bci} out of range for {self.qualified_name}")
+        return self.code[bci].line
+
+    def allocation_sites(self) -> List[int]:
+        """BCIs of allocation opcodes (what the Java agent instruments)."""
+        from repro.jvm.bytecode import ALLOCATION_OPS
+        return [bci for bci, ins in enumerate(self.code)
+                if ins.op in ALLOCATION_OPS]
+
+    def __repr__(self) -> str:
+        return f"JMethod({self.qualified_name}, {len(self.code)} instrs)"
+
+
+@dataclass
+class EntryPoint:
+    """A thread's starting method and arguments."""
+
+    method_name: str
+    args: tuple = ()
+    #: Optional explicit CPU pin; the scheduler assigns round-robin if None.
+    cpu: Optional[int] = None
+
+
+class JProgram:
+    """A complete runnable program: classes, methods, entry points."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self.classes: Dict[str, JClass] = {}
+        self.methods: Dict[str, JMethod] = {}
+        self.entry_points: List[EntryPoint] = []
+        #: Initial static values (key → value), e.g. configuration ints.
+        self.statics: Dict[str, object] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_class(self, jclass: JClass) -> JClass:
+        if jclass.name in self.classes:
+            raise ValueError(f"duplicate class {jclass.name}")
+        self.classes[jclass.name] = jclass
+        return jclass
+
+    def add_method(self, method: JMethod) -> JMethod:
+        key = method.name
+        if key in self.methods:
+            raise ValueError(f"duplicate method {key}")
+        self.methods[key] = method
+        return method
+
+    def add_builder(self, builder) -> JMethod:
+        """Build a :class:`MethodBuilder` and register the result."""
+        return self.add_method(builder.build())
+
+    def add_entry(self, method_name: str, *args,
+                  cpu: Optional[int] = None,
+                  count: int = 1) -> None:
+        """Register ``count`` threads starting at ``method_name``."""
+        if method_name not in self.methods:
+            raise KeyError(f"unknown entry method {method_name!r}")
+        for _ in range(count):
+            self.entry_points.append(EntryPoint(method_name, args, cpu))
+
+    # -- lookup -----------------------------------------------------------
+    def method(self, name: str) -> JMethod:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise KeyError(f"unknown method {name!r}") from None
+
+    def jclass(self, name: str) -> JClass:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise KeyError(f"unknown class {name!r}") from None
+
+    def resolve_invocations(self) -> None:
+        """Check that every INVOKE and NEW names something defined."""
+        for method in self.methods.values():
+            for bci, ins in enumerate(method.code):
+                if ins.op is Op.INVOKE and ins.args[0] not in self.methods:
+                    raise KeyError(
+                        f"{method.qualified_name} bci {bci}: unknown method "
+                        f"{ins.args[0]!r}")
+                if ins.op is Op.NEW and ins.args[0] not in self.classes:
+                    raise KeyError(
+                        f"{method.qualified_name} bci {bci}: unknown class "
+                        f"{ins.args[0]!r}")
+
+    def clone(self) -> "JProgram":
+        """Shallow-ish copy safe for instrumentation (methods are copied,
+        instructions are shared immutably)."""
+        out = JProgram(self.name)
+        out.classes = dict(self.classes)
+        out.methods = {
+            name: JMethod(m.class_name, m.name, m.num_args, list(m.code),
+                          m.source_file, m.max_locals)
+            for name, m in self.methods.items()}
+        out.entry_points = [EntryPoint(e.method_name, e.args, e.cpu)
+                            for e in self.entry_points]
+        out.statics = dict(self.statics)
+        return out
+
+    def total_instructions(self) -> int:
+        return sum(len(m.code) for m in self.methods.values())
+
+    def __repr__(self) -> str:
+        return (f"JProgram({self.name}: {len(self.classes)} classes, "
+                f"{len(self.methods)} methods, "
+                f"{len(self.entry_points)} entries)")

@@ -1,0 +1,409 @@
+"""The bytecode interpreter: frames, threads, and instruction execution.
+
+Every field/array/static access goes through the owning
+:class:`~repro.jvm.machine.Machine`'s memory path, so the cache hierarchy
+sees the exact effective-address stream a real CPU would, and the PMU can
+sample it.  Thread call stacks are plain Python lists of :class:`Frame`,
+which is what makes an ``AsyncGetCallTrace``-style asynchronous unwind
+trivially safe at any instruction boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.heap.allocator import Ref
+from repro.heap.layout import Kind
+from repro.jvm.bytecode import Instruction, Op
+from repro.jvm.jit import MethodRuntime
+
+
+class TrapError(Exception):
+    """Runtime fault in simulated code; message carries the code location."""
+
+
+class NullPointerError(TrapError):
+    pass
+
+
+class ArithmeticTrap(TrapError):
+    pass
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"
+    RUNNABLE = "runnable"
+    WAITING = "waiting"
+    FINISHED = "finished"
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("runtime", "pc", "locals", "stack")
+
+    def __init__(self, runtime: MethodRuntime, args: Sequence = ()) -> None:
+        self.runtime = runtime
+        self.pc = 0
+        method = runtime.method
+        nlocals = max(method.max_locals, method.num_args, len(args))
+        self.locals: List = list(args) + [None] * (nlocals - len(args))
+        self.stack: List = []
+
+    @property
+    def method(self):
+        return self.runtime.method
+
+    def local(self, index: int):
+        if index >= len(self.locals):
+            self.locals.extend([None] * (index + 1 - len(self.locals)))
+        return self.locals[index]
+
+    def set_local(self, index: int, value) -> None:
+        if index >= len(self.locals):
+            self.locals.extend([None] * (index + 1 - len(self.locals)))
+        self.locals[index] = value
+
+    def __repr__(self) -> str:
+        return (f"Frame({self.method.qualified_name} pc={self.pc} "
+                f"stack={len(self.stack)})")
+
+
+class JavaThread:
+    """A simulated Java thread pinned to one CPU."""
+
+    def __init__(self, tid: int, cpu: int, name: str = "") -> None:
+        self.tid = tid
+        self.cpu = cpu
+        self.name = name or f"thread-{tid}"
+        self.state = ThreadState.NEW
+        self.frames: List[Frame] = []
+        self.cycles = 0
+        self.instructions = 0
+        self.result = None
+        #: When WAITING, re-checked by the scheduler each round.
+        self.wait_predicate: Optional[Callable[[], bool]] = None
+
+    @property
+    def current_frame(self) -> Frame:
+        return self.frames[-1]
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ThreadState.FINISHED,)
+
+    def call_stack(self) -> List["tuple[int, int]"]:
+        """(method_id, bci) per frame, leaf last — the raw material of
+        ``AsyncGetCallTrace``."""
+        return [(f.runtime.method_id, f.pc) for f in self.frames]
+
+    def __repr__(self) -> str:
+        return (f"JavaThread({self.name} cpu={self.cpu} {self.state.value} "
+                f"cycles={self.cycles})")
+
+
+def _int_div(a: int, b: int) -> int:
+    """Java-style truncated integer division."""
+    if b == 0:
+        raise ArithmeticTrap("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_rem(a: int, b: int) -> int:
+    if b == 0:
+        raise ArithmeticTrap("integer remainder by zero")
+    return a - _int_div(a, b) * b
+
+
+class Interpreter:
+    """Executes bytecode for one :class:`~repro.jvm.machine.Machine`."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    def run_quantum(self, thread: JavaThread, budget: int) -> int:
+        """Run up to ``budget`` instructions; returns the number executed.
+
+        Stops early when the thread finishes or blocks.
+        """
+        executed = 0
+        runnable = ThreadState.RUNNABLE
+        step = self.step
+        while executed < budget and thread.state is runnable:
+            step(thread)
+            executed += 1
+        return executed
+
+    def step(self, thread: JavaThread) -> None:
+        """Execute exactly one instruction of ``thread``."""
+        frame = thread.frames[-1]
+        runtime = frame.runtime
+        code = runtime.method.code
+        if frame.pc >= len(code):
+            raise TrapError(
+                f"{runtime.method.qualified_name}: pc {frame.pc} past end "
+                f"(missing return?)")
+        ins = code[frame.pc]
+        thread.cycles += runtime.cycles_per_instruction_cached
+        thread.instructions += 1
+        try:
+            self._execute(thread, frame, ins)
+        except TrapError:
+            raise
+        except Exception as exc:  # decorate with location for debuggability
+            raise TrapError(
+                f"{runtime.method.qualified_name} bci {frame.pc} "
+                f"({ins!r}): {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def _execute(self, thread: JavaThread, frame: Frame,
+                 ins: Instruction) -> None:
+        op = ins.op
+        stack = frame.stack
+        machine = self.machine
+        next_pc = frame.pc + 1
+
+        # Dispatch is ordered hottest-first (measured on the workload
+        # suite): locals, array access, loop bookkeeping, then the rest.
+        if op is Op.LOAD:
+            locals_ = frame.locals
+            index = ins.args[0]
+            stack.append(locals_[index] if index < len(locals_) else None)
+        elif op is Op.ICONST or op is Op.FCONST:
+            stack.append(ins.args[0])
+        elif op is Op.ALOAD:
+            index = stack.pop()
+            ref = stack.pop()
+            obj = self._deref(ref, frame, ins)
+            machine.memory_access(thread, obj.element_address(index),
+                                  obj.elem_size(), is_write=False)
+            stack.append(obj.get_element(index))
+        elif op is Op.IINC:
+            index, delta = ins.args
+            frame.set_local(index, frame.local(index) + delta)
+        elif op is Op.IF_ICMPGE:
+            b, a = stack.pop(), stack.pop()
+            if a >= b:
+                next_pc = ins.args[0]
+        elif op is Op.GOTO:
+            next_pc = ins.args[0]
+        elif op is Op.POP:
+            stack.pop()
+        elif op is Op.STORE:
+            frame.set_local(ins.args[0], stack.pop())
+        elif op is Op.ASTORE:
+            value = stack.pop()
+            index = stack.pop()
+            ref = stack.pop()
+            obj = self._deref(ref, frame, ins)
+            machine.memory_access(thread, obj.element_address(index),
+                                  obj.elem_size(), is_write=True)
+            obj.set_element(index, value)
+        elif op is Op.ACONST_NULL:
+            stack.append(None)
+        elif op is Op.DUP:
+            stack.append(stack[-1])
+        elif op is Op.SWAP:
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+
+        elif op is Op.ADD:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a + b)
+        elif op is Op.SUB:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a - b)
+        elif op is Op.MUL:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a * b)
+        elif op is Op.DIV:
+            b, a = stack.pop(), stack.pop()
+            if isinstance(a, float) or isinstance(b, float):
+                if b == 0:
+                    raise ArithmeticTrap("float division by zero")
+                stack.append(a / b)
+            else:
+                stack.append(_int_div(a, b))
+        elif op is Op.REM:
+            b, a = stack.pop(), stack.pop()
+            stack.append(_int_rem(a, b) if isinstance(a, int)
+                         and isinstance(b, int) else a % b)
+        elif op is Op.NEG:
+            stack.append(-stack.pop())
+        elif op is Op.SHL:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a << b)
+        elif op is Op.SHR:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a >> b)
+        elif op is Op.AND:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a & b)
+        elif op is Op.OR:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a | b)
+        elif op is Op.XOR:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a ^ b)
+        elif op is Op.I2F:
+            stack.append(float(stack.pop()))
+        elif op is Op.F2I:
+            stack.append(int(stack.pop()))
+
+        elif op is Op.IF_ICMPLT:
+            b, a = stack.pop(), stack.pop()
+            if a < b:
+                next_pc = ins.args[0]
+        elif op is Op.IF_ICMPEQ:
+            b, a = stack.pop(), stack.pop()
+            if a == b:
+                next_pc = ins.args[0]
+        elif op is Op.IF_ICMPNE:
+            b, a = stack.pop(), stack.pop()
+            if a != b:
+                next_pc = ins.args[0]
+        elif op is Op.IF_ICMPGT:
+            b, a = stack.pop(), stack.pop()
+            if a > b:
+                next_pc = ins.args[0]
+        elif op is Op.IF_ICMPLE:
+            b, a = stack.pop(), stack.pop()
+            if a <= b:
+                next_pc = ins.args[0]
+        elif op is Op.IF_EQ:
+            if stack.pop() == 0:
+                next_pc = ins.args[0]
+        elif op is Op.IF_NE:
+            if stack.pop() != 0:
+                next_pc = ins.args[0]
+        elif op is Op.IF_LT:
+            if stack.pop() < 0:
+                next_pc = ins.args[0]
+        elif op is Op.IF_GE:
+            if stack.pop() >= 0:
+                next_pc = ins.args[0]
+        elif op is Op.IF_GT:
+            if stack.pop() > 0:
+                next_pc = ins.args[0]
+        elif op is Op.IF_LE:
+            if stack.pop() <= 0:
+                next_pc = ins.args[0]
+        elif op is Op.IF_NULL:
+            if stack.pop() is None:
+                next_pc = ins.args[0]
+        elif op is Op.IF_NONNULL:
+            if stack.pop() is not None:
+                next_pc = ins.args[0]
+
+        elif op is Op.INVOKE:
+            method_name, argc = ins.args
+            args = _pop_args(stack, argc)
+            frame.pc = next_pc            # return address
+            self._push_frame(thread, method_name, args)
+            return
+        elif op is Op.NATIVE:
+            name, argc, has_result = ins.args[0], ins.args[1], ins.args[2]
+            consts = ins.args[3:]
+            args = _pop_args(stack, argc)
+            result = machine.call_native(name, thread, args, consts)
+            if has_result:
+                stack.append(result)
+            # A native may have parked the thread (await_static): keep pc
+            # pointing past the native either way; the value is pushed.
+        elif op is Op.RETURN:
+            self._pop_frame(thread, None)
+            return
+        elif op is Op.IRETURN:
+            self._pop_frame(thread, stack.pop())
+            return
+
+        elif op is Op.NEW:
+            jclass = machine.program.jclass(ins.args[0])
+            ref = machine.allocate_instance(jclass, thread)
+            stack.append(ref)
+        elif op is Op.NEWARRAY:
+            length = stack.pop()
+            ref = machine.allocate_array(ins.args[0], length, thread)
+            stack.append(ref)
+        elif op is Op.ANEWARRAY:
+            length = stack.pop()
+            ref = machine.allocate_array(Kind.REF, length, thread)
+            stack.append(ref)
+        elif op is Op.MULTIANEWARRAY:
+            elem_kind, dims = ins.args
+            lengths = [stack.pop() for _ in range(dims)][::-1]
+            ref = machine.allocate_multi_array(elem_kind, lengths, thread)
+            stack.append(ref)
+
+        elif op is Op.GETFIELD:
+            ref = stack.pop()
+            obj = self._deref(ref, frame, ins)
+            machine.memory_access(thread, obj.field_address(ins.args[0]), 8,
+                                  is_write=False)
+            stack.append(obj.get_field(ins.args[0]))
+        elif op is Op.PUTFIELD:
+            value, ref = stack.pop(), stack.pop()
+            obj = self._deref(ref, frame, ins)
+            machine.memory_access(thread, obj.field_address(ins.args[0]), 8,
+                                  is_write=True)
+            obj.set_field(ins.args[0], value)
+        elif op is Op.GETSTATIC:
+            address = machine.static_address(ins.args[0])
+            machine.memory_access(thread, address, 8, is_write=False)
+            stack.append(machine.get_static(ins.args[0]))
+        elif op is Op.PUTSTATIC:
+            address = machine.static_address(ins.args[0])
+            machine.memory_access(thread, address, 8, is_write=True)
+            machine.set_static(ins.args[0], stack.pop())
+        elif op is Op.ARRAYLENGTH:
+            ref = stack.pop()
+            obj = self._deref(ref, frame, ins)
+            # length lives in the header's second word
+            machine.memory_access(thread, obj.addr + 8, 8, is_write=False)
+            stack.append(obj.length)
+        elif op is Op.NOP:
+            pass
+        else:  # pragma: no cover - exhaustive over Op
+            raise TrapError(f"unimplemented opcode {op}")
+
+        frame.pc = next_pc
+
+    # ------------------------------------------------------------------
+    def _deref(self, ref, frame: Frame, ins: Instruction):
+        if not isinstance(ref, Ref):
+            raise NullPointerError(
+                f"{frame.method.qualified_name} bci {frame.pc} "
+                f"({ins!r}): dereferencing {ref!r}")
+        return self.machine.heap.get(ref)
+
+    def _push_frame(self, thread: JavaThread, method_name: str,
+                    args: List) -> None:
+        machine = self.machine
+        runtime = machine.method_table.runtime(method_name)
+        pause = machine.method_table.on_invoke(runtime)
+        if pause:
+            thread.cycles += pause
+        thread.frames.append(Frame(runtime, args))
+
+    def _pop_frame(self, thread: JavaThread, value) -> None:
+        thread.frames.pop()
+        if thread.frames:
+            # INVOKE always expects one pushed result (None for void).
+            thread.current_frame.stack.append(value)
+        else:
+            thread.result = value
+            thread.state = ThreadState.FINISHED
+            self.machine.on_thread_finished(thread)
+
+
+def _pop_args(stack: List, argc: int) -> List:
+    if argc == 0:
+        return []
+    args = stack[-argc:]
+    del stack[-argc:]
+    return args
+
+

@@ -1,0 +1,129 @@
+"""Bytecode verifier: structural and stack-discipline checks.
+
+A small abstract interpreter over stack *depths* (not types): it checks
+that every path reaching a BCI agrees on the operand-stack depth, that no
+instruction underflows the stack, that branch targets are in range, and
+that control cannot fall off the end of a method.  Workload programs and
+instrumentation output are verified before execution, which catches
+assembler and rewriting bugs early — the same role HotSpot's verifier
+plays for ASM-instrumented classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.jvm.bytecode import (
+    BRANCH_OPS,
+    CONDITIONAL_BRANCHES,
+    STACK_EFFECTS,
+    Instruction,
+    Op,
+)
+
+
+class VerificationError(Exception):
+    """The method failed verification; message pinpoints the BCI."""
+
+
+def _stack_effect(ins: Instruction) -> "tuple[int, int]":
+    """(pops, pushes) for any instruction, including variable-arity ones."""
+    if ins.op is Op.INVOKE:
+        return ins.args[1], 1  # callee may or may not push; see verify()
+    if ins.op is Op.NATIVE:
+        argc, has_result = ins.args[1], ins.args[2]
+        return argc, 1 if has_result else 0
+    if ins.op is Op.MULTIANEWARRAY:
+        return ins.args[1], 1
+    return STACK_EFFECTS[ins.op]
+
+
+def verify(code: Sequence[Instruction], num_args: int = 0,
+           max_locals: Optional[int] = None,
+           method_name: str = "<method>") -> int:
+    """Verify one method body; returns the maximum operand-stack depth.
+
+    Raises :class:`VerificationError` on the first problem found.
+
+    Note on INVOKE: callees in this VM may return a value or not; the
+    verifier models INVOKE as pushing one value and requires call results
+    to be consumed or returned, matching the interpreter, which pushes
+    ``None`` for void callees and relies on the assembler to POP unused
+    results.  (Workloads built with :class:`MethodBuilder` follow this
+    convention; see the interpreter's return handling.)
+    """
+    if not code:
+        raise VerificationError(f"{method_name}: empty body")
+    n = len(code)
+    limit = max_locals if max_locals is not None else float("inf")
+
+    # Structural checks first: targets in range, sane operands.
+    for bci, ins in enumerate(code):
+        if ins.op in BRANCH_OPS:
+            target = ins.target
+            if not isinstance(target, int) or not 0 <= target < n:
+                raise VerificationError(
+                    f"{method_name} bci {bci}: branch target {target!r} "
+                    f"out of range [0, {n})")
+        if ins.op in (Op.LOAD, Op.STORE, Op.IINC):
+            index = ins.args[0]
+            if index < 0 or index >= limit:
+                raise VerificationError(
+                    f"{method_name} bci {bci}: local index {index} out of "
+                    f"range [0, {limit})")
+
+    # Fall-off check: the last instruction must not fall through.
+    last = code[-1]
+    if last.op not in (Op.RETURN, Op.IRETURN, Op.GOTO):
+        raise VerificationError(
+            f"{method_name}: control can fall off the end "
+            f"(last op is {last.op.value})")
+
+    # Abstract interpretation of stack depth with a worklist.
+    depth_at: Dict[int, int] = {0: 0}
+    worklist: List[int] = [0]
+    max_depth = 0
+    while worklist:
+        bci = worklist.pop()
+        depth = depth_at[bci]
+        ins = code[bci]
+        pops, pushes = _stack_effect(ins)
+        if depth < pops:
+            raise VerificationError(
+                f"{method_name} bci {bci}: stack underflow "
+                f"({ins.op.value} pops {pops}, depth {depth})")
+        new_depth = depth - pops + pushes
+        max_depth = max(max_depth, new_depth)
+
+        successors: List[int] = []
+        if ins.op is Op.GOTO:
+            successors.append(ins.target)
+        elif ins.op in CONDITIONAL_BRANCHES:
+            successors.append(ins.target)
+            successors.append(bci + 1)
+        elif ins.op in (Op.RETURN, Op.IRETURN):
+            successors = []
+        else:
+            successors.append(bci + 1)
+
+        for succ in successors:
+            if succ >= n:
+                raise VerificationError(
+                    f"{method_name} bci {bci}: falls through past the end")
+            if succ in depth_at:
+                if depth_at[succ] != new_depth:
+                    raise VerificationError(
+                        f"{method_name} bci {succ}: inconsistent stack depth "
+                        f"({depth_at[succ]} vs {new_depth} via bci {bci})")
+            else:
+                depth_at[succ] = new_depth
+                worklist.append(succ)
+    return max_depth
+
+
+def verify_program(program) -> None:
+    """Verify every method of a :class:`~repro.jvm.classfile.JProgram`."""
+    program.resolve_invocations()
+    for method in program.methods.values():
+        verify(method.code, method.num_args, method.max_locals,
+               method.qualified_name)

@@ -1,0 +1,5 @@
+"""JVMTI-style tool interface for profiling agents."""
+
+from repro.jvmti.agent_iface import CallFrame, JvmtiEnv, MethodInfo
+
+__all__ = ["CallFrame", "JvmtiEnv", "MethodInfo"]

@@ -1,0 +1,41 @@
+"""Memory-system substrate: caches, TLB, NUMA topology and page placement.
+
+This package simulates the hardware layer that DJXPerf observes through
+the PMU on a real machine.  The composition point is
+:class:`~repro.memsys.hierarchy.MemoryHierarchy`.
+"""
+
+from repro.memsys.cache import Cache, CacheStats, EvictedLine, lines_spanned
+from repro.memsys.hierarchy import (
+    LEVEL_DRAM,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_L3,
+    AccessResult,
+    HierarchyConfig,
+    LatencyModel,
+    MemoryHierarchy,
+)
+from repro.memsys.numa import NumaStats, NumaTopology, PageTable, PlacementPolicy
+from repro.memsys.tlb import Tlb, TlbStats
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheStats",
+    "EvictedLine",
+    "HierarchyConfig",
+    "LatencyModel",
+    "LEVEL_DRAM",
+    "LEVEL_L1",
+    "LEVEL_L2",
+    "LEVEL_L3",
+    "MemoryHierarchy",
+    "NumaStats",
+    "NumaTopology",
+    "PageTable",
+    "PlacementPolicy",
+    "Tlb",
+    "TlbStats",
+    "lines_spanned",
+]

@@ -1,0 +1,287 @@
+"""The full memory hierarchy: per-CPU L1/L2, per-node shared L3, TLB, NUMA.
+
+Every memory access issued by the simulated runtime flows through
+:meth:`MemoryHierarchy.access`, which walks the cache stack, consults the
+NUMA page table, and returns an :class:`AccessResult` describing the
+outcome — which level served the access, whether the TLB missed, which
+node owned the data, whether the access was remote, and the total latency
+in cycles.  The PMU (:mod:`repro.pmu`) turns these outcomes into
+countable hardware events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.memsys.cache import Cache, lines_spanned
+from repro.memsys.numa import NumaTopology, PageTable, PlacementPolicy
+from repro.memsys.tlb import Tlb
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Access latencies in cycles, loosely calibrated to a Broadwell Xeon
+    (the paper's evaluation machine: Intel Xeon E5-2650 v4)."""
+
+    l1_hit: int = 4
+    l2_hit: int = 12
+    l3_hit: int = 40
+    dram_local: int = 200
+    dram_remote: int = 350
+    tlb_miss_penalty: int = 30
+
+    def dram(self, remote: bool) -> int:
+        return self.dram_remote if remote else self.dram_local
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache geometry; defaults mirror the paper's evaluation machine
+    (32KB private L1, 256KB private L2, shared 30MB L3), scaled to one L3
+    per NUMA node."""
+
+    line_size: int = 64
+    l1_size: int = 32 * 1024
+    l1_assoc: int = 8
+    l2_size: int = 256 * 1024
+    l2_assoc: int = 8
+    l3_size: int = 30 * 1024 * 1024
+    l3_assoc: int = 20
+    tlb_entries: int = 64
+    page_size: int = 4096
+    latency: LatencyModel = field(default_factory=LatencyModel)
+
+
+#: The level that ultimately served an access.
+LEVEL_L1 = "L1"
+LEVEL_L2 = "L2"
+LEVEL_L3 = "L3"
+LEVEL_DRAM = "DRAM"
+
+
+class AccessResult:
+    """Outcome of one memory access (possibly spanning several lines).
+
+    A plain ``__slots__`` class (not a dataclass): one instance is built
+    per simulated memory access, so construction cost matters.
+    """
+
+    __slots__ = ("address", "size", "is_write", "cpu", "level", "latency",
+                 "l1_misses", "l2_misses", "l3_misses", "tlb_misses",
+                 "home_node", "remote", "lines")
+
+    def __init__(self, address: int, size: int, is_write: bool, cpu: int,
+                 level: str, latency: int, l1_misses: int, l2_misses: int,
+                 l3_misses: int, tlb_misses: int, home_node: int,
+                 remote: bool, lines: int = 1) -> None:
+        self.address = address
+        self.size = size
+        self.is_write = is_write
+        self.cpu = cpu
+        #: deepest level reached by the slowest spanned line
+        self.level = level
+        self.latency = latency
+        self.l1_misses = l1_misses
+        self.l2_misses = l2_misses
+        self.l3_misses = l3_misses
+        self.tlb_misses = tlb_misses
+        #: node owning the page of ``address`` (first page if spanning)
+        self.home_node = home_node
+        #: True when home_node differs from the accessing CPU's node
+        self.remote = remote
+        self.lines = lines
+
+    @property
+    def l1_missed(self) -> bool:
+        return self.l1_misses > 0
+
+    @property
+    def tlb_missed(self) -> bool:
+        return self.tlb_misses > 0
+
+    def __repr__(self) -> str:
+        return (f"AccessResult(addr={self.address:#x}, size={self.size}, "
+                f"{'store' if self.is_write else 'load'}, cpu={self.cpu}, "
+                f"level={self.level}, latency={self.latency}, "
+                f"remote={self.remote})")
+
+
+@dataclass
+class HierarchyStats:
+    accesses: int = 0
+    loads: int = 0
+    stores: int = 0
+    total_latency: int = 0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.loads = 0
+        self.stores = 0
+        self.total_latency = 0
+
+
+class MemoryHierarchy:
+    """L1(d) per CPU → L2 per CPU → L3 per NUMA node → DRAM."""
+
+    def __init__(self, topology: Optional[NumaTopology] = None,
+                 config: Optional[HierarchyConfig] = None) -> None:
+        self.topology = topology or NumaTopology()
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        self.page_table = PageTable(self.topology, page_size=cfg.page_size)
+        self.l1: List[Cache] = [
+            Cache(f"L1d#{c}", cfg.l1_size, cfg.l1_assoc, cfg.line_size)
+            for c in range(self.topology.num_cpus)]
+        self.l2: List[Cache] = [
+            Cache(f"L2#{c}", cfg.l2_size, cfg.l2_assoc, cfg.line_size)
+            for c in range(self.topology.num_cpus)]
+        self.l3: List[Cache] = [
+            Cache(f"L3#{n}", cfg.l3_size, cfg.l3_assoc, cfg.line_size)
+            for n in range(self.topology.num_nodes)]
+        self.tlb: List[Tlb] = [
+            Tlb(cfg.tlb_entries, cfg.page_size)
+            for _ in range(self.topology.num_cpus)]
+        self.stats = HierarchyStats()
+        # Fast-path lookup tables.
+        self._line_mask = ~(cfg.line_size - 1)
+        self._line_low = cfg.line_size - 1
+        self._node_of_cpu = [self.topology.node_of_cpu(c)
+                             for c in range(self.topology.num_cpus)]
+
+    # ------------------------------------------------------------------
+    def _access_line(self, cpu: int, node: int, line_addr: int,
+                     is_write: bool) -> "tuple[str, int, int, int, int]":
+        """Walk one line through the stack.
+
+        Returns (level, latency, l1_miss, l2_miss, l3_miss) where the miss
+        fields are 0/1.
+        """
+        lat = self.config.latency
+        l1 = self.l1[cpu]
+        if l1.access(line_addr, is_write):
+            return LEVEL_L1, lat.l1_hit, 0, 0, 0
+        l2 = self.l2[cpu]
+        if l2.access(line_addr, is_write):
+            l1.fill(line_addr, dirty=is_write)
+            return LEVEL_L2, lat.l2_hit, 1, 0, 0
+        l3 = self.l3[self.topology.node_of_cpu(cpu)]
+        if l3.access(line_addr, is_write):
+            l2.fill(line_addr)
+            l1.fill(line_addr, dirty=is_write)
+            return LEVEL_L3, lat.l3_hit, 1, 1, 0
+        # DRAM access; latency depends on whether the page is remote to
+        # the accessing CPU.
+        remote = node != self.topology.node_of_cpu(cpu)
+        l3.fill(line_addr)
+        l2.fill(line_addr)
+        l1.fill(line_addr, dirty=is_write)
+        return LEVEL_DRAM, lat.dram(remote), 1, 1, 1
+
+    _LEVEL_ORDER = {LEVEL_L1: 0, LEVEL_L2: 1, LEVEL_L3: 2, LEVEL_DRAM: 3}
+
+    def access(self, cpu: int, address: int, size: int = 8,
+               is_write: bool = False) -> AccessResult:
+        """Perform one memory access and return its outcome."""
+        if not 0 <= cpu < self.topology.num_cpus:
+            raise ValueError(f"cpu {cpu} out of range")
+        if address < 0:
+            raise ValueError(f"negative address {address:#x}")
+        cfg = self.config
+        if (address & self._line_low) + size <= cfg.line_size:
+            return self._access_single(cpu, address, size, is_write)
+        home_node = self.page_table.touch(address, cpu)
+        remote = home_node != self.topology.node_of_cpu(cpu)
+
+        tlb_misses = 0
+        latency = 0
+        worst_level = LEVEL_L1
+        l1_miss_total = l2_miss_total = l3_miss_total = 0
+
+        line_addrs = lines_spanned(address, size, cfg.line_size)
+        seen_pages = set()
+        for line_addr in line_addrs:
+            page = line_addr // cfg.page_size
+            if page not in seen_pages:
+                seen_pages.add(page)
+                if not self.tlb[cpu].access(line_addr):
+                    tlb_misses += 1
+                    latency += cfg.latency.tlb_miss_penalty
+            # Each line's home node may differ when the access straddles a
+            # page with a different placement; resolve per line.
+            line_node = self.page_table.node_of_address(line_addr)
+            if line_node is None:
+                line_node = self.page_table.touch(line_addr, cpu)
+            level, lat, m1, m2, m3 = self._access_line(
+                cpu, line_node, line_addr, is_write)
+            latency += lat
+            l1_miss_total += m1
+            l2_miss_total += m2
+            l3_miss_total += m3
+            if self._LEVEL_ORDER[level] > self._LEVEL_ORDER[worst_level]:
+                worst_level = level
+
+        self.stats.accesses += 1
+        if is_write:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+        self.stats.total_latency += latency
+
+        return AccessResult(
+            address=address, size=size, is_write=is_write, cpu=cpu,
+            level=worst_level, latency=latency,
+            l1_misses=l1_miss_total, l2_misses=l2_miss_total,
+            l3_misses=l3_miss_total, tlb_misses=tlb_misses,
+            home_node=home_node, remote=remote, lines=len(line_addrs))
+
+    def _access_single(self, cpu: int, address: int, size: int,
+                       is_write: bool) -> AccessResult:
+        """Fast path: the access fits in one cache line."""
+        cfg = self.config
+        home_node = self.page_table.touch(address, cpu)
+        remote = home_node != self._node_of_cpu[cpu]
+        latency = 0
+        tlb_misses = 0
+        if not self.tlb[cpu].access(address):
+            tlb_misses = 1
+            latency = cfg.latency.tlb_miss_penalty
+        line_addr = address & self._line_mask
+        level, lat, m1, m2, m3 = self._access_line(
+            cpu, home_node, line_addr, is_write)
+        latency += lat
+        stats = self.stats
+        stats.accesses += 1
+        if is_write:
+            stats.stores += 1
+        else:
+            stats.loads += 1
+        stats.total_latency += latency
+        return AccessResult(
+            address=address, size=size, is_write=is_write, cpu=cpu,
+            level=level, latency=latency, l1_misses=m1, l2_misses=m2,
+            l3_misses=m3, tlb_misses=tlb_misses, home_node=home_node,
+            remote=remote, lines=1)
+
+    # ------------------------------------------------------------------
+    def set_range_policy(self, start: int, size: int,
+                         policy: PlacementPolicy,
+                         bind_node: Optional[int] = None) -> None:
+        """Forward a placement request to the page table."""
+        self.page_table.set_range_policy(start, size, policy, bind_node)
+
+    def flush_all(self) -> None:
+        """Drop all cached state (used between benchmark repetitions)."""
+        for cache in self.l1 + self.l2 + self.l3:
+            cache.flush()
+        for tlb in self.tlb:
+            tlb.flush()
+
+    def miss_summary(self) -> Dict[str, int]:
+        """Aggregate per-level miss counts across all cache instances."""
+        return {
+            "l1_misses": sum(c.stats.misses for c in self.l1),
+            "l2_misses": sum(c.stats.misses for c in self.l2),
+            "l3_misses": sum(c.stats.misses for c in self.l3),
+            "tlb_misses": sum(t.stats.misses for t in self.tlb),
+        }

@@ -1,0 +1,194 @@
+"""NUMA topology and page placement.
+
+Models the pieces of a NUMA system that DJXPerf interacts with:
+
+* a topology mapping CPUs to NUMA nodes (``PERF_SAMPLE_CPU`` → node);
+* a page table mapping physical pages to the node that owns them;
+* placement policies — first-touch (the Linux default), interleaved
+  (``numa_alloc_interleaved``) and explicit bind;
+* a ``move_pages``-style query/move call (the libnuma facility the paper
+  uses for object NUMA-locality detection, §4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class PlacementPolicy(enum.Enum):
+    """How pages get assigned to a node on first touch."""
+
+    FIRST_TOUCH = "first_touch"
+    INTERLEAVE = "interleave"
+    BIND = "bind"
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """Static machine shape: how many nodes, and which CPU lives where.
+
+    CPUs are assigned to nodes in contiguous blocks, mirroring the common
+    BIOS enumeration (cpus 0..11 on node 0, 12..23 on node 1, ...).
+    """
+
+    num_nodes: int = 2
+    cpus_per_node: int = 12
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {self.num_nodes}")
+        if self.cpus_per_node <= 0:
+            raise ValueError(
+                f"cpus_per_node must be positive, got {self.cpus_per_node}")
+
+    @property
+    def num_cpus(self) -> int:
+        return self.num_nodes * self.cpus_per_node
+
+    def node_of_cpu(self, cpu: int) -> int:
+        if not 0 <= cpu < self.num_cpus:
+            raise ValueError(f"cpu {cpu} out of range [0, {self.num_cpus})")
+        return cpu // self.cpus_per_node
+
+    def cpus_of_node(self, node: int) -> List[int]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        start = node * self.cpus_per_node
+        return list(range(start, start + self.cpus_per_node))
+
+
+@dataclass
+class NumaStats:
+    local_accesses: int = 0
+    remote_accesses: int = 0
+    pages_moved: int = 0
+
+    @property
+    def remote_ratio(self) -> float:
+        total = self.local_accesses + self.remote_accesses
+        if total == 0:
+            return 0.0
+        return self.remote_accesses / total
+
+    def reset(self) -> None:
+        self.local_accesses = 0
+        self.remote_accesses = 0
+        self.pages_moved = 0
+
+
+class PageTable:
+    """Page → NUMA node ownership, with placement policies.
+
+    Pages are created lazily: the first access (or an explicit placement
+    request) decides the owning node according to the active policy, just
+    as Linux's first-touch allocation does.  ``set_range_policy`` lets a
+    runtime mark an address range as interleaved or bound before it is
+    touched — the analogue of ``numa_alloc_interleaved`` /
+    ``numa_alloc_onnode``.
+    """
+
+    def __init__(self, topology: NumaTopology, page_size: int = 4096) -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page_size must be a power of two, got {page_size}")
+        self.topology = topology
+        self.page_size = page_size
+        self.stats = NumaStats()
+        self._page_node: Dict[int, int] = {}
+        # Pending policies for untouched ranges: page -> (policy, bind_node)
+        self._pending: Dict[int, "tuple[PlacementPolicy, Optional[int]]"] = {}
+        self._interleave_cursor = 0
+        self._node_of_cpu = [topology.node_of_cpu(c)
+                             for c in range(topology.num_cpus)]
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def page_of(self, address: int) -> int:
+        return address // self.page_size
+
+    def pages_in_range(self, start: int, size: int) -> List[int]:
+        if size <= 0:
+            raise ValueError(f"range size must be positive, got {size}")
+        first = start // self.page_size
+        last = (start + size - 1) // self.page_size
+        return list(range(first, last + 1))
+
+    def set_range_policy(self, start: int, size: int,
+                         policy: PlacementPolicy,
+                         bind_node: Optional[int] = None) -> None:
+        """Pre-assign a placement policy for an untouched address range.
+
+        For INTERLEAVE the pages are assigned round-robin immediately
+        (matching ``numa_alloc_interleaved``, which reserves interleaved
+        pages up front); for BIND they are pinned to ``bind_node``;
+        FIRST_TOUCH clears any pending assignment so the next toucher wins.
+        """
+        if policy is PlacementPolicy.BIND and bind_node is None:
+            raise ValueError("BIND policy requires bind_node")
+        for page in self.pages_in_range(start, size):
+            if policy is PlacementPolicy.INTERLEAVE:
+                self._page_node[page] = self._interleave_cursor
+                self._interleave_cursor = (
+                    self._interleave_cursor + 1) % self.topology.num_nodes
+            elif policy is PlacementPolicy.BIND:
+                self._page_node[page] = bind_node  # type: ignore[assignment]
+            else:
+                self._page_node.pop(page, None)
+                self._pending.pop(page, None)
+
+    def touch(self, address: int, cpu: int) -> int:
+        """Resolve the node for ``address``, first-touching if needed.
+
+        Returns the owning node and updates local/remote statistics
+        relative to the accessing ``cpu``.
+        """
+        page = address // self.page_size
+        node = self._page_node.get(page)
+        cpu_node = self._node_of_cpu[cpu]
+        if node is None:
+            node = cpu_node
+            self._page_node[page] = node
+        if node == cpu_node:
+            self.stats.local_accesses += 1
+        else:
+            self.stats.remote_accesses += 1
+        return node
+
+    # ------------------------------------------------------------------
+    # move_pages analogue (libnuma)
+    # ------------------------------------------------------------------
+    def move_pages(self, addresses: List[int],
+                   target_nodes: Optional[List[Optional[int]]] = None
+                   ) -> List[Optional[int]]:
+        """Query and/or move pages, mirroring the ``move_pages`` syscall.
+
+        With ``target_nodes`` omitted (or an entry of None) the call is a
+        pure query; otherwise each page is migrated to the requested node.
+        Returns the node each page resided on *before* any move, or None
+        for pages never touched (the syscall's ``-ENOENT`` case).
+        """
+        if target_nodes is not None and len(target_nodes) != len(addresses):
+            raise ValueError("target_nodes must match addresses in length")
+        statuses: List[Optional[int]] = []
+        for i, address in enumerate(addresses):
+            page = self.page_of(address)
+            current = self._page_node.get(page)
+            statuses.append(current)
+            target = target_nodes[i] if target_nodes is not None else None
+            if target is not None:
+                if not 0 <= target < self.topology.num_nodes:
+                    raise ValueError(f"target node {target} out of range")
+                if current != target:
+                    self._page_node[page] = target
+                    if current is not None:
+                        self.stats.pages_moved += 1
+        return statuses
+
+    def node_of_address(self, address: int) -> Optional[int]:
+        """Owning node of ``address``'s page, or None if untouched."""
+        return self._page_node.get(self.page_of(address))
+
+    def touched_pages(self) -> int:
+        return len(self._page_node)

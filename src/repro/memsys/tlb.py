@@ -1,0 +1,66 @@
+"""Translation lookaside buffer model.
+
+The TLB caches page-granular translations.  The simulator uses a flat
+address space, so there is no actual translation to perform — what matters
+for DJXPerf is the *miss event stream* (the paper samples
+``DTLB_LOAD_MISSES``), so the TLB tracks page residency only.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.accesses
+        if total == 0:
+            return 0.0
+        return self.misses / total
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class Tlb:
+    """Fully-associative LRU TLB with a fixed number of entries."""
+
+    def __init__(self, entries: int = 64, page_size: int = 4096) -> None:
+        if entries <= 0:
+            raise ValueError(f"entries must be positive, got {entries}")
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page_size must be a power of two, got {page_size}")
+        self.entries = entries
+        self.page_size = page_size
+        self.stats = TlbStats()
+        self._pages: OrderedDict = OrderedDict()
+
+    def access(self, address: int) -> bool:
+        """Touch the page containing ``address``; True on hit."""
+        page = address // self.page_size
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.popitem(last=False)
+        self._pages[page] = True
+        return False
+
+    def flush(self) -> None:
+        self._pages.clear()
+
+    def occupancy(self) -> int:
+        return len(self._pages)

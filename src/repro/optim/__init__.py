@@ -1,0 +1,27 @@
+"""Optimisation passes and advice derived from DJXPerf profiles."""
+
+from repro.optim.advice import (
+    Advice,
+    AdviceKind,
+    AdviceThresholds,
+    advise,
+    advise_site,
+)
+from repro.optim.hoist import (
+    HoistCandidate,
+    find_hoist_candidates,
+    hoist_allocations,
+    hoist_program,
+)
+
+__all__ = [
+    "Advice",
+    "AdviceKind",
+    "AdviceThresholds",
+    "HoistCandidate",
+    "advise",
+    "advise_site",
+    "find_hoist_candidates",
+    "hoist_allocations",
+    "hoist_program",
+]

@@ -1,0 +1,108 @@
+"""Optimisation advice derived from an object-centric profile.
+
+The paper's workflow: DJXPerf ranks objects; the developer reads the
+profile and picks a fix — singleton/hoisting for memory bloat, access
+reordering (interchange/tiling) for strided misses, interleaved or
+first-touch allocation for NUMA problems (§7, Table 1).  This module
+encodes those triage rules so a profile can be turned into actionable,
+ranked advice automatically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.analyzer import AnalysisResult
+from repro.core.profile import ResolvedSite
+
+
+class AdviceKind(enum.Enum):
+    HOIST_ALLOCATION = "hoist-allocation"       # memory bloat → singleton
+    IMPROVE_ACCESS_PATTERN = "improve-access-pattern"  # interchange/tiling
+    NUMA_PLACEMENT = "numa-placement"           # interleave / first-touch
+    GROW_INITIAL_CAPACITY = "grow-initial-capacity"    # churny growth
+
+
+@dataclass(frozen=True)
+class Advice:
+    site: ResolvedSite
+    kind: AdviceKind
+    rationale: str
+    metric_share: float
+
+    @property
+    def location(self) -> str:
+        return self.site.location
+
+    def __str__(self) -> str:
+        return (f"[{self.kind.value}] {self.location} "
+                f"({self.metric_share:.1%} of samples): {self.rationale}")
+
+
+@dataclass(frozen=True)
+class AdviceThresholds:
+    """Triage thresholds (fractions of total samples)."""
+
+    #: Minimum metric share for a site to be worth optimising at all —
+    #: the Table 2 lesson: below this, expect no speedup.
+    min_share: float = 0.05
+    #: Allocation count above which a site smells like memory bloat.
+    bloat_alloc_count: int = 20
+    #: Remote-sample ratio above which NUMA placement dominates.
+    remote_ratio: float = 0.4
+    #: max/min allocated-size ratio that marks a capacity-growth chain
+    #: (a doubling chain of length 3 already gives spread 8).
+    growth_size_spread: float = 8.0
+
+
+def advise_site(analysis: AnalysisResult, site: ResolvedSite,
+                thresholds: AdviceThresholds) -> Optional[Advice]:
+    """Triage one site; None when it is not worth optimising."""
+    share = analysis.share(site)
+    if share < thresholds.min_share:
+        return None
+    if site.remote_ratio >= thresholds.remote_ratio:
+        return Advice(
+            site=site, kind=AdviceKind.NUMA_PLACEMENT, metric_share=share,
+            rationale=(
+                f"{site.remote_ratio:.0%} of sampled accesses are NUMA-"
+                f"remote; allocate interleaved across nodes or let each "
+                f"accessing thread first-touch its partition"))
+    if site.alloc_count > 1 \
+            and site.size_spread >= thresholds.growth_size_spread:
+        return Advice(
+            site=site, kind=AdviceKind.GROW_INITIAL_CAPACITY,
+            metric_share=share,
+            rationale=(
+                f"{site.alloc_count} allocations growing from "
+                f"{site.min_size} to {site.max_size} bytes; raise the "
+                f"initial capacity to skip the growth chain"))
+    if site.alloc_count >= thresholds.bloat_alloc_count:
+        return Advice(
+            site=site, kind=AdviceKind.HOIST_ALLOCATION, metric_share=share,
+            rationale=(
+                f"allocated {site.alloc_count} times with "
+                f"{share:.0%} of misses; hoist the allocation out of its "
+                f"loop and reuse a single instance (singleton pattern)"))
+    return Advice(
+        site=site, kind=AdviceKind.IMPROVE_ACCESS_PATTERN,
+        metric_share=share,
+        rationale=(
+            f"few allocations ({site.alloc_count}) but {share:.0%} of "
+            f"misses; the access pattern has poor locality — consider "
+            f"loop interchange or tiling on its hot access contexts"))
+
+
+def advise(analysis: AnalysisResult,
+           thresholds: Optional[AdviceThresholds] = None,
+           top: int = 10) -> List[Advice]:
+    """Ranked advice for the top sites of an analysis."""
+    thresholds = thresholds or AdviceThresholds()
+    out: List[Advice] = []
+    for site in analysis.top_sites(top):
+        advice = advise_site(analysis, site, thresholds)
+        if advice is not None:
+            out.append(advice)
+    return out

@@ -1,0 +1,240 @@
+"""Allocation hoisting: the "singleton pattern" transform as a real pass.
+
+The optimisation DJXPerf most often motivates (Listings 1-2, Table 1) is
+hoisting an allocation out of the loop that repeatedly executes it and
+reusing a single instance.  Developers apply it by hand; this module
+implements it as a bytecode-to-bytecode pass so the repository can also
+*mechanise* the paper's guidance:
+
+1. find natural loops (back edges + dominators);
+2. find allocation sequences ``ICONST k ... NEW*/NEWARRAY ... STORE l``
+   whose operands are loop-invariant constants;
+3. prove the target local is safe to reuse across iterations — it is
+   (re)defined by the allocation before any use in the loop, and the
+   reference never escapes (no PUTFIELD/PUTSTATIC/ASTORE of it, no
+   passing it to calls);
+4. move the allocation sequence into a preheader emitted before the loop
+   and remap all branch targets.
+
+The pass is deliberately conservative: anything it cannot prove safe is
+left alone.  It exists to close the loop from "DJXPerf told me this
+object is the problem" to "the fix is mechanical".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.jvm.analysis import ControlFlowGraph, NaturalLoop, natural_loops
+from repro.jvm.bytecode import (
+    ALLOCATION_OPS,
+    BRANCH_OPS,
+    Instruction,
+    Op,
+)
+from repro.jvm.classfile import JMethod
+from repro.jvm.verifier import verify
+
+
+@dataclass(frozen=True)
+class HoistCandidate:
+    """An allocation sequence eligible for hoisting."""
+
+    start_bci: int      # first ICONST of the sequence
+    alloc_bci: int      # the allocation opcode
+    store_bci: int      # the STORE receiving the reference
+    local: int          # local variable holding the reference
+    loop_header_bci: int
+
+
+def _allocation_sequence(code: Sequence[Instruction],
+                         alloc_bci: int) -> Optional[Tuple[int, int, int]]:
+    """Match ``ICONST* ALLOC STORE`` around ``alloc_bci``.
+
+    Returns (start_bci, store_bci, local) or None.  Only constant
+    operands qualify — a loop-varying length (e.g. the scala-stm ``grow``
+    pattern) must not be hoisted.
+    """
+    ins = code[alloc_bci]
+    if ins.op is Op.NEW:
+        needed = 0
+    elif ins.op in (Op.NEWARRAY, Op.ANEWARRAY):
+        needed = 1
+    elif ins.op is Op.MULTIANEWARRAY:
+        needed = ins.args[1]
+    else:
+        return None
+    start = alloc_bci - needed
+    if start < 0:
+        return None
+    for bci in range(start, alloc_bci):
+        if code[bci].op is not Op.ICONST:
+            return None
+    store_bci = alloc_bci + 1
+    if store_bci >= len(code) or code[store_bci].op is not Op.STORE:
+        return None
+    return start, store_bci, code[store_bci].args[0]
+
+
+#: Built-in natives known not to retain references passed to them, so a
+#: reused instance cannot be observed through them.  (The analogue of an
+#: effects annotation on JNI methods.)
+NON_RETAINING_NATIVES = frozenset({
+    "stream_array", "stream_range", "blackhole", "print", "arraycopy",
+})
+
+
+def _escapes_in_loop(code: Sequence[Instruction], loop_bcis: Set[int],
+                     local: int, alloc_seq: Set[int]) -> bool:
+    """Whether reusing one instance of ``local`` across iterations could
+    be observed.  Conservative: any use other than being the receiver of
+    an array/field access (or an argument to a known non-retaining
+    native) counts as an escape.
+
+    The check is syntactic: a LOAD of the local is safe only when it is
+    *immediately* consumed by one of the safe ops, i.e. the very next
+    instructions push only indices/values (ICONST/LOAD of other locals)
+    and then perform the access.
+    """
+    safe_followers = {Op.ALOAD, Op.ASTORE, Op.ARRAYLENGTH,
+                      Op.GETFIELD, Op.PUTFIELD}
+    operand_pushers = {Op.ICONST, Op.FCONST}
+    for bci in sorted(loop_bcis):
+        if bci in alloc_seq:
+            continue
+        ins = code[bci]
+        if ins.op is Op.STORE and ins.args[0] == local:
+            return True      # redefined elsewhere in the loop
+        if ins.op is Op.IINC and ins.args[0] == local:
+            return True
+        if ins.op is Op.LOAD and ins.args[0] == local:
+            # Scan forward over operand pushes to the consuming op.
+            j = bci + 1
+            while j in loop_bcis and (
+                    code[j].op in operand_pushers
+                    or (code[j].op is Op.LOAD and code[j].args[0] != local)):
+                j += 1
+            if j not in loop_bcis:
+                return True
+            consumer = code[j]
+            if consumer.op in safe_followers:
+                continue
+            if consumer.op is Op.NATIVE \
+                    and consumer.args[0] in NON_RETAINING_NATIVES:
+                continue
+            return True
+    return False
+
+
+def find_hoist_candidates(method: JMethod) -> List[HoistCandidate]:
+    """All allocations in ``method`` that the pass can legally hoist."""
+    code = method.code
+    cfg = ControlFlowGraph(code)
+    loops = natural_loops(cfg)
+    candidates: List[HoistCandidate] = []
+    for loop in loops:
+        loop_bcis: Set[int] = set()
+        for block_index in loop.body:
+            loop_bcis.update(cfg.blocks[block_index].bcis())
+        header_bci = cfg.blocks[loop.header].start
+        for bci in sorted(loop_bcis):
+            if code[bci].op not in ALLOCATION_OPS:
+                continue
+            seq = _allocation_sequence(code, bci)
+            if seq is None:
+                continue
+            start, store_bci, local = seq
+            if not all(i in loop_bcis for i in range(start, store_bci + 1)):
+                continue
+            alloc_seq = set(range(start, store_bci + 1))
+            if _escapes_in_loop(code, loop_bcis, local, alloc_seq):
+                continue
+            candidates.append(HoistCandidate(
+                start_bci=start, alloc_bci=bci, store_bci=store_bci,
+                local=local, loop_header_bci=header_bci))
+    return candidates
+
+
+def hoist_allocations(method: JMethod,
+                      candidates: Optional[List[HoistCandidate]] = None
+                      ) -> "tuple[JMethod, int]":
+    """Apply the hoist to every (or the given) candidate.
+
+    Returns (new method, number of allocations hoisted).  The output is
+    re-verified; the input is untouched.
+    """
+    if candidates is None:
+        candidates = find_hoist_candidates(method)
+    if not candidates:
+        return method, 0
+
+    # Hoist one candidate at a time (BCIs shift after each rewrite).
+    current = method
+    hoisted = 0
+    for _ in range(len(candidates)):
+        todo = find_hoist_candidates(current)
+        if not todo:
+            break
+        current = _hoist_one(current, todo[0])
+        hoisted += 1
+    verify(current.code, current.num_args, None,
+           f"{current.qualified_name}(hoisted)")
+    return current, hoisted
+
+
+def _hoist_one(method: JMethod, cand: HoistCandidate) -> JMethod:
+    code = method.code
+    seq = list(range(cand.start_bci, cand.store_bci + 1))
+    moved = [code[bci] for bci in seq]
+    insert_at = cand.loop_header_bci
+    if insert_at > cand.start_bci:
+        raise AssertionError("loop header after its body allocation?")
+
+    # New layout: [0, insert_at) ++ moved ++ [insert_at, n) minus seq.
+    new_code: List[Instruction] = []
+    mapping: Dict[int, int] = {}
+    for bci in range(insert_at):
+        mapping[bci] = len(new_code)
+        new_code.append(code[bci])
+    for ins in moved:
+        new_code.append(ins)
+    for bci in range(insert_at, len(code)):
+        if bci in seq[0:]:
+            if cand.start_bci <= bci <= cand.store_bci:
+                # Removed instruction: branches to it retarget to the next
+                # surviving instruction (recorded after the loop below).
+                mapping[bci] = -1
+                continue
+        mapping[bci] = len(new_code)
+        new_code.append(code[bci])
+    # Resolve removed-BCI targets to the following surviving instruction.
+    next_surviving = len(new_code)
+    for bci in range(len(code) - 1, -1, -1):
+        if mapping[bci] == -1:
+            mapping[bci] = next_surviving
+        else:
+            next_surviving = mapping[bci]
+
+    fixed: List[Instruction] = []
+    for ins in new_code:
+        if ins.op in BRANCH_OPS:
+            fixed.append(ins.with_target(mapping[ins.target]))
+        else:
+            fixed.append(ins)
+    return JMethod(method.class_name, method.name, method.num_args, fixed,
+                   method.source_file, method.max_locals)
+
+
+def hoist_program(program, method_names: Optional[List[str]] = None
+                  ) -> "tuple[object, int]":
+    """Hoist across a whole program.  Returns (new program, count)."""
+    out = program.clone()
+    total = 0
+    for name, method in list(out.methods.items()):
+        if method_names is not None and name not in method_names:
+            continue
+        new_method, n = hoist_allocations(method)
+        out.methods[name] = new_method
+        total += n
+    return out, total

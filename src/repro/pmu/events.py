@@ -1,0 +1,91 @@
+"""Precise PMU event catalogue.
+
+Each event knows how to extract its occurrence count from one
+:class:`~repro.memsys.hierarchy.AccessResult`.  The names follow Intel's
+event mnemonics used in the paper (e.g. ``MEM_LOAD_UOPS_RETIRED:L1_MISS``,
+the event DJXPerf presets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.memsys.hierarchy import LEVEL_DRAM, AccessResult
+
+
+@dataclass(frozen=True)
+class PmuEvent:
+    """A countable precise event."""
+
+    name: str
+    counts: Callable[[AccessResult], int]
+    #: Precise events carry an effective address (PEBS); all of ours do.
+    precise: bool = True
+
+    def __repr__(self) -> str:
+        return f"PmuEvent({self.name})"
+
+
+def _loads_l1_miss(r: AccessResult) -> int:
+    return r.l1_misses if not r.is_write else 0
+
+
+def _loads_l2_miss(r: AccessResult) -> int:
+    return r.l2_misses if not r.is_write else 0
+
+
+def _loads_l3_miss(r: AccessResult) -> int:
+    return r.l3_misses if not r.is_write else 0
+
+
+def _dtlb_load_misses(r: AccessResult) -> int:
+    return r.tlb_misses if not r.is_write else 0
+
+
+def _all_loads(r: AccessResult) -> int:
+    return 0 if r.is_write else 1
+
+
+def _all_stores(r: AccessResult) -> int:
+    return 1 if r.is_write else 0
+
+
+def _remote_dram_loads(r: AccessResult) -> int:
+    return 1 if (not r.is_write and r.remote and r.level == LEVEL_DRAM) else 0
+
+
+L1_MISS = PmuEvent("MEM_LOAD_UOPS_RETIRED:L1_MISS", _loads_l1_miss)
+L2_MISS = PmuEvent("MEM_LOAD_UOPS_RETIRED:L2_MISS", _loads_l2_miss)
+L3_MISS = PmuEvent("MEM_LOAD_UOPS_RETIRED:L3_MISS", _loads_l3_miss)
+DTLB_LOAD_MISSES = PmuEvent("DTLB_LOAD_MISSES", _dtlb_load_misses)
+ALL_LOADS = PmuEvent("MEM_UOPS_RETIRED:ALL_LOADS", _all_loads)
+ALL_STORES = PmuEvent("MEM_UOPS_RETIRED:ALL_STORES", _all_stores)
+REMOTE_DRAM_LOADS = PmuEvent("MEM_LOAD_UOPS_RETIRED:REMOTE_DRAM",
+                             _remote_dram_loads)
+
+
+def load_latency_event(threshold_cycles: int) -> PmuEvent:
+    """``MEM_TRANS_RETIRED:LOAD_LATENCY`` with a latency threshold, as
+    configured through PEBS load-latency filtering."""
+
+    def counts(r: AccessResult) -> int:
+        return 1 if (not r.is_write and r.latency >= threshold_cycles) else 0
+
+    return PmuEvent(f"MEM_TRANS_RETIRED:LOAD_LATENCY_GT_{threshold_cycles}",
+                    counts)
+
+
+#: Registry by mnemonic for config-by-name APIs.
+EVENTS_BY_NAME: Dict[str, PmuEvent] = {
+    e.name: e for e in (L1_MISS, L2_MISS, L3_MISS, DTLB_LOAD_MISSES,
+                        ALL_LOADS, ALL_STORES, REMOTE_DRAM_LOADS)
+}
+
+
+def event_by_name(name: str) -> PmuEvent:
+    try:
+        return EVENTS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown PMU event {name!r}; known: "
+                       f"{sorted(EVENTS_BY_NAME)}") from None

@@ -1,0 +1,138 @@
+"""Per-thread virtualised PMU with PEBS-style address sampling.
+
+Mirrors the ``perf_event_open`` usage in the paper: a profiler programs a
+precise event with a sampling period for each thread; when the counter
+overflows, the "kernel" delivers a sample to the thread's signal handler
+carrying the effective address, the CPU number (``PERF_SAMPLE_CPU``), and
+a ucontext from which the call stack can be unwound asynchronously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.memsys.hierarchy import AccessResult
+from repro.pmu.events import PmuEvent
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One PEBS sample as delivered to the overflow handler."""
+
+    event: str
+    address: int         # effective address (PEBS)
+    size: int
+    is_write: bool
+    cpu: int             # PERF_SAMPLE_CPU
+    tid: int
+    latency: int
+    level: str           # cache level that served the access
+    home_node: int
+    remote: bool
+    #: Opaque context for AsyncGetCallTrace-style unwinding (the thread).
+    ucontext: object = None
+
+
+@dataclass(frozen=True)
+class PerfEventConfig:
+    """What to count and how often to sample."""
+
+    event: PmuEvent
+    sample_period: int
+
+    def __post_init__(self) -> None:
+        if self.sample_period <= 0:
+            raise ValueError(
+                f"sample_period must be positive, got {self.sample_period}")
+
+
+#: Overflow handler (the profiler's "signal handler").
+SampleHandler = Callable[[Sample], None]
+
+
+class PerfCounter:
+    """One programmed hardware counter in sampling mode."""
+
+    def __init__(self, config: PerfEventConfig,
+                 handler: SampleHandler) -> None:
+        self.config = config
+        self.handler = handler
+        self.value = 0           # counts since last overflow
+        self.total = 0           # lifetime event count
+        self.samples_delivered = 0
+        self.enabled = True
+
+    def observe(self, tid: int, result: AccessResult,
+                ucontext: object = None) -> int:
+        """Count one access; deliver overflow samples.  Returns samples
+        delivered (0 or more, for counts larger than the period)."""
+        if not self.enabled:
+            return 0
+        n = self.config.event.counts(result)
+        if n == 0:
+            return 0
+        self.total += n
+        self.value += n
+        delivered = 0
+        while self.value >= self.config.sample_period:
+            self.value -= self.config.sample_period
+            sample = Sample(
+                event=self.config.event.name,
+                address=result.address,
+                size=result.size,
+                is_write=result.is_write,
+                cpu=result.cpu,
+                tid=tid,
+                latency=result.latency,
+                level=result.level,
+                home_node=result.home_node,
+                remote=result.remote,
+                ucontext=ucontext)
+            self.handler(sample)
+            self.samples_delivered += 1
+            delivered += 1
+        return delivered
+
+
+class ThreadPmu:
+    """The virtualised PMU of one thread: a set of programmed counters.
+
+    The OS virtualises physical PMU registers per thread; this class is
+    that virtual view.  ``perf_event_open`` ≈ :meth:`open`; ``ioctl
+    (PERF_EVENT_IOC_DISABLE)`` ≈ :meth:`disable_all`.
+    """
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.counters: List[PerfCounter] = []
+
+    def open(self, config: PerfEventConfig,
+             handler: SampleHandler) -> PerfCounter:
+        counter = PerfCounter(config, handler)
+        self.counters.append(counter)
+        return counter
+
+    def observe(self, result: AccessResult, ucontext: object = None) -> None:
+        for counter in self.counters:
+            counter.observe(self.tid, result, ucontext)
+
+    def disable_all(self) -> None:
+        for counter in self.counters:
+            counter.enabled = False
+
+    def enable_all(self) -> None:
+        for counter in self.counters:
+            counter.enabled = True
+
+    def close(self) -> None:
+        self.disable_all()
+        self.counters.clear()
+
+    def total_for(self, event_name: str) -> int:
+        return sum(c.total for c in self.counters
+                   if c.config.event.name == event_name)
+
+    def samples_for(self, event_name: str) -> int:
+        return sum(c.samples_delivered for c in self.counters
+                   if c.config.event.name == event_name)

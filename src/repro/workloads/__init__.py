@@ -1,0 +1,36 @@
+"""Workloads mirroring the paper's evaluation programs."""
+
+from repro.workloads.base import Workload, get_workload, register, workload_names
+from repro.workloads.runner import (
+    OverheadMeasurement,
+    ProfiledRun,
+    measure_overhead,
+    measure_speedup,
+    run_native,
+    run_profiled,
+)
+
+# Import for registration side effects.
+from repro.workloads import (  # noqa: F401
+    bloat,
+    growth,
+    insignificant,
+    known_bugs,
+    numa_apps,
+    numeric,
+    suite,
+    tlbhostile,
+)
+
+__all__ = [
+    "OverheadMeasurement",
+    "ProfiledRun",
+    "Workload",
+    "get_workload",
+    "measure_overhead",
+    "measure_speedup",
+    "register",
+    "run_native",
+    "run_profiled",
+    "workload_names",
+]

@@ -1,0 +1,113 @@
+"""Workload abstraction and registry.
+
+A workload is a named family of simulated-Java programs — one *variant*
+per optimisation state (e.g. ``baseline`` vs ``hoisted``).  Each workload
+knows which paper artefact it reproduces and what machine shape it wants.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.jvm.classfile import JProgram
+from repro.jvm.machine import MachineConfig
+from repro.jvm.verifier import verify_program
+from repro.memsys.hierarchy import HierarchyConfig
+
+
+def sim_hierarchy() -> HierarchyConfig:
+    """Scaled-down cache geometry for workload runs.
+
+    Workloads shrink the paper's Broadwell hierarchy by ~4-60x (8KB L1,
+    32KB L2, 512KB L3) so the same locality phenomena show up with
+    proportionally smaller data — which keeps simulated runs fast.
+    Latencies are unchanged, so cycle *ratios* (speedups, overheads)
+    keep their shape.
+    """
+    return HierarchyConfig(
+        l1_size=8 * 1024, l1_assoc=8,
+        l2_size=32 * 1024, l2_assoc=8,
+        l3_size=512 * 1024, l3_assoc=16,
+        tlb_entries=32)
+
+
+def sim_machine(heap_size: int = 2 * 1024 * 1024, num_nodes: int = 1,
+                cpus_per_node: int = 4, **kwargs) -> MachineConfig:
+    """Standard workload machine with the scaled hierarchy."""
+    return MachineConfig(
+        num_nodes=num_nodes, cpus_per_node=cpus_per_node,
+        heap_size=heap_size, hierarchy=sim_hierarchy(), **kwargs)
+
+
+class Workload(abc.ABC):
+    """One evaluation program with optimisation variants."""
+
+    #: Registry name (also the benchmark-row label).
+    name: str = ""
+    #: Paper artefact this mirrors ("Listing 1", "Table 1: FindBugs", ...).
+    paper_ref: str = ""
+    description: str = ""
+    #: Variant names; the first is the baseline.
+    variants: Tuple[str, ...] = ("baseline",)
+
+    @abc.abstractmethod
+    def build(self, variant: str = "baseline") -> JProgram:
+        """Construct the program for ``variant`` (verified)."""
+
+    def machine_config(self) -> MachineConfig:
+        """Machine shape for this workload (override as needed)."""
+        return MachineConfig()
+
+    # ------------------------------------------------------------------
+    def _check_variant(self, variant: str) -> None:
+        if variant not in self.variants:
+            raise ValueError(
+                f"{self.name}: unknown variant {variant!r}; "
+                f"have {self.variants}")
+
+    def build_verified(self, variant: str = "baseline") -> JProgram:
+        program = self.build(variant)
+        verify_program(program)
+        return program
+
+    @property
+    def baseline_variant(self) -> str:
+        return self.variants[0]
+
+    @property
+    def optimized_variant(self) -> str:
+        if len(self.variants) < 2:
+            raise ValueError(f"{self.name} has no optimisation variant")
+        return self.variants[1]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+#: Global registry: name → factory.
+_REGISTRY: Dict[str, Callable[[], Workload]] = {}
+
+
+def register(factory: Callable[[], Workload]) -> Callable[[], Workload]:
+    """Class decorator: register a workload by its ``name`` attribute."""
+    instance = factory()
+    if not instance.name:
+        raise ValueError(f"{factory!r} has no name")
+    if instance.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {instance.name!r}")
+    _REGISTRY[instance.name] = factory
+    return factory
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: "
+                       f"{sorted(_REGISTRY)}") from None
+
+
+def workload_names() -> List[str]:
+    return sorted(_REGISTRY)

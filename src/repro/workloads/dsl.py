@@ -1,0 +1,91 @@
+"""Builder helpers for writing workload programs compactly.
+
+The workloads in this package are simulated-Java programs written with
+:class:`~repro.jvm.bytecode.MethodBuilder`.  These helpers emit the
+common shapes — counted loops, array streaming, strided sweeps — so each
+workload reads close to the Java source it mirrors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.jvm.bytecode import Label, MethodBuilder
+
+BodyFn = Callable[[MethodBuilder], None]
+
+
+def for_range(b: MethodBuilder, var: int, count, body: BodyFn,
+              start: int = 0, step: int = 1) -> MethodBuilder:
+    """``for (var = start; var < count; var += step) body``.
+
+    ``count`` may be an int constant or another local index wrapped in
+    :class:`LocalVar`.
+    """
+    b.iconst(start).store(var)
+    top = b.new_label()
+    end = b.new_label()
+    b.place(top)
+    b.load(var)
+    _push_bound(b, count)
+    b.if_icmpge(end)
+    body(b)
+    b.iinc(var, step)
+    b.goto(top)
+    b.place(end)
+    return b
+
+
+class LocalVar:
+    """Marks a loop bound held in a local variable instead of a constant."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+
+def _push_bound(b: MethodBuilder, bound) -> None:
+    if isinstance(bound, LocalVar):
+        b.load(bound.index)
+    else:
+        b.iconst(bound)
+
+
+def while_static_unset(b: MethodBuilder, key: str) -> None:
+    """Park the thread until the named static becomes truthy."""
+    b.native("await_static", 0, False, key)
+
+
+def stream_read_array(b: MethodBuilder, array_var: int, length, idx_var: int,
+                      stride: int = 1) -> MethodBuilder:
+    """Read every ``stride``-th element of an array, discarding values."""
+    return for_range(
+        b, idx_var, length,
+        lambda b: b.load(array_var).load(idx_var).aload().pop(),
+        step=stride)
+
+
+def stream_write_array(b: MethodBuilder, array_var: int, length,
+                       idx_var: int, value: int = 1,
+                       stride: int = 1) -> MethodBuilder:
+    """Write a constant to every ``stride``-th element of an array."""
+    return for_range(
+        b, idx_var, length,
+        lambda b: b.load(array_var).load(idx_var).iconst(value).astore(),
+        step=stride)
+
+
+def sum_array(b: MethodBuilder, array_var: int, length, idx_var: int,
+              acc_var: int) -> MethodBuilder:
+    """``acc = Σ array[i]`` — a read loop whose result is live."""
+    b.iconst(0).store(acc_var)
+    return for_range(
+        b, idx_var, length,
+        lambda b: (b.load(acc_var).load(array_var).load(idx_var)
+                   .aload().add().store(acc_var)))
+
+
+def consume(b: MethodBuilder, var: int) -> MethodBuilder:
+    """Feed a local to the blackhole native (keeps results observable)."""
+    return b.load(var).native("blackhole", 1, False)

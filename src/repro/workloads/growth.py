@@ -1,0 +1,105 @@
+"""Capacity-growth churn — Renaissance scala-stm-bench7 (paper §7.3).
+
+``AccessHistory.grow()`` doubles ``_wDispatch`` starting from a tiny
+initial capacity (8), so every transaction replays the whole growth
+chain: allocate double-size array, ``arraycopy`` the old one over, drop
+the old one.  DJXPerf attributes 25% of cache misses to ``_wDispatch``;
+raising the initial capacity to 512 removes ~79% of array creations and
+copies and yields ~1.12x.
+
+The ``grown-capacity`` variant applies exactly that fix.
+"""
+
+from __future__ import annotations
+
+from repro.heap.layout import Kind
+from repro.jvm.bytecode import MethodBuilder
+from repro.jvm.classfile import JProgram
+from repro.jvm.machine import MachineConfig
+from repro.workloads.base import Workload, register, sim_machine
+from repro.workloads.dsl import for_range
+
+
+@register
+class ScalaStmBench7(Workload):
+    """scala-stm-bench7: write-buffer growth churn in ``grow()``."""
+
+    name = "scala-stm-bench7"
+    paper_ref = "Table 1 / 7.3 (AccessHistory.scala:619)"
+    description = "capacity-doubling _wDispatch churn across transactions"
+    variants = ("baseline", "grown-capacity")
+
+    TRANSACTIONS = 40
+    APPENDS_PER_TXN = 480         # entries written per transaction
+    INITIAL_CAPACITY = 8
+    GROWN_CAPACITY = 512
+    BACKGROUND_LEN = 2048         # per-transaction unrelated work
+
+    def machine_config(self) -> MachineConfig:
+        return sim_machine(heap_size=512 * 1024)
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self._check_variant(variant)
+        initial = (self.GROWN_CAPACITY if variant == "grown-capacity"
+                   else self.INITIAL_CAPACITY)
+        p = JProgram(f"{self.name}-{variant}")
+
+        # grow(old, capacity) -> new array of 2*capacity with old copied
+        # in (AccessHistory.scala lines 615-620).
+        grow = MethodBuilder("AccessHistory", "grow", num_args=2,
+                             source_file="AccessHistory.scala",
+                             first_line=615)
+        grow.line(616).load(1).iconst(2).mul().store(2)     # _wCapacity *= 2
+        grow.line(619).load(2).newarray(Kind.INT).store(3)  # new Array[Int]
+        grow.load(0).iconst(0).load(3).iconst(0).load(1)
+        grow.native("arraycopy", 5, False)
+        grow.load(3).iret()
+        p.add_builder(grow)
+
+        # One transaction: reset the buffer to the initial capacity and
+        # append entries, growing on overflow.
+        txn = MethodBuilder("Txn", "runTransaction", num_args=1,
+                            source_file="Txn.scala", first_line=40)
+        _BG, _BUF, _CAP, _LEN, _I = 0, 1, 2, 3, 4
+        txn.line(41).iconst(initial).newarray(Kind.INT).store(_BUF)
+        txn.iconst(initial).store(_CAP)
+        txn.iconst(0).store(_LEN)
+
+        def append(b: MethodBuilder) -> None:
+            grown = b.new_label()
+            b.line(44).load(_LEN).load(_CAP).if_icmplt(grown)
+            # overflow: _wDispatch = grow(_wDispatch, capacity)
+            b.line(45).load(_BUF).load(_CAP).invoke("grow", 2).store(_BUF)
+            b.load(_CAP).iconst(2).mul().store(_CAP)
+            b.place(grown)
+            b.line(47).load(_BUF).load(_LEN).load(_I).astore()
+            b.iinc(_LEN, 1)
+
+        for_range(txn, _I, self.APPENDS_PER_TXN, append)
+        # The transaction also does unrelated work over shared state...
+        txn.line(50).load(_BG).native("stream_array", 1, False, 1)
+        # ...and then commits: scan the write buffer (reads of
+        # _wDispatch, which the unrelated work just evicted).
+        txn.line(52).load(_BUF).native("stream_array", 1, False, 2)
+        txn.ret()
+        p.add_builder(txn)
+
+        main = MethodBuilder("Bench7", "main", first_line=1)
+        main.line(2).iconst(self.BACKGROUND_LEN).newarray(Kind.INT).store(1)
+        for_range(main, 0, self.TRANSACTIONS,
+                  lambda b: b.line(5).load(1)
+                  .invoke("runTransaction", 1).pop())
+        main.ret()
+        p.add_builder(main)
+        p.add_entry("main")
+        return p
+
+    def expected_grow_calls(self, variant: str) -> int:
+        """Growth-chain length per transaction, times transactions."""
+        capacity = (self.GROWN_CAPACITY if variant == "grown-capacity"
+                    else self.INITIAL_CAPACITY)
+        grows = 0
+        while capacity < self.APPENDS_PER_TXN:
+            capacity *= 2
+            grows += 1
+        return grows * self.TRANSACTIONS

@@ -1,0 +1,106 @@
+"""Accuracy workloads — the five known locality bugs of paper §6.
+
+The paper validates DJXPerf by re-finding the locality issues previously
+reported by Xu's reusable-data-structures work [OOPSLA'12] in luindex,
+bloat, lusearch and xalan (DaCapo 2006) and SPECjbb2000.  Each workload
+here plants the corresponding issue — one hot, repeatedly allocated
+object at a documented source location — inside surrounding noise, and
+the accuracy bench asserts that DJXPerf's top-ranked object is exactly
+the planted site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.heap.layout import Kind
+from repro.jvm.bytecode import MethodBuilder
+from repro.jvm.classfile import JProgram
+from repro.jvm.machine import MachineConfig
+from repro.workloads.base import Workload, register, sim_machine
+from repro.workloads.dsl import for_range
+
+
+@dataclass(frozen=True)
+class PlantedBug:
+    """One known locality issue: where it lives and how big it is."""
+
+    class_name: str
+    method_name: str
+    source_file: str
+    line: int
+    #: Hot object length (elements); must exceed the scaled L1.
+    hot_len: int = 1536
+    #: Iterations of the bloat loop.
+    iterations: int = 35
+    #: Unrelated allocation noise per iteration (length, line).
+    noise: Tuple[int, int] = (192, 900)
+
+
+class KnownBugWorkload(Workload):
+    """A planted hot-bloat object among allocation noise."""
+
+    variants = ("baseline",)
+    bug: PlantedBug
+
+    def machine_config(self) -> MachineConfig:
+        return sim_machine(heap_size=1024 * 1024)
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self._check_variant(variant)
+        bug = self.bug
+        p = JProgram(self.name)
+        b = MethodBuilder(bug.class_name, bug.method_name,
+                          source_file=bug.source_file,
+                          first_line=bug.line - 5)
+        noise_len, noise_line = bug.noise
+        b.iconst(2048).newarray(Kind.INT).store(3)   # background
+
+        def body(b: MethodBuilder) -> None:
+            # The planted bug: hot short-lived object.
+            b.line(bug.line).iconst(bug.hot_len).newarray(Kind.INT).store(1)
+            # Noise: another short-lived object that stays cold.
+            b.line(noise_line).iconst(noise_len).newarray(Kind.INT).store(2)
+            b.load(2).iconst(0).iconst(1).astore()
+            # Evict, then consume the hot object (so its reads miss).
+            b.line(noise_line + 2).load(3).native("stream_array", 1, False, 1)
+            b.line(bug.line + 2).load(1).native("stream_array", 1, False, 3)
+
+        for_range(b, 0, bug.iterations, body)
+        b.ret()
+        p.add_builder(b)
+        p.add_entry(bug.method_name)
+        return p
+
+
+def _make(workload_name: str, ref: str, bug: PlantedBug) -> None:
+    cls = type(
+        workload_name.replace("-", "_").title().replace("_", ""),
+        (KnownBugWorkload,),
+        {
+            "name": workload_name,
+            "paper_ref": ref,
+            "description": f"known locality bug at "
+                           f"{bug.source_file}:{bug.line}",
+            "bug": bug,
+        })
+    register(cls)
+
+
+#: The five benchmarks of the paper's accuracy study.
+KNOWN_BUGS: Tuple[Tuple[str, str, PlantedBug], ...] = (
+    ("acc-luindex", "6 Accuracy (DaCapo 2006 luindex)",
+     PlantedBug("DocumentWriter", "addDocument", "DocumentWriter.java", 189)),
+    ("acc-bloat", "6 Accuracy (DaCapo 2006 bloat)",
+     PlantedBug("PhiNode", "visitPhi", "PhiNode.java", 77)),
+    ("acc-lusearch", "6 Accuracy (DaCapo 2006 lusearch)",
+     PlantedBug("FastCharStream", "refill", "FastCharStream.java", 54)),
+    ("acc-xalan", "6 Accuracy (DaCapo 2006 xalan)",
+     PlantedBug("ToStream", "characters", "ToStream.java", 1520)),
+    ("acc-specjbb", "6 Accuracy (SPECjbb2000)",
+     PlantedBug("Orders", "processLines", "Orders.java", 310)),
+)
+
+for _name, _ref, _bug in KNOWN_BUGS:
+    _make(_name, _ref, _bug)

@@ -1,0 +1,210 @@
+"""NUMA-locality workloads — the Table 1 NUMA rows (paper §4.3, §7.5-7.6).
+
+All three share the anti-pattern: one thread allocates (and first-touches)
+a shared object, placing every page on its own NUMA node; worker threads
+on other nodes then pay remote-DRAM latency for it.
+
+* ``eclipse-collections`` (§7.5): ``Interval.toArray`` builds ``result``
+  on the master; ``batchFastListCollect`` workers read it from both
+  nodes (paper: 73.4% remote; interleaving pages gives ~1.13x).
+* ``npb-sp`` (Table 1): same shape on the SP solver arrays (~1.1x via
+  interleaving).
+* ``apache-druid`` (§7.6): the constructor initialises ``bitmap`` on one
+  node; reader threads scan it from everywhere.  The fix is parallel
+  first-touch initialisation — each thread touches its own partition —
+  worth ~1.75x because the scan is DRAM-bound (local 200 vs remote 350
+  cycles in our latency model ≈ the paper's two-orders span collapsed
+  to Broadwell-like numbers).
+"""
+
+from __future__ import annotations
+
+from repro.heap.layout import Kind
+from repro.jvm.bytecode import MethodBuilder
+from repro.jvm.classfile import JProgram
+from repro.jvm.machine import MachineConfig
+from repro.memsys.hierarchy import HierarchyConfig
+from repro.workloads.base import Workload, register
+
+
+def _numa_machine(heap_size: int = 4 * 1024 * 1024,
+                  zero_on_alloc: bool = True) -> MachineConfig:
+    """Two-node machine whose L3 is small enough that the shared array
+    misses to DRAM, where local-vs-remote latency matters."""
+    hierarchy = HierarchyConfig(
+        l1_size=8 * 1024, l1_assoc=8,
+        l2_size=16 * 1024, l2_assoc=8,
+        l3_size=64 * 1024, l3_assoc=16,
+        tlb_entries=32)
+    return MachineConfig(num_nodes=2, cpus_per_node=4,
+                         heap_size=heap_size, hierarchy=hierarchy,
+                         zero_on_alloc=zero_on_alloc)
+
+
+class MasterWorkerNumaWorkload(Workload):
+    """Master allocates a shared array; workers stream it repeatedly.
+
+    Variants: ``baseline`` (first-touch by master) and ``interleaved``
+    (master calls the ``numa_alloc_interleaved`` analogue after
+    allocating, as the paper's fix does through JNI + libnuma).
+    """
+
+    variants = ("baseline", "interleaved")
+
+    ARRAY_LEN = 32768            # 256KB: well beyond the 64KB L3
+    PASSES = 6
+    CYCLES_PER_ELEMENT = 6
+    WORKERS_NODE0 = 1
+    WORKERS_NODE1 = 3
+    ALLOC_LINE = 758
+    ACCESS_LINE = 245
+    CLASS_NAME = "Interval"
+    SOURCE = "Interval.java"
+    ACCESS_CLASS = "InternalArrayIterate"
+
+    def machine_config(self) -> MachineConfig:
+        return _numa_machine()
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self._check_variant(variant)
+        p = JProgram(f"{self.name}-{variant}")
+        p.statics["shared"] = None
+        p.statics["ready"] = 0
+
+        master = MethodBuilder(self.CLASS_NAME, "toArray",
+                               source_file=self.SOURCE,
+                               first_line=self.ALLOC_LINE - 2)
+        master.line(self.ALLOC_LINE)
+        master.iconst(self.ARRAY_LEN).newarray(Kind.INT).store(0)
+        if variant == "interleaved":
+            master.load(0).native("numa_interleave", 1, False)
+        # Initialise (first-touch) the array, then publish it.
+        master.load(0).native("stream_array", 1, False, 1, 1)
+        master.load(0).putstatic("shared")
+        master.iconst(1).putstatic("ready")
+        master.ret()
+        p.add_builder(master)
+
+        worker = MethodBuilder(self.ACCESS_CLASS, "batchCollect",
+                               source_file=f"{self.ACCESS_CLASS}.java",
+                               first_line=self.ACCESS_LINE - 3)
+        worker.native("await_static", 0, False, "ready")
+        worker.getstatic("shared").store(0)
+        worker.line(self.ACCESS_LINE)
+        worker.load(0).native("stream_array", 1, False,
+                              self.PASSES, 0, self.CYCLES_PER_ELEMENT)
+        worker.ret()
+        p.add_builder(worker)
+
+        p.add_entry("toArray", cpu=0)
+        cpu = 1
+        for _ in range(self.WORKERS_NODE0):
+            p.add_entry("batchCollect", cpu=cpu)
+            cpu += 1
+        cpu = 4
+        for _ in range(self.WORKERS_NODE1):
+            p.add_entry("batchCollect", cpu=cpu)
+            cpu += 1
+        return p
+
+
+@register
+class EclipseCollections(MasterWorkerNumaWorkload):
+    """Eclipse Collections: Interval.toArray result read remotely."""
+
+    name = "eclipse-collections"
+    paper_ref = "Table 1 / 7.5 (Interval.java:758)"
+    description = "master-allocated result[]; workers on both nodes"
+
+
+@register
+class NpbSp(MasterWorkerNumaWorkload):
+    """NPB SP: solver arrays first-touched by the master (~1.1x)."""
+
+    name = "npb-sp"
+    paper_ref = "Table 1 (SPBase.java:155)"
+    description = "solver arrays first-touched by one thread"
+    ARRAY_LEN = 16384
+    PASSES = 5
+    CYCLES_PER_ELEMENT = 22      # SP does real arithmetic per element
+    WORKERS_NODE0 = 2
+    WORKERS_NODE1 = 2
+    ALLOC_LINE = 155
+    ACCESS_LINE = 400
+    CLASS_NAME = "SPBase"
+    SOURCE = "SPBase.java"
+    ACCESS_CLASS = "SPSolver"
+
+
+@register
+class ApacheDruid(Workload):
+    """Apache Druid: constructor-initialised bitmap, many readers.
+
+    ``baseline``: the master initialises the whole bitmap (first-touch
+    puts every page on node 0); each worker then scans its partition —
+    remote for node-1 workers.  ``first-touch``: every worker
+    initialises *its own* partition before scanning it, so pages land on
+    the scanning node (the paper's parallel-initialisation fix, ~1.75x).
+    """
+
+    name = "apache-druid"
+    paper_ref = "Table 1 / 7.6 (WrappedImmutableBitSetBitmap.java:37)"
+    description = "bitmap scan; parallel first-touch fix"
+    variants = ("baseline", "first-touch")
+
+    ARRAY_LEN = 131072           # 1MB bitmap words: partitions > L3
+    PASSES = 12
+    CYCLES_PER_ELEMENT = 1       # nextSetBit is branchy but cheap
+    NUM_WORKERS = 8              # 4 per node
+    ALLOC_LINE = 37
+    SCAN_LINE = 120
+
+    def machine_config(self) -> MachineConfig:
+        # zero_on_alloc off: pages are first-touched by whoever
+        # initialises them, which is the entire point of the fix.
+        return _numa_machine(zero_on_alloc=False)
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self._check_variant(variant)
+        p = JProgram(f"{self.name}-{variant}")
+        p.statics["bitmap"] = None
+        p.statics["ready"] = 0
+        chunk = self.ARRAY_LEN // self.NUM_WORKERS
+
+        ctor = MethodBuilder("WrappedImmutableBitSetBitmap", "<init>",
+                             source_file="WrappedImmutableBitSetBitmap.java",
+                             first_line=self.ALLOC_LINE - 2)
+        ctor.line(self.ALLOC_LINE)
+        ctor.iconst(self.ARRAY_LEN).newarray(Kind.INT).store(0)
+        if variant == "baseline":
+            # Serial initialisation: every page first-touched on node 0.
+            ctor.load(0).native("stream_array", 1, False, 1, 1)
+        ctor.load(0).putstatic("bitmap")
+        ctor.iconst(1).putstatic("ready")
+        ctor.ret()
+        p.add_builder(ctor)
+
+        scan = MethodBuilder("WrappedImmutableBitSetBitmap", "next",
+                             num_args=1,
+                             source_file="WrappedImmutableBitSetBitmap.java",
+                             first_line=self.SCAN_LINE - 3)
+        scan.native("await_static", 0, False, "ready")
+        scan.getstatic("bitmap").store(1)
+        # worker id in local 0 → partition [id*chunk, (id+1)*chunk)
+        scan.load(0).iconst(chunk).mul().store(2)
+        if variant == "first-touch":
+            # Parallel initialisation: touch the partition locally first.
+            scan.line(self.ALLOC_LINE)
+            scan.load(1).load(2).iconst(chunk)
+            scan.native("stream_range", 3, False, 1, 1)
+        scan.line(self.SCAN_LINE)
+        scan.load(1).load(2).iconst(chunk)
+        scan.native("stream_range", 3, False,
+                    self.PASSES, 0, self.CYCLES_PER_ELEMENT)
+        scan.ret()
+        p.add_builder(scan)
+
+        p.add_entry("<init>", cpu=0)
+        for i in range(self.NUM_WORKERS):
+            p.add_entry("next", i, cpu=i % 8)
+        return p

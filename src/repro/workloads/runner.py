@@ -1,0 +1,106 @@
+"""Run workloads natively or under a profiler; measure speedups/overheads.
+
+The experiment harnesses in ``benchmarks/`` are thin layers over these
+helpers, which in turn follow the paper's methodology: run the baseline
+and the optimised variant, compare simulated wall cycles, and (for
+profiling studies) compare profiled vs native runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.analyzer import AnalysisResult
+from repro.core.profiler import DJXPerf, DjxConfig
+from repro.jvm.machine import Machine, MachineConfig, MachineResult
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ProfiledRun:
+    """A workload run under DJXPerf."""
+
+    profiler: DJXPerf
+    machine: Machine
+    result: MachineResult
+    analysis: AnalysisResult
+
+
+def run_native(workload: Workload, variant: str = "baseline",
+               machine_config: Optional[MachineConfig] = None
+               ) -> MachineResult:
+    """Run a variant without any profiler attached."""
+    workload._check_variant(variant)
+    program = workload.build_verified(variant)
+    machine = Machine(program, machine_config or workload.machine_config())
+    return machine.run()
+
+
+def run_profiled(workload: Workload, variant: str = "baseline",
+                 config: Optional[DjxConfig] = None,
+                 machine_config: Optional[MachineConfig] = None
+                 ) -> ProfiledRun:
+    """Run a variant under DJXPerf (launch mode) and analyze."""
+    workload._check_variant(variant)
+    profiler = DJXPerf(config or DjxConfig())
+    program = profiler.instrument(workload.build_verified(variant))
+    machine = Machine(program, machine_config or workload.machine_config())
+    profiler.attach(machine)
+    result = machine.run()
+    return ProfiledRun(profiler=profiler, machine=machine, result=result,
+                       analysis=profiler.analyze())
+
+
+def measure_speedup(workload: Workload,
+                    optimized_variant: Optional[str] = None,
+                    baseline_variant: Optional[str] = None
+                    ) -> "tuple[float, MachineResult, MachineResult]":
+    """Whole-program speedup of the optimisation (paper's WS column).
+
+    Returns (speedup, baseline_result, optimized_result); speedup > 1
+    means the optimisation won.
+    """
+    base = run_native(workload, baseline_variant or workload.baseline_variant)
+    opt = run_native(workload, optimized_variant or workload.optimized_variant)
+    if opt.wall_cycles == 0:
+        raise ZeroDivisionError(f"{workload.name}: optimised run took 0 cycles")
+    return base.wall_cycles / opt.wall_cycles, base, opt
+
+
+@dataclass
+class OverheadMeasurement:
+    """Profiled-vs-native cost of DJXPerf on one workload."""
+
+    name: str
+    native_cycles: int
+    profiled_cycles: int
+    native_peak_memory: int
+    profiler_memory: int
+
+    @property
+    def runtime_overhead(self) -> float:
+        """Profiled / native runtime ratio (1.0 = free)."""
+        return self.profiled_cycles / self.native_cycles
+
+    @property
+    def memory_overhead(self) -> float:
+        """(app peak + profiler) / app peak memory ratio."""
+        if self.native_peak_memory == 0:
+            return 1.0
+        return (self.native_peak_memory + self.profiler_memory) \
+            / self.native_peak_memory
+
+
+def measure_overhead(workload: Workload, variant: str = "baseline",
+                     config: Optional[DjxConfig] = None
+                     ) -> OverheadMeasurement:
+    """Figure-4 style measurement: run native, then run profiled."""
+    native = run_native(workload, variant)
+    profiled = run_profiled(workload, variant, config)
+    return OverheadMeasurement(
+        name=workload.name,
+        native_cycles=native.wall_cycles,
+        profiled_cycles=profiled.result.wall_cycles,
+        native_peak_memory=native.heap_peak_used,
+        profiler_memory=profiled.profiler.memory_footprint())

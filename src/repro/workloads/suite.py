@@ -1,0 +1,141 @@
+"""Overhead-study suite — the benchmark set behind Figure 4.
+
+Figure 4 measures DJXPerf's runtime and memory overhead across
+Renaissance, DaCapo 9.12 and SPECjvm2008.  The decisive workload
+property is the *allocation-callback rate relative to useful work*: the
+paper calls out mnemonics, par-mnemonics, scrabble, akka-uct,
+db-shootout, dec-tree and neo4j-analytics as the >30%-overhead outliers
+because they invoke the allocation hook hundreds of millions of times,
+while the typical benchmark sits near 8% runtime / 5% memory.
+
+Each mini-benchmark here reproduces one row's *profile* — allocations
+per iteration, allocation size, and per-iteration work — scaled to
+simulator-friendly counts.  The suite keys rows by origin
+(renaissance / dacapo / specjvm), mirroring the figure's grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.heap.layout import Kind
+from repro.jvm.bytecode import MethodBuilder
+from repro.jvm.classfile import JProgram
+from repro.jvm.machine import MachineConfig
+from repro.workloads.base import Workload, register, sim_machine
+from repro.workloads.dsl import for_range
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """Allocation/work profile of one Figure 4 row."""
+
+    suite: str              # renaissance | dacapo | specjvm
+    iterations: int
+    #: Allocations per iteration: (count, array length).
+    allocs_per_iter: Tuple[int, int]
+    #: Per-iteration streamed work (elements).
+    work_len: int
+    #: Paper calls this row out as allocation-heavy (>30% overhead).
+    alloc_heavy: bool = False
+    #: Heap size; small heaps recycle addresses (TLAB-warm allocation).
+    heap_size: int = 1024 * 1024
+
+
+class OverheadSuiteWorkload(Workload):
+    """One Figure 4 row: an allocation/work mix."""
+
+    variants = ("baseline",)
+    spec: SuiteSpec
+
+    def machine_config(self) -> MachineConfig:
+        return sim_machine(heap_size=self.spec.heap_size)
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self._check_variant(variant)
+        spec = self.spec
+        p = JProgram(self.name)
+        b = MethodBuilder(self.name.replace("-", "_"), "run", first_line=1)
+        b.iconst(spec.work_len).newarray(Kind.INT).store(3)
+
+        count, length = spec.allocs_per_iter
+
+        def body(b: MethodBuilder) -> None:
+            for _ in range(count):
+                b.line(10).iconst(length).newarray(Kind.INT).store(1)
+                b.load(1).iconst(0).iconst(1).astore()
+            b.line(20).load(3).native("stream_array", 1, False, 1)
+
+        for_range(b, 0, spec.iterations, body)
+        b.ret()
+        p.add_builder(b)
+        p.add_entry("run")
+        return p
+
+
+def _make(name: str, spec: SuiteSpec) -> None:
+    cls = type(
+        "Suite" + name.replace("-", "_").title().replace("_", ""),
+        (OverheadSuiteWorkload,),
+        {
+            "name": name,
+            "paper_ref": f"Figure 4 ({spec.suite})",
+            "description": f"overhead-profile mini for {name}",
+            "spec": spec,
+        })
+    register(cls)
+
+
+#: Figure 4 rows.  Allocation-heavy rows mirror the paper's outliers.
+SUITE_ROWS: Dict[str, SuiteSpec] = {
+    # Renaissance — the paper's allocation-heavy outliers allocate huge
+    # numbers of tiny objects (hundreds of millions of hook callbacks).
+    "akka-uct": SuiteSpec("renaissance", 60, (110, 16), 80,
+                          alloc_heavy=True, heap_size=128 * 1024),
+    "db-shootout": SuiteSpec("renaissance", 60, (100, 16), 96,
+                             alloc_heavy=True, heap_size=128 * 1024),
+    "dec-tree": SuiteSpec("renaissance", 60, (100, 16), 64,
+                          alloc_heavy=True, heap_size=128 * 1024),
+    "mnemonics": SuiteSpec("renaissance", 60, (150, 16), 32,
+                           alloc_heavy=True, heap_size=128 * 1024),
+    "par-mnemonics": SuiteSpec("renaissance", 60, (140, 16), 32,
+                               alloc_heavy=True, heap_size=128 * 1024),
+    "scrabble": SuiteSpec("renaissance", 60, (120, 16), 64,
+                          alloc_heavy=True, heap_size=128 * 1024),
+    "neo4j-analytics": SuiteSpec("renaissance", 50, (100, 16), 96,
+                                 alloc_heavy=True, heap_size=128 * 1024),
+    "dotty": SuiteSpec("renaissance", 50, (4, 256), 1024),
+    "finagle-http": SuiteSpec("renaissance", 50, (3, 256), 1024),
+    "future-genetic": SuiteSpec("renaissance", 50, (2, 256), 1280),
+    # DaCapo 9.12
+    "avrora": SuiteSpec("dacapo", 50, (1, 256), 1536),
+    "fop": SuiteSpec("dacapo", 50, (3, 256), 1024),
+    "h2": SuiteSpec("dacapo", 50, (2, 384), 1280),
+    "jython": SuiteSpec("dacapo", 50, (4, 256), 1024),
+    "pmd": SuiteSpec("dacapo", 50, (3, 256), 1024),
+    "sunflow": SuiteSpec("dacapo", 50, (1, 384), 1536),
+    "xalan": SuiteSpec("dacapo", 50, (2, 256), 1280),
+    # SPECjvm2008
+    "compress": SuiteSpec("specjvm", 50, (1, 512), 1536),
+    "crypto": SuiteSpec("specjvm", 50, (1, 256), 1280),
+    "derby": SuiteSpec("specjvm", 50, (3, 256), 1024),
+    "mpegaudio": SuiteSpec("specjvm", 50, (1, 384), 1280),
+    "scimark-sor": SuiteSpec("specjvm", 40, (1, 512), 1536),
+    "serial": SuiteSpec("specjvm", 50, (4, 256), 1024),
+    "xml-transform": SuiteSpec("specjvm", 50, (2, 256), 1280),
+}
+
+
+for _name, _spec in SUITE_ROWS.items():
+    _make(_name, _spec)
+
+
+def suite_names(suite: str = "") -> List[str]:
+    """Names of suite rows, optionally filtered by origin."""
+    return [name for name, spec in SUITE_ROWS.items()
+            if not suite or spec.suite == suite]
+
+
+def alloc_heavy_names() -> List[str]:
+    return [name for name, spec in SUITE_ROWS.items() if spec.alloc_heavy]

@@ -1,0 +1,81 @@
+"""TLB-hostile workload — exercises multi-event profiling (footnote 1).
+
+The paper's footnote to §1.1: DJXPerf "can measure myriad other events,
+for example, L3 cache misses, TLB misses, etc.".  This workload makes
+the distinction matter: a page-hopping array whose accesses are
+TLB-bound (one access per page, far more pages than TLB entries) next
+to a line-streaming array that is cache-bound but TLB-friendly.  An
+L1-miss profile ranks the streamer first; a DTLB-miss profile ranks the
+page-hopper first.  The fix for the hopper is the classic one: sort the
+accesses so they walk pages sequentially (modelled as the ``sorted``
+variant).
+"""
+
+from __future__ import annotations
+
+from repro.heap.layout import Kind
+from repro.jvm.bytecode import MethodBuilder
+from repro.jvm.classfile import JProgram
+from repro.jvm.machine import MachineConfig
+from repro.workloads.base import Workload, register, sim_machine
+from repro.workloads.dsl import for_range
+
+
+@register
+class TlbHostile(Workload):
+    """Page-hopping vs line-streaming objects under different events."""
+
+    name = "tlb-hostile"
+    paper_ref = "footnote 1 (myriad events: TLB misses)"
+    description = "page-hopping array (TLB-bound) + streaming array"
+    variants = ("baseline", "sorted")
+
+    #: Page-hopper: touch one element per page across many pages.
+    PAGES = 128                 # 4x the scaled 32-entry TLB
+    HOPS = 12                   # full page sweeps
+    #: Streamer: line-sequential reads, TLB-friendly.
+    STREAM_LEN = 4096
+    STREAM_PASSES = 3
+
+    PAGE_ELEMS = 4096 // 8      # elements per 4KB page
+
+    def machine_config(self) -> MachineConfig:
+        return sim_machine(heap_size=4 * 1024 * 1024)
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self._check_variant(variant)
+        p = JProgram(f"{self.name}-{variant}")
+        b = MethodBuilder("TlbApp", "run", source_file="TlbApp.java",
+                          first_line=10)
+        _HOPPER, _STREAM, _I, _J = 0, 1, 2, 3
+
+        b.line(11).iconst(self.PAGES * self.PAGE_ELEMS) \
+            .newarray(Kind.INT).store(_HOPPER)
+        b.line(12).iconst(self.STREAM_LEN).newarray(Kind.INT).store(_STREAM)
+
+        def sweep(b: MethodBuilder) -> None:
+            if variant == "baseline":
+                # One access per page, pages in a TLB-thrashing order:
+                # stride PAGE_ELEMS with an offset that cycles pages.
+                def hop(b: MethodBuilder) -> None:
+                    b.line(20)
+                    b.load(_HOPPER)
+                    b.load(_J).iconst(self.PAGE_ELEMS).mul()
+                    b.aload().pop()
+                for_range(b, _J, self.PAGES, hop)
+            else:
+                # "Sorted" accesses: the same element count, but walked
+                # page-sequentially *within* each page first, amortising
+                # each TLB fill over many accesses.
+                b.line(20)
+                b.load(_HOPPER).iconst(0).iconst(self.PAGES)
+                b.native("stream_range", 3, False, 1)
+            b.line(30)
+            b.load(_STREAM).native("stream_array", 1, False,
+                                   self.STREAM_PASSES)
+
+        for_range(b, _I, self.HOPS, sweep)
+        b.ret()
+        p.add_builder(b)
+        p.add_entry("run")
+        return p

@@ -1,0 +1,155 @@
+"""Unit tests for the offline analyzer on synthetic profiles."""
+
+import pytest
+
+from repro.core.analyzer import analyze_profiles
+from repro.core.profile import ResolvedFrame, ThreadProfile
+
+EVENT = "MEM_LOAD_UOPS_RETIRED:L1_MISS"
+
+#: A resolver with a fixed method table: method_id -> (class, method).
+METHODS = {
+    1: ("A", "main", "A.java"),
+    2: ("A", "helper", "A.java"),
+    3: ("B", "run", "B.java"),
+    # 4 is a JITted instance of method 2 (same source identity).
+    4: ("A", "helper", "A.java"),
+}
+
+
+def resolver(frame):
+    method_id, bci = frame
+    cls, method, source = METHODS[method_id]
+    return ResolvedFrame(cls, method, source, line=bci + 100)
+
+
+def make_profile(tid, site_frames, allocs=1, samples=0, remote=0,
+                 access_frames=()):
+    profile = ThreadProfile(tid)
+    stats = profile.site(tuple(site_frames))
+    for _ in range(allocs):
+        stats.record_allocation("int[]", 1024)
+    for i in range(samples):
+        profile.record_total(EVENT)
+        stats.record_sample(EVENT, tuple(access_frames), remote=i < remote)
+    return profile
+
+
+class TestMerging:
+    def test_single_profile_passthrough(self):
+        p = make_profile(0, [(1, 5)], allocs=3, samples=4)
+        result = analyze_profiles([p], resolver, EVENT)
+        assert len(result.sites) == 1
+        site = result.sites[0]
+        assert site.alloc_count == 3
+        assert site.metric(EVENT) == 4
+        assert site.leaf.location == "A.main:105"
+
+    def test_same_path_across_threads_coalesces(self):
+        p0 = make_profile(0, [(1, 5)], allocs=2, samples=3)
+        p1 = make_profile(1, [(1, 5)], allocs=1, samples=2)
+        result = analyze_profiles([p0, p1], resolver, EVENT)
+        assert len(result.sites) == 1
+        assert result.sites[0].alloc_count == 3
+        assert result.sites[0].metric(EVENT) == 5
+        assert result.thread_count == 2
+
+    def test_jit_instances_coalesce_by_source_identity(self):
+        # method_ids 2 and 4 resolve to the same source frame.
+        p0 = make_profile(0, [(1, 5), (2, 7)], samples=2)
+        p1 = make_profile(1, [(1, 5), (4, 7)], samples=3)
+        result = analyze_profiles([p0, p1], resolver, EVENT)
+        assert len(result.sites) == 1
+        assert result.sites[0].metric(EVENT) == 5
+
+    def test_different_paths_stay_separate(self):
+        p0 = make_profile(0, [(1, 5)], samples=1)
+        p1 = make_profile(1, [(3, 9)], samples=1)
+        result = analyze_profiles([p0, p1], resolver, EVENT)
+        assert len(result.sites) == 2
+
+    def test_access_contexts_merge(self):
+        p0 = make_profile(0, [(1, 5)], samples=2, access_frames=[(2, 3)])
+        p1 = make_profile(1, [(1, 5)], samples=3, access_frames=[(2, 3)])
+        result = analyze_profiles([p0, p1], resolver, EVENT)
+        contexts = result.sites[0].access_contexts
+        assert len(contexts) == 1
+        (path, metrics), = contexts.items()
+        assert metrics[EVENT] == 5
+        assert path[0].location == "A.helper:103"
+
+    def test_merge_order_independent(self):
+        p0 = make_profile(0, [(1, 5)], allocs=2, samples=3)
+        p1 = make_profile(1, [(1, 5)], allocs=4, samples=1)
+        r_ab = analyze_profiles([p0, p1], resolver, EVENT)
+        r_ba = analyze_profiles([p1, p0], resolver, EVENT)
+        assert r_ab.sites[0].alloc_count == r_ba.sites[0].alloc_count
+        assert r_ab.total() == r_ba.total()
+
+
+class TestRankingAndShares:
+    def test_ranked_by_primary_event(self):
+        p = ThreadProfile(0)
+        cold = p.site(((1, 1),))
+        hot = p.site(((1, 2),))
+        for _ in range(10):
+            p.record_total(EVENT)
+            hot.record_sample(EVENT, (), remote=False)
+        p.record_total(EVENT)
+        cold.record_sample(EVENT, (), remote=False)
+        result = analyze_profiles([p], resolver, EVENT)
+        top = result.top_sites(2)
+        assert top[0].metric(EVENT) == 10
+        assert result.share(top[0]) == pytest.approx(10 / 11)
+
+    def test_share_zero_when_no_samples(self):
+        p = make_profile(0, [(1, 5)], allocs=1, samples=0)
+        result = analyze_profiles([p], resolver, EVENT)
+        assert result.share(result.sites[0]) == 0.0
+
+    def test_coverage_accounts_unknown(self):
+        p = make_profile(0, [(1, 5)], samples=3)
+        p.record_total(EVENT)
+        p.record_unknown(EVENT)
+        result = analyze_profiles([p], resolver, EVENT)
+        assert result.coverage() == pytest.approx(3 / 4)
+
+    def test_coverage_zero_without_samples(self):
+        result = analyze_profiles([ThreadProfile(0)], resolver, EVENT)
+        assert result.coverage() == 0.0
+
+    def test_top_remote_sites(self):
+        p = make_profile(0, [(1, 5)], samples=4, remote=3)
+        q = make_profile(1, [(3, 9)], samples=4, remote=0)
+        result = analyze_profiles([p, q], resolver, EVENT)
+        remote = result.top_remote_sites(5)
+        assert len(remote) == 1
+        assert remote[0].remote_samples == 3
+        assert remote[0].remote_ratio == pytest.approx(0.75)
+
+    def test_site_at_lookup(self):
+        p = make_profile(0, [(1, 5)], samples=1)
+        result = analyze_profiles([p], resolver, EVENT)
+        assert result.site_at("A", "main", 105) is result.sites[0]
+        assert result.site_at("A", "main") is result.sites[0]
+        assert result.site_at("A", "main", 999) is None
+        assert result.site_at("Z", "zzz") is None
+
+
+class TestSizeTracking:
+    def test_min_max_sizes_merge(self):
+        p0 = ThreadProfile(0)
+        p0.site(((1, 5),)).record_allocation("int[]", 100)
+        p1 = ThreadProfile(1)
+        p1.site(((1, 5),)).record_allocation("int[]", 6400)
+        result = analyze_profiles([p0, p1], resolver, EVENT)
+        site = result.sites[0]
+        assert site.min_size == 100
+        assert site.max_size == 6400
+        assert site.size_spread == pytest.approx(64.0)
+
+    def test_size_spread_defaults_to_one(self):
+        p = ThreadProfile(0)
+        p.site(((1, 5),))   # no allocations recorded
+        result = analyze_profiles([p], resolver, EVENT)
+        assert result.sites[0].size_spread == 1.0

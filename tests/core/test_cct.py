@@ -1,0 +1,163 @@
+"""Unit + property tests for the calling-context tree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cct import CallingContextTree
+
+
+PATH_A = (("A", 1), ("B", 2), ("C", 3))
+PATH_B = (("A", 1), ("B", 2), ("D", 4))
+PATH_C = (("X", 9),)
+
+
+class TestInsertion:
+    def test_insert_path_returns_leaf(self):
+        cct = CallingContextTree()
+        leaf = cct.insert_path(PATH_A)
+        assert leaf.key == ("C", 3)
+        assert leaf.path() == PATH_A
+
+    def test_common_prefixes_merge(self):
+        cct = CallingContextTree()
+        cct.insert_path(PATH_A)
+        cct.insert_path(PATH_B)
+        # A and B shared: 2 prefix nodes + 2 distinct leaves = 4 nodes.
+        assert cct.node_count() - 1 == 4
+
+    def test_reinsertion_is_idempotent(self):
+        cct = CallingContextTree()
+        n1 = cct.insert_path(PATH_A)
+        n2 = cct.insert_path(PATH_A)
+        assert n1 is n2
+
+    def test_empty_path_is_root(self):
+        cct = CallingContextTree()
+        assert cct.insert_path(()) is cct.root
+
+
+class TestMetrics:
+    def test_record_accumulates(self):
+        cct = CallingContextTree()
+        cct.record(PATH_A, "misses", 3)
+        cct.record(PATH_A, "misses", 2)
+        assert cct.find(PATH_A).metric("misses") == 5
+
+    def test_metrics_at_different_leaves_are_separate(self):
+        cct = CallingContextTree()
+        cct.record(PATH_A, "misses")
+        cct.record(PATH_B, "misses", 4)
+        assert cct.find(PATH_A).metric("misses") == 1
+        assert cct.find(PATH_B).metric("misses") == 4
+
+    def test_subtree_metric_is_inclusive(self):
+        cct = CallingContextTree()
+        cct.record(PATH_A, "misses", 1)
+        cct.record(PATH_B, "misses", 2)
+        shared = cct.find(PATH_A[:2])
+        assert shared.subtree_metric("misses") == 3
+
+    def test_total_metric(self):
+        cct = CallingContextTree()
+        cct.record(PATH_A, "m", 1)
+        cct.record(PATH_C, "m", 9)
+        assert cct.total_metric("m") == 10
+
+    def test_find_missing_returns_none(self):
+        cct = CallingContextTree()
+        cct.insert_path(PATH_A)
+        assert cct.find(PATH_C) is None
+
+
+class TestWalk:
+    def test_walk_visits_all_nodes(self):
+        cct = CallingContextTree()
+        cct.insert_path(PATH_A)
+        cct.insert_path(PATH_C)
+        keys = {n.key for n in cct.walk()}
+        assert keys == {("A", 1), ("B", 2), ("C", 3), ("X", 9)}
+
+    def test_leaves(self):
+        cct = CallingContextTree()
+        cct.insert_path(PATH_A)
+        cct.insert_path(PATH_B)
+        leaf_keys = {n.key for n in cct.leaves()}
+        assert leaf_keys == {("C", 3), ("D", 4)}
+
+
+class TestMerge:
+    def test_merge_sums_metrics(self):
+        a = CallingContextTree()
+        a.record(PATH_A, "m", 2)
+        b = CallingContextTree()
+        b.record(PATH_A, "m", 3)
+        a.merge_into(b)
+        assert b.find(PATH_A).metric("m") == 5
+
+    def test_merge_rekeys_frames(self):
+        # JITted instances: same method, different method_ids.
+        a = CallingContextTree()
+        a.record(((101, 5),), "m", 1)
+        b = CallingContextTree()
+        b.record(((202, 5),), "m", 2)
+        merged = CallingContextTree()
+        # Re-key both to the method *name* so they coalesce.
+        names = {101: "foo", 202: "foo"}
+        a.merge_into(merged, key_fn=lambda k: (names[k[0]], k[1]))
+        b.merge_into(merged, key_fn=lambda k: (names[k[0]], k[1]))
+        assert merged.find(((("foo"), 5),)).metric("m") == 3
+
+    def test_merge_is_top_down_preserving_structure(self):
+        a = CallingContextTree()
+        a.record(PATH_A, "m", 1)
+        a.record(PATH_B, "m", 1)
+        b = CallingContextTree()
+        a.merge_into(b)
+        assert b.node_count() == a.node_count()
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        cct = CallingContextTree()
+        cct.record(PATH_A, "m", 7)
+        cct.record(PATH_B, "n", 2)
+        data = cct.to_dict(key_encoder=list)
+        back = CallingContextTree.from_dict(data, key_decoder=tuple)
+        assert back.find(PATH_A).metric("m") == 7
+        assert back.find(PATH_B).metric("n") == 2
+        assert back.node_count() == cct.node_count()
+
+
+paths = st.lists(
+    st.lists(st.tuples(st.sampled_from("ABCDE"), st.integers(0, 3)),
+             min_size=1, max_size=5).map(tuple),
+    min_size=1, max_size=30)
+
+
+class TestProperties:
+    @given(paths)
+    @settings(max_examples=100, deadline=None)
+    def test_total_equals_sum_of_records(self, ps):
+        cct = CallingContextTree()
+        for p in ps:
+            cct.record(p, "m", 1)
+        assert cct.total_metric("m") == len(ps)
+
+    @given(paths)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_commutes(self, ps):
+        half = len(ps) // 2
+        a1, a2 = CallingContextTree(), CallingContextTree()
+        for p in ps[:half]:
+            a1.record(p, "m")
+        for p in ps[half:]:
+            a2.record(p, "m")
+        left = CallingContextTree()
+        a1.merge_into(left)
+        a2.merge_into(left)
+        right = CallingContextTree()
+        a2.merge_into(right)
+        a1.merge_into(right)
+        for p in ps:
+            assert left.find(p).metric("m") == right.find(p).metric("m")
+        assert left.total_metric("m") == right.total_metric("m") == len(ps)

@@ -1,0 +1,95 @@
+"""Tests for profile diffing (before/after optimisation comparison)."""
+
+import pytest
+
+from repro.core import DjxConfig
+from repro.core.analyzer import analyze_profiles
+from repro.core.diff import diff_profiles
+from repro.core.profile import ResolvedFrame, ThreadProfile
+from repro.workloads import get_workload, run_profiled
+
+EVENT = "MEM_LOAD_UOPS_RETIRED:L1_MISS"
+
+
+def resolver(frame):
+    method_id, bci = frame
+    return ResolvedFrame("C", f"m{method_id}", "C.java", bci)
+
+
+def analysis(site_samples):
+    """site_samples: {(method_id, bci): (allocs, samples)}."""
+    profile = ThreadProfile(0)
+    for frame, (allocs, samples) in site_samples.items():
+        stats = profile.site((frame,))
+        for _ in range(allocs):
+            stats.record_allocation("int[]", 128)
+        for _ in range(samples):
+            profile.record_total(EVENT)
+            stats.record_sample(EVENT, (), remote=False)
+    return analyze_profiles([profile], resolver, EVENT)
+
+
+class TestSyntheticDiff:
+    def test_share_movement(self):
+        before = analysis({(1, 5): (10, 8), (2, 7): (1, 2)})
+        after = analysis({(1, 5): (1, 1), (2, 7): (1, 9)})
+        diff = diff_profiles(before, after)
+        by_loc = {d.location: d for d in diff.deltas}
+        assert by_loc["C.m1:5"].share_delta < 0
+        assert by_loc["C.m2:7"].share_delta > 0
+        assert diff.improved()[0].location == "C.m1:5"
+        assert diff.regressed()[0].location == "C.m2:7"
+
+    def test_removed_site_detected(self):
+        before = analysis({(1, 5): (10, 8), (2, 7): (1, 2)})
+        after = analysis({(2, 7): (1, 2)})
+        diff = diff_profiles(before, after)
+        removed = diff.removed_sites()
+        assert [d.location for d in removed] == ["C.m1:5"]
+        assert removed[0].disappeared
+
+    def test_new_site_detected(self):
+        before = analysis({(2, 7): (1, 2)})
+        after = analysis({(1, 5): (3, 4), (2, 7): (1, 2)})
+        diff = diff_profiles(before, after)
+        new = [d for d in diff.deltas if d.appeared]
+        assert [d.location for d in new] == ["C.m1:5"]
+
+    def test_render(self):
+        before = analysis({(1, 5): (10, 8)})
+        after = analysis({(1, 5): (1, 1), (2, 7): (2, 9)})
+        text = diff_profiles(before, after).render()
+        assert "Profile diff" in text
+        assert "C.m1:5" in text
+        assert "->" in text
+
+    def test_render_no_movement(self):
+        before = analysis({(1, 5): (2, 4)})
+        after = analysis({(1, 5): (2, 4)})
+        text = diff_profiles(before, after).render()
+        assert "no site's share moved" in text
+
+    def test_empty_profiles(self):
+        diff = diff_profiles(analysis({}), analysis({}))
+        assert diff.deltas == []
+        assert diff.before_total == 0
+
+
+class TestWorkloadDiff:
+    def test_hoisting_collapses_allocation_count(self):
+        workload = get_workload("objectlayout")
+        config = DjxConfig(sample_period=32)
+        before = run_profiled(workload, "baseline", config).analysis
+        after = run_profiled(workload, "hoisted", config).analysis
+        diff = diff_profiles(before, after)
+        culprit = next(d for d in diff.deltas
+                       if d.location == "Objectlayout.run:292")
+        # The bloat is gone: 40 allocations collapse to the singleton.
+        assert culprit.before_allocs == 40
+        assert culprit.after_allocs == 1
+        # The reused array still tops the L1-miss profile (its lines are
+        # evicted by the other work either way — the win is that the
+        # misses now refill from warm L2/L3 instead of cold DRAM, which
+        # shows up in cycles, not in the L1-miss *share*).
+        assert culprit.before_share > 0.3
+        assert culprit.after_share > 0.0

@@ -1,0 +1,124 @@
+"""Unit tests for the Java agent's bytecode instrumentation."""
+
+import pytest
+
+from repro.heap.layout import Kind
+from repro.jvm import JProgram, Machine, MethodBuilder, Op, verify_program
+from repro.core.javaagent import (
+    ALLOC_HOOK,
+    AllocationSite,
+    allocation_site_count,
+    instrument_method,
+    instrument_program,
+)
+
+from tests.jvm.helpers import counting_loop
+
+
+def alloc_in_loop_method():
+    b = MethodBuilder("C", "m", first_line=100)
+    counting_loop(b, 5, 0,
+                  lambda b: b.line(105).iconst(16).newarray(Kind.INT)
+                  .store(1).line(100))
+    b.ret()
+    return b.build()
+
+
+class TestInstrumentMethod:
+    def test_hook_inserted_after_each_allocation(self):
+        m = instrument_method(alloc_in_loop_method())
+        ops = [i.op for i in m.code]
+        idx = ops.index(Op.NEWARRAY)
+        assert ops[idx + 1] is Op.DUP
+        assert ops[idx + 2] is Op.NATIVE
+        assert m.code[idx + 2].args[0] == ALLOC_HOOK
+
+    def test_site_constant_describes_allocation(self):
+        original = alloc_in_loop_method()
+        m = instrument_method(original)
+        native = next(i for i in m.code if i.op is Op.NATIVE)
+        site = native.args[3]
+        assert isinstance(site, AllocationSite)
+        assert site.class_name == "C"
+        assert site.method_name == "m"
+        assert site.line == 105
+        assert site.opcode == "newarray"
+        assert original.code[site.bci].op is Op.NEWARRAY
+
+    def test_branch_targets_remapped(self):
+        original = alloc_in_loop_method()
+        m = instrumented = instrument_method(original)
+        # Behaviour must be identical: run both and compare allocations.
+        assert len(m.code) == len(original.code) + 2  # DUP + NATIVE
+
+    def test_methods_without_allocations_untouched(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(1).pop().ret()
+        m = b.build()
+        assert instrument_method(m) is m
+
+    def test_all_four_allocation_opcodes_hooked(self):
+        b = MethodBuilder("C", "m")
+        b.new("K").pop()
+        b.iconst(4).newarray(Kind.INT).pop()
+        b.iconst(4).anewarray().pop()
+        b.iconst(2).iconst(2).multianewarray(Kind.INT, 2).pop()
+        b.ret()
+        m = instrument_method(b.build())
+        hooks = [i for i in m.code if i.op is Op.NATIVE
+                 and i.args[0] == ALLOC_HOOK]
+        assert len(hooks) == 4
+        assert {h.args[3].opcode for h in hooks} == {
+            "new", "newarray", "anewarray", "multianewarray"}
+
+    def test_instrumented_code_verifies(self):
+        # instrument_method verifies internally; this checks it doesn't
+        # raise for loops with backward branches around allocations.
+        instrument_method(alloc_in_loop_method())
+
+
+class TestInstrumentProgram:
+    def build_program(self):
+        p = JProgram("orig")
+        p.add_method(alloc_in_loop_method())
+        p.add_entry("m")
+        return p
+
+    def test_original_program_untouched(self):
+        p = self.build_program()
+        before = len(p.method("m").code)
+        instrument_program(p)
+        assert len(p.method("m").code) == before
+
+    def test_instrumented_program_verifies(self):
+        p2 = instrument_program(self.build_program())
+        verify_program(p2)
+
+    def test_behaviour_preserved(self):
+        p = self.build_program()
+        plain = Machine(p).run()
+        p2 = instrument_program(p)
+        machine = Machine(p2)
+        machine.register_native(ALLOC_HOOK, lambda call: None)
+        hooked = machine.run()
+        assert hooked.heap_allocations == plain.heap_allocations == 5
+
+    def test_hook_receives_each_ref(self):
+        p2 = instrument_program(self.build_program())
+        machine = Machine(p2)
+        seen = []
+        machine.register_native(
+            ALLOC_HOOK,
+            lambda call: seen.append(call.args[0].oid))
+        machine.run()
+        assert len(seen) == 5
+        assert len(set(seen)) == 5
+
+    def test_allocation_site_count(self):
+        p = self.build_program()
+        assert allocation_site_count(p) == 1
+
+    def test_unregistered_hook_traps(self):
+        p2 = instrument_program(self.build_program())
+        with pytest.raises(Exception, match=ALLOC_HOOK):
+            Machine(p2).run()

@@ -1,0 +1,129 @@
+"""Unit-level tests of the JVMTI agent's GC-handling edge cases."""
+
+import pytest
+
+from repro.core import DJXPerf, DjxConfig
+from repro.core.jvmtiagent import AgentCostModel
+from repro.heap.gc import FinalizeEvent, GcNotification, MemmoveEvent
+from repro.heap.layout import Kind
+from repro.jvm import JProgram, Machine, MachineConfig, MethodBuilder
+
+from tests.jvm.helpers import counting_loop
+
+
+def attached_agent(iterations=5, heap=1024 * 1024, threshold=0):
+    p = JProgram()
+    b = MethodBuilder("C", "main")
+    counting_loop(b, iterations, 0,
+                  lambda b: b.iconst(256).newarray(Kind.INT).store(1))
+    b.ret()
+    p.add_builder(b)
+    p.add_entry("main")
+    profiler = DJXPerf(DjxConfig(sample_period=64, size_threshold=threshold))
+    machine = Machine(profiler.instrument(p),
+                      MachineConfig(heap_size=heap))
+    profiler.attach(machine)
+    return profiler, machine
+
+
+class TestRelocationMap:
+    def test_memmove_buffered_until_notification(self):
+        profiler, machine = attached_agent()
+        machine.run()
+        agent = profiler.agent
+        # Simulate GC activity by hand: one tracked object "moves".
+        start, end, payload = next(iter(agent.splay))
+        size = end - start
+        agent._on_memmove(MemmoveEvent(oid=0, src=start, dst=0x9000,
+                                       size=size))
+        # Not yet applied: lookups still resolve the old address.
+        assert agent.splay.lookup(start) is payload
+        assert agent._relocation_map == {start: (0x9000, size)}
+        agent._on_gc_notification(GcNotification(
+            gc_id=1, reclaimed_objects=0, reclaimed_bytes=0,
+            moved_objects=1, moved_bytes=size, live_bytes=0,
+            pause_cycles=0))
+        assert agent.splay.lookup(start) is None
+        assert agent.splay.lookup(0x9000) is payload
+        assert agent._relocation_map == {}
+
+    def test_move_of_untracked_object_inserts_unknown(self):
+        profiler, machine = attached_agent()
+        machine.run()
+        agent = profiler.agent
+        agent._on_memmove(MemmoveEvent(oid=0, src=0x777000, dst=0x888000,
+                                       size=64))
+        agent._on_gc_notification(GcNotification(
+            gc_id=1, reclaimed_objects=0, reclaimed_bytes=0,
+            moved_objects=1, moved_bytes=64, live_bytes=0,
+            pause_cycles=0))
+        tracked = agent.splay.lookup(0x888000)
+        assert tracked is not None
+        assert tracked.known is False
+        assert agent.stats.relocations_unknown == 1
+
+    def test_finalize_cancels_pending_relocation(self):
+        profiler, machine = attached_agent()
+        machine.run()
+        agent = profiler.agent
+        start, end, _payload = next(iter(agent.splay))
+        size = end - start
+        agent._on_memmove(MemmoveEvent(oid=0, src=start, dst=0xA000,
+                                       size=size))
+        agent._on_finalize(FinalizeEvent(oid=0, addr=start, size=size,
+                                         type_name="int[]"))
+        agent._on_gc_notification(GcNotification(
+            gc_id=1, reclaimed_objects=1, reclaimed_bytes=size,
+            moved_objects=0, moved_bytes=0, live_bytes=0, pause_cycles=0))
+        # Reclaimed object must not be resurrected at its destination.
+        assert agent.splay.lookup(0xA000) is None
+        assert agent.splay.lookup(start) is None
+
+    def test_unknown_object_samples_counted_unknown(self):
+        profiler, machine = attached_agent()
+        machine.run()
+        agent = profiler.agent
+        agent._on_memmove(MemmoveEvent(oid=0, src=0x777000, dst=0x888000,
+                                       size=64))
+        agent._on_gc_notification(GcNotification(
+            gc_id=1, reclaimed_objects=0, reclaimed_bytes=0,
+            moved_objects=1, moved_bytes=64, live_bytes=0,
+            pause_cycles=0))
+        # A sample landing in the unknown interval is recorded as
+        # unknown, not attributed to a bogus path.
+        from repro.pmu.pmu import Sample
+        thread = machine.threads[0]
+        before = agent.stats.samples_unknown
+        agent._handle_sample(Sample(
+            event="MEM_LOAD_UOPS_RETIRED:L1_MISS", address=0x888010,
+            size=8, is_write=False, cpu=0, tid=thread.tid, latency=200,
+            level="DRAM", home_node=0, remote=False, ucontext=thread))
+        assert agent.stats.samples_unknown == before + 1
+
+
+class TestDisabledAgent:
+    def test_events_ignored_after_stop(self):
+        profiler, machine = attached_agent()
+        machine.run()
+        agent = profiler.agent
+        agent.stop()
+        before = len(agent.splay)
+        agent._on_memmove(MemmoveEvent(oid=0, src=0x1, dst=0x2, size=8))
+        assert agent._relocation_map == {}
+        agent._on_finalize(FinalizeEvent(oid=0, addr=0x1, size=8,
+                                         type_name="x"))
+        assert len(agent.splay) == before
+
+
+class TestCostCharging:
+    def test_alloc_dispatch_charged_even_when_filtered(self):
+        costs = AgentCostModel()
+        profiler, machine = attached_agent(threshold=1 << 20)  # filter all
+        thread_cycles_before = None
+        machine.run()
+        agent = profiler.agent
+        assert agent.stats.allocations_seen == 5
+        assert agent.stats.allocations_filtered == 5
+        # Dispatch cost must have been charged for each filtered alloc;
+        # full hook cost must not (no splay entries).
+        assert len(agent.splay) == 0

@@ -1,0 +1,105 @@
+"""Tests for profile serialisation and the resolved data model."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.profile import (
+    ObjectSiteStats,
+    ResolvedFrame,
+    ResolvedSite,
+    ThreadProfile,
+    decode_resolved_path,
+)
+
+EVENT = "MEM_LOAD_UOPS_RETIRED:L1_MISS"
+
+
+def resolver(frame):
+    method_id, bci = frame
+    return ResolvedFrame("C", f"m{method_id}", "C.java", bci)
+
+
+def sample_profile():
+    profile = ThreadProfile(tid=3)
+    stats = profile.site(((1, 10), (2, 20)))
+    stats.record_allocation("int[]", 2048)
+    stats.record_allocation("int[]", 4096)
+    profile.record_total(EVENT)
+    stats.record_sample(EVENT, ((1, 10), (2, 25)), remote=True)
+    profile.record_total(EVENT)
+    profile.record_unknown(EVENT)
+    return profile
+
+
+class TestSerialisation:
+    def test_to_dict_structure(self):
+        data = sample_profile().to_dict(resolver)
+        assert data["tid"] == 3
+        assert data["total_samples"][EVENT] == 2
+        assert data["unknown_samples"][EVENT] == 1
+        (site,) = data["sites"]
+        assert site["alloc_count"] == 2
+        assert site["allocated_bytes"] == 6144
+        assert site["min_size"] == 2048
+        assert site["max_size"] == 4096
+        assert site["remote_samples"] == 1
+        assert site["path"] == [["C", "m1", "C.java", 10],
+                                ["C", "m2", "C.java", 20]]
+
+    def test_dump_is_valid_json(self):
+        buffer = io.StringIO()
+        sample_profile().dump(buffer, resolver)
+        data = json.loads(buffer.getvalue())
+        assert data["sites"][0]["metrics"][EVENT] == 1
+
+    def test_decode_resolved_path(self):
+        encoded = [["C", "m1", "C.java", 10], ["C", "m2", "C.java", 20]]
+        path = decode_resolved_path(encoded)
+        assert path[0] == ResolvedFrame("C", "m1", "C.java", 10)
+        assert path[1].location == "C.m2:20"
+
+
+class TestObjectSiteStats:
+    def test_sample_accounting(self):
+        stats = ObjectSiteStats(path=((1, 1),))
+        stats.record_sample(EVENT, (), remote=True)
+        stats.record_sample(EVENT, (), remote=False)
+        stats.record_sample(EVENT, (), remote=False)
+        assert stats.total_samples == 3
+        assert stats.remote_samples == 1
+        assert stats.metric(EVENT) == 3
+        assert stats.metric("other") == 0
+
+    def test_type_name_counting(self):
+        stats = ObjectSiteStats(path=())
+        stats.record_allocation("int[]", 8)
+        stats.record_allocation("float[]", 8)
+        stats.record_allocation("int[]", 8)
+        assert stats.type_names == {"int[]": 2, "float[]": 1}
+
+
+class TestResolvedSite:
+    def frame(self, line=5):
+        return ResolvedFrame("C", "m", "C.java", line)
+
+    def test_leaf_and_location(self):
+        site = ResolvedSite(path=(self.frame(1), self.frame(9)))
+        assert site.leaf.line == 9
+        assert site.location == "C.m:9"
+
+    def test_empty_path(self):
+        site = ResolvedSite(path=())
+        assert site.leaf is None
+        assert site.location == "<unknown>"
+
+    def test_remote_ratio(self):
+        site = ResolvedSite(path=(), remote_samples=3, local_samples=1)
+        assert site.remote_ratio == pytest.approx(0.75)
+        assert ResolvedSite(path=()).remote_ratio == 0.0
+
+    def test_dominant_type(self):
+        site = ResolvedSite(path=(), type_names={"a": 1, "b": 5})
+        assert site.dominant_type() == "b"
+        assert ResolvedSite(path=()).dominant_type() == "<unknown>"

@@ -1,0 +1,114 @@
+"""Unit tests for the text and HTML report renderers."""
+
+import pytest
+
+from repro.core.analyzer import analyze_profiles
+from repro.core.htmlreport import render_html, write_html
+from repro.core.profile import ResolvedFrame, ThreadProfile
+from repro.core.report import render_numa_report, render_report, render_site
+
+EVENT = "MEM_LOAD_UOPS_RETIRED:L1_MISS"
+
+
+def resolver(frame):
+    method_id, bci = frame
+    return ResolvedFrame("App", f"m{method_id}", "App.java", bci + 10)
+
+
+def analysis_with(sites):
+    """sites: list of (frames, allocs, samples, remote)."""
+    profile = ThreadProfile(0)
+    for frames, allocs, samples, remote in sites:
+        stats = profile.site(tuple(frames))
+        for _ in range(allocs):
+            stats.record_allocation("int[]", 2048)
+        for i in range(samples):
+            profile.record_total(EVENT)
+            stats.record_sample(EVENT, ((9, 1),), remote=i < remote)
+    return analyze_profiles([profile], resolver, EVENT)
+
+
+SIMPLE = [([(1, 5)], 7, 12, 0)]
+WITH_REMOTE = [([(1, 5)], 2, 10, 8), ([(2, 3)], 1, 2, 0)]
+
+
+class TestTextReport:
+    def test_header_and_totals(self):
+        text = render_report(analysis_with(SIMPLE))
+        assert "DJXPerf object-centric profile" in text
+        assert "total samples : 12" in text
+        assert "100.0%" in text   # attributed
+
+    def test_site_block_content(self):
+        analysis = analysis_with(SIMPLE)
+        block = render_site(analysis, analysis.sites[0], rank=1)
+        assert "#1 object int[]" in block
+        assert "allocations: 7" in block
+        assert "App.m1:15" in block
+        assert "App.m9:11" in block       # the access context
+
+    def test_empty_profile(self):
+        text = render_report(analysis_with([]))
+        assert "no samples attributed" in text
+
+    def test_zero_metric_sites_omitted(self):
+        analysis = analysis_with([([(1, 5)], 1, 5, 0),
+                                  ([(2, 3)], 1, 0, 0)])
+        text = render_report(analysis, top=5)
+        assert "App.m1:15" in text
+        assert "App.m2:13" not in text
+
+    def test_access_context_overflow_elided(self):
+        profile = ThreadProfile(0)
+        stats = profile.site(((1, 5),))
+        stats.record_allocation("int[]", 2048)
+        for i in range(6):
+            profile.record_total(EVENT)
+            stats.record_sample(EVENT, ((9, i),), remote=False)
+        analysis = analyze_profiles([profile], resolver, EVENT)
+        block = render_site(analysis, analysis.sites[0], rank=1,
+                            max_access_contexts=2)
+        assert "4 more access context(s)" in block
+
+
+class TestNumaReport:
+    def test_remote_sites_listed(self):
+        text = render_numa_report(analysis_with(WITH_REMOTE))
+        assert "App.m1:15" in text
+        assert "80.0% remote" in text
+        assert "App.m2:13" not in text    # no remote samples
+
+    def test_empty_numa_report(self):
+        text = render_numa_report(analysis_with(SIMPLE))
+        assert "no remote accesses" in text
+
+
+class TestHtmlReport:
+    def test_document_structure(self):
+        html_text = render_html(analysis_with(WITH_REMOTE))
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "App.m1:15" in html_text
+        assert "allocation context" in html_text
+        assert "NUMA remote accesses" in html_text
+
+    def test_escaping(self):
+        profile = ThreadProfile(0)
+        stats = profile.site(((1, 5),))
+        stats.record_allocation("<evil>&", 2048)
+        profile.record_total(EVENT)
+        stats.record_sample(EVENT, (), remote=False)
+        analysis = analyze_profiles([profile], resolver, EVENT)
+        html_text = render_html(analysis)
+        assert "<evil>" not in html_text
+        assert "&lt;evil&gt;" in html_text
+
+    def test_empty_profile_document(self):
+        html_text = render_html(analysis_with([]))
+        assert "no samples attributed" in html_text
+
+    def test_write_html(self, tmp_path):
+        path = str(tmp_path / "report.html")
+        out = write_html(analysis_with(SIMPLE), path, title="T")
+        assert out == path
+        with open(path) as fp:
+            assert "<title>T</title>" in fp.read()

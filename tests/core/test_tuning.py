@@ -1,0 +1,94 @@
+"""Tests for sampling-period calibration (the 20-200 samples/s rule)."""
+
+import pytest
+
+from repro.core import DJXPerf, DjxConfig
+from repro.core.tuning import (
+    TARGET_MAX_PER_SEC,
+    TARGET_MIN_PER_SEC,
+    CalibrationResult,
+    calibrate_period,
+    rate_in_target_window,
+)
+from repro.jvm import Machine
+from repro.pmu.events import ALL_LOADS, L1_MISS
+from repro.workloads import get_workload
+
+
+def workload_program(name="objectlayout"):
+    w = get_workload(name)
+    return w.build_verified(), w.machine_config()
+
+
+class TestCalibration:
+    def test_produces_positive_period(self):
+        program, config = workload_program()
+        result = calibrate_period(program, L1_MISS, config)
+        assert result.period >= 1
+        assert result.pilot_events > 0
+        assert result.pilot_seconds > 0
+
+    def test_rate_lands_near_target(self):
+        program, config = workload_program()
+        result = calibrate_period(program, L1_MISS, config,
+                                  target_per_sec=100.0)
+        assert 50.0 <= result.predicted_rate <= 200.0
+
+    def test_hotter_event_gets_larger_period(self):
+        program, config = workload_program()
+        misses = calibrate_period(program, L1_MISS, config)
+        program2, config2 = workload_program()
+        loads = calibrate_period(program2, ALL_LOADS, config2)
+        # Loads fire far more often than misses → larger period.
+        assert loads.period > misses.period
+
+    def test_pilot_does_not_mutate_program(self):
+        program, config = workload_program()
+        before = program.total_instructions()
+        calibrate_period(program, L1_MISS, config)
+        assert program.total_instructions() == before
+
+    def test_event_that_never_fires_falls_back(self):
+        from repro.pmu.events import PmuEvent
+        never = PmuEvent("NEVER", lambda r: 0)
+        program, config = workload_program()
+        result = calibrate_period(program, never, config)
+        assert result.period == 1
+        assert result.predicted_rate == 0.0
+
+    def test_invalid_target_rejected(self):
+        program, config = workload_program()
+        with pytest.raises(ValueError):
+            calibrate_period(program, L1_MISS, config, target_per_sec=0)
+
+    def test_calibrated_profile_is_usable(self):
+        # End to end: calibrate, then profile with the chosen period and
+        # confirm the achieved rate lands near the requested target.
+        # Simulated programs span milliseconds of virtual time, so the
+        # target is scaled up from the paper's 20-200/s accordingly.
+        target = 100_000.0     # samples per simulated second
+        workload = get_workload("objectlayout")
+        program, config = workload_program()
+        calibration = calibrate_period(program, L1_MISS, config,
+                                       target_per_sec=target)
+
+        profiler = DJXPerf(DjxConfig(sample_period=calibration.period))
+        machine = Machine(profiler.instrument(workload.build_verified()),
+                          workload.machine_config())
+        profiler.attach(machine)
+        machine.run()
+        analysis = profiler.analyze()
+        samples = analysis.total()
+        seconds = max(t.cycles for t in machine.threads) / 2.2e9
+        rate = samples / seconds
+        assert rate_in_target_window(rate, lo=target / 4, hi=target * 4)
+        # And the profile still names the culprit.
+        assert analysis.top_sites(1)[0].leaf.line == 292
+
+
+class TestWindowHelper:
+    def test_window_bounds(self):
+        assert rate_in_target_window(20.0)
+        assert rate_in_target_window(200.0)
+        assert not rate_in_target_window(19.9)
+        assert not rate_in_target_window(200.1)

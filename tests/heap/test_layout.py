@@ -1,0 +1,107 @@
+"""Unit tests for object layout."""
+
+import pytest
+
+from repro.heap.layout import (
+    HEADER_SIZE,
+    FieldSpec,
+    JClass,
+    Kind,
+    align,
+    array_elem_offset,
+    array_size,
+)
+
+
+class TestAlign:
+    def test_already_aligned(self):
+        assert align(16) == 16
+
+    def test_rounds_up(self):
+        assert align(17) == 24
+
+    def test_zero(self):
+        assert align(0) == 0
+
+
+class TestJClass:
+    def test_field_offsets_follow_header(self):
+        cls = JClass("Point", [FieldSpec("x"), FieldSpec("y")])
+        assert cls.field_offset("x") == HEADER_SIZE
+        assert cls.field_offset("y") == HEADER_SIZE + 8
+
+    def test_instance_size_aligned(self):
+        cls = JClass("One", [FieldSpec("a")])
+        assert cls.instance_size == align(HEADER_SIZE + 8)
+
+    def test_empty_class_is_header_only(self):
+        assert JClass("Empty").instance_size == HEADER_SIZE
+
+    def test_unknown_field_raises(self):
+        cls = JClass("Point", [FieldSpec("x")])
+        with pytest.raises(KeyError):
+            cls.field_offset("z")
+        with pytest.raises(KeyError):
+            cls.field_kind("z")
+
+    def test_field_kinds(self):
+        cls = JClass("Mixed", [FieldSpec("i", Kind.INT),
+                               FieldSpec("f", Kind.FLOAT),
+                               FieldSpec("r", Kind.REF)])
+        assert cls.field_kind("i") is Kind.INT
+        assert cls.field_kind("r") is Kind.REF
+        assert cls.ref_fields() == ["r"]
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            JClass("Dup", [FieldSpec("x"), FieldSpec("x")])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            JClass("")
+
+
+class TestInheritance:
+    def test_subclass_inherits_fields_and_offsets(self):
+        base = JClass("Base", [FieldSpec("a")])
+        sub = JClass("Sub", [FieldSpec("b")], superclass=base)
+        assert sub.field_offset("a") == base.field_offset("a")
+        assert sub.field_offset("b") == HEADER_SIZE + 8
+        assert sub.instance_size >= base.instance_size
+
+    def test_redeclaring_inherited_field_rejected(self):
+        base = JClass("Base", [FieldSpec("a")])
+        with pytest.raises(ValueError):
+            JClass("Sub", [FieldSpec("a")], superclass=base)
+
+    def test_is_subclass_of(self):
+        base = JClass("Base")
+        mid = JClass("Mid", superclass=base)
+        sub = JClass("Sub", superclass=mid)
+        assert sub.is_subclass_of(base)
+        assert sub.is_subclass_of(sub)
+        assert not base.is_subclass_of(sub)
+
+
+class TestArrayLayout:
+    def test_array_size_includes_header(self):
+        assert array_size(Kind.INT, 4) == align(HEADER_SIZE + 32)
+
+    def test_zero_length_array(self):
+        assert array_size(Kind.REF, 0) == HEADER_SIZE
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            array_size(Kind.INT, -1)
+
+    def test_elem_offsets_are_contiguous(self):
+        assert array_elem_offset(Kind.FLOAT, 0) == HEADER_SIZE
+        assert (array_elem_offset(Kind.FLOAT, 3)
+                - array_elem_offset(Kind.FLOAT, 2)) == 8
+
+
+class TestKindDefaults:
+    def test_defaults(self):
+        assert Kind.INT.default == 0
+        assert Kind.FLOAT.default == 0.0
+        assert Kind.REF.default is None

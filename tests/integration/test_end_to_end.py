@@ -1,0 +1,60 @@
+"""End-to-end smoke tests: full pipeline on real workloads + examples."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+from repro.core import DjxConfig
+from repro.workloads import get_workload, run_profiled
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("name,expected_top", [
+        ("objectlayout", ("Objectlayout", "run", 292)),
+        ("scimark-fft", ("FFT", "transform_internal", 166)),
+        ("eclipse-collections", ("Interval", "toArray", 758)),
+    ])
+    def test_profile_identifies_expected_object(self, name, expected_top):
+        run = run_profiled(get_workload(name),
+                           config=DjxConfig(sample_period=32))
+        top = run.analysis.top_sites(1)[0]
+        cls, method, line = expected_top
+        assert (top.leaf.class_name, top.leaf.method_name,
+                top.leaf.line) == (cls, method, line)
+        # The pipeline accounts for every sample it took.
+        assert run.analysis.coverage() > 0.9
+
+    def test_profiles_roundtrip_through_files(self, tmp_path):
+        import json
+
+        run = run_profiled(get_workload("montecarlo"),
+                           config=DjxConfig(sample_period=64))
+        paths = run.profiler.dump_profiles(str(tmp_path))
+        assert paths
+        total = 0
+        for path in paths:
+            with open(path) as fp:
+                data = json.load(fp)
+            total += sum(data["total_samples"].values())
+        assert total == run.analysis.total()
+
+
+class TestExamples:
+    """Every example script must run cleanly (they are documentation)."""
+
+    @pytest.mark.parametrize("script", [
+        "quickstart.py",
+        "attach_mode.py",
+        "fft_locality.py",
+        "memory_bloat_hunt.py",
+        "numa_tuning.py",
+    ])
+    def test_example_runs(self, script, capsys):
+        path = os.path.join(EXAMPLES, script)
+        runpy.run_path(path, run_name="__main__")
+        out = capsys.readouterr().out
+        assert out.strip()

@@ -1,0 +1,55 @@
+"""Shared helpers for building small test programs."""
+
+from repro.heap.layout import FieldSpec, JClass, Kind
+from repro.jvm import JProgram, Machine, MachineConfig, MethodBuilder
+
+
+def single_method_program(builder: MethodBuilder, classes=(),
+                          statics=None) -> JProgram:
+    """Wrap one built method as a runnable single-thread program."""
+    program = JProgram("test")
+    for cls in classes:
+        program.add_class(cls)
+    program.add_builder(builder)
+    program.add_entry(builder.method_name)
+    if statics:
+        program.statics.update(statics)
+    return program
+
+
+def run_program(program: JProgram, config: MachineConfig = None) -> "tuple":
+    """Run and return (machine, result)."""
+    machine = Machine(program, config or MachineConfig())
+    result = machine.run()
+    return machine, result
+
+
+def run_method(builder: MethodBuilder, classes=(), statics=None,
+               config: MachineConfig = None):
+    """Build + run one method; returns (machine, result)."""
+    return run_program(single_method_program(builder, classes, statics),
+                       config)
+
+
+def counting_loop(b: MethodBuilder, count: int, counter_local: int,
+                  body) -> MethodBuilder:
+    """Emit ``for (i = 0; i < count; i++) body()`` into ``b``."""
+    b.iconst(0).store(counter_local)
+    top = b.new_label("top")
+    end = b.new_label("end")
+    b.place(top)
+    b.load(counter_local).iconst(count).if_icmpge(end)
+    body(b)
+    b.iinc(counter_local, 1)
+    b.goto(top)
+    b.place(end)
+    return b
+
+
+def point_class() -> JClass:
+    return JClass("Point", [FieldSpec("x"), FieldSpec("y")])
+
+
+def node_class() -> JClass:
+    return JClass("Node", [FieldSpec("next", Kind.REF),
+                           FieldSpec("value")])

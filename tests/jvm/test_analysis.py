@@ -1,0 +1,177 @@
+"""Unit tests for CFG construction, dominators, loops, and liveness."""
+
+from repro.jvm.analysis import (
+    ControlFlowGraph,
+    bcis_in_loops,
+    dominators,
+    liveness,
+    natural_loops,
+)
+from repro.jvm.bytecode import MethodBuilder
+
+
+def straight_line():
+    b = MethodBuilder("C", "m")
+    b.iconst(1).iconst(2).add().pop().ret()
+    return b.build().code
+
+
+def diamond():
+    b = MethodBuilder("C", "m")
+    els = b.new_label("else")
+    join = b.new_label("join")
+    b.iconst(0).if_eq(els)          # block 0
+    b.nop()                          # block 1 (then)
+    b.goto(join)
+    b.place(els)
+    b.nop()                          # block 2 (else)
+    b.place(join)
+    b.ret()                          # block 3
+    return b.build().code
+
+
+def simple_loop():
+    b = MethodBuilder("C", "m")
+    b.iconst(0).store(0)
+    top = b.place(b.new_label("top"))
+    end = b.new_label("end")
+    b.load(0).iconst(10).if_icmpge(end)
+    b.iinc(0, 1)
+    b.goto(top)
+    b.place(end)
+    b.ret()
+    return b.build().code
+
+
+def nested_loop():
+    b = MethodBuilder("C", "m")
+    b.iconst(0).store(0)
+    outer = b.place(b.new_label("outer"))
+    outer_end = b.new_label("outer_end")
+    b.load(0).iconst(3).if_icmpge(outer_end)
+    b.iconst(0).store(1)
+    inner = b.place(b.new_label("inner"))
+    inner_end = b.new_label("inner_end")
+    b.load(1).iconst(3).if_icmpge(inner_end)
+    b.iinc(1, 1)
+    b.goto(inner)
+    b.place(inner_end)
+    b.iinc(0, 1)
+    b.goto(outer)
+    b.place(outer_end)
+    b.ret()
+    return b.build().code
+
+
+class TestCfg:
+    def test_straight_line_single_block(self):
+        cfg = ControlFlowGraph(straight_line())
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == []
+
+    def test_diamond_shape(self):
+        cfg = ControlFlowGraph(diamond())
+        assert len(cfg.blocks) == 4
+        entry = cfg.entry
+        assert sorted(entry.successors) == [1, 2]
+        join = cfg.blocks[3]
+        assert sorted(join.predecessors) == [1, 2]
+
+    def test_loop_has_back_edge(self):
+        cfg = ControlFlowGraph(simple_loop())
+        # Some block's successor dominates it (checked via natural_loops).
+        assert natural_loops(cfg)
+
+    def test_block_of_bci(self):
+        code = diamond()
+        cfg = ControlFlowGraph(code)
+        assert cfg.block_of(0).index == 0
+        assert cfg.block_of(len(code) - 1).index == len(cfg.blocks) - 1
+
+    def test_reachable_blocks_excludes_dead_code(self):
+        b = MethodBuilder("C", "m")
+        end = b.new_label("end")
+        b.goto(end)
+        b.nop()          # unreachable
+        b.place(end)
+        b.ret()
+        cfg = ControlFlowGraph(b.build().code)
+        reachable = cfg.reachable_blocks()
+        dead = [blk.index for blk in cfg.blocks
+                if blk.index not in reachable]
+        assert dead  # the nop block
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        cfg = ControlFlowGraph(diamond())
+        dom = dominators(cfg)
+        for b in cfg.reachable_blocks():
+            assert 0 in dom[b]
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = ControlFlowGraph(diamond())
+        dom = dominators(cfg)
+        assert 1 not in dom[3]
+        assert 2 not in dom[3]
+
+    def test_self_domination(self):
+        cfg = ControlFlowGraph(simple_loop())
+        dom = dominators(cfg)
+        for b in cfg.reachable_blocks():
+            assert b in dom[b]
+
+
+class TestNaturalLoops:
+    def test_single_loop_found(self):
+        cfg = ControlFlowGraph(simple_loop())
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header in loop.body
+        assert loop.tail in loop.body
+
+    def test_nested_loops_found(self):
+        cfg = ControlFlowGraph(nested_loop())
+        loops = natural_loops(cfg)
+        assert len(loops) == 2
+        inner = min(loops, key=lambda l: len(l.body))
+        outer = max(loops, key=lambda l: len(l.body))
+        assert inner.body < outer.body
+
+    def test_straight_line_has_no_loops(self):
+        assert natural_loops(ControlFlowGraph(straight_line())) == []
+
+    def test_bcis_in_loops(self):
+        code = simple_loop()
+        inside = bcis_in_loops(code)
+        # The iinc instruction is in the loop; the final ret is not.
+        iinc_bci = next(i for i, ins in enumerate(code)
+                        if ins.op.value == "iinc")
+        assert iinc_bci in inside
+        assert (len(code) - 1) not in inside
+
+
+class TestLiveness:
+    def test_loop_counter_live_inside_loop(self):
+        code = simple_loop()
+        live = liveness(code)
+        # At the loop comparison, local 0 is live.
+        load_bci = next(i for i, ins in enumerate(code)
+                        if ins.op.value == "load")
+        assert 0 in live[load_bci]
+
+    def test_dead_after_last_use(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(1).store(0)
+        b.load(0).pop()
+        b.iconst(2).store(0)   # redefinition: old value dead before this
+        b.ret()
+        live = liveness(b.build().code)
+        # live-in at the redefining iconst: local 0 not live (about to be
+        # overwritten and never read again).
+        assert 0 not in live[4]
+
+    def test_straight_line_without_locals(self):
+        live = liveness(straight_line())
+        assert all(not s for s in live)

@@ -1,0 +1,120 @@
+"""Unit tests for the bytecode assembler and instruction model."""
+
+import pytest
+
+from repro.jvm.bytecode import (
+    ALLOCATION_OPS,
+    AssemblyError,
+    Instruction,
+    MethodBuilder,
+    Op,
+    disassemble,
+)
+from repro.heap.layout import Kind
+
+
+class TestInstruction:
+    def test_branch_target_accessors(self):
+        ins = Instruction(Op.GOTO, (5,))
+        assert ins.target == 5
+        assert ins.with_target(9).target == 9
+
+    def test_non_branch_has_no_target(self):
+        ins = Instruction(Op.ICONST, (1,))
+        with pytest.raises(ValueError):
+            _ = ins.target
+        with pytest.raises(ValueError):
+            ins.with_target(3)
+
+    def test_allocation_ops_are_the_papers_four(self):
+        assert ALLOCATION_OPS == {Op.NEW, Op.NEWARRAY, Op.ANEWARRAY,
+                                  Op.MULTIANEWARRAY}
+
+
+class TestBuilder:
+    def test_simple_method(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(1).iconst(2).add().pop().ret()
+        m = b.build()
+        assert [i.op for i in m.code] == [Op.ICONST, Op.ICONST, Op.ADD,
+                                          Op.POP, Op.RETURN]
+
+    def test_labels_resolve_forward(self):
+        b = MethodBuilder("C", "m")
+        end = b.new_label("end")
+        b.iconst(0).if_eq(end)
+        b.iconst(1).pop()
+        b.place(end)
+        b.ret()
+        m = b.build()
+        assert m.code[1].target == 4
+
+    def test_labels_resolve_backward(self):
+        b = MethodBuilder("C", "m")
+        top = b.place(b.new_label("top"))
+        b.iconst(0).if_ne(top)
+        b.ret()
+        m = b.build()
+        assert m.code[1].target == 0
+
+    def test_unplaced_label_rejected(self):
+        b = MethodBuilder("C", "m")
+        dangling = b.new_label("dangling")
+        b.goto(dangling).ret()
+        with pytest.raises(AssemblyError):
+            b.build()
+
+    def test_label_placed_twice_rejected(self):
+        b = MethodBuilder("C", "m")
+        label = b.place(b.new_label())
+        with pytest.raises(AssemblyError):
+            b.place(label)
+
+    def test_line_numbers_attach_to_instructions(self):
+        b = MethodBuilder("C", "m", first_line=10)
+        b.iconst(1)
+        b.line(20)
+        b.pop().ret()
+        m = b.build()
+        assert m.code[0].line == 10
+        assert m.code[1].line == 20
+        assert m.code[2].line == 20
+
+    def test_max_locals_tracks_highest_index(self):
+        b = MethodBuilder("C", "m", num_args=1)
+        b.iconst(5).store(7).ret()
+        m = b.build()
+        assert m.max_locals == 8
+
+    def test_num_args_floor_for_max_locals(self):
+        b = MethodBuilder("C", "m", num_args=3)
+        b.ret()
+        assert b.build().max_locals == 3
+
+    def test_source_file_defaults_to_class(self):
+        b = MethodBuilder("Foo", "m")
+        b.ret()
+        assert b.build().source_file == "Foo.java"
+
+    def test_multianewarray_dims_validated(self):
+        b = MethodBuilder("C", "m")
+        with pytest.raises(AssemblyError):
+            b.multianewarray(Kind.INT, 0)
+
+    def test_allocation_sites_listed(self):
+        b = MethodBuilder("C", "m")
+        b.new("X").pop()
+        b.iconst(4).newarray(Kind.INT).pop()
+        b.ret()
+        m = b.build()
+        assert m.allocation_sites() == [0, 3]
+
+
+class TestDisassemble:
+    def test_listing_contains_bci_and_line(self):
+        b = MethodBuilder("C", "m", first_line=42)
+        b.iconst(7).pop().ret()
+        text = disassemble(b.build().code)
+        assert "iconst 7" in text
+        assert "line   42" in text
+        assert text.splitlines()[2].startswith("   2")

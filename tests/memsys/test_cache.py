@@ -1,0 +1,152 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memsys.cache import Cache, lines_spanned
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return Cache("test", size, assoc, line)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        c = make_cache(size=1024, assoc=2, line=64)
+        assert c.num_sets == 8
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1024, 2, line_size=48)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1000, 2, line_size=64)
+
+    def test_paper_l1_geometry(self):
+        # 32KB, 8-way, 64B lines -> 64 sets (the paper's Broadwell L1d).
+        c = Cache("L1d", 32 * 1024, 8, 64)
+        assert c.num_sets == 64
+
+
+class TestAccess:
+    def test_cold_miss_then_hit_after_fill(self):
+        c = make_cache()
+        assert c.access(0x100, is_write=False) is False
+        c.fill(0x100)
+        assert c.access(0x100, is_write=False) is True
+
+    def test_miss_does_not_implicitly_fill(self):
+        c = make_cache()
+        c.access(0x100, is_write=False)
+        assert c.access(0x100, is_write=False) is False
+
+    def test_same_line_offsets_share_residency(self):
+        c = make_cache(line=64)
+        c.fill(0x100)
+        assert c.access(0x100 + 63, is_write=False) is True
+        assert c.access(0x100 + 64, is_write=False) is False
+
+    def test_stats_track_hits_and_misses(self):
+        c = make_cache()
+        c.access(0x0, False)
+        c.fill(0x0)
+        c.access(0x0, False)
+        c.access(0x0, False)
+        assert c.stats.misses == 1
+        assert c.stats.hits == 2
+        assert c.stats.miss_ratio == pytest.approx(1 / 3)
+
+    def test_miss_ratio_zero_without_accesses(self):
+        assert make_cache().stats.miss_ratio == 0.0
+
+
+class TestLru:
+    def test_eviction_is_lru(self):
+        # 2-way: fill two lines mapping to the same set, then a third.
+        c = make_cache(size=1024, assoc=2, line=64)
+        set_stride = c.num_sets * 64
+        a, b, d = 0x0, set_stride, 2 * set_stride
+        c.fill(a)
+        c.fill(b)
+        victim = c.fill(d)
+        assert victim is not None
+        assert victim.line_addr == a  # a was least recently used
+
+    def test_access_refreshes_recency(self):
+        c = make_cache(size=1024, assoc=2, line=64)
+        set_stride = c.num_sets * 64
+        a, b, d = 0x0, set_stride, 2 * set_stride
+        c.fill(a)
+        c.fill(b)
+        c.access(a, False)  # refresh a; b becomes LRU
+        victim = c.fill(d)
+        assert victim.line_addr == b
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = make_cache(size=1024, assoc=2, line=64)
+        set_stride = c.num_sets * 64
+        c.fill(0x0, dirty=True)
+        c.fill(set_stride)
+        victim = c.fill(2 * set_stride)
+        assert victim.dirty is True
+        assert c.stats.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        c = make_cache(size=1024, assoc=2, line=64)
+        set_stride = c.num_sets * 64
+        c.fill(0x0)
+        c.access(0x0, is_write=True)
+        c.fill(set_stride)
+        victim = c.fill(2 * set_stride)
+        assert victim.dirty is True
+
+    def test_refill_merges_dirty_bit(self):
+        c = make_cache()
+        c.fill(0x0, dirty=False)
+        assert c.fill(0x0, dirty=True) is None
+        set_stride = c.num_sets * 64
+        c.fill(set_stride)
+        victim = c.fill(2 * set_stride)
+        assert victim.dirty is True
+
+
+class TestInvalidateFlush:
+    def test_invalidate_drops_line(self):
+        c = make_cache()
+        c.fill(0x40)
+        assert c.invalidate(0x40) is True
+        assert c.probe(0x40) is False
+
+    def test_invalidate_missing_line_is_noop(self):
+        c = make_cache()
+        assert c.invalidate(0x40) is False
+
+    def test_flush_empties_but_keeps_stats(self):
+        c = make_cache()
+        c.access(0x0, False)
+        c.fill(0x0)
+        c.flush()
+        assert c.occupancy() == 0
+        assert c.stats.misses == 1
+
+    def test_occupancy_and_resident_lines(self):
+        c = make_cache()
+        c.fill(0x0)
+        c.fill(0x40)
+        assert c.occupancy() == 2
+        assert sorted(c.resident_lines()) == [0, 1]
+
+
+class TestLinesSpanned:
+    def test_single_line(self):
+        assert lines_spanned(0x10, 8, 64) == [0x0]
+
+    def test_straddles_boundary(self):
+        assert lines_spanned(60, 8, 64) == [0, 64]
+
+    def test_large_access(self):
+        assert lines_spanned(0, 256, 64) == [0, 64, 128, 192]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            lines_spanned(0, 0, 64)

@@ -1,0 +1,163 @@
+"""Integration tests for the composed memory hierarchy."""
+
+import pytest
+
+from repro.memsys import (
+    LEVEL_DRAM,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_L3,
+    HierarchyConfig,
+    LatencyModel,
+    MemoryHierarchy,
+    NumaTopology,
+)
+
+
+def small_hierarchy(num_nodes=2, cpus_per_node=2):
+    """A hierarchy small enough to force evictions in tests."""
+    cfg = HierarchyConfig(
+        l1_size=1024, l1_assoc=2,
+        l2_size=4096, l2_assoc=4,
+        l3_size=16 * 1024, l3_assoc=4,
+        tlb_entries=8)
+    return MemoryHierarchy(NumaTopology(num_nodes, cpus_per_node), cfg)
+
+
+class TestLevels:
+    def test_cold_access_reaches_dram(self):
+        h = MemoryHierarchy()
+        assert h.access(0, 0x1000).level == LEVEL_DRAM
+
+    def test_second_access_hits_l1(self):
+        h = MemoryHierarchy()
+        h.access(0, 0x1000)
+        assert h.access(0, 0x1000).level == LEVEL_L1
+
+    def test_l1_evicted_line_hits_l2(self):
+        h = small_hierarchy()
+        # L1: 1KB 2-way with 64B lines -> 8 sets; stride of 512B aliases.
+        h.access(0, 0x0)
+        h.access(0, 0x200)
+        h.access(0, 0x400)  # evicts 0x0 from L1 (2-way)
+        r = h.access(0, 0x0)
+        assert r.level == LEVEL_L2
+
+    def test_l3_hit_from_other_cpu_same_node(self):
+        h = small_hierarchy()
+        h.access(0, 0x1000)          # cpu 0 pulls the line into node-0 L3
+        r = h.access(1, 0x1000)      # cpu 1 (same node): L1/L2 miss, L3 hit
+        assert r.level == LEVEL_L3
+
+    def test_other_node_does_not_share_l3(self):
+        h = small_hierarchy()
+        h.access(0, 0x1000)          # node 0
+        r = h.access(2, 0x1000)      # cpu 2 is on node 1: misses to DRAM
+        assert r.level == LEVEL_DRAM
+
+
+class TestLatency:
+    def test_latency_ordering(self):
+        lat = LatencyModel()
+        assert lat.l1_hit < lat.l2_hit < lat.l3_hit < lat.dram_local
+        assert lat.dram_local < lat.dram_remote
+
+    def test_l1_hit_latency(self):
+        h = MemoryHierarchy()
+        h.access(0, 0x1000)
+        r = h.access(0, 0x1000)
+        assert r.latency == h.config.latency.l1_hit
+
+    def test_remote_dram_costs_more_than_local(self):
+        h = small_hierarchy()
+        # cpu 0 first-touches page -> node 0; remote access from node 1.
+        local = h.access(0, 0x100000)
+        h.flush_all()
+        remote = h.access(2, 0x100000)
+        # Strip the TLB penalty which both paid.
+        tlb = h.config.latency.tlb_miss_penalty
+        assert remote.latency - tlb == h.config.latency.dram_remote
+        assert local.latency - tlb == h.config.latency.dram_local
+
+    def test_tlb_miss_adds_penalty(self):
+        h = MemoryHierarchy()
+        r1 = h.access(0, 0x1000)
+        assert r1.tlb_missed
+        h.l1[0].invalidate(0x1000)
+        h.l2[0].invalidate(0x1000)
+        node = h.topology.node_of_cpu(0)
+        h.l3[node].invalidate(0x1000)
+        r2 = h.access(0, 0x1000)
+        assert not r2.tlb_missed
+        assert r1.latency - r2.latency == h.config.latency.tlb_miss_penalty
+
+
+class TestNumaIntegration:
+    def test_first_touch_is_local(self):
+        h = small_hierarchy()
+        r = h.access(3, 0x40000)   # cpu 3 -> node 1
+        assert r.home_node == 1
+        assert not r.remote
+
+    def test_remote_flag_set_for_cross_node_access(self):
+        h = small_hierarchy()
+        h.access(0, 0x40000)       # first touch by node 0
+        r = h.access(3, 0x40000)   # node 1 access
+        assert r.home_node == 0
+        assert r.remote
+
+    def test_remote_flag_independent_of_cache_level(self):
+        # The paper's NUMA detection (4.3) compares the page's node with
+        # the sampling CPU's node regardless of where the access hit.
+        h = small_hierarchy()
+        h.access(0, 0x40000)
+        h.access(3, 0x40000)
+        r = h.access(3, 0x40000)   # now cached on cpu 3, still remote page
+        assert r.level == LEVEL_L1
+        assert r.remote
+
+
+class TestSpanningAccesses:
+    def test_access_spanning_two_lines_counts_both(self):
+        h = MemoryHierarchy()
+        r = h.access(0, 0x1000 + 60, size=8)
+        assert r.lines == 2
+        assert r.l1_misses == 2
+
+    def test_spanning_latency_exceeds_single(self):
+        h = MemoryHierarchy()
+        single = h.access(0, 0x10000, size=8)
+        h2 = MemoryHierarchy()
+        double = h2.access(0, 0x10000 + 60, size=8)
+        assert double.latency > single.latency
+
+    def test_invalid_inputs(self):
+        h = MemoryHierarchy()
+        with pytest.raises(ValueError):
+            h.access(999, 0x0)
+        with pytest.raises(ValueError):
+            h.access(0, -1)
+
+
+class TestStats:
+    def test_load_store_accounting(self):
+        h = MemoryHierarchy()
+        h.access(0, 0x0, is_write=False)
+        h.access(0, 0x8, is_write=True)
+        assert h.stats.loads == 1
+        assert h.stats.stores == 1
+        assert h.stats.accesses == 2
+
+    def test_miss_summary_aggregates(self):
+        h = MemoryHierarchy()
+        h.access(0, 0x0)
+        h.access(1, 0x10000)
+        summary = h.miss_summary()
+        assert summary["l1_misses"] == 2
+        assert summary["l3_misses"] >= 1
+
+    def test_flush_all_forces_remisses(self):
+        h = MemoryHierarchy()
+        h.access(0, 0x0)
+        h.flush_all()
+        assert h.access(0, 0x0).level == LEVEL_DRAM

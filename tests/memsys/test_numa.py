@@ -1,0 +1,144 @@
+"""Unit tests for NUMA topology and page placement."""
+
+import pytest
+
+from repro.memsys.numa import NumaTopology, PageTable, PlacementPolicy
+
+
+class TestTopology:
+    def test_cpu_to_node_mapping(self):
+        topo = NumaTopology(num_nodes=2, cpus_per_node=12)
+        assert topo.node_of_cpu(0) == 0
+        assert topo.node_of_cpu(11) == 0
+        assert topo.node_of_cpu(12) == 1
+        assert topo.node_of_cpu(23) == 1
+
+    def test_cpus_of_node(self):
+        topo = NumaTopology(num_nodes=2, cpus_per_node=4)
+        assert topo.cpus_of_node(1) == [4, 5, 6, 7]
+
+    def test_bounds_checked(self):
+        topo = NumaTopology(num_nodes=2, cpus_per_node=4)
+        with pytest.raises(ValueError):
+            topo.node_of_cpu(8)
+        with pytest.raises(ValueError):
+            topo.cpus_of_node(2)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            NumaTopology(num_nodes=0)
+        with pytest.raises(ValueError):
+            NumaTopology(cpus_per_node=0)
+
+
+def make_pt(num_nodes=2, cpus_per_node=4, page_size=4096):
+    return PageTable(NumaTopology(num_nodes, cpus_per_node), page_size)
+
+
+class TestFirstTouch:
+    def test_first_touch_assigns_toucher_node(self):
+        pt = make_pt()
+        node = pt.touch(0x1000, cpu=5)  # cpu 5 is on node 1
+        assert node == 1
+        assert pt.node_of_address(0x1000) == 1
+
+    def test_subsequent_touch_keeps_node(self):
+        pt = make_pt()
+        pt.touch(0x1000, cpu=5)
+        assert pt.touch(0x1000, cpu=0) == 1  # still node 1
+
+    def test_local_remote_accounting(self):
+        pt = make_pt()
+        pt.touch(0x1000, cpu=5)   # first touch: local
+        pt.touch(0x1000, cpu=0)   # remote (node 0 cpu, node 1 page)
+        pt.touch(0x1000, cpu=6)   # local (node 1 cpu)
+        assert pt.stats.local_accesses == 2
+        assert pt.stats.remote_accesses == 1
+        assert pt.stats.remote_ratio == pytest.approx(1 / 3)
+
+
+class TestInterleave:
+    def test_interleave_round_robins_pages(self):
+        pt = make_pt(num_nodes=2)
+        pt.set_range_policy(0, 4 * 4096, PlacementPolicy.INTERLEAVE)
+        nodes = [pt.node_of_address(i * 4096) for i in range(4)]
+        assert nodes == [0, 1, 0, 1]
+
+    def test_interleave_cursor_continues_across_ranges(self):
+        pt = make_pt(num_nodes=2)
+        pt.set_range_policy(0, 4096, PlacementPolicy.INTERLEAVE)
+        pt.set_range_policy(0x10000, 4096, PlacementPolicy.INTERLEAVE)
+        assert pt.node_of_address(0) == 0
+        assert pt.node_of_address(0x10000) == 1
+
+    def test_interleaved_pages_survive_touch(self):
+        pt = make_pt()
+        pt.set_range_policy(0, 2 * 4096, PlacementPolicy.INTERLEAVE)
+        assert pt.touch(4096, cpu=0) == 1  # interleaving wins over first touch
+
+
+class TestBind:
+    def test_bind_pins_to_node(self):
+        pt = make_pt()
+        pt.set_range_policy(0x2000, 4096, PlacementPolicy.BIND, bind_node=1)
+        assert pt.node_of_address(0x2000) == 1
+
+    def test_bind_requires_node(self):
+        pt = make_pt()
+        with pytest.raises(ValueError):
+            pt.set_range_policy(0, 4096, PlacementPolicy.BIND)
+
+    def test_first_touch_policy_resets_assignment(self):
+        pt = make_pt()
+        pt.set_range_policy(0, 4096, PlacementPolicy.BIND, bind_node=1)
+        pt.set_range_policy(0, 4096, PlacementPolicy.FIRST_TOUCH)
+        assert pt.node_of_address(0) is None
+        assert pt.touch(0, cpu=0) == 0
+
+
+class TestMovePages:
+    def test_query_untouched_returns_none(self):
+        pt = make_pt()
+        assert pt.move_pages([0x5000]) == [None]
+
+    def test_query_returns_current_node(self):
+        pt = make_pt()
+        pt.touch(0x5000, cpu=5)
+        assert pt.move_pages([0x5000]) == [1]
+
+    def test_move_changes_node_and_reports_old(self):
+        pt = make_pt()
+        pt.touch(0x5000, cpu=0)
+        old = pt.move_pages([0x5000], [1])
+        assert old == [0]
+        assert pt.node_of_address(0x5000) == 1
+        assert pt.stats.pages_moved == 1
+
+    def test_move_to_same_node_not_counted(self):
+        pt = make_pt()
+        pt.touch(0x5000, cpu=0)
+        pt.move_pages([0x5000], [0])
+        assert pt.stats.pages_moved == 0
+
+    def test_move_validates_target(self):
+        pt = make_pt(num_nodes=2)
+        with pytest.raises(ValueError):
+            pt.move_pages([0x0], [5])
+
+    def test_length_mismatch_rejected(self):
+        pt = make_pt()
+        with pytest.raises(ValueError):
+            pt.move_pages([0x0, 0x1000], [0])
+
+
+class TestRanges:
+    def test_pages_in_range(self):
+        pt = make_pt()
+        assert pt.pages_in_range(0, 4096) == [0]
+        assert pt.pages_in_range(100, 4096) == [0, 1]
+        assert pt.pages_in_range(4096, 8192) == [1, 2]
+
+    def test_zero_size_range_rejected(self):
+        pt = make_pt()
+        with pytest.raises(ValueError):
+            pt.pages_in_range(0, 0)

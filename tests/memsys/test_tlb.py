@@ -1,0 +1,55 @@
+"""Unit tests for the TLB model."""
+
+import pytest
+
+from repro.memsys.tlb import Tlb
+
+
+class TestTlb:
+    def test_cold_miss_then_hit(self):
+        t = Tlb(entries=4)
+        assert t.access(0x1000) is False
+        assert t.access(0x1000) is True
+
+    def test_same_page_different_offsets_hit(self):
+        t = Tlb(entries=4, page_size=4096)
+        t.access(0x1000)
+        assert t.access(0x1FFF) is True
+        assert t.access(0x2000) is False
+
+    def test_lru_eviction(self):
+        t = Tlb(entries=2, page_size=4096)
+        t.access(0x0000)
+        t.access(0x1000)
+        t.access(0x0000)  # refresh page 0
+        t.access(0x2000)  # evicts page 1
+        assert t.access(0x0000) is True
+        assert t.access(0x1000) is False
+
+    def test_capacity_bound(self):
+        t = Tlb(entries=8)
+        for i in range(100):
+            t.access(i * 4096)
+        assert t.occupancy() == 8
+
+    def test_flush(self):
+        t = Tlb(entries=4)
+        t.access(0x1000)
+        t.flush()
+        assert t.occupancy() == 0
+        assert t.access(0x1000) is False
+
+    def test_stats(self):
+        t = Tlb(entries=4)
+        t.access(0x1000)
+        t.access(0x1000)
+        t.access(0x2000)
+        assert t.stats.misses == 2
+        assert t.stats.hits == 1
+        assert t.stats.miss_ratio == pytest.approx(2 / 3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=0)
+        with pytest.raises(ValueError):
+            Tlb(entries=4, page_size=1000)

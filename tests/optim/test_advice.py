@@ -1,0 +1,71 @@
+"""Tests for the profile-to-advice triage rules."""
+
+import pytest
+
+from repro.core import DjxConfig
+from repro.optim import AdviceKind, AdviceThresholds, advise
+from repro.workloads import get_workload, run_profiled
+
+
+def analysis_of(name, **cfg):
+    run = run_profiled(get_workload(name),
+                       config=DjxConfig(sample_period=32, **cfg))
+    return run.analysis
+
+
+class TestAdviceKinds:
+    def test_bloat_triggers_hoist_advice(self):
+        analysis = analysis_of("objectlayout")
+        advices = advise(analysis)
+        assert advices
+        top = advices[0]
+        assert top.kind is AdviceKind.HOIST_ALLOCATION
+        assert top.site.leaf.line == 292
+
+    def test_numa_triggers_placement_advice(self):
+        analysis = analysis_of("eclipse-collections")
+        advices = advise(analysis)
+        numa = [a for a in advices if a.kind is AdviceKind.NUMA_PLACEMENT]
+        assert numa
+        assert numa[0].site.leaf.line == 758
+
+    def test_strided_kernel_triggers_access_pattern_advice(self):
+        analysis = analysis_of("scimark-fft")
+        advices = advise(analysis)
+        assert advices
+        assert advices[0].kind is AdviceKind.IMPROVE_ACCESS_PATTERN
+        assert advices[0].site.leaf.line == 166
+
+    def test_growth_chain_triggers_capacity_advice(self):
+        analysis = analysis_of("scala-stm-bench7")
+        advices = advise(analysis)
+        kinds = {a.site.leaf.line: a.kind for a in advices}
+        # grow() allocations: several per run, large bytes → capacity.
+        assert 619 in kinds
+        assert kinds[619] in (AdviceKind.GROW_INITIAL_CAPACITY,
+                              AdviceKind.HOIST_ALLOCATION)
+
+    def test_insignificant_objects_get_no_advice(self):
+        analysis = analysis_of("insig-lusearch", size_threshold=0)
+        advices = advise(analysis)
+        lines = {a.site.leaf.line for a in advices}
+        assert 98 not in lines   # the cold site is below min_share
+
+
+class TestThresholds:
+    def test_min_share_filters(self):
+        analysis = analysis_of("objectlayout")
+        none = advise(analysis, AdviceThresholds(min_share=1.01))
+        assert none == []
+
+    def test_advice_is_ranked_by_share(self):
+        analysis = analysis_of("objectlayout")
+        advices = advise(analysis, top=10)
+        shares = [a.metric_share for a in advices]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_str_rendering(self):
+        analysis = analysis_of("objectlayout")
+        text = str(advise(analysis)[0])
+        assert "hoist-allocation" in text
+        assert "Objectlayout.run:292" in text

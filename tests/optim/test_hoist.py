@@ -1,0 +1,182 @@
+"""Tests for the allocation-hoisting pass."""
+
+import pytest
+
+from repro.heap.layout import Kind
+from repro.jvm import JProgram, Machine, MethodBuilder, Op, verify
+from repro.optim.hoist import (
+    find_hoist_candidates,
+    hoist_allocations,
+    hoist_program,
+)
+
+from tests.jvm.helpers import counting_loop
+
+
+def loop_alloc_method(touch=True):
+    """for (i..10) { buf = new int[64]; buf[0] = i (optional) }"""
+    b = MethodBuilder("C", "m", first_line=1)
+    def body(b):
+        b.iconst(64).newarray(Kind.INT).store(1)
+        if touch:
+            b.load(1).iconst(0).load(0).astore()
+    counting_loop(b, 10, 0, body)
+    b.ret()
+    return b.build()
+
+
+class TestCandidateDetection:
+    def test_simple_loop_allocation_found(self):
+        cands = find_hoist_candidates(loop_alloc_method())
+        assert len(cands) == 1
+        cand = cands[0]
+        assert cand.local == 1
+
+    def test_allocation_outside_loop_not_candidate(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(64).newarray(Kind.INT).store(1)
+        counting_loop(b, 10, 0, lambda b: b.load(1).iconst(0).aload().pop())
+        b.ret()
+        assert find_hoist_candidates(b.build()) == []
+
+    def test_loop_varying_size_not_candidate(self):
+        # new int[i] — the scala-stm grow() shape must not be hoisted.
+        b = MethodBuilder("C", "m")
+        def body(b):
+            b.load(0).iconst(1).add().newarray(Kind.INT).store(1)
+        counting_loop(b, 10, 0, body)
+        b.ret()
+        assert find_hoist_candidates(b.build()) == []
+
+    def test_escaping_reference_not_candidate(self):
+        # The reference is published to a static: reuse is observable.
+        b = MethodBuilder("C", "m")
+        def body(b):
+            b.iconst(64).newarray(Kind.INT).store(1)
+            b.load(1).putstatic("leak")
+        counting_loop(b, 10, 0, body)
+        b.ret()
+        assert find_hoist_candidates(b.build()) == []
+
+    def test_reference_passed_to_call_not_candidate(self):
+        b = MethodBuilder("C", "m")
+        def body(b):
+            b.iconst(64).newarray(Kind.INT).store(1)
+            b.load(1).invoke("use", 1).pop()
+        counting_loop(b, 10, 0, body)
+        b.ret()
+        assert find_hoist_candidates(b.build()) == []
+
+    def test_local_redefined_elsewhere_not_candidate(self):
+        b = MethodBuilder("C", "m")
+        def body(b):
+            b.iconst(64).newarray(Kind.INT).store(1)
+            b.iconst(32).newarray(Kind.INT).store(1)   # second def
+            b.load(1).iconst(0).aload().pop()
+        counting_loop(b, 10, 0, body)
+        b.ret()
+        assert find_hoist_candidates(b.build()) == []
+
+    def test_new_instance_candidate(self):
+        b = MethodBuilder("C", "m")
+        def body(b):
+            b.new("Point").store(1)
+            b.load(1).iconst(7).putfield("x")
+        counting_loop(b, 10, 0, body)
+        b.ret()
+        cands = find_hoist_candidates(b.build())
+        assert len(cands) == 1
+
+
+class TestTransform:
+    def test_allocation_moved_before_loop(self):
+        method, n = hoist_allocations(loop_alloc_method())
+        assert n == 1
+        ops = [i.op for i in method.code]
+        alloc_at = ops.index(Op.NEWARRAY)
+        # No branch before the allocation → it's outside the loop.
+        assert all(op not in (Op.GOTO,) and not op.value.startswith("if")
+                   for op in ops[:alloc_at])
+        verify(method.code, method.num_args)
+
+    def test_allocation_count_drops_at_runtime(self):
+        p = JProgram()
+        p.add_method(loop_alloc_method())
+        p.add_entry("m")
+        baseline = Machine(p).run()
+        assert baseline.heap_allocations == 10
+
+        p2, n = hoist_program(p)
+        assert n == 1
+        hoisted = Machine(p2).run()
+        assert hoisted.heap_allocations == 1
+
+    def test_behaviour_preserved_for_dead_values(self):
+        # Sum written through the buffer must match after hoisting.
+        p = JProgram()
+        b = MethodBuilder("C", "m")
+        b.iconst(0).store(2)
+        def body(b):
+            b.iconst(8).newarray(Kind.INT).store(1)
+            b.load(1).iconst(0).load(0).astore()       # buf[0] = i
+            b.load(2).load(1).iconst(0).aload().add().store(2)
+        counting_loop(b, 10, 0, body)
+        b.load(2).native("print", 1, False)
+        b.ret()
+        p.add_builder(b)
+        p.add_entry("m")
+        baseline = Machine(p).run()
+        p2, n = hoist_program(p)
+        assert n == 1
+        hoisted = Machine(p2).run()
+        assert hoisted.output == baseline.output == ["45"]
+
+    def test_hoisted_code_is_faster(self):
+        def program(hoist):
+            p = JProgram()
+            b = MethodBuilder("C", "m")
+            def body(b):
+                b.iconst(4096).newarray(Kind.INT).store(1)
+                b.load(1).iconst(0).load(0).astore()
+            counting_loop(b, 50, 0, body)
+            b.ret()
+            p.add_builder(b)
+            p.add_entry("m")
+            if hoist:
+                p, n = hoist_program(p)
+                assert n == 1
+            return Machine(p).run()
+
+        assert program(True).wall_cycles < program(False).wall_cycles
+
+    def test_no_candidates_returns_same_method(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(1).pop().ret()
+        method = b.build()
+        out, n = hoist_allocations(method)
+        assert n == 0
+        assert out is method
+
+    def test_nested_loop_allocation_hoisted_out_of_both(self):
+        p = JProgram()
+        b = MethodBuilder("C", "m")
+        def inner_body(b):
+            b.iconst(16).newarray(Kind.INT).store(2)
+            b.load(2).iconst(0).iconst(1).astore()
+        def outer_body(b):
+            counting_loop(b, 5, 1, inner_body)
+        counting_loop(b, 5, 0, outer_body)
+        b.ret()
+        p.add_builder(b)
+        p.add_entry("m")
+        p2, n = hoist_program(p)
+        result = Machine(p2).run()
+        # Fully hoisted out of both loops → a single allocation.
+        assert result.heap_allocations == 1
+
+    def test_program_hoist_filters_by_method_name(self):
+        p = JProgram()
+        p.add_method(loop_alloc_method())
+        p.add_entry("m")
+        p2, n = hoist_program(p, method_names=["other"])
+        assert n == 0

@@ -1,0 +1,70 @@
+"""Unit tests for the PMU event catalogue."""
+
+import pytest
+
+from repro.memsys.hierarchy import (
+    LEVEL_DRAM,
+    LEVEL_L1,
+    AccessResult,
+)
+from repro.pmu.events import (
+    ALL_LOADS,
+    ALL_STORES,
+    DTLB_LOAD_MISSES,
+    L1_MISS,
+    L3_MISS,
+    REMOTE_DRAM_LOADS,
+    event_by_name,
+    load_latency_event,
+)
+
+
+def access(is_write=False, level=LEVEL_L1, l1=0, l2=0, l3=0, tlb=0,
+           latency=4, remote=False):
+    return AccessResult(address=0x1000, size=8, is_write=is_write, cpu=0,
+                        level=level, latency=latency, l1_misses=l1,
+                        l2_misses=l2, l3_misses=l3, tlb_misses=tlb,
+                        home_node=1 if remote else 0, remote=remote)
+
+
+class TestEventCounts:
+    def test_l1_miss_counts_load_misses(self):
+        assert L1_MISS.counts(access(l1=1)) == 1
+        assert L1_MISS.counts(access(l1=0)) == 0
+
+    def test_l1_miss_ignores_stores(self):
+        assert L1_MISS.counts(access(is_write=True, l1=1)) == 0
+
+    def test_l3_miss(self):
+        assert L3_MISS.counts(access(l3=2)) == 2
+
+    def test_dtlb(self):
+        assert DTLB_LOAD_MISSES.counts(access(tlb=1)) == 1
+        assert DTLB_LOAD_MISSES.counts(access(is_write=True, tlb=1)) == 0
+
+    def test_all_loads_and_stores(self):
+        assert ALL_LOADS.counts(access()) == 1
+        assert ALL_LOADS.counts(access(is_write=True)) == 0
+        assert ALL_STORES.counts(access(is_write=True)) == 1
+
+    def test_remote_dram(self):
+        hit = access(level=LEVEL_DRAM, remote=True)
+        assert REMOTE_DRAM_LOADS.counts(hit) == 1
+        # Remote page but cache hit: not a remote DRAM transaction.
+        cached = access(level=LEVEL_L1, remote=True)
+        assert REMOTE_DRAM_LOADS.counts(cached) == 0
+
+    def test_load_latency_threshold(self):
+        event = load_latency_event(100)
+        assert event.counts(access(latency=150)) == 1
+        assert event.counts(access(latency=50)) == 0
+        assert "100" in event.name
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert event_by_name("MEM_LOAD_UOPS_RETIRED:L1_MISS") is L1_MISS
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown PMU event"):
+            event_by_name("BOGUS")

@@ -1,0 +1,146 @@
+"""Tests for the JVMTI-style agent interface."""
+
+import pytest
+
+from repro.heap.layout import Kind
+from repro.jvm import (
+    JitConfig,
+    JProgram,
+    Machine,
+    MachineConfig,
+    MethodBuilder,
+)
+from repro.jvmti import CallFrame, JvmtiEnv
+
+from tests.jvm.helpers import counting_loop
+
+
+def nested_program():
+    p = JProgram()
+    inner = MethodBuilder("App", "inner", first_line=30)
+    inner.iconst(4).newarray(Kind.INT).store(0)
+    inner.load(0).iconst(2).aload().iret()
+    p.add_builder(inner)
+    outer = MethodBuilder("App", "outer", first_line=20)
+    outer.invoke("inner", 0).iret()
+    p.add_builder(outer)
+    main = MethodBuilder("App", "main", first_line=10)
+    main.invoke("outer", 0).pop().ret()
+    p.add_builder(main)
+    p.add_entry("main")
+    return p
+
+
+class TestCallbacks:
+    def test_thread_callbacks(self):
+        machine = Machine(nested_program())
+        env = JvmtiEnv(machine)
+        events = []
+        env.on_thread_start(lambda t: events.append(("start", t.tid)))
+        env.on_thread_end(lambda t: events.append(("end", t.tid)))
+        machine.run()
+        assert events == [("start", 0), ("end", 0)]
+
+    def test_gc_callbacks(self):
+        p = JProgram()
+        b = MethodBuilder("C", "main")
+        counting_loop(b, 100, 0,
+                      lambda b: b.iconst(128).newarray(Kind.INT).store(1))
+        b.ret()
+        p.add_builder(b)
+        p.add_entry("main")
+        machine = Machine(p, MachineConfig(heap_size=32 * 1024))
+        env = JvmtiEnv(machine)
+        events = []
+        env.on_gc_start(lambda gc_id: events.append(("start", gc_id)))
+        env.on_gc_end(lambda gc_id: events.append(("end", gc_id)))
+        env.on_gc_notification(lambda n: events.append(("note", n.gc_id)))
+        machine.run()
+        assert events
+        assert events[0] == ("start", 1)
+        assert ("note", 1) in events
+
+
+class TestAsyncGetCallTrace:
+    def test_unwinds_nested_frames(self):
+        machine = Machine(nested_program())
+        env = JvmtiEnv(machine)
+        traces = []
+
+        def observer(thread, result):
+            traces.append(env.async_get_call_trace(thread))
+
+        machine.access_observers.append(observer)
+        machine.run()
+        # Every trace is non-empty and frames resolve to methods.
+        assert traces
+        for trace in traces:
+            for frame in trace:
+                info = env.get_method_info(frame.method_id)
+                assert info.class_name == "App"
+
+    def test_trace_is_root_first(self):
+        # Capture a trace while inside `inner` via a native hook.
+        p = nested_program()
+        machine = Machine(p)
+        env = JvmtiEnv(machine)
+        captured = []
+        # Rebuild inner to call a capture native.
+        inner = MethodBuilder("App", "inner", first_line=30)
+        inner.native("capture", 0, False).iconst(1).iret()
+        p.methods["inner"] = inner.build()
+        machine2 = Machine(p)
+        env2 = JvmtiEnv(machine2)
+        machine2.register_native(
+            "capture",
+            lambda call: captured.append(
+                env2.async_get_call_trace(call.thread)))
+        machine2.run()
+        assert captured
+        names = [env2.get_method_info(f.method_id).method_name
+                 for f in captured[0]]
+        assert names == ["main", "outer", "inner"]
+
+
+class TestMethodResolution:
+    def test_line_number_table(self):
+        machine = Machine(nested_program())
+        env = JvmtiEnv(machine)
+        runtime = machine.method_table.runtime("main")
+        table = env.get_line_number_table(runtime.method_id)
+        assert all(line == 10 for line in table.values())
+
+    def test_method_info_reflects_jit(self):
+        p = nested_program()
+        machine = Machine(p, MachineConfig(
+            jit=JitConfig(compile_threshold=1)))
+        env = JvmtiEnv(machine)
+        machine.run()
+        runtime = machine.method_table.runtime("main")
+        info = env.get_method_info(runtime.method_id)
+        assert info.compiled
+        assert info.version == 1
+        assert info.qualified_name == "App.main"
+
+    def test_line_of_frame(self):
+        machine = Machine(nested_program())
+        env = JvmtiEnv(machine)
+        runtime = machine.method_table.runtime("outer")
+        frame = CallFrame(runtime.method_id, 0)
+        assert env.line_of(frame) == 20
+
+
+class TestNumaSurface:
+    def test_move_pages_query(self):
+        machine = Machine(nested_program())
+        env = JvmtiEnv(machine)
+        machine.hierarchy.page_table.touch(0x5000, cpu=0)
+        assert env.move_pages_query([0x5000]) == [0]
+        assert env.move_pages_query([0x999000]) == [None]
+
+    def test_node_of_cpu(self):
+        machine = Machine(nested_program(),
+                          MachineConfig(num_nodes=2, cpus_per_node=4))
+        env = JvmtiEnv(machine)
+        assert env.node_of_cpu(0) == 0
+        assert env.node_of_cpu(5) == 1

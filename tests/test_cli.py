@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "batik-makeroom" in out
+        assert "scimark-fft" in out
+
+    def test_prefix_filter(self, capsys):
+        assert main(["list", "acc-"]) == 0
+        out = capsys.readouterr().out
+        assert "acc-luindex" in out
+        assert "batik" not in out
+
+    def test_no_match_is_error(self, capsys):
+        assert main(["list", "zzz"]) == 1
+
+
+class TestProfile:
+    def test_profile_prints_report(self, capsys):
+        assert main(["profile", "montecarlo", "--period", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "DJXPerf object-centric profile" in out
+        assert "RatePath.run:205" in out
+
+    def test_profile_writes_html(self, capsys, tmp_path):
+        path = str(tmp_path / "r.html")
+        assert main(["profile", "montecarlo", "--period", "64",
+                     "--html", path]) == 0
+        with open(path) as fp:
+            assert "RatePath.run:205" in fp.read()
+
+    def test_unknown_workload_is_error(self, capsys):
+        assert main(["profile", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSpeedup:
+    def test_speedup_output(self, capsys):
+        assert main(["speedup", "montecarlo"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "tiled" in out
+
+
+class TestOverhead:
+    def test_overhead_output(self, capsys):
+        assert main(["overhead", "compress", "--period", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime overhead" in out
+        assert "memory overhead" in out
+
+
+class TestAdvise:
+    def test_advise_output(self, capsys):
+        assert main(["advise", "montecarlo", "--period", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "improve-access-pattern" in out

@@ -1,0 +1,155 @@
+"""Tests for the workload builder DSL and the stream natives."""
+
+import pytest
+
+from repro.heap.layout import Kind
+from repro.jvm import JProgram, Machine, MethodBuilder, TrapError
+from repro.workloads.dsl import (
+    LocalVar,
+    consume,
+    for_range,
+    stream_read_array,
+    stream_write_array,
+    sum_array,
+)
+
+
+def run(builder, statics=None):
+    p = JProgram()
+    p.add_builder(builder)
+    p.add_entry(builder.method_name)
+    if statics:
+        p.statics.update(statics)
+    machine = Machine(p)
+    return machine, machine.run()
+
+
+class TestForRange:
+    def test_counts_iterations(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(0).store(1)
+        for_range(b, 0, 7, lambda b: b.iinc(1, 1))
+        b.load(1).native("print", 1, False).ret()
+        _, result = run(b)
+        assert result.output == ["7"]
+
+    def test_step(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(0).store(1)
+        for_range(b, 0, 10, lambda b: b.iinc(1, 1), step=3)
+        b.load(1).native("print", 1, False).ret()
+        _, result = run(b)
+        assert result.output == ["4"]    # 0,3,6,9
+
+    def test_start_offset(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(0).store(1)
+        for_range(b, 0, 5, lambda b: b.iinc(1, 1), start=3)
+        b.load(1).native("print", 1, False).ret()
+        _, result = run(b)
+        assert result.output == ["2"]    # 3,4
+
+    def test_local_var_bound(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(4).store(2)             # bound in a local
+        b.iconst(0).store(1)
+        for_range(b, 0, LocalVar(2), lambda b: b.iinc(1, 1))
+        b.load(1).native("print", 1, False).ret()
+        _, result = run(b)
+        assert result.output == ["4"]
+
+    def test_zero_trip_loop(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(0).store(1)
+        for_range(b, 0, 0, lambda b: b.iinc(1, 1))
+        b.load(1).native("print", 1, False).ret()
+        _, result = run(b)
+        assert result.output == ["0"]
+
+
+class TestArrayHelpers:
+    def test_sum_array(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(5).newarray(Kind.INT).store(0)
+        stream_write_array(b, 0, 5, 1, value=3)
+        sum_array(b, 0, 5, 1, 2)
+        b.load(2).native("print", 1, False).ret()
+        _, result = run(b)
+        assert result.output == ["15"]
+
+    def test_stream_read_with_stride(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(8).newarray(Kind.INT).store(0)
+        stream_read_array(b, 0, 8, 1, stride=2)
+        b.ret()
+        _, result = run(b)
+        # 4 element loads (+zeroing stores), at least.
+        assert result.loads >= 4
+
+    def test_consume_goes_to_blackhole(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(9).store(0)
+        consume(b, 0)
+        b.ret()
+        run(b)   # must not trap
+
+
+class TestStreamNatives:
+    def test_stream_array_touches_every_line(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(64).newarray(Kind.INT).store(0)    # 512B = 8 lines
+        b.load(0).native("stream_array", 1, False, 1)
+        b.ret()
+        machine, result = run(b)
+        assert result.loads == 8
+
+    def test_stream_array_passes_multiply(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(64).newarray(Kind.INT).store(0)
+        b.load(0).native("stream_array", 1, False, 3)
+        b.ret()
+        _, result = run(b)
+        assert result.loads == 24
+
+    def test_stream_array_write_mode(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(64).newarray(Kind.INT).store(0)
+        b.load(0).native("stream_array", 1, False, 1, 1)
+        b.ret()
+        _, result = run(b)
+        assert result.loads == 0
+        assert result.stores >= 8
+
+    def test_stream_range_subset(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(64).newarray(Kind.INT).store(0)
+        b.load(0).iconst(8).iconst(16).native("stream_range", 3, False, 1)
+        b.ret()
+        _, result = run(b)
+        assert result.loads == 2    # 16 ints = 128B = 2 lines
+
+    def test_stream_range_bounds_checked(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(8).newarray(Kind.INT).store(0)
+        b.load(0).iconst(4).iconst(8).native("stream_range", 3, False, 1)
+        b.ret()
+        with pytest.raises(TrapError, match="out of bounds"):
+            run(b)
+
+    def test_stream_charges_compute_cycles(self):
+        def cycles_with(cpe):
+            b = MethodBuilder("C", "m")
+            b.iconst(64).newarray(Kind.INT).store(0)
+            b.load(0).native("stream_array", 1, False, 1, 0, cpe)
+            b.ret()
+            _, result = run(b)
+            return result.wall_cycles
+
+        assert cycles_with(50) - cycles_with(0) == 64 * 50
+
+    def test_zero_length_stream_is_noop(self):
+        b = MethodBuilder("C", "m")
+        b.iconst(8).newarray(Kind.INT).store(0)
+        b.load(0).iconst(0).iconst(0).native("stream_range", 3, False, 1)
+        b.ret()
+        run(b)

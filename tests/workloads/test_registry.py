@@ -1,0 +1,76 @@
+"""Tests for the workload registry and common workload invariants."""
+
+import pytest
+
+from repro.jvm import verify_program
+from repro.workloads import get_workload, workload_names
+from repro.workloads.base import Workload, register
+
+
+class TestRegistry:
+    def test_all_expected_workloads_registered(self):
+        names = workload_names()
+        # Table 1 rows
+        for expected in ("batik-makeroom", "lusearch-collector",
+                         "objectlayout", "findbugs", "ranklib", "cache2k",
+                         "samoa", "commons-collections", "scala-stm-bench7",
+                         "scimark-fft", "montecarlo", "moldyn",
+                         "eclipse-collections", "npb-sp", "apache-druid"):
+            assert expected in names
+        # Table 2 + accuracy + Figure 4 families
+        assert sum(1 for n in names if n.startswith("insig-")) == 9
+        assert sum(1 for n in names if n.startswith("acc-")) == 5
+        assert "mnemonics" in names and "compress" in names
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("no-such-bench")
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(Workload):
+            name = "batik-makeroom"
+
+            def build(self, variant="baseline"):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register(Dup)
+
+    def test_unnamed_workload_rejected(self):
+        class NoName(Workload):
+            def build(self, variant="baseline"):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register(NoName)
+
+
+class TestWorkloadInvariants:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_variant_builds_and_verifies(self, name):
+        w = get_workload(name)
+        for variant in w.variants:
+            verify_program(w.build(variant))
+
+    @pytest.mark.parametrize("name", ["batik-makeroom", "scimark-fft",
+                                      "apache-druid"])
+    def test_unknown_variant_rejected(self, name):
+        w = get_workload(name)
+        with pytest.raises(ValueError, match="unknown variant"):
+            w.build("bogus")
+
+    def test_baseline_and_optimized_variant_names(self):
+        w = get_workload("objectlayout")
+        assert w.baseline_variant == "baseline"
+        assert w.optimized_variant == "hoisted"
+
+    def test_single_variant_has_no_optimized(self):
+        w = get_workload("acc-luindex")
+        with pytest.raises(ValueError):
+            _ = w.optimized_variant
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_metadata_present(self, name):
+        w = get_workload(name)
+        assert w.paper_ref
+        assert w.description

@@ -1,0 +1,81 @@
+"""Tests for the workload runner helpers (fast workloads only)."""
+
+import pytest
+
+from repro.core import DjxConfig
+from repro.workloads import (
+    get_workload,
+    measure_overhead,
+    measure_speedup,
+    run_native,
+    run_profiled,
+)
+
+
+FAST = "montecarlo"      # sub-second workload used throughout
+
+
+class TestRunNative:
+    def test_returns_machine_result(self):
+        result = run_native(get_workload(FAST))
+        assert result.wall_cycles > 0
+        assert result.total_instructions > 0
+
+    def test_variant_forwarded(self):
+        base = run_native(get_workload(FAST), "baseline")
+        tiled = run_native(get_workload(FAST), "tiled")
+        assert base.wall_cycles != tiled.wall_cycles
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            run_native(get_workload(FAST), "nope")
+
+    def test_deterministic(self):
+        r1 = run_native(get_workload(FAST))
+        r2 = run_native(get_workload(FAST))
+        assert r1.wall_cycles == r2.wall_cycles
+        assert r1.l1_misses == r2.l1_misses
+
+
+class TestRunProfiled:
+    def test_produces_analysis(self):
+        run = run_profiled(get_workload(FAST),
+                           config=DjxConfig(sample_period=32))
+        assert run.analysis.total() > 0
+        assert run.analysis.sites
+
+    def test_profiler_attached_and_enabled(self):
+        run = run_profiled(get_workload(FAST),
+                           config=DjxConfig(sample_period=32))
+        assert run.profiler.attached
+
+
+class TestMeasureSpeedup:
+    def test_speedup_of_tiling(self):
+        speedup, base, opt = measure_speedup(get_workload(FAST))
+        assert speedup > 1.0
+        assert base.wall_cycles > opt.wall_cycles
+
+    def test_explicit_variants(self):
+        speedup, _, _ = measure_speedup(get_workload(FAST),
+                                        optimized_variant="baseline",
+                                        baseline_variant="baseline")
+        assert speedup == pytest.approx(1.0)
+
+
+class TestMeasureOverhead:
+    def test_overhead_measurement_fields(self):
+        m = measure_overhead(get_workload("compress"),
+                             config=DjxConfig(sample_period=64))
+        assert m.runtime_overhead > 1.0
+        assert m.memory_overhead >= 1.0
+        assert m.native_cycles < m.profiled_cycles
+        assert m.profiler_memory > 0
+
+    def test_profiling_does_not_change_program_behaviour(self):
+        native = run_native(get_workload(FAST))
+        profiled = run_profiled(get_workload(FAST),
+                                config=DjxConfig(sample_period=32))
+        # Identical memory behaviour: same allocation count & misses.
+        assert profiled.result.heap_allocations == native.heap_allocations
+        assert profiled.result.l1_misses == native.l1_misses
