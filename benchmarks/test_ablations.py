@@ -20,6 +20,7 @@ import pytest
 from repro.core import DJXPerf, DjxConfig
 from repro.core.splay import IntervalSplayTree
 from repro.jvm import Machine
+from repro.obs.events import GcFinalizeEvent, GcMoveEvent
 from repro.optim import hoist_program
 from repro.workloads import get_workload, run_native, run_profiled
 
@@ -150,14 +151,13 @@ def test_ablation_gc_handling(benchmark, archive):
             machine = Machine(program, workload.machine_config())
             profiler.attach(machine)
             if not gc_handling:
-                # Sever the 4.5 machinery: no relocation map updates,
-                # no finalize-driven interval removal.
-                machine.collector.on_memmove = [
-                    cb for cb in machine.collector.on_memmove
-                    if cb is not profiler.agent._on_memmove]
-                machine.collector.on_finalize = [
-                    cb for cb in machine.collector.on_finalize
-                    if cb is not profiler.agent._on_finalize]
+                # Sever the 4.5 machinery: drop GC move/finalize events
+                # from the agent's dispatch table, so the bus still
+                # delivers them but the agent never updates its
+                # relocation map or removes finalized intervals.
+                profiler.agent._dispatch[GcMoveEvent] = lambda event: None
+                profiler.agent._dispatch[GcFinalizeEvent] = \
+                    lambda event: None
             result = machine.run()
             analysis = profiler.analyze()
             return result.gc_collections, analysis.coverage()

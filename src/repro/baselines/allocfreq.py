@@ -18,10 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.javaagent import ALLOC_HOOK, AllocationSite
 from repro.core.profile import FrameResolver, RawPath, ResolvedPath
-from repro.jvm.machine import Machine, NativeCall
+from repro.jvm.machine import Machine
 from repro.jvmti.agent_iface import JvmtiEnv
+from repro.obs.collector import Collector
+from repro.obs.events import AllocEvent
 
 
 @dataclass
@@ -47,13 +48,16 @@ class AllocFreqResult:
         return sorted(self.sites, key=lambda s: s.count, reverse=True)[:n]
 
 
-class AllocFrequencyProfiler:
+class AllocFrequencyProfiler(Collector):
     """Counts every allocation by call path via the instrumentation hook."""
+
+    label = "allocfreq"
 
     #: Heavy per-event cost of fine-grained instrumentation.
     CYCLES_PER_ALLOCATION = 2500
 
     def __init__(self, charge_overhead: bool = True) -> None:
+        super().__init__()
         self.charge_overhead = charge_overhead
         self.machine: Optional[Machine] = None
         self.env: Optional[JvmtiEnv] = None
@@ -61,27 +65,27 @@ class AllocFrequencyProfiler:
         self.total_allocations = 0
 
     def attach(self, machine: Machine) -> None:
-        """Register as the allocation hook (program must be instrumented
+        """Subscribe for AllocEvents (the program must be instrumented
         with :func:`repro.core.javaagent.instrument_program`)."""
         self.machine = machine
         self.env = JvmtiEnv(machine)
-        machine.register_native(ALLOC_HOOK, self._on_alloc)
+        machine.bus.subscribe(self)
 
-    def _on_alloc(self, call: NativeCall) -> None:
-        thread = call.thread
-        (ref,) = call.args
-        obj = self.machine.heap.get(ref)
-        frames = self.env.async_get_call_trace(thread)
-        path: RawPath = tuple((f.method_id, f.bci) for f in frames)
+    def detach(self) -> None:
+        if self.bus is not None:
+            self.bus.unsubscribe(self)
+
+    def on_alloc(self, event: AllocEvent) -> None:
+        path = event.path
         record = self._counts.setdefault(
             path, {"count": 0, "bytes": 0, "types": {}})
         record["count"] += 1
-        record["bytes"] += obj.size
-        record["types"][obj.type_name] = \
-            record["types"].get(obj.type_name, 0) + 1
+        record["bytes"] += event.size
+        record["types"][event.type_name] = \
+            record["types"].get(event.type_name, 0) + 1
         self.total_allocations += 1
         if self.charge_overhead:
-            thread.cycles += self.CYCLES_PER_ALLOCATION
+            self.charge(event.thread, self.CYCLES_PER_ALLOCATION)
 
     def analyze(self, resolver: Optional[FrameResolver] = None
                 ) -> AllocFreqResult:

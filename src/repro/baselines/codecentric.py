@@ -11,15 +11,14 @@ problematic object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.profile import FrameResolver, RawPath, ResolvedFrame
-from repro.jvm.interpreter import JavaThread
 from repro.jvm.machine import Machine
 from repro.jvmti.agent_iface import JvmtiEnv
-from repro.memsys.hierarchy import AccessResult
+from repro.obs.collector import Collector
+from repro.obs.events import SampleEvent
 from repro.pmu.events import L1_MISS, PmuEvent
-from repro.pmu.pmu import PerfEventConfig, Sample, ThreadPmu
 
 
 @dataclass
@@ -59,18 +58,27 @@ class CodeCentricResult:
                       reverse=True)[:n]
 
 
-class CodeCentricProfiler:
-    """perf-record analogue over the simulated PMU."""
+class CodeCentricProfiler(Collector):
+    """perf-record analogue over the bus-hosted PMU.
+
+    Opens its own samplers (same events, same period as DJXPerf would)
+    and consumes only SampleEvents carrying its sampler ids — several
+    PMU profilers can sample one run side by side, each with independent
+    counters, exactly like multiple perf sessions on one process.
+    """
+
+    label = "codecentric"
 
     def __init__(self, events: "tuple[PmuEvent, ...]" = (L1_MISS,),
                  sample_period: int = 64) -> None:
         if sample_period <= 0:
             raise ValueError("sample_period must be positive")
+        super().__init__()
         self.events = list(events)
         self.sample_period = sample_period
         self.machine: Optional[Machine] = None
         self.env: Optional[JvmtiEnv] = None
-        self._pmus: Dict[int, ThreadPmu] = {}
+        self._sampler_ids: Set[int] = set()
         #: (method_id, bci) leaf → per-event counts + call paths
         self._by_leaf: Dict[Tuple[int, int], Dict] = {}
         self.total_samples: Dict[str, int] = {}
@@ -80,47 +88,33 @@ class CodeCentricProfiler:
         self.machine = machine
         self.env = JvmtiEnv(machine)
         self.enabled = True
-        self.env.on_thread_start(self._thread_started)
-        machine.access_observers.append(self._on_access)
-        for thread in machine.threads:
-            if thread.alive:
-                self._thread_started(thread)
+        machine.bus.subscribe(self)
+        for event in self.events:
+            self._sampler_ids.add(
+                machine.bus.open_sampler(event, self.sample_period,
+                                         owner=self.label))
 
     def detach(self) -> None:
         self.enabled = False
-        for pmu in self._pmus.values():
-            pmu.disable_all()
+        if self.bus is not None:
+            for sampler_id in self._sampler_ids:
+                self.bus.close_sampler(sampler_id)
+            self.bus.unsubscribe(self)
 
     # ------------------------------------------------------------------
-    def _thread_started(self, thread: JavaThread) -> None:
-        if not self.enabled or thread.tid in self._pmus:
+    def on_sample(self, event: SampleEvent) -> None:
+        if not self.enabled or event.sampler_id not in self._sampler_ids:
             return
-        pmu = ThreadPmu(thread.tid)
-        for event in self.events:
-            pmu.open(PerfEventConfig(event, self.sample_period),
-                     self._handle_sample)
-        self._pmus[thread.tid] = pmu
-
-    def _on_access(self, thread: JavaThread, result: AccessResult) -> None:
-        if not self.enabled:
+        path = event.path
+        if not path:
             return
-        pmu = self._pmus.get(thread.tid)
-        if pmu is not None:
-            pmu.observe(result, ucontext=thread)
-
-    def _handle_sample(self, sample: Sample) -> None:
-        thread: JavaThread = sample.ucontext
-        frames = self.env.async_get_call_trace(thread)
-        if not frames:
-            return
-        self.total_samples[sample.event] = \
-            self.total_samples.get(sample.event, 0) + 1
-        path: RawPath = tuple((f.method_id, f.bci) for f in frames)
+        self.total_samples[event.event] = \
+            self.total_samples.get(event.event, 0) + 1
         leaf = path[-1]
         record = self._by_leaf.setdefault(
             leaf, {"samples": {}, "paths": {}})
-        record["samples"][sample.event] = \
-            record["samples"].get(sample.event, 0) + 1
+        record["samples"][event.event] = \
+            record["samples"].get(event.event, 0) + 1
         record["paths"][path] = record["paths"].get(path, 0) + 1
 
     # ------------------------------------------------------------------

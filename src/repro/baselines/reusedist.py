@@ -27,13 +27,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.javaagent import ALLOC_HOOK
 from repro.core.profile import FrameResolver, RawPath, ResolvedFrame
 from repro.core.splay import IntervalSplayTree
-from repro.jvm.interpreter import JavaThread
-from repro.jvm.machine import Machine, NativeCall
+from repro.jvm.machine import Machine
 from repro.jvmti.agent_iface import JvmtiEnv
-from repro.memsys.hierarchy import AccessResult
+from repro.obs.collector import Collector
+from repro.obs.events import (
+    AccessEvent,
+    AllocEvent,
+    GcFinalizeEvent,
+    GcMoveEvent,
+)
 
 #: Bucket for first-ever accesses (infinite reuse distance).
 COLD = -1
@@ -182,21 +186,26 @@ class ResolvedReuseSite:
         return self.path[-1].location if self.path else "<unknown>"
 
 
-class ReuseDistanceProfiler:
+class ReuseDistanceProfiler(Collector):
     """Trace-based locality profiler (the ViRDA-style baseline).
 
-    Observes *every* memory access (no sampling), computes exact reuse
-    distances, and attributes them to allocation sites through the same
-    instrumentation hook DJXPerf uses.  ``CYCLES_PER_ACCESS`` models the
+    A full-trace bus collector: sets ``wants_accesses`` so the bus
+    delivers *every* raw memory access (no sampling), computes exact
+    reuse distances, and attributes them to allocation sites through the
+    same AllocEvents DJXPerf consumes.  ``CYCLES_PER_ACCESS`` models the
     fine-grained instrumentation cost that gives this tool family its
     30-200x overhead.
     """
+
+    label = "reusedist"
+    wants_accesses = True
 
     CYCLES_PER_ACCESS = 300
     CYCLES_PER_ALLOCATION = 400
 
     def __init__(self, modelled_cache_lines: int = 128,
                  line_size: int = 64, charge_overhead: bool = True) -> None:
+        super().__init__()
         self.modelled_cache_lines = modelled_cache_lines
         self.line_size = line_size
         self.charge_overhead = charge_overhead
@@ -209,37 +218,36 @@ class ReuseDistanceProfiler:
 
     # ------------------------------------------------------------------
     def attach(self, machine: Machine) -> None:
-        """Register the allocation hook and start tracing accesses."""
+        """Subscribe to the machine's bus and start tracing accesses."""
         self.machine = machine
         self.env = JvmtiEnv(machine)
-        machine.register_native(ALLOC_HOOK, self._on_alloc)
-        machine.access_observers.append(self._on_access)
-        machine.collector.on_memmove.append(self._on_memmove)
-        machine.collector.on_finalize.append(self._on_finalize)
+        machine.bus.subscribe(self)
         self.enabled = True
 
     def detach(self) -> None:
         self.enabled = False
+        if self.bus is not None:
+            self.bus.unsubscribe(self)
+
+    def _charge(self, thread, cycles: int) -> None:
+        if self.charge_overhead:
+            self.charge(thread, cycles)
 
     # ------------------------------------------------------------------
-    def _on_alloc(self, call: NativeCall) -> None:
+    def on_alloc(self, event: AllocEvent) -> None:
         if not self.enabled:
             return
-        (ref,) = call.args
-        obj = self.machine.heap.get(ref)
-        frames = self.env.async_get_call_trace(call.thread)
-        path: RawPath = tuple((f.method_id, f.bci) for f in frames)
-        self._splay.insert(obj.addr, obj.end, path)
+        path = event.path
+        self._splay.insert(event.addr, event.end, path)
         self._sites.setdefault(path, ObjectReuseStats(path))
-        if self.charge_overhead:
-            call.thread.cycles += self.CYCLES_PER_ALLOCATION
+        self._charge(event.thread, self.CYCLES_PER_ALLOCATION)
 
-    def _on_access(self, thread: JavaThread, result: AccessResult) -> None:
+    def on_access(self, event: AccessEvent) -> None:
         if not self.enabled:
             return
-        line = result.address // self.line_size
+        line = event.address // self.line_size
         distance = self.tracker.access(line)
-        path = self._splay.lookup(result.address)
+        path = self._splay.lookup(event.address)
         if path is not None:
             stats = self._sites.setdefault(path, ObjectReuseStats(path))
             stats.accesses += 1
@@ -249,17 +257,16 @@ class ReuseDistanceProfiler:
                 stats.distance_sum += distance
             if distance == COLD or distance >= self.modelled_cache_lines:
                 stats.predicted_misses += 1
-        if self.charge_overhead:
-            thread.cycles += self.CYCLES_PER_ACCESS
+        self._charge(event.thread, self.CYCLES_PER_ACCESS)
 
-    def _on_memmove(self, event) -> None:
+    def on_gc_move(self, event: GcMoveEvent) -> None:
         if not self.enabled:
             return
         payload = self._splay.remove_start(event.src)
         if payload is not None:
             self._splay.insert(event.dst, event.dst + event.size, payload)
 
-    def _on_finalize(self, event) -> None:
+    def on_gc_finalize(self, event: GcFinalizeEvent) -> None:
         if not self.enabled:
             return
         self._splay.remove_start(event.addr)

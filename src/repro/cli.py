@@ -15,6 +15,14 @@ Commands
     methodology).
 ``advise <workload>``
     Profile and print ranked optimisation advice.
+``replay <trace>``
+    Re-run the offline analyzer over a recorded observation trace
+    (``profile --trace``), optionally with a different threshold or —
+    for traces recorded with ``--trace-accesses`` — a different
+    sampling period (``--resample``).  No simulation happens.
+``suite``
+    Run the Figure-4 overhead study over the benchmark suite, fanned
+    out over a process pool (``--jobs``).
 """
 
 from __future__ import annotations
@@ -64,8 +72,12 @@ def cmd_list(args) -> int:
 def cmd_profile(args) -> int:
     workload = get_workload(args.workload)
     run = run_profiled(workload, variant=args.variant,
-                       config=_config(args))
+                       config=_config(args),
+                       trace_path=args.trace,
+                       trace_accesses=args.trace_accesses)
     print(render_report(run.analysis, top=args.top))
+    if args.trace:
+        print(f"\nobservation trace written to {args.trace}")
     if run.analysis.top_remote_sites(1):
         print()
         print(render_numa_report(run.analysis, top=args.top))
@@ -104,6 +116,36 @@ def cmd_overhead(args) -> int:
     return 0
 
 
+def cmd_replay(args) -> int:
+    from repro.obs.replay import replay_analyze
+
+    analysis = replay_analyze(args.trace, config=_config(args),
+                              resample=args.resample)
+    print(render_report(analysis, top=args.top))
+    if analysis.top_remote_sites(1):
+        print()
+        print(render_numa_report(analysis, top=args.top))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from repro.workloads.suite import measure_suite
+
+    rows = measure_suite(suite=args.suite, config=_config(args),
+                         jobs=args.jobs, trace_dir=args.trace_dir)
+    print(f"{'workload':24s} {'suite':12s} {'runtime':>8s} {'memory':>8s}")
+    for spec, m in rows:
+        flag = " *" if spec.alloc_heavy else ""
+        print(f"{m.name:24s} {spec.suite:12s} "
+              f"{m.runtime_overhead:7.3f}x {m.memory_overhead:7.3f}x{flag}")
+    heavy = [m for spec, m in rows if spec.alloc_heavy]
+    if heavy:
+        print("\n* allocation-heavy outlier (paper: >30% overhead family)")
+    if args.trace_dir:
+        print(f"observation traces written under {args.trace_dir}")
+    return 0
+
+
 def cmd_advise(args) -> int:
     workload = get_workload(args.workload)
     run = run_profiled(workload, config=_config(args))
@@ -132,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--top", type=int, default=5)
     p_profile.add_argument("--html", metavar="FILE",
                            help="also write an HTML report")
+    p_profile.add_argument("--trace", metavar="FILE",
+                           help="record the observation-event trace "
+                                "(.gz suffix compresses)")
+    p_profile.add_argument("--trace-accesses", action="store_true",
+                           help="include raw accesses in the trace "
+                                "(enables replay --resample)")
     _add_profiler_options(p_profile)
     p_profile.set_defaults(fn=cmd_profile)
 
@@ -145,6 +193,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_overhead.add_argument("workload")
     _add_profiler_options(p_overhead)
     p_overhead.set_defaults(fn=cmd_overhead)
+
+    p_replay = sub.add_parser("replay",
+                              help="re-analyze a recorded trace offline")
+    p_replay.add_argument("trace", help="trace file from profile --trace")
+    p_replay.add_argument("--top", type=int, default=5)
+    p_replay.add_argument("--resample", action="store_true",
+                          help="re-derive samples from raw accesses at "
+                               "--period (needs --trace-accesses trace)")
+    _add_profiler_options(p_replay)
+    p_replay.set_defaults(fn=cmd_replay)
+
+    p_suite = sub.add_parser("suite",
+                             help="run the Figure-4 overhead study")
+    p_suite.add_argument("--suite", default="",
+                         choices=["", "renaissance", "dacapo", "specjvm"],
+                         help="filter rows by origin suite")
+    p_suite.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: CPU count; "
+                              "1 = serial)")
+    p_suite.add_argument("--trace-dir", metavar="DIR",
+                         help="also record per-workload observation traces")
+    _add_profiler_options(p_suite)
+    p_suite.set_defaults(fn=cmd_suite)
 
     p_advise = sub.add_parser("advise",
                               help="profile and print optimisation advice")
@@ -161,6 +232,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.fn(args)
     except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, OSError) as exc:
+        # Bad trace files, degenerate measurements, unreadable paths.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

@@ -28,8 +28,11 @@ from repro.jvm.bytecode import (
 from repro.jvm.classfile import JMethod, JProgram
 from repro.jvm.verifier import verify
 
-#: Native hook name the instrumentation emits; the profiler registers it.
-ALLOC_HOOK = "_djx_on_alloc"
+#: Native hook name the instrumentation emits.  The machine registers a
+#: default implementation that publishes AllocEvents on its observation
+#: bus.  (Defined in repro.obs.events so the machine need not import
+#: this package; re-exported here for existing importers.)
+from repro.obs.events import ALLOC_HOOK  # noqa: E402  (re-export)
 
 
 @dataclass(frozen=True)
@@ -90,11 +93,13 @@ def instrument_program(program: JProgram,
                        hook_name: str = ALLOC_HOOK) -> JProgram:
     """Instrument every method of a program (the agent's premain pass).
 
-    Returns a new program; the input is untouched.  The machine running
-    the instrumented program must register the ``hook_name`` native —
-    :class:`repro.core.profiler.DJXPerf` does this on attach, and also
-    installs a no-op stub at machine creation so the program can run
-    before the profiler attaches (attach/detach mode, §5.1).
+    Returns a new program; the input is untouched.  The machine
+    registers a default ``_djx_on_alloc`` native that publishes
+    AllocEvents on its observation bus (and does nothing while no
+    collector is subscribed), so instrumented programs run with or
+    without an attached profiler (attach/detach mode, §5.1).  Custom
+    ``hook_name`` values still need an explicit
+    :meth:`~repro.jvm.machine.Machine.register_native`.
     """
     out = program.clone()
     out.methods = {name: instrument_method(m, hook_name)

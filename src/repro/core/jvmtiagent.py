@@ -1,41 +1,58 @@
 """The JVMTI agent: PMU control, object attribution, GC handling.
 
-This is the native half of DJXPerf (paper §4):
+This is the native half of DJXPerf (paper §4), implemented as a
+:class:`~repro.obs.collector.Collector` on the machine's observation
+bus:
 
-* **Thread start** → program the thread's PMU with the configured
-  precise events and sampling period; install the overflow handler.
-* **Overflow handler** → look the PEBS effective address up in the
-  shared interval splay tree; attribute the metric to the enclosing
-  object's *allocation call path*, record the sampling thread's own call
-  path as an access context, and classify the access as NUMA-local or
-  -remote by comparing the page's node (``move_pages`` query) with the
-  sampling CPU's node (``PERF_SAMPLE_CPU``).
-* **Allocation hook** (invoked by the Java agent's instrumentation) →
-  capture the allocation call path with ``AsyncGetCallTrace``, apply the
-  size threshold ``S``, insert the object's memory range into the splay
-  tree.
-* **GC** → buffer ``memmove`` interpositions in a relocation map and
-  batch-apply them to the splay tree on the MXBean GC-completion
-  notification; drop intervals whose objects were ``finalize``d.
+* **Start** → subscribe to the bus and open one PMU sampler per
+  configured precise event; the bus arms counters on every live thread
+  (attach mode) and on each thread that starts later.
+* **SampleEvent** (PMU overflow) → look the PEBS effective address up in
+  the shared interval splay tree; attribute the metric to the enclosing
+  object's *allocation call path*, record the sample's own call path as
+  an access context, and classify the access as NUMA-local or -remote
+  (the ``move_pages``-vs-``PERF_SAMPLE_CPU`` comparison, carried on the
+  event).
+* **AllocEvent** (from the Java agent's instrumentation hook) → apply
+  the size threshold ``S``, insert the object's memory range into the
+  splay tree.
+* **GC events** → buffer moves in a relocation map and batch-apply them
+  to the splay tree on the MXBean GC-completion notification; drop
+  intervals whose objects were finalized.
 
 Every operation charges a cycle cost to the thread it runs on, which is
-what the overhead experiments (Figure 4) measure.
+what the overhead experiments (Figure 4) measure.  Because events are
+ring-buffered and delivered at quantum boundaries, charges land on
+``event.thread`` right after that thread's quantum — identical totals to
+the old synchronous-callback path, since charges never perturb the
+access stream of the deterministic scheduler.
+
+Constructed with ``machine=None`` the agent runs **offline**: it can be
+fed a recorded trace batch-by-batch (see :mod:`repro.obs.replay`),
+rebuilding profiles without a simulation, and accepts sampler ids from
+:class:`~repro.obs.events.SamplerOpenEvent` records whose owner matches
+its label.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.profile import RawPath, ThreadProfile, TrackedObject
+from repro.core.profile import ThreadProfile, TrackedObject
 from repro.core.splay import IntervalSplayTree
-from repro.heap.gc import FinalizeEvent, GcNotification, MemmoveEvent
-from repro.jvm.interpreter import JavaThread
-from repro.jvm.machine import Machine, NativeCall
-from repro.jvmti.agent_iface import JvmtiEnv
-from repro.memsys.hierarchy import AccessResult
+from repro.obs.collector import Collector
+from repro.obs.events import (
+    AllocEvent,
+    GcFinalizeEvent,
+    GcMoveEvent,
+    GcNotifyEvent,
+    SampleEvent,
+    SamplerOpenEvent,
+    ThreadEndEvent,
+    ThreadStartEvent,
+)
 from repro.pmu.events import PmuEvent
-from repro.pmu.pmu import PerfEventConfig, Sample, ThreadPmu
 
 
 @dataclass(frozen=True)
@@ -67,16 +84,18 @@ class AgentStats:
     finalized_removed: int = 0
 
 
-class DjxJvmtiAgent:
-    """One agent instance per profiled machine."""
+class DjxJvmtiAgent(Collector):
+    """One agent instance per profiled machine (or per replayed trace)."""
 
-    def __init__(self, machine: Machine, events: List[PmuEvent],
+    label = "djxperf"
+
+    def __init__(self, machine, events: List[PmuEvent],
                  sample_period: int, size_threshold: int,
                  track_numa: bool = True,
                  collect_access_contexts: bool = True,
                  costs: Optional[AgentCostModel] = None) -> None:
+        super().__init__()
         self.machine = machine
-        self.env = JvmtiEnv(machine)
         self.events = list(events)
         self.sample_period = sample_period
         self.size_threshold = size_threshold
@@ -90,7 +109,9 @@ class DjxJvmtiAgent:
         #: per-operation cost model).
         self.splay = IntervalSplayTree()
         self.profiles: Dict[int, ThreadProfile] = {}
-        self._pmus: Dict[int, ThreadPmu] = {}
+        #: Bus sampler ids this agent owns; samples from other
+        #: collectors' samplers are ignored.
+        self._sampler_ids: Set[int] = set()
         #: Relocation map, reset at each GC completion (paper §4.5):
         #: src address → (dst address, size).
         self._relocation_map: Dict[int, Tuple[int, int]] = {}
@@ -100,24 +121,30 @@ class DjxJvmtiAgent:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Subscribe to VM events and arm PMUs (agent OnLoad/OnAttach)."""
+        """Subscribe to the bus and arm PMUs (agent OnLoad/OnAttach)."""
+        if self.machine is None:
+            raise RuntimeError("offline agent (machine=None) cannot start; "
+                               "feed it trace batches instead")
         self.enabled = True
-        self.env.on_thread_start(self._thread_started)
-        self.env.on_thread_end(self._thread_ended)
-        self.env.on_memmove(self._on_memmove)
-        self.env.on_finalize(self._on_finalize)
-        self.env.on_gc_notification(self._on_gc_notification)
-        self.machine.access_observers.append(self._on_access)
-        # Attach mode: arm threads that are already running.
+        bus = self.machine.bus
+        bus.subscribe(self)
+        for event in self.events:
+            self._sampler_ids.add(
+                bus.open_sampler(event, self.sample_period,
+                                 owner=self.label))
+        # Attach mode: threads already running get profiles now; their
+        # pre-attach allocations stay unknown (paper §4.5).
         for thread in self.machine.threads:
-            if thread.alive and thread.tid not in self._pmus:
-                self._thread_started(thread)
+            if thread.alive:
+                self.profile_of(thread.tid)
 
     def stop(self) -> None:
         """Disable sampling (agent detach).  Profiles stay readable."""
         self.enabled = False
-        for pmu in self._pmus.values():
-            pmu.disable_all()
+        if self.bus is not None:
+            for sampler_id in self._sampler_ids:
+                self.bus.close_sampler(sampler_id)
+            self.bus.unsubscribe(self)
 
     def profile_of(self, tid: int) -> ThreadProfile:
         profile = self.profiles.get(tid)
@@ -126,108 +153,108 @@ class DjxJvmtiAgent:
             self.profiles[tid] = profile
         return profile
 
-    # ------------------------------------------------------------------
-    # Thread lifecycle → PMU control (paper §4.1)
-    # ------------------------------------------------------------------
-    def _thread_started(self, thread: JavaThread) -> None:
-        if not self.enabled:
-            return
-        pmu = ThreadPmu(thread.tid)
-        for event in self.events:
-            pmu.open(PerfEventConfig(event, self.sample_period),
-                     self._handle_sample)
-        self._pmus[thread.tid] = pmu
-        self.profile_of(thread.tid)
-
-    def _thread_ended(self, thread: JavaThread) -> None:
-        pmu = self._pmus.get(thread.tid)
-        if pmu is not None:
-            pmu.disable_all()
-
-    def _on_access(self, thread: JavaThread, result: AccessResult) -> None:
-        if not self.enabled:
-            return
-        pmu = self._pmus.get(thread.tid)
-        if pmu is not None:
-            pmu.observe(result, ucontext=thread)
+    def _gc_thread(self):
+        """The thread whose quantum triggered the current GC events."""
+        if self.machine is None:
+            return None
+        return self.machine._current_thread
 
     # ------------------------------------------------------------------
-    # Allocation hook (called from instrumented bytecode, §4.1-4.2)
+    # Thread lifecycle (paper §4.1)
     # ------------------------------------------------------------------
-    def on_alloc(self, call: NativeCall) -> None:
-        """The ``_djx_on_alloc`` native: track one fresh object."""
+    def on_thread_start(self, event: ThreadStartEvent) -> None:
         if not self.enabled:
             return
-        thread = call.thread
-        (ref,) = call.args
-        obj = self.machine.heap.get(ref)
+        self.profile_of(event.tid)
+
+    def on_thread_end(self, event: ThreadEndEvent) -> None:
+        # Counter disarm is handled by the bus; profiles stay readable.
+        pass
+
+    def on_sampler_open(self, event: SamplerOpenEvent) -> None:
+        # Offline replay: adopt the recorded sampler ids that belonged
+        # to the live DJXPerf agent.
+        if self.machine is None and event.owner == self.label:
+            self._sampler_ids.add(event.sampler_id)
+
+    def accept_sampler(self, sampler_id: int) -> None:
+        """Manually accept a sampler id (offline resampling)."""
+        self._sampler_ids.add(sampler_id)
+
+    # ------------------------------------------------------------------
+    # Allocation hook events (instrumented bytecode, §4.1-4.2)
+    # ------------------------------------------------------------------
+    def on_alloc(self, event: AllocEvent) -> None:
+        """Track one fresh object from the ``_djx_on_alloc`` hook."""
+        if not self.enabled:
+            return
         self.stats.allocations_seen += 1
-        thread.cycles += self.costs.alloc_hook_dispatch
-        if obj.size < self.size_threshold:
+        self.charge(event.thread, self.costs.alloc_hook_dispatch)
+        if event.size < self.size_threshold:
             self.stats.allocations_filtered += 1
             return
-        frames = self.env.async_get_call_trace(thread)
-        path: RawPath = tuple((f.method_id, f.bci) for f in frames)
-        thread.cycles += (self.costs.alloc_hook_base
-                          + self.costs.alloc_hook_per_frame * len(frames))
-        tracked = TrackedObject(alloc_path=path, alloc_tid=thread.tid,
-                                type_name=obj.type_name, size=obj.size)
-        self.splay.insert(obj.addr, obj.end, tracked)
-        self.profile_of(thread.tid).site(path).record_allocation(
-            obj.type_name, obj.size)
+        path = event.path
+        self.charge(event.thread,
+                    self.costs.alloc_hook_base
+                    + self.costs.alloc_hook_per_frame * len(path))
+        tracked = TrackedObject(alloc_path=path, alloc_tid=event.tid,
+                                type_name=event.type_name, size=event.size)
+        self.splay.insert(event.addr, event.end, tracked)
+        self.profile_of(event.tid).site(path).record_allocation(
+            event.type_name, event.size)
 
     # ------------------------------------------------------------------
-    # PMU overflow handler (§4.2, §4.3)
+    # PMU overflow samples (§4.2, §4.3)
     # ------------------------------------------------------------------
-    def _handle_sample(self, sample: Sample) -> None:
-        thread: JavaThread = sample.ucontext
-        profile = self.profile_of(sample.tid)
-        profile.record_total(sample.event)
+    def on_sample(self, event: SampleEvent) -> None:
+        if not self.enabled or event.sampler_id not in self._sampler_ids:
+            return
+        profile = self.profile_of(event.tid)
+        profile.record_total(event.event)
         self.stats.samples_handled += 1
 
-        frames = self.env.async_get_call_trace(thread)
-        thread.cycles += (self.costs.sample_base
-                          + self.costs.sample_per_frame * len(frames))
+        path = event.path
+        self.charge(event.thread,
+                    self.costs.sample_base
+                    + self.costs.sample_per_frame * len(path))
 
-        tracked = self.splay.lookup(sample.address)
+        tracked = self.splay.lookup(event.address)
         if tracked is None or not isinstance(tracked, TrackedObject) \
                 or not tracked.known:
-            profile.record_unknown(sample.event)
+            profile.record_unknown(event.event)
             self.stats.samples_unknown += 1
             return
 
         remote = False
         if self.track_numa:
-            thread.cycles += self.costs.numa_query
-            (page_node,) = self.env.move_pages_query([sample.address])
-            cpu_node = self.env.node_of_cpu(sample.cpu)
-            remote = page_node is not None and page_node != cpu_node
+            # move_pages on the sampled address vs the node of
+            # PERF_SAMPLE_CPU — precomputed by the memory system and
+            # carried on the event (the page cannot migrate between
+            # overflow and flush in the simulator).
+            self.charge(event.thread, self.costs.numa_query)
+            remote = event.remote
 
-        access_path: RawPath = ()
-        if self.collect_access_contexts:
-            access_path = tuple((f.method_id, f.bci) for f in frames)
+        access_path = path if self.collect_access_contexts else ()
         profile.site(tracked.alloc_path).record_sample(
-            sample.event, access_path, remote)
+            event.event, access_path, remote)
 
     # ------------------------------------------------------------------
     # GC handling (§4.5)
     # ------------------------------------------------------------------
-    def _on_memmove(self, event: MemmoveEvent) -> None:
+    def on_gc_move(self, event: GcMoveEvent) -> None:
         """``memmove`` interposition: record the move, apply later."""
         if not self.enabled:
             return
         self._relocation_map[event.src] = (event.dst, event.size)
-        thread = self.machine._current_thread
-        if thread is not None:
-            thread.cycles += self.costs.memmove_record
+        self.charge(self._gc_thread(), self.costs.memmove_record)
 
-    def _on_gc_notification(self, notification: GcNotification) -> None:
+    def on_gc_notification(self, event: GcNotifyEvent) -> None:
         """MXBean GC-completion callback: batch-update the splay tree."""
         if not self.enabled:
             return
         if not self._relocation_map:
             return
-        thread = self.machine._current_thread
+        thread = self._gc_thread()
         cost = 0
         # Apply moves in ascending destination order: the collector slides
         # objects downward, so this order never tramples a pending source.
@@ -248,19 +275,16 @@ class DjxJvmtiAgent:
                 self.splay.insert(dst, dst + size, payload)
                 self.stats.relocations_applied += 1
         self._relocation_map.clear()
-        if thread is not None:
-            thread.cycles += cost
+        self.charge(thread, cost)
 
-    def _on_finalize(self, event: FinalizeEvent) -> None:
+    def on_gc_finalize(self, event: GcFinalizeEvent) -> None:
         """``finalize`` interception: the object is about to be reclaimed."""
         if not self.enabled:
             return
         removed = self.splay.remove_start(event.addr)
         if removed is not None:
             self.stats.finalized_removed += 1
-            thread = self.machine._current_thread
-            if thread is not None:
-                thread.cycles += self.costs.finalize_remove
+            self.charge(self._gc_thread(), self.costs.finalize_remove)
         # The object may also have a pending relocation entry; a reclaimed
         # object must not be re-inserted at GC end.
         self._relocation_map.pop(event.addr, None)
@@ -279,7 +303,8 @@ class DjxJvmtiAgent:
         """Estimated profiler memory in bytes."""
         total = len(self.splay) * self._SPLAY_NODE_BYTES
         total += len(self._relocation_map) * self._RELOC_ENTRY_BYTES
-        total += len(self._pmus) * self._PMU_BYTES
+        # One armed PMU per thread the agent has seen.
+        total += len(self.profiles) * self._PMU_BYTES
         for profile in self.profiles.values():
             total += len(profile.sites) * self._SITE_BYTES
             for stats in profile.sites.values():

@@ -79,18 +79,27 @@ class DJXPerf:
 
     @staticmethod
     def install_noop_hook(machine: Machine) -> None:
-        """Let an instrumented program run without an attached profiler."""
-        machine.register_native(ALLOC_HOOK, lambda call: None)
+        """Compatibility shim: machines now register a default
+        ``_djx_on_alloc`` native at construction (it publishes to the
+        observation bus and is free while nobody subscribes), so an
+        instrumented program always runs without a profiler.  This
+        re-registers that default."""
+        from repro.jvm.machine import _native_alloc_hook
+        machine.register_native(ALLOC_HOOK, _native_alloc_hook)
 
     # ------------------------------------------------------------------
     # JVMTI agent (measurement)
     # ------------------------------------------------------------------
     def attach(self, machine: Machine) -> None:
-        """Attach to a (possibly already running) machine."""
+        """Attach to a (possibly already running) machine.
+
+        Subscribes the agent to the machine's observation bus; the
+        machine's native hook table is left untouched (the default
+        ``_djx_on_alloc`` native already publishes AllocEvents).
+        """
         if self.agent is not None:
             raise RuntimeError("profiler already attached")
-        self.machine = machine
-        self.agent = DjxJvmtiAgent(
+        agent = DjxJvmtiAgent(
             machine,
             events=list(self.config.events),
             sample_period=self.config.sample_period,
@@ -98,16 +107,15 @@ class DJXPerf:
             track_numa=self.config.track_numa,
             collect_access_contexts=self.config.collect_access_contexts,
             costs=self.config.costs)
-        machine.register_native(ALLOC_HOOK, self.agent.on_alloc)
-        self.agent.start()
+        agent.start()
+        self.machine = machine
+        self.agent = agent
 
     def detach(self) -> None:
         """Stop measuring; the program keeps running undisturbed."""
         if self.agent is None:
             raise RuntimeError("profiler not attached")
         self.agent.stop()
-        if self.machine is not None:
-            self.install_noop_hook(self.machine)
 
     @property
     def attached(self) -> bool:

@@ -16,7 +16,6 @@ from typing import Optional
 from repro.jvm.classfile import JProgram
 from repro.jvm.machine import Machine, MachineConfig
 from repro.pmu.events import PmuEvent
-from repro.pmu.pmu import PerfEventConfig, ThreadPmu
 
 #: The paper's target sample-rate window, per thread.
 TARGET_MIN_PER_SEC = 20.0
@@ -53,22 +52,14 @@ def calibrate_period(program: JProgram,
     if target_per_sec <= 0:
         raise ValueError("target_per_sec must be positive")
     machine = Machine(program.clone(), machine_config)
-    # Counting-only PMU on every thread.
-    pmus = {}
-
-    def arm(thread):
-        pmu = ThreadPmu(thread.tid)
-        # A huge period: we only read totals, never deliver samples.
-        pmu.open(PerfEventConfig(event, sample_period=1 << 62),
-                 lambda sample: None)
-        pmus[thread.tid] = pmu
-
-    machine.on_thread_start.append(arm)
-    machine.access_observers.append(
-        lambda thread, result: pmus[thread.tid].observe(result))
+    # Counting-only sampler on the machine's bus: a huge period means we
+    # only read totals, never deliver samples — the pilot perturbs
+    # nothing (no subscriber, no charges).
+    sampler_id = machine.bus.open_sampler(event, period=1 << 62,
+                                          owner="pilot")
     machine.run(max_instructions=pilot_instructions)
 
-    events = sum(pmu.total_for(event.name) for pmu in pmus.values())
+    events = machine.bus.sampler_total(sampler_id)
     cycles = max((t.cycles for t in machine.threads), default=0)
     seconds = cycles / clock_hz if cycles else 0.0
     if events == 0 or seconds == 0:

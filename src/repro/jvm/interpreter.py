@@ -2,10 +2,17 @@
 
 Every field/array/static access goes through the owning
 :class:`~repro.jvm.machine.Machine`'s memory path, so the cache hierarchy
-sees the exact effective-address stream a real CPU would, and the PMU can
-sample it.  Thread call stacks are plain Python lists of :class:`Frame`,
-which is what makes an ``AsyncGetCallTrace``-style asynchronous unwind
-trivially safe at any instruction boundary.
+sees the exact effective-address stream a real CPU would, and the
+machine's observation bus (:mod:`repro.obs.bus`) can count it against
+armed PMU samplers.  Observation is pull-free on the interpreter side:
+the interpreter never calls profiler code directly; events it causes
+(samples, allocations via the instrumentation hook's native call) are
+ring-buffered on the bus and batch-delivered at the quantum boundaries
+of :meth:`~repro.jvm.machine.Machine.run`.  Thread call stacks are plain
+Python lists of :class:`Frame`, which is what makes an
+``AsyncGetCallTrace``-style asynchronous unwind trivially safe at any
+instruction boundary — including at PMU overflow time, when the bus
+snapshots the path into the SampleEvent.
 """
 
 from __future__ import annotations

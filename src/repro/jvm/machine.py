@@ -6,13 +6,16 @@ method table / JIT (:mod:`repro.jvm.jit`) and the interpreter, and runs
 simulated Java threads under a deterministic round-robin scheduler.
 
 Profilers interact with the machine exactly the way DJXPerf interacts
-with a JVM + Linux:
-
-* thread start/finish callbacks (JVMTI events),
-* per-access observation (the PMU counts the access stream),
-* native-method registration (agent hooks inserted by instrumentation),
-* GC event streams from the collector (memmove / finalize / MXBean
-  notification).
+with a JVM + Linux: through the machine's observation
+:class:`~repro.obs.bus.EventBus`.  The machine publishes typed events —
+thread start/end, allocations (via the default ``_djx_on_alloc``
+native), GC memmove/finalize/notification, JIT compiles — and flushes
+batches to subscribed collectors at scheduler-quantum boundaries.  The
+bus also hosts the per-thread virtualised PMU: the access stream is
+counted synchronously against armed samplers (PEBS), publishing
+SampleEvents on overflow.  Raw low-level callback lists
+(``on_thread_start``/``on_thread_end``) remain for JVMTI-style direct
+subscriptions that need the live thread object.
 """
 
 from __future__ import annotations
@@ -22,7 +25,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.heap.allocator import Heap, HeapObject, Ref
-from repro.heap.gc import GcCostModel, MarkCompactCollector, MemmoveEvent
+from repro.heap.gc import (
+    FinalizeEvent,
+    GcCostModel,
+    GcNotification,
+    MarkCompactCollector,
+    MemmoveEvent,
+)
 from repro.heap.layout import JClass, Kind
 from repro.jvm.classfile import JProgram
 from repro.jvm.interpreter import (
@@ -34,6 +43,15 @@ from repro.jvm.interpreter import (
 from repro.jvm.jit import JitConfig, MethodTable
 from repro.memsys.hierarchy import AccessResult, HierarchyConfig, MemoryHierarchy
 from repro.memsys.numa import NumaTopology, PlacementPolicy
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    ALLOC_HOOK,
+    AllocEvent,
+    GcFinalizeEvent,
+    GcMoveEvent,
+    GcNotifyEvent,
+    JitCompileEvent,
+)
 
 
 class DeadlockError(Exception):
@@ -146,11 +164,12 @@ class Machine:
         #: Refs pinned by in-flight native code (GC roots).
         self._native_roots: List[Ref] = []
 
-        # Observation points for profilers (JVMTI / PMU analogues).
+        # Observation: the event bus carries every profiler-visible
+        # event; the raw callback lists remain for JVMTI-style direct
+        # subscriptions (thread objects, not events).
+        self.bus = EventBus()
         self.on_thread_start: List[Callable[[JavaThread], None]] = []
         self.on_thread_end: List[Callable[[JavaThread], None]] = []
-        self.access_observers: List[
-            Callable[[JavaThread, AccessResult], None]] = []
 
         self.natives: Dict[str, NativeImpl] = {}
         self._register_default_natives()
@@ -158,6 +177,11 @@ class Machine:
         self.collector.on_notification.append(self._charge_gc_pause)
         if cfg.gc_touches_caches:
             self.collector.on_memmove.append(self._gc_pollute_caches)
+        # Republish GC and JIT observables onto the bus.
+        self.collector.on_memmove.append(self._publish_gc_move)
+        self.collector.on_finalize.append(self._publish_gc_finalize)
+        self.collector.on_notification.append(self._publish_gc_notification)
+        self.method_table.on_compile.append(self._publish_jit_compile)
 
     # ------------------------------------------------------------------
     # Statics
@@ -189,8 +213,9 @@ class Machine:
         result = self.hierarchy.access(thread.cpu, address, size, is_write)
         thread.cycles += result.latency
         if not internal:
-            for observer in self.access_observers:
-                observer(thread, result)
+            bus = self.bus
+            if bus.sampling or bus._accesses_wanted:
+                bus.observe_access(thread, result)
         return result
 
     def _zero_touch(self, thread: JavaThread, obj: HeapObject) -> None:
@@ -272,6 +297,31 @@ class Machine:
             self.hierarchy.access(thread.cpu, event.src + offset, 8, False)
             self.hierarchy.access(thread.cpu, event.dst + offset, 8, True)
 
+    def _publish_gc_move(self, event: MemmoveEvent) -> None:
+        self.bus.publish(GcMoveEvent(oid=event.oid, src=event.src,
+                                     dst=event.dst, size=event.size))
+
+    def _publish_gc_finalize(self, event: FinalizeEvent) -> None:
+        self.bus.publish(GcFinalizeEvent(oid=event.oid, addr=event.addr,
+                                         size=event.size,
+                                         type_name=event.type_name))
+
+    def _publish_gc_notification(self, notification: GcNotification) -> None:
+        self.bus.publish(GcNotifyEvent(
+            gc_id=notification.gc_id,
+            reclaimed_objects=notification.reclaimed_objects,
+            reclaimed_bytes=notification.reclaimed_bytes,
+            moved_objects=notification.moved_objects,
+            moved_bytes=notification.moved_bytes,
+            live_bytes=notification.live_bytes,
+            pause_cycles=notification.pause_cycles))
+
+    def _publish_jit_compile(self, runtime) -> None:
+        self.bus.publish(JitCompileEvent(
+            method_id=runtime.method_id,
+            qualified_name=runtime.method.qualified_name,
+            version=runtime.version))
+
     # ------------------------------------------------------------------
     # Natives
     # ------------------------------------------------------------------
@@ -296,6 +346,11 @@ class Machine:
         self.register_native("blackhole", _native_blackhole)
         self.register_native("stream_array", _native_stream_array)
         self.register_native("stream_range", _native_stream_range)
+        # Instrumented programs call the allocation hook on every
+        # allocation; the default implementation publishes an AllocEvent
+        # (and costs nothing while nobody subscribes), so instrumented
+        # code runs with or without an attached profiler.
+        self.register_native(ALLOC_HOOK, _native_alloc_hook)
 
     # ------------------------------------------------------------------
     # Thread lifecycle & scheduling
@@ -317,11 +372,13 @@ class Machine:
             self.threads.append(thread)
             for cb in self.on_thread_start:
                 cb(thread)
+            self.bus.thread_started(thread)
         self._started = True
 
     def on_thread_finished(self, thread: JavaThread) -> None:
         for cb in self.on_thread_end:
             cb(thread)
+        self.bus.thread_ended(thread)
 
     def run(self, max_instructions: Optional[int] = None) -> MachineResult:
         """Run until all threads finish (or the instruction budget ends).
@@ -350,6 +407,10 @@ class Machine:
                 if thread.state is ThreadState.RUNNABLE:
                     self._current_thread = thread
                     n = self.interpreter.run_quantum(thread, quantum)
+                    # Quantum boundary: deliver this quantum's events
+                    # while _current_thread still identifies whose
+                    # quantum produced them.
+                    self.bus.flush()
                     executed_this_call += n
                     progressed = progressed or n > 0
             if not progressed:
@@ -357,6 +418,7 @@ class Machine:
                            if t.state is ThreadState.WAITING]
                 raise DeadlockError(
                     f"no runnable threads; waiting: {waiting}")
+        self.bus.flush()
         self._current_thread = None
         return self.result()
 
@@ -396,6 +458,28 @@ class Machine:
 # ----------------------------------------------------------------------
 # Default native methods
 # ----------------------------------------------------------------------
+def _native_alloc_hook(call: NativeCall):
+    """``_djx_on_alloc``: publish an AllocEvent for the fresh object.
+
+    Snapshots everything a collector could need (address range, type,
+    allocation call path) *now* — by the time the batch is delivered the
+    object may have moved or died.  Collectors apply their own size
+    thresholds and charge their own hook costs.
+    """
+    machine = call.machine
+    bus = machine.bus
+    if not bus.active:
+        return None
+    (ref,) = call.args
+    obj = machine.heap.get(ref)
+    thread = call.thread
+    bus.publish(AllocEvent(
+        tid=thread.tid, addr=obj.addr, end=obj.end, size=obj.size,
+        type_name=obj.type_name, path=tuple(thread.call_stack()),
+        thread=thread))
+    return None
+
+
 def _native_arraycopy(call: NativeCall):
     """System.arraycopy(src, srcPos, dst, dstPos, length)."""
     src_ref, src_pos, dst_ref, dst_pos, length = call.args

@@ -1,0 +1,46 @@
+"""Unified observation layer: event bus, collectors, trace record/replay.
+
+The machine publishes typed :mod:`~repro.obs.events` into one
+:class:`~repro.obs.bus.EventBus`; profilers subscribe as
+:class:`~repro.obs.collector.Collector` instances and all observe the
+same run.  :mod:`~repro.obs.trace` serialises the stream so the offline
+analyzer (:mod:`~repro.obs.replay`, imported lazily to avoid the
+obs → core → jvm → obs cycle) can re-run without re-simulating.
+"""
+
+from repro.obs.bus import EventBus
+from repro.obs.collector import Collector
+from repro.obs.events import (
+    ALLOC_HOOK,
+    AccessEvent,
+    AllocEvent,
+    GcFinalizeEvent,
+    GcMoveEvent,
+    GcNotifyEvent,
+    JitCompileEvent,
+    MachineEvent,
+    SampleEvent,
+    SamplerOpenEvent,
+    ThreadEndEvent,
+    ThreadStartEvent,
+)
+from repro.obs.trace import TraceReader, TraceWriter
+
+__all__ = [
+    "ALLOC_HOOK",
+    "AccessEvent",
+    "AllocEvent",
+    "Collector",
+    "EventBus",
+    "GcFinalizeEvent",
+    "GcMoveEvent",
+    "GcNotifyEvent",
+    "JitCompileEvent",
+    "MachineEvent",
+    "SampleEvent",
+    "SamplerOpenEvent",
+    "ThreadEndEvent",
+    "ThreadStartEvent",
+    "TraceReader",
+    "TraceWriter",
+]

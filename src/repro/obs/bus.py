@@ -1,0 +1,239 @@
+"""The observation event bus: ring-buffered, batched machine→collector path.
+
+One :class:`EventBus` per machine.  Publishers (machine, interpreter,
+GC glue, the default allocation hook) append events to a ring buffer;
+the machine flushes the ring to every subscribed
+:class:`~repro.obs.collector.Collector` at scheduler-quantum boundaries
+(or earlier when the ring fills).  A single ordered ring carries all
+event kinds, so collectors observe allocations, samples, GC moves and
+finalizations in exactly the order they happened — splay-tree style
+address tracking stays correct under batching.
+
+The bus also hosts the virtualised PMU: collectors *open samplers*
+(event + period + owner label) and the bus counts every non-internal
+access against each armed counter synchronously — the PMU is hardware
+and cannot be batched — publishing a :class:`~repro.obs.events.SampleEvent`
+carrying the call path snapshot on each overflow (PEBS + async unwind).
+Sampler state follows thread lifecycle exactly as ``perf_event_open``
+per-thread counters do.
+
+Two cheap flags gate the hot path: ``active`` (any subscriber) and
+``sampling`` (any armed sampler).  When both are false a memory access
+costs two attribute reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.collector import Collector
+from repro.obs.events import (
+    AccessEvent,
+    MachineEvent,
+    SampleEvent,
+    SamplerOpenEvent,
+    ThreadEndEvent,
+    ThreadStartEvent,
+)
+from repro.pmu.events import PmuEvent
+from repro.pmu.pmu import PerfCounter, PerfEventConfig
+
+#: Default ring capacity; a full ring force-flushes mid-quantum so
+#: memory stays bounded on access-recording runs.
+DEFAULT_CAPACITY = 4096
+
+
+class EventBus:
+    """Batched pub/sub channel between one machine and its collectors."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._pending: List[MachineEvent] = []
+        self._collectors: List[Collector] = []
+        #: sampler_id → (config, owner label)
+        self._samplers: Dict[int, Tuple[PerfEventConfig, str]] = {}
+        self._next_sampler_id = 1
+        #: tid → live thread (tracked even with no subscribers, so a
+        #: sampler opened mid-run arms already-running threads).
+        self._threads: Dict[int, object] = {}
+        #: tid → [(sampler_id, counter), ...]
+        self._counters: Dict[int, List[Tuple[int, PerfCounter]]] = {}
+        self._accesses_wanted = 0
+        #: True iff at least one collector is subscribed.
+        self.active = False
+        #: True iff at least one sampler is armed.
+        self.sampling = False
+        self.events_published = 0
+        self.batches_flushed = 0
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def subscribe(self, collector: Collector) -> None:
+        """Add a collector.  Pending events are flushed first, so a
+        late subscriber (attach mode) never sees pre-attach events."""
+        if collector in self._collectors:
+            raise ValueError(f"collector {collector.label!r} already "
+                             f"subscribed")
+        self.flush()
+        self._collectors.append(collector)
+        collector.bus = self
+        if collector.wants_accesses:
+            self._accesses_wanted += 1
+        self.active = True
+        collector.on_subscribed(self)
+
+    def unsubscribe(self, collector: Collector) -> None:
+        """Remove a collector.  Pending events are flushed first, so a
+        detaching collector still receives everything it observed."""
+        if collector not in self._collectors:
+            raise ValueError(f"collector {collector.label!r} is not "
+                             f"subscribed")
+        self.flush()
+        self._collectors.remove(collector)
+        if collector.wants_accesses:
+            self._accesses_wanted -= 1
+        self.active = bool(self._collectors)
+        collector.bus = None
+        collector.on_unsubscribed(self)
+
+    @property
+    def collectors(self) -> List[Collector]:
+        return list(self._collectors)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, event: MachineEvent) -> None:
+        """Queue one event for the next flush (dropped if nobody
+        listens).  A full ring flushes immediately."""
+        if not self.active:
+            return
+        self._pending.append(event)
+        self.events_published += 1
+        if len(self._pending) >= self.capacity:
+            self.flush()
+
+    def flush(self) -> int:
+        """Deliver all pending events to every collector, in order.
+        Returns the number of events delivered."""
+        if not self._pending:
+            return 0
+        batch = self._pending
+        self._pending = []
+        for collector in list(self._collectors):
+            collector.handle_batch(batch)
+        self.batches_flushed += 1
+        return len(batch)
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # PMU sampler management (perf_event_open analogue)
+    # ------------------------------------------------------------------
+    def open_sampler(self, event: PmuEvent, period: int,
+                     owner: str = "") -> int:
+        """Arm a per-thread counter set for ``event`` at ``period``.
+
+        Returns the sampler id carried by every resulting SampleEvent.
+        A :class:`SamplerOpenEvent` is published so trace replay can
+        re-associate sampler ids with their owning profiler.
+        """
+        config = PerfEventConfig(event, period)
+        sampler_id = self._next_sampler_id
+        self._next_sampler_id += 1
+        self._samplers[sampler_id] = (config, owner)
+        for tid in self._threads:
+            self._arm(sampler_id, config, tid)
+        self.sampling = True
+        self.publish(SamplerOpenEvent(sampler_id=sampler_id,
+                                      event=event.name, period=period,
+                                      owner=owner))
+        return sampler_id
+
+    def close_sampler(self, sampler_id: int) -> None:
+        """Disarm one sampler on every thread (counter close)."""
+        self._samplers.pop(sampler_id, None)
+        for tid, counters in self._counters.items():
+            for sid, counter in counters:
+                if sid == sampler_id:
+                    counter.enabled = False
+            self._counters[tid] = [(sid, c) for sid, c in counters
+                                   if sid != sampler_id]
+        self.sampling = bool(self._samplers)
+
+    def close_samplers(self, owner: str) -> None:
+        """Disarm every sampler opened under ``owner``."""
+        for sampler_id in [sid for sid, (_, o) in self._samplers.items()
+                           if o == owner]:
+            self.close_sampler(sampler_id)
+
+    def sampler_total(self, sampler_id: int) -> int:
+        """Lifetime event count across all threads for one sampler
+        (counting mode: open with a huge period and read this)."""
+        total = 0
+        for counters in self._counters.values():
+            for sid, counter in counters:
+                if sid == sampler_id:
+                    total += counter.total
+        return total
+
+    def _arm(self, sampler_id: int, config: PerfEventConfig,
+             tid: int) -> None:
+        counter = PerfCounter(config, self._make_overflow_handler(sampler_id))
+        self._counters.setdefault(tid, []).append((sampler_id, counter))
+
+    def _make_overflow_handler(self, sampler_id: int):
+        def handler(sample) -> None:
+            thread = sample.ucontext
+            path = tuple(thread.call_stack()) if thread is not None else ()
+            self.publish(SampleEvent(
+                sampler_id=sampler_id, event=sample.event, tid=sample.tid,
+                cpu=sample.cpu, address=sample.address, size=sample.size,
+                is_write=sample.is_write, latency=sample.latency,
+                level=sample.level, home_node=sample.home_node,
+                remote=sample.remote, path=path, thread=thread))
+        return handler
+
+    # ------------------------------------------------------------------
+    # Machine-side publish points
+    # ------------------------------------------------------------------
+    def thread_started(self, thread) -> None:
+        """Track a new thread, arm every open sampler on it, and
+        publish the start event."""
+        self._threads[thread.tid] = thread
+        for sampler_id, (config, _) in self._samplers.items():
+            self._arm(sampler_id, config, thread.tid)
+        self.publish(ThreadStartEvent(tid=thread.tid, cpu=thread.cpu,
+                                      name=thread.name))
+
+    def thread_ended(self, thread) -> None:
+        """Publish the end event and disarm the thread's counters.
+
+        Counters stay readable (``sampler_total``) after disarm, like a
+        perf fd held open past thread exit; only ``close_sampler``
+        discards them."""
+        self.publish(ThreadEndEvent(tid=thread.tid))
+        self._threads.pop(thread.tid, None)
+        for _, counter in self._counters.get(thread.tid, []):
+            counter.enabled = False
+
+    def observe_access(self, thread, result) -> None:
+        """Hot path: count one access on armed samplers and (only when
+        some collector asked for raw accesses) publish an AccessEvent.
+
+        The caller pre-checks ``sampling or _accesses_wanted`` so the
+        common unobserved run pays almost nothing.
+        """
+        if self.sampling:
+            counters = self._counters.get(thread.tid)
+            if counters:
+                tid = thread.tid
+                for _, counter in counters:
+                    counter.observe(tid, result, ucontext=thread)
+        if self._accesses_wanted:
+            self.publish(AccessEvent(thread.tid, result, thread))

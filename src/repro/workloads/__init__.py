@@ -6,6 +6,7 @@ from repro.workloads.runner import (
     ProfiledRun,
     measure_overhead,
     measure_speedup,
+    measure_suite_overheads,
     run_native,
     run_profiled,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "get_workload",
     "measure_overhead",
     "measure_speedup",
+    "measure_suite_overheads",
     "register",
     "run_native",
     "run_profiled",

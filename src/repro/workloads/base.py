@@ -61,7 +61,12 @@ class Workload(abc.ABC):
         return MachineConfig()
 
     # ------------------------------------------------------------------
-    def _check_variant(self, variant: str) -> None:
+    def check_variant(self, variant: str) -> None:
+        """Raise ValueError unless ``variant`` is one this workload has.
+
+        Public because harnesses (runner, suite, CLI) validate variants
+        before building programs.
+        """
         if variant not in self.variants:
             raise ValueError(
                 f"{self.name}: unknown variant {variant!r}; "

@@ -64,7 +64,7 @@ class LoopAllocWorkload(Workload):
         return sim_machine(heap_size=self.spec.heap_size)
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         spec = self.spec
         hoisted = variant == "hoisted"
         p = JProgram(f"{self.name}-{variant}")
@@ -125,7 +125,7 @@ class BatikMakeRoom(Workload):
         return sim_machine(heap_size=512 * 1024)
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         hoisted = variant == "hoisted"
         p = JProgram(f"{self.name}-{variant}")
         p.statics["nvals_static"] = None
@@ -186,7 +186,7 @@ class LusearchCollector(Workload):
         return sim_machine(heap_size=512 * 1024)
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         hoisted = variant == "hoisted"
         p = JProgram(f"{self.name}-{variant}")
 

@@ -39,7 +39,7 @@ class ScalaStmBench7(Workload):
         return sim_machine(heap_size=512 * 1024)
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         initial = (self.GROWN_CAPACITY if variant == "grown-capacity"
                    else self.INITIAL_CAPACITY)
         p = JProgram(f"{self.name}-{variant}")

@@ -57,7 +57,7 @@ class InsignificantObjectWorkload(Workload):
         return sim_machine(heap_size=1024 * 1024)
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         spec = self.spec
         hoisted = variant == "hoisted"
         p = JProgram(f"{self.name}-{variant}")

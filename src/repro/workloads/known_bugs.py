@@ -48,7 +48,7 @@ class KnownBugWorkload(Workload):
         return sim_machine(heap_size=1024 * 1024)
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         bug = self.bug
         p = JProgram(self.name)
         b = MethodBuilder(bug.class_name, bug.method_name,

@@ -66,7 +66,7 @@ class MasterWorkerNumaWorkload(Workload):
         return _numa_machine()
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         p = JProgram(f"{self.name}-{variant}")
         p.statics["shared"] = None
         p.statics["ready"] = 0
@@ -165,7 +165,7 @@ class ApacheDruid(Workload):
         return _numa_machine(zero_on_alloc=False)
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         p = JProgram(f"{self.name}-{variant}")
         p.statics["bitmap"] = None
         p.statics["ready"] = 0

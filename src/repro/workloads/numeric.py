@@ -61,7 +61,7 @@ class ScimarkFft(Workload):
                              hierarchy=hierarchy, jit=jit)
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         p = JProgram(f"{self.name}-{variant}")
         b = MethodBuilder("FFT", "transform_internal", num_args=0,
                           source_file="FFT.java", first_line=165)
@@ -139,7 +139,7 @@ class TiledPassWorkload(Workload):
         return sim_machine(heap_size=1024 * 1024)
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         p = JProgram(f"{self.name}-{variant}")
         b = MethodBuilder(self.CLASS_NAME, "run",
                           source_file=self.SOURCE,

@@ -4,12 +4,21 @@ The experiment harnesses in ``benchmarks/`` are thin layers over these
 helpers, which in turn follow the paper's methodology: run the baseline
 and the optimised variant, compare simulated wall cycles, and (for
 profiling studies) compare profiled vs native runs.
+
+Suite-scale measurements (Figure 4 covers two dozen workloads) fan out
+over a process pool: each worker simulates one workload and returns its
+:class:`OverheadMeasurement`; with ``trace_dir`` set it also records the
+observation-event trace, so any later analysis question (different
+threshold, different period) is answered by replaying the trace instead
+of re-simulating.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.analyzer import AnalysisResult
 from repro.core.profiler import DJXPerf, DjxConfig
@@ -25,13 +34,15 @@ class ProfiledRun:
     machine: Machine
     result: MachineResult
     analysis: AnalysisResult
+    #: Observation trace recorded alongside the run, if requested.
+    trace_path: Optional[str] = None
 
 
 def run_native(workload: Workload, variant: str = "baseline",
                machine_config: Optional[MachineConfig] = None
                ) -> MachineResult:
     """Run a variant without any profiler attached."""
-    workload._check_variant(variant)
+    workload.check_variant(variant)
     program = workload.build_verified(variant)
     machine = Machine(program, machine_config or workload.machine_config())
     return machine.run()
@@ -39,17 +50,39 @@ def run_native(workload: Workload, variant: str = "baseline",
 
 def run_profiled(workload: Workload, variant: str = "baseline",
                  config: Optional[DjxConfig] = None,
-                 machine_config: Optional[MachineConfig] = None
-                 ) -> ProfiledRun:
-    """Run a variant under DJXPerf (launch mode) and analyze."""
-    workload._check_variant(variant)
+                 machine_config: Optional[MachineConfig] = None,
+                 trace_path: Optional[str] = None,
+                 trace_accesses: bool = False) -> ProfiledRun:
+    """Run a variant under DJXPerf (launch mode) and analyze.
+
+    With ``trace_path`` the machine's observation events are also
+    recorded (see :mod:`repro.obs.trace`); ``trace_accesses`` adds the
+    raw access stream so the trace supports period resampling.
+    """
+    workload.check_variant(variant)
     profiler = DJXPerf(config or DjxConfig())
     program = profiler.instrument(workload.build_verified(variant))
     machine = Machine(program, machine_config or workload.machine_config())
+    writer = None
+    if trace_path is not None:
+        from repro.obs.trace import TraceWriter
+
+        # Attach the writer before the profiler so the profiler's
+        # SamplerOpenEvents land in the trace (replay needs them to
+        # adopt the recorded sampler ids).
+        writer = TraceWriter(trace_path, machine=machine,
+                             include_accesses=trace_accesses,
+                             meta={"workload": workload.name,
+                                   "variant": variant})
+        writer.attach(machine)
     profiler.attach(machine)
-    result = machine.run()
+    try:
+        result = machine.run()
+    finally:
+        if writer is not None:
+            writer.close()
     return ProfiledRun(profiler=profiler, machine=machine, result=result,
-                       analysis=profiler.analyze())
+                       analysis=profiler.analyze(), trace_path=trace_path)
 
 
 def measure_speedup(workload: Workload,
@@ -77,10 +110,15 @@ class OverheadMeasurement:
     profiled_cycles: int
     native_peak_memory: int
     profiler_memory: int
+    #: Observation trace recorded by the profiled run, if requested.
+    trace_path: Optional[str] = None
 
     @property
     def runtime_overhead(self) -> float:
         """Profiled / native runtime ratio (1.0 = free)."""
+        if self.native_cycles == 0:
+            raise ZeroDivisionError(
+                f"{self.name}: native run took 0 cycles")
         return self.profiled_cycles / self.native_cycles
 
     @property
@@ -93,14 +131,72 @@ class OverheadMeasurement:
 
 
 def measure_overhead(workload: Workload, variant: str = "baseline",
-                     config: Optional[DjxConfig] = None
+                     config: Optional[DjxConfig] = None,
+                     trace_path: Optional[str] = None
                      ) -> OverheadMeasurement:
     """Figure-4 style measurement: run native, then run profiled."""
     native = run_native(workload, variant)
-    profiled = run_profiled(workload, variant, config)
+    if native.wall_cycles == 0:
+        raise ZeroDivisionError(f"{workload.name}: native run took 0 cycles")
+    profiled = run_profiled(workload, variant, config,
+                            trace_path=trace_path)
     return OverheadMeasurement(
         name=workload.name,
         native_cycles=native.wall_cycles,
         profiled_cycles=profiled.result.wall_cycles,
         native_peak_memory=native.heap_peak_used,
-        profiler_memory=profiled.profiler.memory_footprint())
+        profiler_memory=profiled.profiler.memory_footprint(),
+        trace_path=trace_path)
+
+
+# ----------------------------------------------------------------------
+# Suite-scale parallel measurement
+# ----------------------------------------------------------------------
+#: (workload name, variant, config, trace_path) — module-level so the
+#: task tuples and the worker stay picklable across the process pool.
+_SuiteTask = Tuple[str, str, Optional[DjxConfig], Optional[str]]
+
+
+def _suite_overhead_worker(task: _SuiteTask) -> OverheadMeasurement:
+    from repro.workloads.base import get_workload
+
+    name, variant, config, trace_path = task
+    return measure_overhead(get_workload(name), variant, config,
+                            trace_path=trace_path)
+
+
+def _trace_path_for(trace_dir: Optional[str], name: str,
+                    variant: str) -> Optional[str]:
+    if trace_dir is None:
+        return None
+    return os.path.join(trace_dir, f"{name}-{variant}.trace.jsonl.gz")
+
+
+def measure_suite_overheads(names: Sequence[str], variant: str = "baseline",
+                            config: Optional[DjxConfig] = None,
+                            jobs: Optional[int] = None,
+                            trace_dir: Optional[str] = None
+                            ) -> List[OverheadMeasurement]:
+    """Measure overhead for many workloads, fanned over processes.
+
+    ``jobs`` defaults to the CPU count (capped at the workload count);
+    ``jobs <= 1`` runs serially in-process.  With ``trace_dir`` each
+    profiled run records its observation trace to
+    ``<trace_dir>/<name>-<variant>.trace.jsonl.gz`` and the returned
+    measurements carry the paths — re-analysis then replays the traces
+    instead of re-simulating (:func:`repro.obs.replay.replay_analyze`).
+
+    Results are returned in ``names`` order regardless of which worker
+    finished first.
+    """
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    tasks: List[_SuiteTask] = [
+        (name, variant, config, _trace_path_for(trace_dir, name, variant))
+        for name in names]
+    if jobs is None:
+        jobs = min(len(tasks), os.cpu_count() or 1)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_suite_overhead_worker(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_suite_overhead_worker, tasks))

@@ -53,7 +53,7 @@ class OverheadSuiteWorkload(Workload):
         return sim_machine(heap_size=self.spec.heap_size)
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         spec = self.spec
         p = JProgram(self.name)
         b = MethodBuilder(self.name.replace("-", "_"), "run", first_line=1)
@@ -139,3 +139,20 @@ def suite_names(suite: str = "") -> List[str]:
 
 def alloc_heavy_names() -> List[str]:
     return [name for name, spec in SUITE_ROWS.items() if spec.alloc_heavy]
+
+
+def measure_suite(suite: str = "", config=None, jobs=None, trace_dir=None):
+    """Run the Figure-4 overhead study, fanned over a process pool.
+
+    Returns ``[(SuiteSpec, OverheadMeasurement), ...]`` in row order.
+    Each worker simulates one row; with ``trace_dir`` the workers also
+    record observation traces, so follow-up analyses (new threshold or
+    period) replay rather than re-simulate.  See
+    :func:`repro.workloads.runner.measure_suite_overheads`.
+    """
+    from repro.workloads.runner import measure_suite_overheads
+
+    names = suite_names(suite)
+    measurements = measure_suite_overheads(
+        names, config=config, jobs=jobs, trace_dir=trace_dir)
+    return [(SUITE_ROWS[name], m) for name, m in zip(names, measurements)]

@@ -43,7 +43,7 @@ class TlbHostile(Workload):
         return sim_machine(heap_size=4 * 1024 * 1024)
 
     def build(self, variant: str = "baseline") -> JProgram:
-        self._check_variant(variant)
+        self.check_variant(variant)
         p = JProgram(f"{self.name}-{variant}")
         b = MethodBuilder("TlbApp", "run", source_file="TlbApp.java",
                           first_line=10)

@@ -166,12 +166,25 @@ class TestProfilerOnWorkload:
         profiler = ReuseDistanceProfiler(modelled_cache_lines=128,
                                          charge_overhead=False)
         profiler.attach(machine)
-        observed = []
-        machine.access_observers.append(
-            lambda thread, result: observed.append(1))
+
+        from repro.obs.collector import Collector
+
+        class CountAccesses(Collector):
+            label = "count"
+            wants_accesses = True
+
+            def __init__(self):
+                super().__init__()
+                self.count = 0
+
+            def on_access(self, event):
+                self.count += 1
+
+        counter = CountAccesses()
+        machine.bus.subscribe(counter)
         machine.run()
         analysis = profiler.analyze()
-        assert analysis.total_accesses == len(observed)
+        assert analysis.total_accesses == counter.count
         assert analysis.total_accesses > 0
 
     def test_overhead_is_brutal(self):

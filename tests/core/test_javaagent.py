@@ -118,7 +118,16 @@ class TestInstrumentProgram:
         p = self.build_program()
         assert allocation_site_count(p) == 1
 
-    def test_unregistered_hook_traps(self):
+    def test_default_hook_preinstalled(self):
+        # The machine registers a default _djx_on_alloc native that
+        # publishes to the observation bus, so an instrumented program
+        # runs without any profiler attached.
         p2 = instrument_program(self.build_program())
-        with pytest.raises(Exception, match=ALLOC_HOOK):
+        result = Machine(p2).run()
+        assert result.heap_allocations == 5
+
+    def test_unregistered_custom_hook_traps(self):
+        custom = "_custom_alloc_hook"
+        p2 = instrument_program(self.build_program(), hook_name=custom)
+        with pytest.raises(Exception, match=custom):
             Machine(p2).run()

@@ -1,12 +1,22 @@
-"""Unit-level tests of the JVMTI agent's GC-handling edge cases."""
+"""Unit-level tests of the JVMTI agent's GC-handling edge cases.
+
+These call the agent's typed event handlers directly (the same entry
+points :meth:`~repro.obs.collector.Collector.handle_batch` dispatches
+to), simulating GC activity by hand.
+"""
 
 import pytest
 
 from repro.core import DJXPerf, DjxConfig
 from repro.core.jvmtiagent import AgentCostModel
-from repro.heap.gc import FinalizeEvent, GcNotification, MemmoveEvent
 from repro.heap.layout import Kind
 from repro.jvm import JProgram, Machine, MachineConfig, MethodBuilder
+from repro.obs.events import (
+    GcFinalizeEvent,
+    GcMoveEvent,
+    GcNotifyEvent,
+    SampleEvent,
+)
 
 from tests.jvm.helpers import counting_loop
 
@@ -26,6 +36,15 @@ def attached_agent(iterations=5, heap=1024 * 1024, threshold=0):
     return profiler, machine
 
 
+def gc_notify(gc_id=1, reclaimed_objects=0, reclaimed_bytes=0,
+              moved_objects=0, moved_bytes=0):
+    return GcNotifyEvent(gc_id=gc_id, reclaimed_objects=reclaimed_objects,
+                         reclaimed_bytes=reclaimed_bytes,
+                         moved_objects=moved_objects,
+                         moved_bytes=moved_bytes, live_bytes=0,
+                         pause_cycles=0)
+
+
 class TestRelocationMap:
     def test_memmove_buffered_until_notification(self):
         profiler, machine = attached_agent()
@@ -34,15 +53,13 @@ class TestRelocationMap:
         # Simulate GC activity by hand: one tracked object "moves".
         start, end, payload = next(iter(agent.splay))
         size = end - start
-        agent._on_memmove(MemmoveEvent(oid=0, src=start, dst=0x9000,
-                                       size=size))
+        agent.on_gc_move(GcMoveEvent(oid=0, src=start, dst=0x9000,
+                                     size=size))
         # Not yet applied: lookups still resolve the old address.
         assert agent.splay.lookup(start) is payload
         assert agent._relocation_map == {start: (0x9000, size)}
-        agent._on_gc_notification(GcNotification(
-            gc_id=1, reclaimed_objects=0, reclaimed_bytes=0,
-            moved_objects=1, moved_bytes=size, live_bytes=0,
-            pause_cycles=0))
+        agent.on_gc_notification(gc_notify(moved_objects=1,
+                                           moved_bytes=size))
         assert agent.splay.lookup(start) is None
         assert agent.splay.lookup(0x9000) is payload
         assert agent._relocation_map == {}
@@ -51,12 +68,9 @@ class TestRelocationMap:
         profiler, machine = attached_agent()
         machine.run()
         agent = profiler.agent
-        agent._on_memmove(MemmoveEvent(oid=0, src=0x777000, dst=0x888000,
-                                       size=64))
-        agent._on_gc_notification(GcNotification(
-            gc_id=1, reclaimed_objects=0, reclaimed_bytes=0,
-            moved_objects=1, moved_bytes=64, live_bytes=0,
-            pause_cycles=0))
+        agent.on_gc_move(GcMoveEvent(oid=0, src=0x777000, dst=0x888000,
+                                     size=64))
+        agent.on_gc_notification(gc_notify(moved_objects=1, moved_bytes=64))
         tracked = agent.splay.lookup(0x888000)
         assert tracked is not None
         assert tracked.known is False
@@ -68,13 +82,12 @@ class TestRelocationMap:
         agent = profiler.agent
         start, end, _payload = next(iter(agent.splay))
         size = end - start
-        agent._on_memmove(MemmoveEvent(oid=0, src=start, dst=0xA000,
-                                       size=size))
-        agent._on_finalize(FinalizeEvent(oid=0, addr=start, size=size,
-                                         type_name="int[]"))
-        agent._on_gc_notification(GcNotification(
-            gc_id=1, reclaimed_objects=1, reclaimed_bytes=size,
-            moved_objects=0, moved_bytes=0, live_bytes=0, pause_cycles=0))
+        agent.on_gc_move(GcMoveEvent(oid=0, src=start, dst=0xA000,
+                                     size=size))
+        agent.on_gc_finalize(GcFinalizeEvent(oid=0, addr=start, size=size,
+                                             type_name="int[]"))
+        agent.on_gc_notification(gc_notify(reclaimed_objects=1,
+                                           reclaimed_bytes=size))
         # Reclaimed object must not be resurrected at its destination.
         assert agent.splay.lookup(0xA000) is None
         assert agent.splay.lookup(start) is None
@@ -83,22 +96,34 @@ class TestRelocationMap:
         profiler, machine = attached_agent()
         machine.run()
         agent = profiler.agent
-        agent._on_memmove(MemmoveEvent(oid=0, src=0x777000, dst=0x888000,
-                                       size=64))
-        agent._on_gc_notification(GcNotification(
-            gc_id=1, reclaimed_objects=0, reclaimed_bytes=0,
-            moved_objects=1, moved_bytes=64, live_bytes=0,
-            pause_cycles=0))
+        agent.on_gc_move(GcMoveEvent(oid=0, src=0x777000, dst=0x888000,
+                                     size=64))
+        agent.on_gc_notification(gc_notify(moved_objects=1, moved_bytes=64))
         # A sample landing in the unknown interval is recorded as
         # unknown, not attributed to a bogus path.
-        from repro.pmu.pmu import Sample
         thread = machine.threads[0]
+        sampler_id = next(iter(agent._sampler_ids))
         before = agent.stats.samples_unknown
-        agent._handle_sample(Sample(
-            event="MEM_LOAD_UOPS_RETIRED:L1_MISS", address=0x888010,
-            size=8, is_write=False, cpu=0, tid=thread.tid, latency=200,
-            level="DRAM", home_node=0, remote=False, ucontext=thread))
+        agent.on_sample(SampleEvent(
+            sampler_id=sampler_id, event="MEM_LOAD_UOPS_RETIRED:L1_MISS",
+            tid=thread.tid, cpu=0, address=0x888010, size=8,
+            is_write=False, latency=200, level="DRAM", home_node=0,
+            remote=False, path=(), thread=thread))
         assert agent.stats.samples_unknown == before + 1
+
+    def test_foreign_sampler_ignored(self):
+        profiler, machine = attached_agent()
+        machine.run()
+        agent = profiler.agent
+        thread = machine.threads[0]
+        foreign = max(agent._sampler_ids) + 1000
+        before = agent.stats.samples_handled
+        agent.on_sample(SampleEvent(
+            sampler_id=foreign, event="MEM_LOAD_UOPS_RETIRED:L1_MISS",
+            tid=thread.tid, cpu=0, address=0x888010, size=8,
+            is_write=False, latency=200, level="DRAM", home_node=0,
+            remote=False, path=(), thread=thread))
+        assert agent.stats.samples_handled == before
 
 
 class TestDisabledAgent:
@@ -108,10 +133,10 @@ class TestDisabledAgent:
         agent = profiler.agent
         agent.stop()
         before = len(agent.splay)
-        agent._on_memmove(MemmoveEvent(oid=0, src=0x1, dst=0x2, size=8))
+        agent.on_gc_move(GcMoveEvent(oid=0, src=0x1, dst=0x2, size=8))
         assert agent._relocation_map == {}
-        agent._on_finalize(FinalizeEvent(oid=0, addr=0x1, size=8,
-                                         type_name="x"))
+        agent.on_gc_finalize(GcFinalizeEvent(oid=0, addr=0x1, size=8,
+                                             type_name="x"))
         assert len(agent.splay) == before
 
 
@@ -119,7 +144,6 @@ class TestCostCharging:
     def test_alloc_dispatch_charged_even_when_filtered(self):
         costs = AgentCostModel()
         profiler, machine = attached_agent(threshold=1 << 20)  # filter all
-        thread_cycles_before = None
         machine.run()
         agent = profiler.agent
         assert agent.stats.allocations_seen == 5
@@ -127,3 +151,9 @@ class TestCostCharging:
         # Dispatch cost must have been charged for each filtered alloc;
         # full hook cost must not (no splay entries).
         assert len(agent.splay) == 0
+        # Per-collector accounting: at least the five dispatch charges,
+        # but none of the alloc_hook_base charges (all filtered).
+        assert agent.charged_cycles >= 5 * costs.alloc_hook_dispatch
+        alloc_charges = agent.charged_cycles - 5 * costs.alloc_hook_dispatch
+        # Remaining charges are all sample handling, in sample_base units.
+        assert agent.stats.samples_handled > 0 or alloc_charges == 0

@@ -262,6 +262,45 @@ class TestAttachDetach:
         with pytest.raises(RuntimeError):
             profiler.attach(machine)
 
+    def test_double_attach_leaves_native_hooks_unchanged(self):
+        # A rejected attach must not have clobbered the machine's native
+        # hook table (the failure path runs before any machine mutation).
+        profiler = DJXPerf()
+        program = profiler.instrument(hot_array_program(iterations=1))
+        machine = Machine(program)
+        profiler.attach(machine)
+        hooks_before = dict(machine.natives)
+        with pytest.raises(RuntimeError):
+            profiler.attach(machine)
+        assert machine.natives == hooks_before
+        # ...and the original attachment still works end to end.
+        machine.run()
+        assert profiler.analyze().total() >= 0
+
+    def test_detach_then_reattach_fresh_profiler(self):
+        # Full lifecycle: profile a prefix, detach, attach a *fresh*
+        # DJXPerf to the same machine, and profile the rest.
+        first = DJXPerf(DjxConfig(sample_period=16))
+        program = first.instrument(hot_array_program(iterations=10))
+        machine = Machine(program, MachineConfig(heap_size=4 * 1024 * 1024))
+        first.attach(machine)
+        machine.run(max_instructions=40000)
+        first.detach()
+        assert not first.attached
+        assert not machine.bus.active          # nobody left subscribed
+
+        second = DJXPerf(DjxConfig(sample_period=16))
+        second.attach(machine)
+        machine.run()
+        assert second.attached
+        assert second.agent.stats.samples_handled > 0
+        analysis = second.analyze()
+        assert analysis.total() > 0
+        # The first profiler's results survive its detach untouched.
+        first_taken = first.agent.stats.samples_handled
+        assert first_taken > 0
+        assert first.agent.stats.samples_handled == first_taken
+
     def test_analyze_requires_attach(self):
         with pytest.raises(RuntimeError):
             DJXPerf().analyze()

@@ -63,20 +63,34 @@ class TestCallbacks:
 
 class TestAsyncGetCallTrace:
     def test_unwinds_nested_frames(self):
+        # PMU samples on the bus carry the path unwound at overflow
+        # time (AsyncGetCallTrace from the overflow handler).
+        from repro.obs.collector import Collector
+        from repro.pmu.events import ALL_LOADS
+
         machine = Machine(nested_program())
         env = JvmtiEnv(machine)
-        traces = []
 
-        def observer(thread, result):
-            traces.append(env.async_get_call_trace(thread))
+        class Capture(Collector):
+            label = "capture"
 
-        machine.access_observers.append(observer)
+            def __init__(self):
+                super().__init__()
+                self.paths = []
+
+            def on_sample(self, event):
+                self.paths.append(event.path)
+
+        capture = Capture()
+        machine.bus.subscribe(capture)
+        machine.bus.open_sampler(ALL_LOADS, period=1, owner="capture")
         machine.run()
-        # Every trace is non-empty and frames resolve to methods.
-        assert traces
-        for trace in traces:
-            for frame in trace:
-                info = env.get_method_info(frame.method_id)
+        # Every sampled path is non-empty and frames resolve to methods.
+        assert capture.paths
+        for path in capture.paths:
+            assert path
+            for method_id, _bci in path:
+                info = env.get_method_info(method_id)
                 assert info.class_name == "App"
 
     def test_trace_is_root_first(self):

@@ -62,3 +62,47 @@ class TestAdvise:
         assert main(["advise", "montecarlo", "--period", "64"]) == 0
         out = capsys.readouterr().out
         assert "improve-access-pattern" in out
+
+
+class TestReplay:
+    def test_profile_trace_then_replay(self, capsys, tmp_path):
+        trace = str(tmp_path / "mc.trace.jsonl.gz")
+        assert main(["profile", "montecarlo", "--period", "64",
+                     "--trace", trace]) == 0
+        live_out = capsys.readouterr().out
+        assert "observation trace written" in live_out
+        assert main(["replay", trace, "--period", "64"]) == 0
+        replay_out = capsys.readouterr().out
+        assert "RatePath.run:205" in replay_out
+
+    def test_replay_resample_needs_access_trace(self, capsys, tmp_path):
+        trace = str(tmp_path / "mc.trace.jsonl.gz")
+        assert main(["profile", "montecarlo", "--period", "64",
+                     "--trace", trace]) == 0
+        assert main(["replay", trace, "--period", "32",
+                     "--resample"]) == 2
+        err = capsys.readouterr().err
+        assert "include_accesses" in err
+
+    def test_replay_resample_with_access_trace(self, capsys, tmp_path):
+        trace = str(tmp_path / "mc.trace.jsonl.gz")
+        assert main(["profile", "montecarlo", "--period", "64",
+                     "--trace", trace, "--trace-accesses"]) == 0
+        capsys.readouterr()
+        assert main(["replay", trace, "--period", "32",
+                     "--resample"]) == 0
+        assert "DJXPerf object-centric profile" in capsys.readouterr().out
+
+
+class TestSuite:
+    def test_suite_table(self, capsys):
+        assert main(["suite", "--suite", "specjvm", "--jobs", "1",
+                     "--period", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out
+        assert "runtime" in out
+
+    def test_suite_parallel_jobs(self, capsys):
+        assert main(["suite", "--suite", "specjvm", "--jobs", "2",
+                     "--period", "64"]) == 0
+        assert "xml-transform" in capsys.readouterr().out

@@ -4,9 +4,11 @@ import pytest
 
 from repro.core import DjxConfig
 from repro.workloads import (
+    OverheadMeasurement,
     get_workload,
     measure_overhead,
     measure_speedup,
+    measure_suite_overheads,
     run_native,
     run_profiled,
 )
@@ -79,3 +81,46 @@ class TestMeasureOverhead:
         # Identical memory behaviour: same allocation count & misses.
         assert profiled.result.heap_allocations == native.heap_allocations
         assert profiled.result.l1_misses == native.l1_misses
+
+    def test_zero_native_cycles_rejected_with_context(self):
+        m = OverheadMeasurement(name="degenerate", native_cycles=0,
+                                profiled_cycles=100, native_peak_memory=0,
+                                profiler_memory=0)
+        with pytest.raises(ZeroDivisionError, match="degenerate"):
+            m.runtime_overhead
+
+
+class TestVariantCheck:
+    def test_check_variant_is_public(self):
+        workload = get_workload(FAST)
+        workload.check_variant("baseline")       # no raise
+        with pytest.raises(ValueError, match="nope"):
+            workload.check_variant("nope")
+
+
+class TestSuiteOverheads:
+    NAMES = ["compress", "crypto", "serial"]
+
+    def test_serial_path_returns_in_order(self):
+        measurements = measure_suite_overheads(
+            self.NAMES, config=DjxConfig(sample_period=64), jobs=1)
+        assert [m.name for m in measurements] == self.NAMES
+        assert all(m.runtime_overhead > 1.0 for m in measurements)
+
+    def test_parallel_matches_serial(self):
+        config = DjxConfig(sample_period=64)
+        serial = measure_suite_overheads(self.NAMES, config=config, jobs=1)
+        parallel = measure_suite_overheads(self.NAMES, config=config,
+                                           jobs=3)
+        assert serial == parallel       # deterministic sim, same order
+
+    def test_trace_dir_records_replayable_traces(self, tmp_path):
+        from repro.obs.replay import replay_analyze
+
+        config = DjxConfig(sample_period=64)
+        measurements = measure_suite_overheads(
+            ["compress"], config=config, jobs=1, trace_dir=str(tmp_path))
+        trace = measurements[0].trace_path
+        assert trace is not None
+        analysis = replay_analyze(trace, config)
+        assert analysis.total() > 0
