@@ -1,0 +1,243 @@
+"""Simulator throughput benchmark: the tracked perf harness.
+
+Measures how fast the *simulator itself* executes — simulated bytecode
+instructions per wall-clock second (ips) and memory accesses per second
+(aps) — for every suite workload, on both engines:
+
+``fastpath``
+    Compiled dispatch tables + the hierarchy's pooled L1 fast path
+    (the default engine).
+``legacy``
+    The original one-step-at-a-time interpreter and composed hierarchy
+    walk (``--no-fastpath``).
+
+Each arm runs ``repeat`` times on a freshly built machine and keeps the
+best wall time (the workloads are deterministic, so best-of-N measures
+the code, not the scheduler).  The two arms' MachineResults are compared
+on every run — a bench run doubles as a cheap equivalence check.
+
+The aggregate row divides total instructions by total best-time across
+workloads, weighting long workloads naturally.  ``BENCH_throughput.json``
+at the repo root is the committed reference produced by this harness
+(see ``python -m repro bench --help``); CI re-runs a small subset and
+fails when the measured fastpath-over-legacy speedup ratio falls more
+than the tolerance below the committed one.  The *ratio* is compared —
+not absolute ips — because both arms run on the same machine in the
+same process, which cancels hardware differences between the machine
+that committed the baseline and the machine checking it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.jvm.machine import Machine, MachineResult
+from repro.workloads.base import Workload, get_workload
+from repro.workloads.suite import suite_names
+
+#: Schema tag written into every report (bump on breaking change).
+SCHEMA = "repro-bench-throughput/1"
+
+#: Quick subset for CI: the heaviest row of each flavour plus two
+#: streaming-native rows, keeping the job under a few seconds.
+SMALL_SUITE = ("mnemonics", "akka-uct", "avrora", "crypto")
+
+
+@dataclass(frozen=True)
+class ArmTiming:
+    """One engine's timing for one workload."""
+
+    seconds: float
+    ips: float
+    aps: float
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One workload's measurement across both engines."""
+
+    name: str
+    instructions: int
+    accesses: int
+    fastpath: ArmTiming
+    legacy: Optional[ArmTiming]
+
+    @property
+    def speedup_vs_legacy(self) -> Optional[float]:
+        if self.legacy is None:
+            return None
+        return self.legacy.seconds / self.fastpath.seconds
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """A full harness run: per-workload rows plus the aggregate."""
+
+    rows: List[BenchRow]
+    repeat: int
+
+    def _aggregate(self, arm: Callable[[BenchRow], Optional[ArmTiming]]
+                   ) -> Optional[ArmTiming]:
+        timings = [arm(r) for r in self.rows]
+        if not timings or any(t is None for t in timings):
+            return None
+        seconds = sum(t.seconds for t in timings)  # type: ignore[union-attr]
+        instructions = sum(r.instructions for r in self.rows)
+        accesses = sum(r.accesses for r in self.rows)
+        return ArmTiming(seconds=seconds, ips=instructions / seconds,
+                         aps=accesses / seconds)
+
+    @property
+    def aggregate_fastpath(self) -> Optional[ArmTiming]:
+        return self._aggregate(lambda r: r.fastpath)
+
+    @property
+    def aggregate_legacy(self) -> Optional[ArmTiming]:
+        return self._aggregate(lambda r: r.legacy)
+
+    @property
+    def aggregate_speedup(self) -> Optional[float]:
+        fast, legacy = self.aggregate_fastpath, self.aggregate_legacy
+        if fast is None or legacy is None:
+            return None
+        return legacy.seconds / fast.seconds
+
+    def to_dict(self) -> Dict:
+        def arm(t: Optional[ArmTiming]) -> Optional[Dict]:
+            if t is None:
+                return None
+            return {"seconds": round(t.seconds, 6),
+                    "ips": round(t.ips, 1), "aps": round(t.aps, 1)}
+
+        workloads = {}
+        for row in self.rows:
+            entry = {"instructions": row.instructions,
+                     "accesses": row.accesses,
+                     "fastpath": arm(row.fastpath),
+                     "legacy": arm(row.legacy)}
+            if row.speedup_vs_legacy is not None:
+                entry["speedup_vs_legacy"] = round(row.speedup_vs_legacy, 3)
+            workloads[row.name] = entry
+        out = {"schema": SCHEMA, "repeat": self.repeat,
+               "workloads": workloads,
+               "aggregate": {
+                   "instructions": sum(r.instructions for r in self.rows),
+                   "accesses": sum(r.accesses for r in self.rows),
+                   "fastpath": arm(self.aggregate_fastpath),
+                   "legacy": arm(self.aggregate_legacy)}}
+        if self.aggregate_speedup is not None:
+            out["aggregate"]["speedup_vs_legacy"] = round(
+                self.aggregate_speedup, 3)
+        return out
+
+
+class EquivalenceError(AssertionError):
+    """The two engines produced different MachineResults."""
+
+
+def _time_arm(workload: Workload, fastpath: bool, repeat: int,
+              variant: str) -> "tuple[MachineResult, float]":
+    """Best-of-``repeat`` wall time for one engine on one workload."""
+    program = workload.build_verified(variant)
+    config = dataclasses.replace(workload.machine_config(),
+                                 fastpath=fastpath)
+    best: Optional[float] = None
+    result: Optional[MachineResult] = None
+    for _ in range(repeat):
+        machine = Machine(program, config)
+        started = time.perf_counter()
+        result = machine.run()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    assert result is not None and best is not None
+    return result, best
+
+
+def bench_workload(workload: Workload, repeat: int = 3,
+                   legacy: bool = True,
+                   variant: str = "baseline") -> BenchRow:
+    """Measure one workload; raises :class:`EquivalenceError` if the
+    legacy arm disagrees with the fast path on any result field."""
+    fast_result, fast_seconds = _time_arm(workload, True, repeat, variant)
+    instructions = fast_result.total_instructions
+    accesses = fast_result.loads + fast_result.stores
+    fast = ArmTiming(seconds=fast_seconds,
+                     ips=instructions / fast_seconds,
+                     aps=accesses / fast_seconds)
+    legacy_timing: Optional[ArmTiming] = None
+    if legacy:
+        legacy_result, legacy_seconds = _time_arm(
+            workload, False, repeat, variant)
+        if legacy_result != fast_result:
+            raise EquivalenceError(
+                f"{workload.name}: fastpath and legacy engines disagree "
+                f"(fast={fast_result!r}, legacy={legacy_result!r})")
+        legacy_timing = ArmTiming(seconds=legacy_seconds,
+                                  ips=instructions / legacy_seconds,
+                                  aps=accesses / legacy_seconds)
+    return BenchRow(name=workload.name, instructions=instructions,
+                    accesses=accesses, fastpath=fast, legacy=legacy_timing)
+
+
+def bench_suite(names: Optional[Sequence[str]] = None, repeat: int = 3,
+                legacy: bool = True,
+                progress: Optional[Callable[[BenchRow], None]] = None
+                ) -> BenchReport:
+    """Run the harness over ``names`` (default: the full suite)."""
+    if names is None:
+        names = suite_names()
+    if not names:
+        raise ValueError("no workloads to benchmark")
+    rows: List[BenchRow] = []
+    for name in names:
+        row = bench_workload(get_workload(name), repeat=repeat,
+                             legacy=legacy)
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    return BenchReport(rows=rows, repeat=repeat)
+
+
+def write_report(report: BenchReport, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: unexpected schema "
+                         f"{data.get('schema')!r} (want {SCHEMA!r})")
+    return data
+
+
+def check_regression(report: BenchReport, baseline: Dict,
+                     tolerance: float = 0.20) -> List[str]:
+    """Compare a fresh run against a committed baseline report.
+
+    Returns a list of human-readable failures (empty = pass).  The
+    fastpath-over-legacy speedup *ratio* is compared, not absolute
+    throughput: the ratio is measured within one process on one
+    machine, so it transfers between the committing machine and the
+    checking machine, while raw ips does not.
+    """
+    measured = report.aggregate_speedup
+    if measured is None:
+        return ["regression check needs both engines: "
+                "run without --no-legacy"]
+    committed = baseline.get("aggregate", {}).get("speedup_vs_legacy")
+    if committed is None:
+        return ["baseline has no aggregate.speedup_vs_legacy field"]
+    floor = committed * (1.0 - tolerance)
+    if measured < floor:
+        return [f"aggregate fastpath speedup regressed: measured "
+                f"{measured:.3f}x < floor {floor:.3f}x "
+                f"(committed {committed:.3f}x - {tolerance:.0%})"]
+    return []

@@ -23,11 +23,17 @@ Commands
 ``suite``
     Run the Figure-4 overhead study over the benchmark suite, fanned
     out over a process pool (``--jobs``).
+``bench``
+    Measure simulator throughput (simulated instructions/sec and
+    accesses/sec) on both engines — compiled-dispatch fast path and
+    the legacy stepper — and optionally write/check the tracked
+    ``BENCH_throughput.json`` baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -71,8 +77,13 @@ def cmd_list(args) -> int:
 
 def cmd_profile(args) -> int:
     workload = get_workload(args.workload)
+    machine_config = None
+    if args.no_fastpath:
+        machine_config = dataclasses.replace(workload.machine_config(),
+                                             fastpath=False)
     run = run_profiled(workload, variant=args.variant,
                        config=_config(args),
+                       machine_config=machine_config,
                        trace_path=args.trace,
                        trace_accesses=args.trace_accesses)
     print(render_report(run.analysis, top=args.top))
@@ -158,6 +169,62 @@ def cmd_advise(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.bench import (
+        SMALL_SUITE,
+        bench_suite,
+        check_regression,
+        load_report,
+        write_report,
+    )
+    from repro.workloads.suite import suite_names
+
+    if args.workloads:
+        names = args.workloads
+    elif args.small:
+        names = list(SMALL_SUITE)
+    else:
+        names = suite_names()
+
+    def progress(row):
+        if args.json:
+            return
+        speedup = (f"  x{row.speedup_vs_legacy:.2f}"
+                   if row.speedup_vs_legacy is not None else "")
+        print(f"{row.name:24s} {row.instructions:8d} ins  "
+              f"{row.fastpath.ips:10.0f} ips  "
+              f"{row.fastpath.aps:10.0f} aps{speedup}")
+
+    report = bench_suite(names, repeat=args.repeat,
+                         legacy=not args.no_legacy, progress=progress)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        agg = report.aggregate_fastpath
+        print(f"{'AGGREGATE':24s} "
+              f"{sum(r.instructions for r in report.rows):8d} ins  "
+              f"{agg.ips:10.0f} ips  {agg.aps:10.0f} aps"
+              + (f"  x{report.aggregate_speedup:.2f} vs legacy"
+                 if report.aggregate_speedup is not None else ""))
+    if args.out:
+        write_report(report, args.out)
+        if not args.json:
+            print(f"report written to {args.out}")
+    if args.check:
+        failures = check_regression(report, load_report(args.check),
+                                    tolerance=args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        if not args.json:
+            print(f"regression check against {args.check} passed "
+                  f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -180,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--trace-accesses", action="store_true",
                            help="include raw accesses in the trace "
                                 "(enables replay --resample)")
+    p_profile.add_argument("--no-fastpath", action="store_true",
+                           help="run on the legacy one-step interpreter "
+                                "and composed hierarchy walk instead of "
+                                "the compiled-dispatch fast path "
+                                "(identical results, slower; for "
+                                "debugging and differential testing)")
     _add_profiler_options(p_profile)
     p_profile.set_defaults(fn=cmd_profile)
 
@@ -223,6 +296,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_advise.add_argument("--top", type=int, default=10)
     _add_profiler_options(p_advise)
     p_advise.set_defaults(fn=cmd_advise)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure simulator throughput")
+    p_bench.add_argument("workloads", nargs="*",
+                         help="workloads to benchmark (default: full "
+                              "suite)")
+    p_bench.add_argument("--small", action="store_true",
+                         help="use the quick CI subset instead of the "
+                              "full suite")
+    p_bench.add_argument("--repeat", type=int, default=3,
+                         help="runs per engine, best wall time kept "
+                              "(default 3)")
+    p_bench.add_argument("--no-legacy", action="store_true",
+                         help="skip the legacy-engine arm (faster; "
+                              "disables speedup and --check)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="print the full report as JSON instead "
+                              "of the table")
+    p_bench.add_argument("--out", metavar="FILE",
+                         help="also write the JSON report to FILE")
+    p_bench.add_argument("--check", metavar="FILE",
+                         help="compare against a committed baseline "
+                              "report; non-zero exit on regression")
+    p_bench.add_argument("--tolerance", type=float, default=0.20,
+                         help="allowed fractional speedup regression "
+                              "for --check (default 0.20)")
+    p_bench.set_defaults(fn=cmd_bench)
 
     return parser
 

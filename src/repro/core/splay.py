@@ -37,14 +37,27 @@ class SplayStats:
     lookups: int = 0
     hits: int = 0
     evictions: int = 0  # intervals evicted by overlapping inserts
+    #: Lookups answered by the one-entry last-interval cache (a subset
+    #: of ``hits``) and lookups that had to descend the tree.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class IntervalSplayTree:
-    """Self-adjusting BST over disjoint address intervals."""
+    """Self-adjusting BST over disjoint address intervals.
+
+    A one-entry cache in front of the tree remembers the last interval a
+    ``lookup`` hit: PMU samples cluster on hot objects, so repeated
+    samples to the same object skip the splay descent entirely.  Every
+    mutation (``insert``/``remove_*``/``clear``) invalidates the cache —
+    a stale cached interval after a GC relocation would misattribute
+    samples to a dead range.
+    """
 
     def __init__(self) -> None:
         self._root: Optional[_Node] = None
         self._size = 0
+        self._hot: Optional[_Node] = None
         self.stats = SplayStats()
 
     def __len__(self) -> int:
@@ -109,7 +122,14 @@ class IntervalSplayTree:
 
         Splays, so repeated lookups of a hot object are amortised-fast.
         """
-        self.stats.lookups += 1
+        stats = self.stats
+        stats.lookups += 1
+        hot = self._hot
+        if hot is not None and hot.start <= address < hot.end:
+            stats.hits += 1
+            stats.cache_hits += 1
+            return hot.payload
+        stats.cache_misses += 1
         if self._root is None:
             return None
         self._root = self._splay(self._root, address)
@@ -121,9 +141,10 @@ class IntervalSplayTree:
             while node is not None and node.right is not None:
                 node = node.right
         if node is not None and node.start <= address < node.end:
-            self.stats.hits += 1
+            stats.hits += 1
             # Bring the hit to the root (the self-adjusting payoff).
             self._root = self._splay(self._root, node.start)
+            self._hot = self._root
             return self._root.payload
         return None
 
@@ -170,6 +191,7 @@ class IntervalSplayTree:
         """Insert ``[start, end)``, evicting any overlapping intervals."""
         if end <= start:
             raise ValueError(f"empty interval [{start:#x}, {end:#x})")
+        self._hot = None
         for s, _e, _p in self.overlapping(start, end):
             self._remove_exact(s)
             self.stats.evictions += 1
@@ -212,6 +234,7 @@ class IntervalSplayTree:
         return payload
 
     def _remove_exact(self, start: int) -> Optional[object]:
+        self._hot = None
         self._root = self._splay(self._root, start)
         root = self._root
         if root is None or root.start != start:
@@ -229,6 +252,7 @@ class IntervalSplayTree:
     def clear(self) -> None:
         self._root = None
         self._size = 0
+        self._hot = None
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Iterator, List, Optional
 from repro.heap.layout import (
     HEADER_SIZE,
     ELEM_SIZES,
+    OBJECT_ALIGNMENT,
     JClass,
     Kind,
     align,
@@ -29,11 +30,27 @@ class OutOfMemoryError(Exception):
     """Raised when an allocation cannot be satisfied even after GC."""
 
 
-@dataclass(frozen=True)
 class Ref:
-    """A reference value: stable object identity across GC moves."""
+    """A reference value: stable object identity across GC moves.
 
-    oid: int
+    A plain ``__slots__`` class rather than a frozen dataclass: one Ref
+    is built per allocation, and frozen-dataclass construction funnels
+    every field through ``object.__setattr__``.  Equality and hashing
+    match the frozen-dataclass behaviour (by ``oid``, same-class only).
+    """
+
+    __slots__ = ("oid",)
+
+    def __init__(self, oid: int) -> None:
+        self.oid = oid
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is Ref:
+            return self.oid == other.oid
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.oid,))
 
     def __repr__(self) -> str:
         return f"Ref#{self.oid}"
@@ -90,12 +107,12 @@ class HeapObject:
         if not 0 <= index < self.length:
             raise IndexError(
                 f"index {index} out of bounds for length {self.length}")
-        return self.addr + array_elem_offset(self.elem_kind, index)
+        return self.addr + HEADER_SIZE + self.elem_kind.elem_bytes * index
 
     def elem_size(self) -> int:
         if self.elem_kind is None:
             raise TypeError(f"{self.type_name} is not an array")
-        return ELEM_SIZES[self.elem_kind]
+        return self.elem_kind.elem_bytes
 
     # -- payload access ------------------------------------------------
     def get_field(self, name: str):
@@ -196,18 +213,23 @@ class Heap:
 
     def _reserve(self, size: int) -> int:
         """Bump-allocate ``size`` bytes, collecting if needed."""
-        size = align(size)
-        if self._top + size > self.limit:
+        # align(size, OBJECT_ALIGNMENT), open-coded: this is the
+        # allocation hot path and the alignment is a power of two.
+        size = (size + OBJECT_ALIGNMENT - 1) & ~(OBJECT_ALIGNMENT - 1)
+        top = self._top + size
+        if top > self.limit:
             if self.collector is not None:
                 self.collector.collect(reason="allocation failure")
-            if self._top + size > self.limit:
+            top = self._top + size
+            if top > self.limit:
                 raise OutOfMemoryError(
                     f"cannot allocate {size} bytes "
                     f"({self.free} free of {self.size})")
-        addr = self._top
-        self._top += size
-        if self.used > self.stats.peak_used:
-            self.stats.peak_used = self.used
+        addr = top - size
+        self._top = top
+        used = top - self.base
+        if used > self.stats.peak_used:
+            self.stats.peak_used = used
         return addr
 
     def _register(self, obj: HeapObject, thread_id: int) -> Ref:

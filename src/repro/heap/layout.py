@@ -39,6 +39,12 @@ class Kind(enum.Enum):
 #: Element sizes in bytes for primitive array kinds (Java-like).
 ELEM_SIZES = {Kind.INT: 8, Kind.FLOAT: 8, Kind.REF: 8}
 
+# Enum-keyed dict lookups pay a Python-level ``Enum.__hash__`` per hit;
+# the layout helpers sit on allocation/element hot paths, so each member
+# carries its element size as a plain attribute too.
+for _kind, _size in ELEM_SIZES.items():
+    _kind.elem_bytes = _size
+
 
 def align(size: int, alignment: int = OBJECT_ALIGNMENT) -> int:
     """Round ``size`` up to a multiple of ``alignment``."""
@@ -119,9 +125,9 @@ def array_size(elem_kind: Kind, length: int) -> int:
     """Total byte size of an array object, header included."""
     if length < 0:
         raise ValueError(f"negative array length {length}")
-    return align(HEADER_SIZE + ELEM_SIZES[elem_kind] * length)
+    return align(HEADER_SIZE + elem_kind.elem_bytes * length)
 
 
 def array_elem_offset(elem_kind: Kind, index: int) -> int:
     """Byte offset of element ``index`` from the array base address."""
-    return HEADER_SIZE + ELEM_SIZES[elem_kind] * index
+    return HEADER_SIZE + elem_kind.elem_bytes * index

@@ -1,0 +1,482 @@
+"""Compiled bytecode dispatch: per-method tables of handler closures.
+
+At class-load/JIT time, :func:`compile_dispatch` translates a method's
+instruction list into a table with one *bound handler closure* per
+bytecode — each closure has its opcode's behaviour specialised on the
+decoded arguments (constants folded, branch targets resolved, argument
+tuples unpacked), so :meth:`repro.jvm.interpreter.Interpreter.run_quantum`
+becomes a tight loop over prebuilt callables instead of re-branching on
+``ins.op`` for every step.  This is the simulator analogue of a
+threaded-code interpreter (and of what HotSpot's template interpreter
+does with its per-opcode code stubs).
+
+Handler protocol
+----------------
+``handler(thread, frame) -> next_pc`` where ``next_pc`` is the bytecode
+index to continue at, or ``-1`` when the stretch must end because the
+top frame changed or may have changed (INVOKE/RETURN/IRETURN push or pop
+frames; NATIVE may park or finish the thread).  The driver re-reads
+``thread.frames[-1]`` — and the method's cycles-per-instruction, which a
+recursive INVOKE can change by triggering a JIT compile — after every
+``-1``.
+
+Equivalence contract (the fast path must be observationally invisible):
+
+* ``frame.pc`` is only read by observers *during* instruction execution
+  (PMU overflow unwinds, allocation-hook paths).  Handlers whose body
+  can publish an event therefore store their own bci into ``frame.pc``
+  before doing the work, exactly matching what the legacy interpreter
+  (which keeps ``frame.pc`` current at all times) would expose.  Pure
+  stack/arithmetic handlers skip the store — nothing can observe the
+  stale value in between.
+* INVOKE stores the *return address* before pushing the callee frame,
+  as the legacy path does, so async unwinds attribute caller frames to
+  the instruction after the call site.
+* Errors carry the same messages: TrapErrors raised inside handlers
+  propagate untouched; any other exception is wrapped by the driver
+  with the legacy ``"<method> bci <pc> (<ins>): <exc>"`` decoration.
+  INVOKE wraps its own failures because the legacy path reports them
+  against the already-advanced ``frame.pc``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.heap.allocator import Ref
+from repro.heap.layout import Kind
+from repro.jvm.bytecode import Instruction, Op
+
+#: A compiled instruction: (thread, frame) -> next pc, or -1 on frame switch.
+Handler = Callable[[object, object], int]
+
+
+def compile_dispatch(machine, runtime) -> List[Handler]:
+    """Build the handler table for ``runtime``'s method.
+
+    Cached on ``runtime.dispatch_table`` by the interpreter; safe to
+    reuse across JIT recompilations because the bytecode is immutable.
+    """
+    from repro.jvm.interpreter import (
+        ArithmeticTrap,
+        Frame,
+        NullPointerError,
+        ThreadState,
+        TrapError,
+        _int_div,
+        _int_rem,
+    )
+
+    method = runtime.method
+    qname = method.qualified_name
+    heap = machine.heap
+    method_table = machine.method_table
+    finished = ThreadState.FINISHED
+    # Bound once per table: every memory-touching handler calls this.
+    memory_access = machine.memory_access
+
+    def deref(ref, bci: int, ins: Instruction):
+        if not isinstance(ref, Ref):
+            raise NullPointerError(
+                f"{qname} bci {bci} ({ins!r}): dereferencing {ref!r}")
+        return heap.get(ref)
+
+    table: List[Handler] = []
+    for bci, ins in enumerate(method.code):
+        op = ins.op
+        nxt = bci + 1
+
+        if op is Op.LOAD:
+            index = ins.args[0]
+
+            def h(thread, frame, index=index, nxt=nxt):
+                locals_ = frame.locals
+                frame.stack.append(
+                    locals_[index] if index < len(locals_) else None)
+                return nxt
+
+        elif op is Op.ICONST or op is Op.FCONST:
+            value = ins.args[0]
+
+            def h(thread, frame, value=value, nxt=nxt):
+                frame.stack.append(value)
+                return nxt
+
+        elif op is Op.ALOAD:
+            def h(thread, frame, bci=bci, ins=ins, nxt=nxt):
+                frame.pc = bci
+                stack = frame.stack
+                index = stack.pop()
+                obj = deref(stack.pop(), bci, ins)
+                # element_address bounds-checks; the direct list read
+                # replaces get_element's re-check of the same bounds.
+                memory_access(thread, obj.element_address(index),
+                              obj.elem_size(), is_write=False)
+                stack.append(obj.elements[index])
+                return nxt
+
+        elif op is Op.IINC:
+            index, delta = ins.args
+
+            def h(thread, frame, index=index, delta=delta, nxt=nxt):
+                locals_ = frame.locals
+                if index >= len(locals_):
+                    locals_.extend([None] * (index + 1 - len(locals_)))
+                locals_[index] = locals_[index] + delta
+                return nxt
+
+        elif op in _CMP_BRANCHES:
+            compare = _CMP_BRANCHES[op]
+            target = ins.args[0]
+
+            def h(thread, frame, compare=compare, target=target, nxt=nxt):
+                stack = frame.stack
+                b = stack.pop()
+                return target if compare(stack.pop(), b) else nxt
+
+        elif op in _ZERO_BRANCHES:
+            test = _ZERO_BRANCHES[op]
+            target = ins.args[0]
+
+            def h(thread, frame, test=test, target=target, nxt=nxt):
+                return target if test(frame.stack.pop()) else nxt
+
+        elif op is Op.GOTO:
+            target = ins.args[0]
+
+            def h(thread, frame, target=target):
+                return target
+
+        elif op is Op.POP:
+            def h(thread, frame, nxt=nxt):
+                frame.stack.pop()
+                return nxt
+
+        elif op is Op.STORE:
+            index = ins.args[0]
+
+            def h(thread, frame, index=index, nxt=nxt):
+                value = frame.stack.pop()
+                locals_ = frame.locals
+                if index >= len(locals_):
+                    locals_.extend([None] * (index + 1 - len(locals_)))
+                locals_[index] = value
+                return nxt
+
+        elif op is Op.ASTORE:
+            def h(thread, frame, bci=bci, ins=ins, nxt=nxt):
+                frame.pc = bci
+                stack = frame.stack
+                value = stack.pop()
+                index = stack.pop()
+                obj = deref(stack.pop(), bci, ins)
+                # element_address bounds-checks; the direct list write
+                # replaces set_element's re-check of the same bounds.
+                memory_access(thread, obj.element_address(index),
+                              obj.elem_size(), is_write=True)
+                obj.elements[index] = value
+                return nxt
+
+        elif op is Op.ACONST_NULL:
+            def h(thread, frame, nxt=nxt):
+                frame.stack.append(None)
+                return nxt
+
+        elif op is Op.DUP:
+            def h(thread, frame, nxt=nxt):
+                stack = frame.stack
+                stack.append(stack[-1])
+                return nxt
+
+        elif op is Op.SWAP:
+            def h(thread, frame, nxt=nxt):
+                stack = frame.stack
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+                return nxt
+
+        elif op in _BINOPS:
+            binop = _BINOPS[op]
+
+            def h(thread, frame, binop=binop, nxt=nxt):
+                stack = frame.stack
+                b = stack.pop()
+                stack.append(binop(stack.pop(), b))
+                return nxt
+
+        elif op is Op.DIV:
+            def h(thread, frame, nxt=nxt):
+                stack = frame.stack
+                b = stack.pop()
+                a = stack.pop()
+                if isinstance(a, float) or isinstance(b, float):
+                    if b == 0:
+                        raise ArithmeticTrap("float division by zero")
+                    stack.append(a / b)
+                else:
+                    stack.append(_int_div(a, b))
+                return nxt
+
+        elif op is Op.REM:
+            def h(thread, frame, nxt=nxt):
+                stack = frame.stack
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(_int_rem(a, b) if isinstance(a, int)
+                             and isinstance(b, int) else a % b)
+                return nxt
+
+        elif op is Op.NEG:
+            def h(thread, frame, nxt=nxt):
+                stack = frame.stack
+                stack.append(-stack.pop())
+                return nxt
+
+        elif op is Op.I2F:
+            def h(thread, frame, nxt=nxt):
+                stack = frame.stack
+                stack.append(float(stack.pop()))
+                return nxt
+
+        elif op is Op.F2I:
+            def h(thread, frame, nxt=nxt):
+                stack = frame.stack
+                stack.append(int(stack.pop()))
+                return nxt
+
+        elif op is Op.INVOKE:
+            method_name, argc = ins.args
+
+            def h(thread, frame, method_name=method_name, argc=argc,
+                  ins=ins, nxt=nxt):
+                stack = frame.stack
+                if argc:
+                    args = stack[-argc:]
+                    del stack[-argc:]
+                else:
+                    args = []
+                frame.pc = nxt            # return address
+                # The legacy interpreter has already advanced frame.pc
+                # when resolution fails, so errors report bci ``nxt``;
+                # wrap here rather than in the driver to preserve that.
+                try:
+                    callee = method_table.runtime(method_name)
+                    pause = method_table.on_invoke(callee)
+                except TrapError:
+                    raise
+                except Exception as exc:
+                    raise TrapError(
+                        f"{qname} bci {nxt} ({ins!r}): {exc}") from exc
+                if pause:
+                    thread.cycles += pause
+                thread.frames.append(Frame(callee, args))
+                return -1
+
+        elif op is Op.NATIVE:
+            name, argc, has_result = ins.args[0], ins.args[1], ins.args[2]
+            consts = ins.args[3:]
+
+            def h(thread, frame, name=name, argc=argc,
+                  has_result=has_result, consts=consts, bci=bci, nxt=nxt):
+                frame.pc = bci
+                stack = frame.stack
+                if argc:
+                    args = stack[-argc:]
+                    del stack[-argc:]
+                else:
+                    args = []
+                result = machine.call_native(name, thread, args, consts)
+                if has_result:
+                    stack.append(result)
+                # A native may have parked or finished the thread; keep
+                # pc pointing past the native and let the driver re-read
+                # the thread state.
+                frame.pc = nxt
+                return -1
+
+        elif op is Op.RETURN or op is Op.IRETURN:
+            returns_value = op is Op.IRETURN
+
+            def h(thread, frame, returns_value=returns_value):
+                value = frame.stack.pop() if returns_value else None
+                frames = thread.frames
+                frames.pop()
+                if frames:
+                    frames[-1].stack.append(value)
+                else:
+                    thread.result = value
+                    thread.state = finished
+                    machine.on_thread_finished(thread)
+                return -1
+
+        elif op is Op.NEW:
+            class_name = ins.args[0]
+            cell: List = [None]
+
+            def h(thread, frame, class_name=class_name, cell=cell,
+                  bci=bci, nxt=nxt):
+                frame.pc = bci
+                jclass = cell[0]
+                if jclass is None:
+                    # Resolved on first execution, as the legacy path
+                    # does, so unknown classes trap at run time.
+                    jclass = machine.program.jclass(class_name)
+                    cell[0] = jclass
+                frame.stack.append(machine.allocate_instance(jclass, thread))
+                return nxt
+
+        elif op is Op.NEWARRAY:
+            elem_kind = ins.args[0]
+
+            def h(thread, frame, elem_kind=elem_kind, bci=bci, nxt=nxt):
+                frame.pc = bci
+                stack = frame.stack
+                length = stack.pop()
+                stack.append(machine.allocate_array(elem_kind, length, thread))
+                return nxt
+
+        elif op is Op.ANEWARRAY:
+            def h(thread, frame, bci=bci, nxt=nxt):
+                frame.pc = bci
+                stack = frame.stack
+                length = stack.pop()
+                stack.append(machine.allocate_array(Kind.REF, length, thread))
+                return nxt
+
+        elif op is Op.MULTIANEWARRAY:
+            elem_kind, dims = ins.args
+
+            def h(thread, frame, elem_kind=elem_kind, dims=dims,
+                  bci=bci, nxt=nxt):
+                frame.pc = bci
+                stack = frame.stack
+                lengths = [stack.pop() for _ in range(dims)][::-1]
+                stack.append(
+                    machine.allocate_multi_array(elem_kind, lengths, thread))
+                return nxt
+
+        elif op is Op.GETFIELD:
+            field_name = ins.args[0]
+
+            def h(thread, frame, field_name=field_name, ins=ins,
+                  bci=bci, nxt=nxt):
+                frame.pc = bci
+                stack = frame.stack
+                obj = deref(stack.pop(), bci, ins)
+                memory_access(thread, obj.field_address(field_name),
+                              8, is_write=False)
+                stack.append(obj.get_field(field_name))
+                return nxt
+
+        elif op is Op.PUTFIELD:
+            field_name = ins.args[0]
+
+            def h(thread, frame, field_name=field_name, ins=ins,
+                  bci=bci, nxt=nxt):
+                frame.pc = bci
+                stack = frame.stack
+                value = stack.pop()
+                obj = deref(stack.pop(), bci, ins)
+                memory_access(thread, obj.field_address(field_name),
+                              8, is_write=True)
+                obj.set_field(field_name, value)
+                return nxt
+
+        elif op is Op.GETSTATIC:
+            key = ins.args[0]
+
+            def h(thread, frame, key=key, bci=bci, nxt=nxt):
+                frame.pc = bci
+                address = machine.static_address(key)
+                memory_access(thread, address, 8, is_write=False)
+                frame.stack.append(machine.get_static(key))
+                return nxt
+
+        elif op is Op.PUTSTATIC:
+            key = ins.args[0]
+
+            def h(thread, frame, key=key, bci=bci, nxt=nxt):
+                frame.pc = bci
+                address = machine.static_address(key)
+                memory_access(thread, address, 8, is_write=True)
+                machine.set_static(key, frame.stack.pop())
+                return nxt
+
+        elif op is Op.ARRAYLENGTH:
+            def h(thread, frame, ins=ins, bci=bci, nxt=nxt):
+                frame.pc = bci
+                stack = frame.stack
+                obj = deref(stack.pop(), bci, ins)
+                # length lives in the header's second word
+                memory_access(thread, obj.addr + 8, 8, is_write=False)
+                stack.append(obj.length)
+                return nxt
+
+        elif op is Op.NOP:
+            def h(thread, frame, nxt=nxt):
+                return nxt
+
+        else:  # pragma: no cover - exhaustive over Op
+            def h(thread, frame, op=op):
+                raise TrapError(f"unimplemented opcode {op}")
+
+        table.append(h)
+    return table
+
+
+def _add(a, b):
+    return a + b
+
+
+def _sub(a, b):
+    return a - b
+
+
+def _mul(a, b):
+    return a * b
+
+
+def _shl(a, b):
+    return a << b
+
+
+def _shr(a, b):
+    return a >> b
+
+
+def _and(a, b):
+    return a & b
+
+
+def _or(a, b):
+    return a | b
+
+
+def _xor(a, b):
+    return a ^ b
+
+
+_BINOPS = {
+    Op.ADD: _add, Op.SUB: _sub, Op.MUL: _mul,
+    Op.SHL: _shl, Op.SHR: _shr,
+    Op.AND: _and, Op.OR: _or, Op.XOR: _xor,
+}
+
+_CMP_BRANCHES = {
+    Op.IF_ICMPEQ: lambda a, b: a == b,
+    Op.IF_ICMPNE: lambda a, b: a != b,
+    Op.IF_ICMPLT: lambda a, b: a < b,
+    Op.IF_ICMPGE: lambda a, b: a >= b,
+    Op.IF_ICMPGT: lambda a, b: a > b,
+    Op.IF_ICMPLE: lambda a, b: a <= b,
+}
+
+_ZERO_BRANCHES = {
+    Op.IF_EQ: lambda v: v == 0,
+    Op.IF_NE: lambda v: v != 0,
+    Op.IF_LT: lambda v: v < 0,
+    Op.IF_GE: lambda v: v >= 0,
+    Op.IF_GT: lambda v: v > 0,
+    Op.IF_LE: lambda v: v <= 0,
+    Op.IF_NULL: lambda v: v is None,
+    Op.IF_NONNULL: lambda v: v is not None,
+}

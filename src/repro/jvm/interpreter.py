@@ -24,6 +24,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.heap.allocator import Ref
 from repro.heap.layout import Kind
 from repro.jvm.bytecode import Instruction, Op
+from repro.jvm.dispatch import compile_dispatch
 from repro.jvm.jit import MethodRuntime
 
 
@@ -126,10 +127,25 @@ def _int_rem(a: int, b: int) -> int:
 
 
 class Interpreter:
-    """Executes bytecode for one :class:`~repro.jvm.machine.Machine`."""
+    """Executes bytecode for one :class:`~repro.jvm.machine.Machine`.
 
-    def __init__(self, machine) -> None:
+    Two execution engines share the exact observable semantics:
+
+    * the **fast path** (default) runs each method through its compiled
+      dispatch table (:mod:`repro.jvm.dispatch`) — a tight loop over
+      prebuilt per-instruction closures, with cycle/instruction charging
+      batched per uninterrupted stretch;
+    * the **legacy path** (``fastpath=False``, the machine's
+      ``--no-fastpath`` flag) decodes every instruction through
+      :meth:`step`'s if/elif chain, one at a time.
+
+    The differential-equivalence suite runs every workload through both
+    and asserts byte-identical event traces.
+    """
+
+    def __init__(self, machine, fastpath: bool = True) -> None:
         self.machine = machine
+        self.fastpath = fastpath
 
     # ------------------------------------------------------------------
     def run_quantum(self, thread: JavaThread, budget: int) -> int:
@@ -137,6 +153,75 @@ class Interpreter:
 
         Stops early when the thread finishes or blocks.
         """
+        if not self.fastpath:
+            return self._run_quantum_legacy(thread, budget)
+        executed = 0
+        runnable = ThreadState.RUNNABLE
+        frames = thread.frames
+        machine = self.machine
+        while executed < budget and thread.state is runnable:
+            frame = frames[-1]
+            runtime = frame.runtime
+            table = runtime.dispatch_table
+            if table is None:
+                table = compile_dispatch(machine, runtime)
+                runtime.dispatch_table = table
+            # cpi is constant within a stretch: it only changes when a
+            # JIT compile fires, which requires an INVOKE — and INVOKE
+            # always ends the stretch.
+            cpi = runtime.cycles_per_instruction_cached
+            code_len = len(table)
+            pc = frame.pc
+            limit = budget - executed
+            done = 0
+            trap: Optional[TrapError] = None
+            try:
+                while done < limit:
+                    if pc >= code_len:
+                        # Raised below, after charging the instructions
+                        # that did execute — the legacy path charges
+                        # nothing for the missing instruction either.
+                        trap = TrapError(
+                            f"{runtime.method.qualified_name}: pc {pc} "
+                            f"past end (missing return?)")
+                        break
+                    done += 1
+                    nxt = table[pc](thread, frame)
+                    if nxt == -1:
+                        pc = -1
+                        break
+                    pc = nxt
+            except TrapError:
+                thread.cycles += cpi * done
+                thread.instructions += done
+                # INVOKE manages frame.pc itself (legacy reports against
+                # the already-stored return address); everywhere else
+                # the legacy interpreter leaves pc at the faulting bci.
+                if runtime.method.code[pc].op is not Op.INVOKE:
+                    frame.pc = pc
+                raise
+            except Exception as exc:
+                thread.cycles += cpi * done
+                thread.instructions += done
+                frame.pc = pc
+                ins = runtime.method.code[pc]
+                raise TrapError(
+                    f"{runtime.method.qualified_name} bci {pc} "
+                    f"({ins!r}): {exc}") from exc
+            thread.cycles += cpi * done
+            thread.instructions += done
+            executed += done
+            if trap is not None:
+                frame.pc = pc
+                raise trap
+            if pc >= 0:
+                # Budget exhausted mid-method: persist the resume point.
+                # On frame switches (-1) the handler already stored it.
+                frame.pc = pc
+        return executed
+
+    def _run_quantum_legacy(self, thread: JavaThread, budget: int) -> int:
+        """Reference engine: one :meth:`step` per instruction."""
         executed = 0
         runnable = ThreadState.RUNNABLE
         step = self.step

@@ -36,7 +36,8 @@ class MethodRuntime:
     """Per-method execution state: counters and the current method ID."""
 
     __slots__ = ("method", "invocation_count", "compiled", "method_id",
-                 "version", "cycles_per_instruction_cached")
+                 "version", "cycles_per_instruction_cached",
+                 "dispatch_table")
 
     def __init__(self, method: JMethod, method_id: int) -> None:
         self.method = method
@@ -46,6 +47,11 @@ class MethodRuntime:
         self.version = 0     # number of (re)compilations
         #: Kept in sync by the owning MethodTable (interpreter fast path).
         self.cycles_per_instruction_cached = 0
+        #: Lazily built by :func:`repro.jvm.dispatch.compile_dispatch`:
+        #: one bound handler closure per bytecode.  The bytecode never
+        #: changes, so the table survives (re)compilations — only the
+        #: per-instruction cycle cost above varies by tier.
+        self.dispatch_table = None
 
     @property
     def cycles_per_instruction(self) -> int:

@@ -79,6 +79,10 @@ class MachineConfig:
     #: Collector flavour: "mark-compact" (sliding) or "semispace"
     #: (copying; halves the usable heap, moves every survivor).
     gc_policy: str = "mark-compact"
+    #: Compiled-dispatch interpreter + pooled L1 fast path.  False runs
+    #: the legacy one-step-at-a-time engine (the ``--no-fastpath`` flag);
+    #: both produce identical results and event streams.
+    fastpath: bool = True
     seed: int = 12345
 
 
@@ -151,8 +155,10 @@ class Machine:
                 f"expected 'mark-compact' or 'semispace'")
         self.method_table = MethodTable(cfg.jit)
         self.method_table.register_program(program)
-        self.interpreter = Interpreter(self)
+        self.interpreter = Interpreter(self, fastpath=cfg.fastpath)
         self.rng = random.Random(cfg.seed)
+        self._fastpath = cfg.fastpath
+        self._line_size = cfg.hierarchy.line_size
 
         self.threads: List[JavaThread] = []
         self.statics: Dict[str, object] = dict(program.statics)
@@ -209,8 +215,18 @@ class Machine:
     # ------------------------------------------------------------------
     def memory_access(self, thread: JavaThread, address: int, size: int,
                       is_write: bool, internal: bool = False) -> AccessResult:
-        """Route one access through the hierarchy and charge latency."""
-        result = self.hierarchy.access(thread.cpu, address, size, is_write)
+        """Route one access through the hierarchy and charge latency.
+
+        Uses the hierarchy's pooled L1 fast path unless a collector is
+        recording raw accesses — AccessEvents retain the result object,
+        so recording runs get a fresh instance per access (the PMU is
+        fine either way: it copies sample fields at overflow time).
+        """
+        if self._fastpath and not self.bus._accesses_wanted:
+            result = self.hierarchy.access_hot(
+                thread.cpu, address, size, is_write)
+        else:
+            result = self.hierarchy.access(thread.cpu, address, size, is_write)
         thread.cycles += result.latency
         if not internal:
             bus = self.bus
@@ -218,12 +234,32 @@ class Machine:
                 bus.observe_access(thread, result)
         return result
 
-    def _zero_touch(self, thread: JavaThread, obj: HeapObject) -> None:
-        line = self.config.hierarchy.line_size
-        addr = obj.addr
-        while addr < obj.end:
-            self.memory_access(thread, addr, 8, is_write=True)
+    def touch_range(self, thread: JavaThread, start: int, end: int,
+                    is_write: bool) -> None:
+        """Line-granular touch of ``[start, end)`` — the shared inner
+        loop of allocation zeroing, arraycopy and the streaming natives.
+
+        When nothing observes accesses (no armed sampler, no raw-access
+        collector) the loop drives the hierarchy's pooled fast path
+        directly and charges the accumulated latency in one step —
+        per-line hierarchy state and statistics are identical, and the
+        cycle counter is only ever incremented between observations, so
+        the batching is invisible.  Any observer (or ``--no-fastpath``)
+        degrades it to one observed :meth:`memory_access` per line.
+        """
+        bus = self.bus
+        if self._fastpath and not (bus.sampling or bus._accesses_wanted):
+            thread.cycles += self.hierarchy.touch_range(
+                thread.cpu, start, end, is_write)
+            return
+        line = self._line_size
+        addr = start
+        while addr < end:
+            self.memory_access(thread, addr, 8, is_write)
             addr += line
+
+    def _zero_touch(self, thread: JavaThread, obj: HeapObject) -> None:
+        self.touch_range(thread, obj.addr, obj.end, is_write=True)
 
     def allocate_instance(self, jclass: JClass, thread: JavaThread) -> Ref:
         ref = self.heap.allocate_instance(jclass, thread.tid)
@@ -291,17 +327,27 @@ class Machine:
         thread = self._current_thread
         if thread is None:
             return
-        line = self.config.hierarchy.line_size
-        # The collector streams through both source and destination.
+        line = self._line_size
+        # The collector streams through both source and destination,
+        # interleaved as the copy loop would.  The pooled entry point is
+        # used because the results are discarded (only the cache/TLB
+        # state perturbation matters); it runs identically with the
+        # fast path disabled.
+        access = self.hierarchy.access_hot
+        cpu = thread.cpu
         for offset in range(0, event.size, line):
-            self.hierarchy.access(thread.cpu, event.src + offset, 8, False)
-            self.hierarchy.access(thread.cpu, event.dst + offset, 8, True)
+            access(cpu, event.src + offset, 8, False)
+            access(cpu, event.dst + offset, 8, True)
 
     def _publish_gc_move(self, event: MemmoveEvent) -> None:
+        if not self.bus.active:
+            return
         self.bus.publish(GcMoveEvent(oid=event.oid, src=event.src,
                                      dst=event.dst, size=event.size))
 
     def _publish_gc_finalize(self, event: FinalizeEvent) -> None:
+        if not self.bus.active:
+            return
         self.bus.publish(GcFinalizeEvent(oid=event.oid, addr=event.addr,
                                          size=event.size,
                                          type_name=event.type_name))
@@ -496,15 +542,12 @@ def _native_arraycopy(call: NativeCall):
     if length == 0:
         return None
     # Touch line-granular, as a memcpy would.
-    line = machine.config.hierarchy.line_size
     src_start = src.element_address(src_pos)
     dst_start = dst.element_address(dst_pos)
-    span_src = length * src.elem_size()
-    span_dst = length * dst.elem_size()
-    for offset in range(0, span_src, line):
-        machine.memory_access(thread, src_start + offset, 8, is_write=False)
-    for offset in range(0, span_dst, line):
-        machine.memory_access(thread, dst_start + offset, 8, is_write=True)
+    machine.touch_range(thread, src_start,
+                        src_start + length * src.elem_size(), is_write=False)
+    machine.touch_range(thread, dst_start,
+                        dst_start + length * dst.elem_size(), is_write=True)
     dst.elements[dst_pos:dst_pos + length] = \
         src.elements[src_pos:src_pos + length]
     return None
@@ -587,14 +630,10 @@ def _stream(call: NativeCall, ref, start_elem: int, n_elems: int) -> None:
             f"of {obj.length}")
     if n_elems == 0:
         return
-    line = machine.config.hierarchy.line_size
     start = obj.element_address(start_elem)
     span = n_elems * obj.elem_size()
     for _ in range(passes):
-        offset = 0
-        while offset < span:
-            machine.memory_access(thread, start + offset, 8, is_write)
-            offset += line
+        machine.touch_range(thread, start, start + span, is_write)
         thread.cycles += int(n_elems * cycles_per_element)
 
 

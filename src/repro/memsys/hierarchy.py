@@ -148,6 +148,44 @@ class MemoryHierarchy:
         self._line_low = cfg.line_size - 1
         self._node_of_cpu = [self.topology.node_of_cpu(c)
                              for c in range(self.topology.num_cpus)]
+        self._num_cpus = self.topology.num_cpus
+        self._line_size = cfg.line_size
+        self._page_size = cfg.page_size
+        lat = cfg.latency
+        self._l1_hit_latency = lat.l1_hit
+        self._l2_hit_latency = lat.l2_hit
+        self._l3_hit_latency = lat.l3_hit
+        self._dram_local_latency = lat.dram_local
+        self._dram_remote_latency = lat.dram_remote
+        self._tlb_penalty = lat.tlb_miss_penalty
+        # The stats objects are mutated in place (reset() clears fields,
+        # never replaces the object), so cached references stay live.
+        self._pt_stats = self.page_table.stats
+        # Per-CPU resident-set index for :meth:`access_hot`:
+        # line_addr -> (cset, line, l1_stats, pages, page, tlb_stats,
+        #               home_node, remote, page_table.version).
+        # ``cset`` and ``pages`` are the *live* L1-set / TLB OrderedDicts,
+        # so a hit can replay the legacy walk's LRU and stat updates
+        # without any method calls; membership checks plus the page-table
+        # version make stale entries (evictions, flushes, migrations)
+        # fall back to the full walk.
+        self._hot: List[Dict[int, tuple]] = [
+            {} for _ in range(self.topology.num_cpus)]
+        self._hot_cap = 16384
+        # Pooled result returned by access_hot on a hit; every field that
+        # an L1/TLB hit cannot change is preset here and never touched.
+        self._scratch = AccessResult(
+            address=0, size=0, is_write=False, cpu=0, level=LEVEL_L1,
+            latency=cfg.latency.l1_hit, l1_misses=0, l2_misses=0,
+            l3_misses=0, tlb_misses=0, home_node=0, remote=False, lines=1)
+        # Second pooled result for access_hot's single-line miss fallback
+        # (every field is rewritten there, so no preset invariant — kept
+        # separate from ``_scratch`` so the hit path's preset fields are
+        # never clobbered).
+        self._scratch_miss = AccessResult(
+            address=0, size=0, is_write=False, cpu=0, level=LEVEL_L1,
+            latency=0, l1_misses=0, l2_misses=0, l3_misses=0,
+            tlb_misses=0, home_node=0, remote=False, lines=1)
 
     # ------------------------------------------------------------------
     def _access_line(self, cpu: int, node: int, line_addr: int,
@@ -157,26 +195,68 @@ class MemoryHierarchy:
         Returns (level, latency, l1_miss, l2_miss, l3_miss) where the miss
         fields are 0/1.
         """
-        lat = self.config.latency
         l1 = self.l1[cpu]
         if l1.access(line_addr, is_write):
-            return LEVEL_L1, lat.l1_hit, 0, 0, 0
+            return LEVEL_L1, self._l1_hit_latency, 0, 0, 0
+        return self._miss_walk(cpu, node, line_addr,
+                               line_addr // self._line_size, is_write, l1)
+
+    def _miss_walk(self, cpu: int, node: int, line_addr: int, line: int,
+                   is_write: bool, l1: Cache
+                   ) -> "tuple[str, int, int, int, int]":
+        """Continue an L1-missed line down L2/L3/DRAM, filling upward.
+
+        :meth:`Cache.access` and :meth:`Cache.fill` are inlined (via
+        :meth:`_fill`) statement for statement — stats, LRU order and
+        dirty-bit merging stay byte-identical with the composed calls.
+        """
+        fill = self._fill
         l2 = self.l2[cpu]
-        if l2.access(line_addr, is_write):
-            l1.fill(line_addr, dirty=is_write)
-            return LEVEL_L2, lat.l2_hit, 1, 0, 0
-        l3 = self.l3[self.topology.node_of_cpu(cpu)]
-        if l3.access(line_addr, is_write):
-            l2.fill(line_addr)
-            l1.fill(line_addr, dirty=is_write)
-            return LEVEL_L3, lat.l3_hit, 1, 1, 0
+        l2set = l2._sets[line % l2.num_sets]
+        if line in l2set:
+            l2set.move_to_end(line)
+            if is_write:
+                l2set[line] = True
+            l2.stats.hits += 1
+            fill(l1, line, is_write)
+            return LEVEL_L2, self._l2_hit_latency, 1, 0, 0
+        l2.stats.misses += 1
+        l3 = self.l3[self._node_of_cpu[cpu]]
+        l3set = l3._sets[line % l3.num_sets]
+        if line in l3set:
+            l3set.move_to_end(line)
+            if is_write:
+                l3set[line] = True
+            l3.stats.hits += 1
+            fill(l2, line, False)
+            fill(l1, line, is_write)
+            return LEVEL_L3, self._l3_hit_latency, 1, 1, 0
+        l3.stats.misses += 1
         # DRAM access; latency depends on whether the page is remote to
         # the accessing CPU.
-        remote = node != self.topology.node_of_cpu(cpu)
-        l3.fill(line_addr)
-        l2.fill(line_addr)
-        l1.fill(line_addr, dirty=is_write)
-        return LEVEL_DRAM, lat.dram(remote), 1, 1, 1
+        fill(l3, line, False)
+        fill(l2, line, False)
+        fill(l1, line, is_write)
+        if node != self._node_of_cpu[cpu]:
+            return LEVEL_DRAM, self._dram_remote_latency, 1, 1, 1
+        return LEVEL_DRAM, self._dram_local_latency, 1, 1, 1
+
+    @staticmethod
+    def _fill(cache: Cache, line: int, dirty: bool) -> None:
+        """:meth:`Cache.fill`, inlined for the miss walk (victims are
+        never consumed there, so none is built)."""
+        cset = cache._sets[line % cache.num_sets]
+        if line in cset:
+            cset.move_to_end(line)
+            cset[line] = cset[line] or dirty
+            return
+        if len(cset) >= cache.associativity:
+            _victim, victim_dirty = cset.popitem(last=False)
+            stats = cache.stats
+            stats.evictions += 1
+            if victim_dirty:
+                stats.writebacks += 1
+        cset[line] = dirty
 
     _LEVEL_ORDER = {LEVEL_L1: 0, LEVEL_L2: 1, LEVEL_L3: 2, LEVEL_DRAM: 3}
 
@@ -190,28 +270,31 @@ class MemoryHierarchy:
         cfg = self.config
         if (address & self._line_low) + size <= cfg.line_size:
             return self._access_single(cpu, address, size, is_write)
-        home_node = self.page_table.touch(address, cpu)
-        remote = home_node != self.topology.node_of_cpu(cpu)
 
         tlb_misses = 0
         latency = 0
         worst_level = LEVEL_L1
         l1_miss_total = l2_miss_total = l3_miss_total = 0
+        home_node = -1
 
         line_addrs = lines_spanned(address, size, cfg.line_size)
-        seen_pages = set()
+        # Each distinct page gets exactly one TLB lookup and one page-table
+        # touch, whether it was already placed or is first-touched here —
+        # a page-straddling access charges both its pages' lookup paths.
+        # Lines straddling a page with a different placement resolve their
+        # own home node.
+        page_nodes: Dict[int, int] = {}
         for line_addr in line_addrs:
             page = line_addr // cfg.page_size
-            if page not in seen_pages:
-                seen_pages.add(page)
+            line_node = page_nodes.get(page)
+            if line_node is None:
                 if not self.tlb[cpu].access(line_addr):
                     tlb_misses += 1
                     latency += cfg.latency.tlb_miss_penalty
-            # Each line's home node may differ when the access straddles a
-            # page with a different placement; resolve per line.
-            line_node = self.page_table.node_of_address(line_addr)
-            if line_node is None:
                 line_node = self.page_table.touch(line_addr, cpu)
+                page_nodes[page] = line_node
+                if home_node < 0:
+                    home_node = line_node
             level, lat, m1, m2, m3 = self._access_line(
                 cpu, line_node, line_addr, is_write)
             latency += lat
@@ -220,6 +303,7 @@ class MemoryHierarchy:
             l3_miss_total += m3
             if self._LEVEL_ORDER[level] > self._LEVEL_ORDER[worst_level]:
                 worst_level = level
+        remote = home_node != self.topology.node_of_cpu(cpu)
 
         self.stats.accesses += 1
         if is_write:
@@ -236,20 +320,70 @@ class MemoryHierarchy:
             home_node=home_node, remote=remote, lines=len(line_addrs))
 
     def _access_single(self, cpu: int, address: int, size: int,
-                       is_write: bool) -> AccessResult:
-        """Fast path: the access fits in one cache line."""
-        cfg = self.config
-        home_node = self.page_table.touch(address, cpu)
-        remote = home_node != self._node_of_cpu[cpu]
+                       is_write: bool,
+                       out: Optional[AccessResult] = None) -> AccessResult:
+        """Fast path: the access fits in one cache line.
+
+        The page-table touch, TLB access and L1 probe are inlined here
+        (this is the innermost simulator loop); each block replicates
+        the corresponding method — :meth:`PageTable.touch`,
+        :meth:`Tlb.access`, :meth:`Cache.access` — statement for
+        statement, so statistics and LRU state stay byte-identical with
+        the composed walk that the multi-line path still uses.
+
+        When ``out`` is given it is mutated and returned instead of
+        constructing a fresh AccessResult (pooled-result callers only).
+        """
+        page = address // self._page_size
+        # PageTable.touch, inlined.
+        pt = self.page_table
+        home_node = pt._page_node.get(page)
+        cpu_node = self._node_of_cpu[cpu]
+        if home_node is None:
+            home_node = cpu_node
+            pt._page_node[page] = home_node
+        pt_stats = self._pt_stats
+        if home_node == cpu_node:
+            pt_stats.local_accesses += 1
+            remote = False
+        else:
+            pt_stats.remote_accesses += 1
+            remote = True
+        # Tlb.access, inlined.
+        tlb = self.tlb[cpu]
+        pages = tlb._pages
+        tlb_stats = tlb.stats
         latency = 0
         tlb_misses = 0
-        if not self.tlb[cpu].access(address):
+        if page in pages:
+            pages.move_to_end(page)
+            tlb_stats.hits += 1
+        else:
+            tlb_stats.misses += 1
+            if len(pages) >= tlb.entries:
+                pages.popitem(last=False)
+            pages[page] = True
             tlb_misses = 1
-            latency = cfg.latency.tlb_miss_penalty
+            latency = self._tlb_penalty
+        # Cache.access on L1, inlined; misses continue down the stack.
         line_addr = address & self._line_mask
-        level, lat, m1, m2, m3 = self._access_line(
-            cpu, home_node, line_addr, is_write)
-        latency += lat
+        l1 = self.l1[cpu]
+        line = address // self._line_size
+        cset = l1._sets[line % l1.num_sets]
+        l1_stats = l1.stats
+        if line in cset:
+            cset.move_to_end(line)
+            if is_write:
+                cset[line] = True
+            l1_stats.hits += 1
+            level = LEVEL_L1
+            latency += self._l1_hit_latency
+            m1 = m2 = m3 = 0
+        else:
+            l1_stats.misses += 1
+            level, lat, m1, m2, m3 = self._miss_walk(
+                cpu, home_node, line_addr, line, is_write, l1)
+            latency += lat
         stats = self.stats
         stats.accesses += 1
         if is_write:
@@ -257,11 +391,242 @@ class MemoryHierarchy:
         else:
             stats.loads += 1
         stats.total_latency += latency
-        return AccessResult(
-            address=address, size=size, is_write=is_write, cpu=cpu,
-            level=level, latency=latency, l1_misses=m1, l2_misses=m2,
-            l3_misses=m3, tlb_misses=tlb_misses, home_node=home_node,
-            remote=remote, lines=1)
+        # The line is now resident in L1 and the page in the TLB, whatever
+        # level served the access — index it for access_hot.
+        hot = self._hot[cpu]
+        if len(hot) >= self._hot_cap:
+            hot.clear()
+        hot[line_addr] = (cset, line, l1_stats, pages, page, tlb_stats,
+                          home_node, remote, pt.version)
+        if out is None:
+            return AccessResult(
+                address=address, size=size, is_write=is_write, cpu=cpu,
+                level=level, latency=latency, l1_misses=m1, l2_misses=m2,
+                l3_misses=m3, tlb_misses=tlb_misses, home_node=home_node,
+                remote=remote, lines=1)
+        out.address = address
+        out.size = size
+        out.is_write = is_write
+        out.cpu = cpu
+        out.level = level
+        out.latency = latency
+        out.l1_misses = m1
+        out.l2_misses = m2
+        out.l3_misses = m3
+        out.tlb_misses = tlb_misses
+        out.home_node = home_node
+        out.remote = remote
+        out.lines = 1
+        return out
+
+    def access_hot(self, cpu: int, address: int, size: int = 8,
+                   is_write: bool = False) -> AccessResult:
+        """:meth:`access`, short-circuiting the L1/TLB-hit common case.
+
+        On a hit the walk's entire effect — LRU recency, dirty bit, L1 /
+        TLB / NUMA / hierarchy statistics, latency — is replayed inline
+        from the resident-set index, and a *pooled* AccessResult is
+        returned.  Single-line misses also return a pooled result (a
+        second scratch instance, filled by the full walk).  Callers must
+        copy out any fields they keep before the next access (the PMU
+        does; anything that retains result objects, e.g. trace
+        recording, must call :meth:`access` instead).  Straddling or
+        out-of-range accesses fall back to :meth:`access`, which returns
+        a fresh result as always.
+        """
+        if (cpu < 0 or cpu >= self._num_cpus or address < 0
+                or (address & self._line_low) + size > self._line_size):
+            # Out-of-range inputs or straddling accesses take the full
+            # entry point (same validation errors, same split walk).
+            return self.access(cpu, address, size, is_write)
+        entry = self._hot[cpu].get(address & self._line_mask)
+        if entry is not None:
+            (cset, line, l1_stats, pages, page, tlb_stats,
+             home_node, remote, version) = entry
+            if (line in cset and page in pages
+                    and version == self.page_table.version):
+                pt_stats = self._pt_stats
+                if remote:
+                    pt_stats.remote_accesses += 1
+                else:
+                    pt_stats.local_accesses += 1
+                pages.move_to_end(page)
+                tlb_stats.hits += 1
+                cset.move_to_end(line)
+                if is_write:
+                    cset[line] = True
+                l1_stats.hits += 1
+                stats = self.stats
+                stats.accesses += 1
+                if is_write:
+                    stats.stores += 1
+                else:
+                    stats.loads += 1
+                stats.total_latency += self._l1_hit_latency
+                r = self._scratch
+                r.address = address
+                r.size = size
+                r.is_write = is_write
+                r.cpu = cpu
+                r.home_node = home_node
+                r.remote = remote
+                return r
+        return self._access_single(cpu, address, size, is_write,
+                                   self._scratch_miss)
+
+    def touch_range(self, cpu: int, start: int, end: int,
+                    is_write: bool) -> int:
+        """Fused bulk walk: one 8-byte access per line of ``[start, end)``.
+
+        State- and statistics-identical to looping
+        ``access(cpu, addr, 8, is_write)`` line by line, but with the
+        per-page work (page-table touch, TLB lookup) done once per page
+        run and every per-level attribute lookup hoisted out of the
+        loop.  Returns the summed latency; no AccessResults are built,
+        so this is for pooled callers only (allocation zeroing,
+        arraycopy, the streaming natives) — anything that needs per-line
+        outcomes must loop :meth:`access` itself.
+
+        Same-page TLB replays skip the ``move_to_end`` (the page is
+        already most recent — addresses only ascend, so a page is never
+        revisited after the run leaves it).  The bulk walk does not
+        register resident-set entries: a later single access to one of
+        these lines re-registers it through the full walk with identical
+        observable state, and bulk-touched lines are often never touched
+        individually at all.
+        """
+        line_size = self._line_size
+        if (cpu < 0 or cpu >= self._num_cpus or start < 0
+                or (start & self._line_low) + 8 > line_size
+                or self._page_size % line_size):
+            # Odd alignments or geometries: per-line slow path with the
+            # same per-access semantics.
+            total = 0
+            addr = start
+            while addr < end:
+                total += self.access_hot(cpu, addr, 8, is_write).latency
+                addr += line_size
+            return total
+        page_size = self._page_size
+        pt = self.page_table
+        page_node = pt._page_node
+        pt_stats = self._pt_stats
+        cpu_node = self._node_of_cpu[cpu]
+        tlb = self.tlb[cpu]
+        pages = tlb._pages
+        tlb_stats = tlb.stats
+        tlb_entries = tlb.entries
+        l1 = self.l1[cpu]
+        l1_sets = l1._sets
+        l1_nsets = l1.num_sets
+        l1_assoc = l1.associativity
+        l1_stats = l1.stats
+        l2 = self.l2[cpu]
+        l2_sets = l2._sets
+        l2_nsets = l2.num_sets
+        l2_assoc = l2.associativity
+        l2_stats = l2.stats
+        l3 = self.l3[cpu_node]
+        l3_sets = l3._sets
+        l3_nsets = l3.num_sets
+        l3_assoc = l3.associativity
+        l3_stats = l3.stats
+        lat_l1 = self._l1_hit_latency
+        lat_l2 = self._l2_hit_latency
+        lat_l3 = self._l3_hit_latency
+        total = 0
+        n = 0
+        addr = start
+        page = -1
+        home_node = 0
+        remote = False
+        while addr < end:
+            p = addr // page_size
+            if p != page:
+                # First line of a page run: PageTable.touch + Tlb.access.
+                page = p
+                home_node = page_node.get(p)
+                if home_node is None:
+                    home_node = cpu_node
+                    page_node[p] = home_node
+                remote = home_node != cpu_node
+                if p in pages:
+                    pages.move_to_end(p)
+                    tlb_stats.hits += 1
+                else:
+                    tlb_stats.misses += 1
+                    if len(pages) >= tlb_entries:
+                        pages.popitem(last=False)
+                    pages[p] = True
+                    total += self._tlb_penalty
+            else:
+                tlb_stats.hits += 1
+            if remote:
+                pt_stats.remote_accesses += 1
+            else:
+                pt_stats.local_accesses += 1
+            line = addr // line_size
+            cset = l1_sets[line % l1_nsets]
+            if line in cset:
+                cset.move_to_end(line)
+                if is_write:
+                    cset[line] = True
+                l1_stats.hits += 1
+                total += lat_l1
+            else:
+                l1_stats.misses += 1
+                l2set = l2_sets[line % l2_nsets]
+                if line in l2set:
+                    l2set.move_to_end(line)
+                    if is_write:
+                        l2set[line] = True
+                    l2_stats.hits += 1
+                    total += lat_l2
+                else:
+                    l2_stats.misses += 1
+                    l3set = l3_sets[line % l3_nsets]
+                    if line in l3set:
+                        l3set.move_to_end(line)
+                        if is_write:
+                            l3set[line] = True
+                        l3_stats.hits += 1
+                        total += lat_l3
+                    else:
+                        l3_stats.misses += 1
+                        # L3 fill (the line just missed L3: plain insert).
+                        if len(l3set) >= l3_assoc:
+                            _v, v_dirty = l3set.popitem(last=False)
+                            l3_stats.evictions += 1
+                            if v_dirty:
+                                l3_stats.writebacks += 1
+                        l3set[line] = False
+                        total += (self._dram_remote_latency if remote
+                                  else self._dram_local_latency)
+                    # L2 fill, clean (the line just missed L2).
+                    if len(l2set) >= l2_assoc:
+                        _v, v_dirty = l2set.popitem(last=False)
+                        l2_stats.evictions += 1
+                        if v_dirty:
+                            l2_stats.writebacks += 1
+                    l2set[line] = False
+                # L1 fill, inlined (the line just missed, so this is a
+                # plain insert-with-eviction).
+                if len(cset) >= l1_assoc:
+                    _victim, victim_dirty = cset.popitem(last=False)
+                    l1_stats.evictions += 1
+                    if victim_dirty:
+                        l1_stats.writebacks += 1
+                cset[line] = is_write
+            n += 1
+            addr += line_size
+        stats = self.stats
+        stats.accesses += n
+        if is_write:
+            stats.stores += n
+        else:
+            stats.loads += n
+        stats.total_latency += total
+        return total
 
     # ------------------------------------------------------------------
     def set_range_policy(self, start: int, size: int,
@@ -276,6 +641,8 @@ class MemoryHierarchy:
             cache.flush()
         for tlb in self.tlb:
             tlb.flush()
+        for hot in self._hot:
+            hot.clear()
 
     def miss_summary(self) -> Dict[str, int]:
         """Aggregate per-level miss counts across all cache instances."""

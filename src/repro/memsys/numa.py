@@ -95,6 +95,11 @@ class PageTable:
         self.topology = topology
         self.page_size = page_size
         self.stats = NumaStats()
+        #: Bumped whenever an already-placed page may have changed node
+        #: (``move_pages``, ``set_range_policy``); caches keyed on page
+        #: placement (the hierarchy's L1 fast path) revalidate on it.
+        #: First-touch placement of a *new* page does not bump it.
+        self.version = 0
         self._page_node: Dict[int, int] = {}
         # Pending policies for untouched ranges: page -> (policy, bind_node)
         self._pending: Dict[int, "tuple[PlacementPolicy, Optional[int]]"] = {}
@@ -127,6 +132,7 @@ class PageTable:
         """
         if policy is PlacementPolicy.BIND and bind_node is None:
             raise ValueError("BIND policy requires bind_node")
+        self.version += 1
         for page in self.pages_in_range(start, size):
             if policy is PlacementPolicy.INTERLEAVE:
                 self._page_node[page] = self._interleave_cursor
@@ -182,6 +188,7 @@ class PageTable:
                     raise ValueError(f"target node {target} out of range")
                 if current != target:
                     self._page_node[page] = target
+                    self.version += 1
                     if current is not None:
                         self.stats.pages_moved += 1
         return statuses

@@ -62,5 +62,11 @@ class Tlb:
     def flush(self) -> None:
         self._pages.clear()
 
+    def page_map(self) -> OrderedDict:
+        """The live page->True OrderedDict (LRU order).  Exposed for the
+        hierarchy's fast path, which must update recency on hits exactly
+        as :meth:`access` would."""
+        return self._pages
+
     def occupancy(self) -> int:
         return len(self._pages)

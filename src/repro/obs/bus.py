@@ -60,6 +60,13 @@ class EventBus:
         self._threads: Dict[int, object] = {}
         #: tid → [(sampler_id, counter), ...]
         self._counters: Dict[int, List[Tuple[int, PerfCounter]]] = {}
+        #: One-entry memo over ``_counters`` for the access hot path
+        #: (threads run in scheduler quanta, so consecutive accesses
+        #: almost always share a tid).  Invalidated whenever the
+        #: counter *lists* change shape (_arm / close_sampler /
+        #: thread_ended); in-place counter mutation needs no care.
+        self._hot_tid = -1
+        self._hot_counters: Optional[List[Tuple[int, PerfCounter]]] = None
         self._accesses_wanted = 0
         #: True iff at least one collector is subscribed.
         self.active = False
@@ -164,6 +171,8 @@ class EventBus:
                     counter.enabled = False
             self._counters[tid] = [(sid, c) for sid, c in counters
                                    if sid != sampler_id]
+        self._hot_tid = -1
+        self._hot_counters = None
         self.sampling = bool(self._samplers)
 
     def close_samplers(self, owner: str) -> None:
@@ -186,6 +195,8 @@ class EventBus:
              tid: int) -> None:
         counter = PerfCounter(config, self._make_overflow_handler(sampler_id))
         self._counters.setdefault(tid, []).append((sampler_id, counter))
+        self._hot_tid = -1
+        self._hot_counters = None
 
     def _make_overflow_handler(self, sampler_id: int):
         def handler(sample) -> None:
@@ -221,6 +232,8 @@ class EventBus:
         self._threads.pop(thread.tid, None)
         for _, counter in self._counters.get(thread.tid, []):
             counter.enabled = False
+        self._hot_tid = -1
+        self._hot_counters = None
 
     def observe_access(self, thread, result) -> None:
         """Hot path: count one access on armed samplers and (only when
@@ -230,9 +243,14 @@ class EventBus:
         common unobserved run pays almost nothing.
         """
         if self.sampling:
-            counters = self._counters.get(thread.tid)
+            tid = thread.tid
+            if tid == self._hot_tid:
+                counters = self._hot_counters
+            else:
+                counters = self._counters.get(tid)
+                self._hot_tid = tid
+                self._hot_counters = counters
             if counters:
-                tid = thread.tid
                 for _, counter in counters:
                     counter.observe(tid, result, ucontext=thread)
         if self._accesses_wanted:

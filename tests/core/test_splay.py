@@ -222,3 +222,80 @@ class TestPropertyVsModel:
         for s in starts:
             assert tree.lookup(s * 10 + 5) == s
         tree.check_invariants()
+
+
+class TestHotCache:
+    """The one-entry last-hit cache in front of lookup()."""
+
+    def test_repeated_lookups_hit_the_cache(self):
+        tree = IntervalSplayTree()
+        tree.insert(100, 200, "a")
+        for _ in range(5):
+            assert tree.lookup(150) == "a"
+        stats = tree.stats
+        assert stats.lookups == 5
+        assert stats.hits == 5
+        # First lookup descends the tree; the rest replay the cache.
+        assert stats.cache_misses == 1
+        assert stats.cache_hits == 4
+
+    def test_cache_counts_partition_lookups(self):
+        tree = IntervalSplayTree()
+        tree.insert(0, 10, "a")
+        tree.insert(100, 110, "b")
+        for addr in (5, 5, 105, 105, 50):
+            tree.lookup(addr)
+        stats = tree.stats
+        assert stats.cache_hits + stats.cache_misses == stats.lookups
+        assert stats.cache_hits == 2  # the two immediate repeats
+        assert stats.hits == 4        # the miss at 50 found nothing
+
+    def test_cached_interval_respects_boundaries(self):
+        tree = IntervalSplayTree()
+        tree.insert(100, 200, "a")
+        assert tree.lookup(150) == "a"   # primes the cache
+        assert tree.lookup(200) is None  # half-open end
+        assert tree.lookup(99) is None
+
+    def test_insert_invalidates_cache(self):
+        # GC relocation: the object moves, its old range is reused by a
+        # new object.  A stale cache entry would return the old payload.
+        tree = IntervalSplayTree()
+        tree.insert(100, 200, "old")
+        assert tree.lookup(150) == "old"
+        tree.insert(100, 200, "new")     # overlapping insert evicts
+        assert tree.lookup(150) == "new"
+
+    def test_remove_start_invalidates_cache(self):
+        tree = IntervalSplayTree()
+        tree.insert(100, 200, "a")
+        assert tree.lookup(150) == "a"
+        tree.remove_start(100)
+        assert tree.lookup(150) is None
+
+    def test_remove_containing_invalidates_cache(self):
+        tree = IntervalSplayTree()
+        tree.insert(100, 200, "a")
+        assert tree.lookup(150) == "a"
+        tree.remove_containing(150)
+        assert tree.lookup(150) is None
+
+    def test_clear_invalidates_cache(self):
+        tree = IntervalSplayTree()
+        tree.insert(100, 200, "a")
+        assert tree.lookup(150) == "a"
+        tree.clear()
+        assert tree.lookup(150) is None
+
+    def test_gc_relocation_scenario(self):
+        # finalize(old) + intercept(new) over a shifted range: lookups
+        # between the two must never see the dead interval.
+        tree = IntervalSplayTree()
+        tree.insert(0x1000, 0x1100, "obj@old")
+        assert tree.lookup(0x1080) == "obj@old"
+        tree.remove_start(0x1000)
+        assert tree.lookup(0x1080) is None
+        tree.insert(0x1040, 0x1140, "obj@new")
+        assert tree.lookup(0x1080) == "obj@new"
+        assert tree.lookup(0x1000) is None
+        tree.check_invariants()

@@ -1,0 +1,175 @@
+"""Unit tests for the compiled dispatch tables (repro.jvm.dispatch)."""
+
+import pytest
+
+from repro.heap.layout import Kind
+from repro.jvm import Machine, MachineConfig, MethodBuilder
+from repro.jvm.dispatch import compile_dispatch
+from repro.jvm.interpreter import TrapError
+from tests.jvm.helpers import counting_loop, single_method_program
+
+def _loop_program(count=10):
+    b = MethodBuilder("Test", "main")
+    counting_loop(b, count, 0, lambda b: b.iconst(1).pop())
+    b.ret()
+    return single_method_program(b)
+
+
+def _run(program, fastpath=True, **cfg):
+    machine = Machine(program,
+                      MachineConfig(fastpath=fastpath, **cfg))
+    result = machine.run()
+    return machine, result
+
+
+class TestTableCompilation:
+    def test_table_covers_every_instruction(self):
+        program = _loop_program()
+        machine = Machine(program, MachineConfig())
+        runtime = machine.method_table.runtime("main")
+        table = compile_dispatch(machine, runtime)
+        assert len(table) == len(runtime.method.code)
+        assert all(callable(h) for h in table)
+
+    def test_table_cached_on_runtime(self):
+        machine, _ = _run(_loop_program())
+        runtime = machine.method_table.runtime("main")
+        assert runtime.dispatch_table is not None
+        # The driver reuses the cached table instead of recompiling.
+        before = runtime.dispatch_table
+        machine2 = Machine(_loop_program(), MachineConfig())
+        machine2.run()
+        assert machine.method_table.runtime("main").dispatch_table \
+            is before
+
+    def test_legacy_engine_never_compiles(self):
+        machine, _ = _run(_loop_program(), fastpath=False)
+        runtime = machine.method_table.runtime("main")
+        assert runtime.dispatch_table is None
+
+
+class TestFrameSwitchProtocol:
+    """Handlers that change the frame stack must return -1 so the driver
+    re-reads the top frame (and the method's cycle cost)."""
+
+    def test_return_signals_frame_switch(self):
+        b = MethodBuilder("Callee", "f")
+        b.iconst(7).iret()
+        callee = b
+        main = MethodBuilder("Test", "main")
+        main.invoke("f", 0).pop().ret()
+        program = single_method_program(main)
+        program.add_builder(callee)
+        machine, result = _run(program)
+        assert result.output == []
+
+    def test_invoke_and_returns_are_stretch_enders(self):
+        b = MethodBuilder("Callee", "f")
+        b.iconst(7).iret()
+        main = MethodBuilder("Test", "main")
+        main.invoke("f", 0).pop().ret()
+        program = single_method_program(main)
+        program.add_builder(b)
+        machine = Machine(program, MachineConfig())
+        main_rt = machine.method_table.runtime("main")
+        callee_rt = machine.method_table.runtime("f")
+        main_table = compile_dispatch(machine, main_rt)
+        callee_table = compile_dispatch(machine, callee_rt)
+        from repro.jvm.interpreter import Frame, JavaThread, ThreadState
+
+        thread = JavaThread(0, 0)
+        thread.state = ThreadState.RUNNABLE
+        thread.frames.append(Frame(main_rt))
+        frame = thread.frames[-1]
+        # INVOKE: pushes the callee frame, stores the return address.
+        assert main_table[0](thread, frame) == -1
+        assert frame.pc == 1
+        assert thread.frames[-1].runtime is callee_rt
+        # Callee: ICONST advances normally, IRETURN pops with -1.
+        callee_frame = thread.frames[-1]
+        assert callee_table[0](thread, callee_frame) == 1
+        assert callee_table[1](thread, callee_frame) == -1
+        assert thread.frames[-1] is frame
+        assert frame.stack == [7]
+
+
+class TestErrorParity:
+    """Both engines must raise the same TrapError text (tools and tests
+    match on these messages)."""
+
+    def _message(self, program, fastpath):
+        machine = Machine(program, MachineConfig(fastpath=fastpath))
+        with pytest.raises(TrapError) as excinfo:
+            machine.run()
+        return str(excinfo.value)
+
+    def _assert_parity(self, make_program):
+        fast = self._message(make_program(), fastpath=True)
+        legacy = self._message(make_program(), fastpath=False)
+        assert fast == legacy
+
+    def test_null_deref_message(self):
+        def make():
+            b = MethodBuilder("Test", "main")
+            b.null().iconst(0).aload().pop().ret()
+            return single_method_program(b)
+
+        self._assert_parity(make)
+
+    def test_division_by_zero_message(self):
+        def make():
+            b = MethodBuilder("Test", "main")
+            b.iconst(1).iconst(0).div().pop().ret()
+            return single_method_program(b)
+
+        self._assert_parity(make)
+
+    def test_unknown_invoke_reports_advanced_pc(self):
+        # The legacy engine advances frame.pc before resolving, so the
+        # message carries bci 1 even though INVOKE sits at bci 0.
+        def make():
+            b = MethodBuilder("Test", "main")
+            b.invoke("nosuch", 0).ret()
+            return single_method_program(b)
+
+        fast = self._message(make(), fastpath=True)
+        assert fast == self._message(make(), fastpath=False)
+        assert "bci 1" in fast
+
+    def test_pc_past_end_message(self):
+        def make():
+            b = MethodBuilder("Test", "main")
+            b.iconst(1).pop()  # no return
+            return single_method_program(b)
+
+        fast = self._message(make(), fastpath=True)
+        legacy = self._message(make(), fastpath=False)
+        assert fast == legacy
+        assert "past end" in fast
+
+    def test_array_bounds_message(self):
+        def make():
+            b = MethodBuilder("Test", "main")
+            b.iconst(4).newarray(Kind.INT).store(0)
+            b.load(0).iconst(9).aload().pop().ret()
+            return single_method_program(b)
+
+        self._assert_parity(make)
+
+
+class TestEngineEquivalence:
+    def test_same_counters_on_small_program(self):
+        def make():
+            b = MethodBuilder("Test", "main")
+            b.iconst(64).newarray(Kind.INT).store(1)
+
+            def body(b):
+                b.load(1).load(0).load(0).astore()
+
+            counting_loop(b, 64, 0, body)
+            b.ret()
+            return single_method_program(b)
+
+        _, fast = _run(make(), fastpath=True)
+        _, legacy = _run(make(), fastpath=False)
+        assert fast == legacy

@@ -161,3 +161,170 @@ class TestStats:
         h.access(0, 0x0)
         h.flush_all()
         assert h.access(0, 0x0).level == LEVEL_DRAM
+
+
+class TestPageStraddle:
+    """An access spanning a page boundary charges both pages' lookup
+    paths (TLB lookup + page-table touch each) and counts both lines."""
+
+    def test_cold_straddle_counts_both_pages(self):
+        h = MemoryHierarchy()
+        # 4 bytes before the page boundary, 4 after: 2 lines, 2 pages.
+        r = h.access(0, 0x1000 - 4, size=8)
+        assert r.lines == 2
+        assert r.tlb_misses == 2
+        assert r.l1_misses == 2
+        assert h.page_table.touched_pages() == 2
+
+    def test_warm_straddle_pays_no_tlb(self):
+        h = MemoryHierarchy()
+        h.access(0, 0x1000 - 4, size=8)
+        r = h.access(0, 0x1000 - 4, size=8)
+        assert r.lines == 2
+        assert r.tlb_misses == 0
+        assert r.level == LEVEL_L1
+
+    def test_straddle_home_node_is_first_page(self):
+        h = small_hierarchy()
+        h.access(2, 0x1000)      # cpu 2 (node 1) first-touches page 1
+        r = h.access(0, 0x1000 - 4, size=8)
+        assert r.home_node == 0  # the first page, touched here by cpu 0
+        assert not r.remote
+
+
+def _copy_result(r):
+    return {slot: getattr(r, slot) for slot in type(r).__slots__}
+
+
+def _state_fingerprint(h):
+    return {
+        "stats": (h.stats.accesses, h.stats.loads, h.stats.stores,
+                  h.stats.total_latency),
+        "misses": h.miss_summary(),
+        "numa": (h.page_table.stats.local_accesses,
+                 h.page_table.stats.remote_accesses),
+        "tlb_hits": [t.stats.hits for t in h.tlb],
+        "l1_hits": [c.stats.hits for c in h.l1],
+    }
+
+
+class TestAccessHot:
+    """access_hot must replay access()'s exact effects and results."""
+
+    def _sequence(self):
+        # Repeats (hot hits), conflict-evicting strides, a second CPU,
+        # a remote page, and writes.
+        seq = []
+        for rep in range(3):
+            for addr in (0x0, 0x40, 0x200, 0x0, 0x400, 0x0, 0x40000):
+                seq.append((0, addr, rep % 2 == 0))
+        seq.extend((2, addr, False) for addr in (0x0, 0x40000, 0x0))
+        return seq
+
+    def test_matches_access_results_and_state(self):
+        ref = small_hierarchy()
+        hot = small_hierarchy()
+        for cpu, addr, is_write in self._sequence():
+            expected = _copy_result(ref.access(cpu, addr, 8, is_write))
+            got = _copy_result(hot.access_hot(cpu, addr, 8, is_write))
+            assert got == expected
+        assert _state_fingerprint(hot) == _state_fingerprint(ref)
+
+    def test_eviction_falls_back_to_full_walk(self):
+        h = small_hierarchy()
+        h.access_hot(0, 0x0)
+        # 2-way L1 with 512B of aliasing stride: 0x0 gets evicted.
+        h.access_hot(0, 0x200)
+        h.access_hot(0, 0x400)
+        assert h.access_hot(0, 0x0).level == LEVEL_L2
+
+    def test_flush_falls_back_to_dram(self):
+        h = MemoryHierarchy()
+        h.access_hot(0, 0x1000)
+        h.access_hot(0, 0x1000)
+        h.flush_all()
+        assert h.access_hot(0, 0x1000).level == LEVEL_DRAM
+
+    def test_page_migration_invalidates_hot_entries(self):
+        h = small_hierarchy()
+        h.access_hot(0, 0x1000)
+        h.access_hot(0, 0x1000)        # cached, local
+        h.page_table.move_pages([0x1000], [1])
+        r = h.access_hot(0, 0x1000)
+        assert r.home_node == 1
+        assert r.remote
+
+    def test_straddle_delegates_to_access(self):
+        h = MemoryHierarchy()
+        r = h.access_hot(0, 0x1000 - 4, size=8)
+        assert r.lines == 2
+        assert r.tlb_misses == 2
+
+    def test_invalid_inputs_raise_like_access(self):
+        h = MemoryHierarchy()
+        with pytest.raises(ValueError):
+            h.access_hot(999, 0x0)
+        with pytest.raises(ValueError):
+            h.access_hot(0, -1)
+
+
+class TestTouchRange:
+    """touch_range must equal a per-line access() loop: same latency sum,
+    same statistics, same cache/TLB state afterwards."""
+
+    def _loop(self, h, cpu, start, end, is_write):
+        total = 0
+        addr = start
+        while addr < end:
+            total += h.access(cpu, addr, 8, is_write).latency
+            addr += h.config.line_size
+        return total
+
+    @pytest.mark.parametrize("is_write", [False, True])
+    def test_matches_per_line_loop(self, is_write):
+        ref = small_hierarchy()
+        fused = small_hierarchy()
+        # Crosses a page boundary and wraps the tiny TLB (8 entries).
+        start, end = 0x800, 0x800 + 12 * 4096
+        expected = self._loop(ref, 0, start, end, is_write)
+        assert fused.touch_range(0, start, end, is_write) == expected
+        assert _state_fingerprint(fused) == _state_fingerprint(ref)
+
+    def test_warm_rerun_matches_too(self):
+        ref = small_hierarchy()
+        fused = small_hierarchy()
+        span = (0x0, 0x2000)
+        self._loop(ref, 0, *span, False)
+        fused.touch_range(0, *span, False)
+        assert self._loop(ref, 0, *span, False) == \
+            fused.touch_range(0, *span, False)
+        assert _state_fingerprint(fused) == _state_fingerprint(ref)
+
+    def test_later_accesses_see_identical_state(self):
+        ref = small_hierarchy()
+        fused = small_hierarchy()
+        self._loop(ref, 0, 0x0, 0x1800, True)
+        fused.touch_range(0, 0x0, 0x1800, True)
+        # The fused walk skips resident-set registration; the observable
+        # hierarchy state must still be identical for any later access.
+        for cpu, addr in ((0, 0x0), (0, 0x1000), (1, 0x40), (0, 0x5000)):
+            assert _copy_result(ref.access(cpu, addr)) == \
+                _copy_result(fused.access_hot(cpu, addr))
+        assert _state_fingerprint(fused) == _state_fingerprint(ref)
+
+    def test_unaligned_start_falls_back_consistently(self):
+        ref = small_hierarchy()
+        fused = small_hierarchy()
+        start, end = 0x3c, 0x3c + 5 * 64   # 60: straddles its first line
+        total = 0
+        addr = start
+        while addr < end:
+            total += ref.access(0, addr, 8, False).latency
+            addr += 64
+        assert fused.touch_range(0, start, end, False) == total
+        assert _state_fingerprint(fused) == _state_fingerprint(ref)
+
+    def test_empty_range_is_a_noop(self):
+        h = small_hierarchy()
+        assert h.touch_range(0, 0x100, 0x100, False) == 0
+        assert h.stats.accesses == 0
