@@ -52,6 +52,8 @@ class AllocFrequencyProfiler(Collector):
     """Counts every allocation by call path via the instrumentation hook."""
 
     label = "allocfreq"
+    #: The allocation stream is this profiler's entire input.
+    wants_allocs = True
 
     #: Heavy per-event cost of fine-grained instrumentation.
     CYCLES_PER_ALLOCATION = 2500

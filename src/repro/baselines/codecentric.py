@@ -65,9 +65,14 @@ class CodeCentricProfiler(Collector):
     and consumes only SampleEvents carrying its sampler ids — several
     PMU profilers can sample one run side by side, each with independent
     counters, exactly like multiple perf sessions on one process.
+
+    Samples-only: it attributes to code locations, never to objects, so
+    it opts out of allocation events too — attaching just this profiler
+    leaves both per-access AND per-allocation event construction off.
     """
 
     label = "codecentric"
+    wants_allocs = False
 
     def __init__(self, events: "tuple[PmuEvent, ...]" = (L1_MISS,),
                  sample_period: int = 64) -> None:

@@ -199,6 +199,7 @@ class ReuseDistanceProfiler(Collector):
 
     label = "reusedist"
     wants_accesses = True
+    wants_allocs = True
 
     CYCLES_PER_ACCESS = 300
     CYCLES_PER_ALLOCATION = 400

@@ -2,29 +2,46 @@
 
 Measures how fast the *simulator itself* executes — simulated bytecode
 instructions per wall-clock second (ips) and memory accesses per second
-(aps) — for every suite workload, on both engines:
+(aps) — for every suite workload, across up to five arms:
 
 ``fastpath``
     Compiled dispatch tables + the hierarchy's pooled L1 fast path
-    (the default engine).
+    (the default engine), no profilers attached.
 ``legacy``
     The original one-step-at-a-time interpreter and composed hierarchy
     walk (``--no-fastpath``).
+``profiled``
+    The fast path with DJXPerf attached at the paper's default sampling
+    period (64) on the instrumented program — the configuration a user
+    actually profiles with, running on the skip-ahead PMU boundary.
+``profiled_peraccess``
+    The same profiled configuration with skip-ahead disabled
+    (``MachineConfig.skip_ahead=False``): every access walks every
+    armed counter.  This is the reference arm the skip-ahead fast path
+    is measured against; the two arms' MachineResults are compared on
+    every run, so the bench doubles as an equivalence check.
+``allfamilies``
+    One shared run feeding all four profiler families (DJXPerf,
+    code-centric, allocation-frequency, reuse-distance) — the heaviest
+    realistic bus load, including a full-trace ``wants_accesses``
+    collector.
 
 Each arm runs ``repeat`` times on a freshly built machine and keeps the
 best wall time (the workloads are deterministic, so best-of-N measures
-the code, not the scheduler).  The two arms' MachineResults are compared
-on every run — a bench run doubles as a cheap equivalence check.
+the code, not the scheduler).  Dispatch tables are precompiled with
+:meth:`~repro.jvm.machine.Machine.warm_dispatch` before the timer
+starts, so the first repeat is not skewed by table building.
 
 The aggregate row divides total instructions by total best-time across
 workloads, weighting long workloads naturally.  ``BENCH_throughput.json``
 at the repo root is the committed reference produced by this harness
 (see ``python -m repro bench --help``); CI re-runs a small subset and
-fails when the measured fastpath-over-legacy speedup ratio falls more
-than the tolerance below the committed one.  The *ratio* is compared —
-not absolute ips — because both arms run on the same machine in the
-same process, which cancels hardware differences between the machine
-that committed the baseline and the machine checking it.
+fails when a measured speedup *ratio* — fastpath-over-legacy, or
+skip-ahead-over-per-access on the profiled arms — falls more than the
+tolerance below the committed one.  Ratios are compared, not absolute
+ips, because each ratio's two arms run on the same machine in the same
+process, which cancels hardware differences between the machine that
+committed the baseline and the machine checking it.
 """
 
 from __future__ import annotations
@@ -40,16 +57,20 @@ from repro.workloads.base import Workload, get_workload
 from repro.workloads.suite import suite_names
 
 #: Schema tag written into every report (bump on breaking change).
-SCHEMA = "repro-bench-throughput/1"
+#: ``/2`` added the profiled arms and per-arm instruction counts.
+SCHEMA = "repro-bench-throughput/2"
 
 #: Quick subset for CI: the heaviest row of each flavour plus two
 #: streaming-native rows, keeping the job under a few seconds.
 SMALL_SUITE = ("mnemonics", "akka-uct", "avrora", "crypto")
 
+#: The paper's default PMU sampling period, used by the profiled arms.
+DJX_PERIOD = 64
+
 
 @dataclass(frozen=True)
 class ArmTiming:
-    """One engine's timing for one workload."""
+    """One arm's timing for one workload."""
 
     seconds: float
     ips: float
@@ -58,19 +79,37 @@ class ArmTiming:
 
 @dataclass(frozen=True)
 class BenchRow:
-    """One workload's measurement across both engines."""
+    """One workload's measurement across the enabled arms.
+
+    ``instructions``/``accesses`` count the plain (uninstrumented)
+    program; ``profiled_instructions``/``profiled_accesses`` count the
+    instrumented program the profiled arms execute (allocation hooks
+    add bytecode, so the two differ).
+    """
 
     name: str
     instructions: int
     accesses: int
     fastpath: ArmTiming
     legacy: Optional[ArmTiming]
+    profiled_instructions: int = 0
+    profiled_accesses: int = 0
+    profiled: Optional[ArmTiming] = None
+    profiled_peraccess: Optional[ArmTiming] = None
+    allfamilies: Optional[ArmTiming] = None
 
     @property
     def speedup_vs_legacy(self) -> Optional[float]:
         if self.legacy is None:
             return None
         return self.legacy.seconds / self.fastpath.seconds
+
+    @property
+    def profiled_speedup(self) -> Optional[float]:
+        """Skip-ahead over per-access counting, profilers attached."""
+        if self.profiled is None or self.profiled_peraccess is None:
+            return None
+        return self.profiled_peraccess.seconds / self.profiled.seconds
 
 
 @dataclass(frozen=True)
@@ -80,14 +119,18 @@ class BenchReport:
     rows: List[BenchRow]
     repeat: int
 
-    def _aggregate(self, arm: Callable[[BenchRow], Optional[ArmTiming]]
-                   ) -> Optional[ArmTiming]:
+    def _aggregate(self, arm: Callable[[BenchRow], Optional[ArmTiming]],
+                   profiled: bool = False) -> Optional[ArmTiming]:
         timings = [arm(r) for r in self.rows]
         if not timings or any(t is None for t in timings):
             return None
         seconds = sum(t.seconds for t in timings)  # type: ignore[union-attr]
-        instructions = sum(r.instructions for r in self.rows)
-        accesses = sum(r.accesses for r in self.rows)
+        if profiled:
+            instructions = sum(r.profiled_instructions for r in self.rows)
+            accesses = sum(r.profiled_accesses for r in self.rows)
+        else:
+            instructions = sum(r.instructions for r in self.rows)
+            accesses = sum(r.accesses for r in self.rows)
         return ArmTiming(seconds=seconds, ips=instructions / seconds,
                          aps=accesses / seconds)
 
@@ -100,11 +143,32 @@ class BenchReport:
         return self._aggregate(lambda r: r.legacy)
 
     @property
+    def aggregate_profiled(self) -> Optional[ArmTiming]:
+        return self._aggregate(lambda r: r.profiled, profiled=True)
+
+    @property
+    def aggregate_profiled_peraccess(self) -> Optional[ArmTiming]:
+        return self._aggregate(lambda r: r.profiled_peraccess,
+                               profiled=True)
+
+    @property
+    def aggregate_allfamilies(self) -> Optional[ArmTiming]:
+        return self._aggregate(lambda r: r.allfamilies, profiled=True)
+
+    @property
     def aggregate_speedup(self) -> Optional[float]:
         fast, legacy = self.aggregate_fastpath, self.aggregate_legacy
         if fast is None or legacy is None:
             return None
         return legacy.seconds / fast.seconds
+
+    @property
+    def aggregate_profiled_speedup(self) -> Optional[float]:
+        skip = self.aggregate_profiled
+        peraccess = self.aggregate_profiled_peraccess
+        if skip is None or peraccess is None:
+            return None
+        return peraccess.seconds / skip.seconds
 
     def to_dict(self) -> Dict:
         def arm(t: Optional[ArmTiming]) -> Optional[Dict]:
@@ -121,6 +185,14 @@ class BenchReport:
                      "legacy": arm(row.legacy)}
             if row.speedup_vs_legacy is not None:
                 entry["speedup_vs_legacy"] = round(row.speedup_vs_legacy, 3)
+            if row.profiled is not None:
+                entry["profiled_instructions"] = row.profiled_instructions
+                entry["profiled_accesses"] = row.profiled_accesses
+                entry["profiled"] = arm(row.profiled)
+                entry["profiled_peraccess"] = arm(row.profiled_peraccess)
+                entry["allfamilies"] = arm(row.allfamilies)
+            if row.profiled_speedup is not None:
+                entry["profiled_speedup"] = round(row.profiled_speedup, 3)
             workloads[row.name] = entry
         out = {"schema": SCHEMA, "repeat": self.repeat,
                "workloads": workloads,
@@ -129,26 +201,43 @@ class BenchReport:
                    "accesses": sum(r.accesses for r in self.rows),
                    "fastpath": arm(self.aggregate_fastpath),
                    "legacy": arm(self.aggregate_legacy)}}
+        agg = out["aggregate"]
         if self.aggregate_speedup is not None:
-            out["aggregate"]["speedup_vs_legacy"] = round(
-                self.aggregate_speedup, 3)
+            agg["speedup_vs_legacy"] = round(self.aggregate_speedup, 3)
+        if self.aggregate_profiled is not None:
+            agg["profiled_instructions"] = sum(
+                r.profiled_instructions for r in self.rows)
+            agg["profiled_accesses"] = sum(
+                r.profiled_accesses for r in self.rows)
+            agg["profiled"] = arm(self.aggregate_profiled)
+            agg["profiled_peraccess"] = arm(self.aggregate_profiled_peraccess)
+            agg["allfamilies"] = arm(self.aggregate_allfamilies)
+        if self.aggregate_profiled_speedup is not None:
+            agg["profiled_speedup"] = round(
+                self.aggregate_profiled_speedup, 3)
         return out
 
 
 class EquivalenceError(AssertionError):
-    """The two engines produced different MachineResults."""
+    """Two arms that must agree produced different MachineResults."""
 
 
-def _time_arm(workload: Workload, fastpath: bool, repeat: int,
-              variant: str) -> "tuple[MachineResult, float]":
-    """Best-of-``repeat`` wall time for one engine on one workload."""
-    program = workload.build_verified(variant)
-    config = dataclasses.replace(workload.machine_config(),
-                                 fastpath=fastpath)
+def _time_run(program, config, repeat: int,
+              attach: Optional[Callable[[Machine], None]] = None
+              ) -> "tuple[MachineResult, float]":
+    """Best-of-``repeat`` wall time for one arm.
+
+    A fresh machine (and, via ``attach``, fresh collectors) is built per
+    repeat; dispatch tables are warmed before the timer starts so the
+    first repeat measures execution, not table compilation.
+    """
     best: Optional[float] = None
     result: Optional[MachineResult] = None
     for _ in range(repeat):
         machine = Machine(program, config)
+        if attach is not None:
+            attach(machine)
+        machine.warm_dispatch()
         started = time.perf_counter()
         result = machine.run()
         elapsed = time.perf_counter() - started
@@ -158,21 +247,96 @@ def _time_arm(workload: Workload, fastpath: bool, repeat: int,
     return result, best
 
 
+def _timing(result: MachineResult, seconds: float) -> "tuple[ArmTiming, int, int]":
+    instructions = result.total_instructions
+    accesses = result.loads + result.stores
+    return (ArmTiming(seconds=seconds, ips=instructions / seconds,
+                      aps=accesses / seconds), instructions, accesses)
+
+
+def _profiled_arms(workload: Workload, repeat: int, variant: str
+                   ) -> "tuple[ArmTiming, ArmTiming, ArmTiming, int, int]":
+    """Time the three profiled arms on the instrumented program.
+
+    Raises :class:`EquivalenceError` if the skip-ahead and per-access
+    counting boundaries disagree on the MachineResult or on the number
+    of samples DJXPerf handled — they must be bit-identical.
+    """
+    # Imported lazily: plain fastpath/legacy benching should not pull
+    # the whole profiler stack in.
+    from repro.baselines import (
+        AllocFrequencyProfiler,
+        CodeCentricProfiler,
+        ReuseDistanceProfiler,
+    )
+    from repro.core import DJXPerf, DjxConfig
+    from repro.core.javaagent import instrument_program
+
+    program = instrument_program(workload.build_verified(variant))
+    base_config = dataclasses.replace(workload.machine_config(),
+                                      fastpath=True)
+
+    def djx_attach(machine: Machine) -> "DJXPerf":
+        profiler = DJXPerf(DjxConfig(sample_period=DJX_PERIOD))
+        profiler.attach(machine)
+        return profiler
+
+    agents = []
+
+    def attach_skip(machine: Machine) -> None:
+        agents.append(djx_attach(machine).agent)
+
+    skip_result, skip_seconds = _time_run(
+        program, dataclasses.replace(base_config, skip_ahead=True),
+        repeat, attach_skip)
+    skip_samples = agents[-1].stats.samples_handled
+
+    agents.clear()
+    peraccess_result, peraccess_seconds = _time_run(
+        program, dataclasses.replace(base_config, skip_ahead=False),
+        repeat, attach_skip)
+    peraccess_samples = agents[-1].stats.samples_handled
+
+    if (peraccess_result != skip_result
+            or peraccess_samples != skip_samples):
+        raise EquivalenceError(
+            f"{workload.name}: skip-ahead and per-access counting "
+            f"disagree (skip={skip_result!r}/{skip_samples} samples, "
+            f"peraccess={peraccess_result!r}/{peraccess_samples} samples)")
+
+    def attach_families(machine: Machine) -> None:
+        djx_attach(machine)
+        CodeCentricProfiler(sample_period=DJX_PERIOD).attach(machine)
+        AllocFrequencyProfiler().attach(machine)
+        ReuseDistanceProfiler().attach(machine)
+
+    _, families_seconds = _time_run(
+        program, dataclasses.replace(base_config, skip_ahead=True),
+        repeat, attach_families)
+
+    skip_timing, instructions, accesses = _timing(skip_result, skip_seconds)
+    peraccess_timing, _, _ = _timing(peraccess_result, peraccess_seconds)
+    families_timing = ArmTiming(seconds=families_seconds,
+                                ips=instructions / families_seconds,
+                                aps=accesses / families_seconds)
+    return (skip_timing, peraccess_timing, families_timing,
+            instructions, accesses)
+
+
 def bench_workload(workload: Workload, repeat: int = 3,
-                   legacy: bool = True,
+                   legacy: bool = True, profiled: bool = False,
                    variant: str = "baseline") -> BenchRow:
     """Measure one workload; raises :class:`EquivalenceError` if the
-    legacy arm disagrees with the fast path on any result field."""
-    fast_result, fast_seconds = _time_arm(workload, True, repeat, variant)
-    instructions = fast_result.total_instructions
-    accesses = fast_result.loads + fast_result.stores
-    fast = ArmTiming(seconds=fast_seconds,
-                     ips=instructions / fast_seconds,
-                     aps=accesses / fast_seconds)
+    legacy arm disagrees with the fast path on any result field, or if
+    the profiled arms' counting boundaries disagree."""
+    program = workload.build_verified(variant)
+    config = dataclasses.replace(workload.machine_config(), fastpath=True)
+    fast_result, fast_seconds = _time_run(program, config, repeat)
+    fast, instructions, accesses = _timing(fast_result, fast_seconds)
     legacy_timing: Optional[ArmTiming] = None
     if legacy:
-        legacy_result, legacy_seconds = _time_arm(
-            workload, False, repeat, variant)
+        legacy_result, legacy_seconds = _time_run(
+            program, dataclasses.replace(config, fastpath=False), repeat)
         if legacy_result != fast_result:
             raise EquivalenceError(
                 f"{workload.name}: fastpath and legacy engines disagree "
@@ -180,12 +344,23 @@ def bench_workload(workload: Workload, repeat: int = 3,
         legacy_timing = ArmTiming(seconds=legacy_seconds,
                                   ips=instructions / legacy_seconds,
                                   aps=accesses / legacy_seconds)
+    profiled_timing = peraccess_timing = families_timing = None
+    profiled_instructions = profiled_accesses = 0
+    if profiled:
+        (profiled_timing, peraccess_timing, families_timing,
+         profiled_instructions, profiled_accesses) = _profiled_arms(
+            workload, repeat, variant)
     return BenchRow(name=workload.name, instructions=instructions,
-                    accesses=accesses, fastpath=fast, legacy=legacy_timing)
+                    accesses=accesses, fastpath=fast, legacy=legacy_timing,
+                    profiled_instructions=profiled_instructions,
+                    profiled_accesses=profiled_accesses,
+                    profiled=profiled_timing,
+                    profiled_peraccess=peraccess_timing,
+                    allfamilies=families_timing)
 
 
 def bench_suite(names: Optional[Sequence[str]] = None, repeat: int = 3,
-                legacy: bool = True,
+                legacy: bool = True, profiled: bool = False,
                 progress: Optional[Callable[[BenchRow], None]] = None
                 ) -> BenchReport:
     """Run the harness over ``names`` (default: the full suite)."""
@@ -196,7 +371,7 @@ def bench_suite(names: Optional[Sequence[str]] = None, repeat: int = 3,
     rows: List[BenchRow] = []
     for name in names:
         row = bench_workload(get_workload(name), repeat=repeat,
-                             legacy=legacy)
+                             legacy=legacy, profiled=profiled)
         rows.append(row)
         if progress is not None:
             progress(row)
@@ -222,12 +397,15 @@ def check_regression(report: BenchReport, baseline: Dict,
                      tolerance: float = 0.20) -> List[str]:
     """Compare a fresh run against a committed baseline report.
 
-    Returns a list of human-readable failures (empty = pass).  The
-    fastpath-over-legacy speedup *ratio* is compared, not absolute
-    throughput: the ratio is measured within one process on one
-    machine, so it transfers between the committing machine and the
-    checking machine, while raw ips does not.
+    Returns a list of human-readable failures (empty = pass).  Speedup
+    *ratios* are compared, not absolute throughput: each ratio's two
+    arms are measured within one process on one machine, so the ratio
+    transfers between the committing machine and the checking machine,
+    while raw ips does not.  Two ratios are checked when available:
+    fastpath-over-legacy, and — if both the run and the baseline carry
+    profiled arms — skip-ahead-over-per-access with DJXPerf attached.
     """
+    failures: List[str] = []
     measured = report.aggregate_speedup
     if measured is None:
         return ["regression check needs both engines: "
@@ -237,7 +415,18 @@ def check_regression(report: BenchReport, baseline: Dict,
         return ["baseline has no aggregate.speedup_vs_legacy field"]
     floor = committed * (1.0 - tolerance)
     if measured < floor:
-        return [f"aggregate fastpath speedup regressed: measured "
-                f"{measured:.3f}x < floor {floor:.3f}x "
-                f"(committed {committed:.3f}x - {tolerance:.0%})"]
-    return []
+        failures.append(
+            f"aggregate fastpath speedup regressed: measured "
+            f"{measured:.3f}x < floor {floor:.3f}x "
+            f"(committed {committed:.3f}x - {tolerance:.0%})")
+    profiled_measured = report.aggregate_profiled_speedup
+    profiled_committed = baseline.get("aggregate", {}).get(
+        "profiled_speedup")
+    if profiled_measured is not None and profiled_committed is not None:
+        profiled_floor = profiled_committed * (1.0 - tolerance)
+        if profiled_measured < profiled_floor:
+            failures.append(
+                f"profiled skip-ahead speedup regressed: measured "
+                f"{profiled_measured:.3f}x < floor {profiled_floor:.3f}x "
+                f"(committed {profiled_committed:.3f}x - {tolerance:.0%})")
+    return failures

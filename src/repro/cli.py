@@ -170,6 +170,7 @@ def cmd_advise(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    import fnmatch
     import json
 
     from repro.bench import (
@@ -181,24 +182,34 @@ def cmd_bench(args) -> int:
     )
     from repro.workloads.suite import suite_names
 
-    if args.workloads:
-        names = args.workloads
+    if args.names:
+        names = args.names
     elif args.small:
         names = list(SMALL_SUITE)
     else:
         names = suite_names()
+    if args.workloads:
+        names = [n for n in names
+                 if fnmatch.fnmatchcase(n, args.workloads)]
+        if not names:
+            print(f"error: no workloads match glob {args.workloads!r}",
+                  file=sys.stderr)
+            return 2
 
     def progress(row):
         if args.json:
             return
         speedup = (f"  x{row.speedup_vs_legacy:.2f}"
                    if row.speedup_vs_legacy is not None else "")
+        profiled = (f"  x{row.profiled_speedup:.2f} prof"
+                    if row.profiled_speedup is not None else "")
         print(f"{row.name:24s} {row.instructions:8d} ins  "
               f"{row.fastpath.ips:10.0f} ips  "
-              f"{row.fastpath.aps:10.0f} aps{speedup}")
+              f"{row.fastpath.aps:10.0f} aps{speedup}{profiled}")
 
     report = bench_suite(names, repeat=args.repeat,
-                         legacy=not args.no_legacy, progress=progress)
+                         legacy=not args.no_legacy,
+                         profiled=args.profiled, progress=progress)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -207,7 +218,9 @@ def cmd_bench(args) -> int:
               f"{sum(r.instructions for r in report.rows):8d} ins  "
               f"{agg.ips:10.0f} ips  {agg.aps:10.0f} aps"
               + (f"  x{report.aggregate_speedup:.2f} vs legacy"
-                 if report.aggregate_speedup is not None else ""))
+                 if report.aggregate_speedup is not None else "")
+              + (f"  x{report.aggregate_profiled_speedup:.2f} profiled"
+                 if report.aggregate_profiled_speedup is not None else ""))
     if args.out:
         write_report(report, args.out)
         if not args.json:
@@ -299,12 +312,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench", help="measure simulator throughput")
-    p_bench.add_argument("workloads", nargs="*",
+    p_bench.add_argument("names", nargs="*", metavar="workload",
                          help="workloads to benchmark (default: full "
                               "suite)")
     p_bench.add_argument("--small", action="store_true",
                          help="use the quick CI subset instead of the "
                               "full suite")
+    p_bench.add_argument("--workloads", metavar="GLOB",
+                         help="filter the selected workloads by a "
+                              "shell-style glob (e.g. 'akka-*')")
+    p_bench.add_argument("--profiled", action="store_true",
+                         help="also time the profiled arms: DJXPerf "
+                              "attached at the paper-default period "
+                              "(skip-ahead vs per-access counting) and "
+                              "the all-families shared run")
     p_bench.add_argument("--repeat", type=int, default=3,
                          help="runs per engine, best wall time kept "
                               "(default 3)")

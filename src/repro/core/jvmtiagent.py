@@ -88,6 +88,12 @@ class DjxJvmtiAgent(Collector):
     """One agent instance per profiled machine (or per replayed trace)."""
 
     label = "djxperf"
+    #: PEBS samples + allocation events are the agent's whole diet: it
+    #: never needs the raw access stream (that is the paper's point),
+    #: and the bus skips building it while only sample-driven
+    #: collectors are attached.
+    wants_accesses = False
+    wants_allocs = True
 
     def __init__(self, machine, events: List[PmuEvent],
                  sample_period: int, size_threshold: int,

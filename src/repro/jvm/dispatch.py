@@ -29,6 +29,19 @@ Equivalence contract (the fast path must be observationally invisible):
   (which keeps ``frame.pc`` current at all times) would expose.  Pure
   stack/arithmetic handlers skip the store — nothing can observe the
   stale value in between.
+* Each method gets **two** tables.  The ``observed`` variant keeps the
+  contract above.  The unobserved variant additionally drops the
+  ``frame.pc`` store from the plain memory-access handlers (array/field
+  /static loads and stores, ARRAYLENGTH): it is only run for stretches
+  during which no sampler is armed and no collector records accesses,
+  so no async unwind can fire mid-handler.  Allocation sites, NATIVE
+  and INVOKE keep their stores in both variants (natives and the
+  allocation hook may observe the stack regardless), and every stretch
+  exit — frame switch, trap, budget exhaustion — persists ``pc``
+  explicitly, so the choice of table is invisible at stretch
+  boundaries.  The interpreter re-picks the variant each stretch, which
+  is why a mid-run subscribe or ``open_sampler`` takes effect on the
+  next stretch (at the latest, the next scheduler quantum).
 * INVOKE stores the *return address* before pushing the callee frame,
   as the legacy path does, so async unwinds attribute caller frames to
   the instruction after the call site.
@@ -51,11 +64,17 @@ from repro.jvm.bytecode import Instruction, Op
 Handler = Callable[[object, object], int]
 
 
-def compile_dispatch(machine, runtime) -> List[Handler]:
-    """Build the handler table for ``runtime``'s method.
+def compile_dispatch(machine, runtime, observed: bool = True
+                     ) -> List[Handler]:
+    """Build a handler table for ``runtime``'s method.
 
-    Cached on ``runtime.dispatch_table`` by the interpreter; safe to
-    reuse across JIT recompilations because the bytecode is immutable.
+    ``observed=True`` keeps ``frame.pc`` current across every
+    event-publishing handler (required while samplers are armed or
+    accesses recorded); ``observed=False`` drops the store from the
+    plain memory-access handlers.  Cached on
+    ``runtime.dispatch_table_observed`` / ``runtime.dispatch_table`` by
+    the interpreter; safe to reuse across JIT recompilations because
+    the bytecode is immutable.
     """
     from repro.jvm.interpreter import (
         ArithmeticTrap,
@@ -103,17 +122,27 @@ def compile_dispatch(machine, runtime) -> List[Handler]:
                 return nxt
 
         elif op is Op.ALOAD:
-            def h(thread, frame, bci=bci, ins=ins, nxt=nxt):
-                frame.pc = bci
-                stack = frame.stack
-                index = stack.pop()
-                obj = deref(stack.pop(), bci, ins)
-                # element_address bounds-checks; the direct list read
-                # replaces get_element's re-check of the same bounds.
-                memory_access(thread, obj.element_address(index),
-                              obj.elem_size(), is_write=False)
-                stack.append(obj.elements[index])
-                return nxt
+            if observed:
+                def h(thread, frame, bci=bci, ins=ins, nxt=nxt):
+                    frame.pc = bci
+                    stack = frame.stack
+                    index = stack.pop()
+                    obj = deref(stack.pop(), bci, ins)
+                    # element_address bounds-checks; the direct list read
+                    # replaces get_element's re-check of the same bounds.
+                    memory_access(thread, obj.element_address(index),
+                                  obj.elem_size(), is_write=False)
+                    stack.append(obj.elements[index])
+                    return nxt
+            else:
+                def h(thread, frame, bci=bci, ins=ins, nxt=nxt):
+                    stack = frame.stack
+                    index = stack.pop()
+                    obj = deref(stack.pop(), bci, ins)
+                    memory_access(thread, obj.element_address(index),
+                                  obj.elem_size(), is_write=False)
+                    stack.append(obj.elements[index])
+                    return nxt
 
         elif op is Op.IINC:
             index, delta = ins.args
@@ -164,18 +193,29 @@ def compile_dispatch(machine, runtime) -> List[Handler]:
                 return nxt
 
         elif op is Op.ASTORE:
-            def h(thread, frame, bci=bci, ins=ins, nxt=nxt):
-                frame.pc = bci
-                stack = frame.stack
-                value = stack.pop()
-                index = stack.pop()
-                obj = deref(stack.pop(), bci, ins)
-                # element_address bounds-checks; the direct list write
-                # replaces set_element's re-check of the same bounds.
-                memory_access(thread, obj.element_address(index),
-                              obj.elem_size(), is_write=True)
-                obj.elements[index] = value
-                return nxt
+            if observed:
+                def h(thread, frame, bci=bci, ins=ins, nxt=nxt):
+                    frame.pc = bci
+                    stack = frame.stack
+                    value = stack.pop()
+                    index = stack.pop()
+                    obj = deref(stack.pop(), bci, ins)
+                    # element_address bounds-checks; the direct list write
+                    # replaces set_element's re-check of the same bounds.
+                    memory_access(thread, obj.element_address(index),
+                                  obj.elem_size(), is_write=True)
+                    obj.elements[index] = value
+                    return nxt
+            else:
+                def h(thread, frame, bci=bci, ins=ins, nxt=nxt):
+                    stack = frame.stack
+                    value = stack.pop()
+                    index = stack.pop()
+                    obj = deref(stack.pop(), bci, ins)
+                    memory_access(thread, obj.element_address(index),
+                                  obj.elem_size(), is_write=True)
+                    obj.elements[index] = value
+                    return nxt
 
         elif op is Op.ACONST_NULL:
             def h(thread, frame, nxt=nxt):
@@ -357,59 +397,102 @@ def compile_dispatch(machine, runtime) -> List[Handler]:
         elif op is Op.GETFIELD:
             field_name = ins.args[0]
 
-            def h(thread, frame, field_name=field_name, ins=ins,
-                  bci=bci, nxt=nxt):
-                frame.pc = bci
-                stack = frame.stack
-                obj = deref(stack.pop(), bci, ins)
-                memory_access(thread, obj.field_address(field_name),
-                              8, is_write=False)
-                stack.append(obj.get_field(field_name))
-                return nxt
+            if observed:
+                def h(thread, frame, field_name=field_name, ins=ins,
+                      bci=bci, nxt=nxt):
+                    frame.pc = bci
+                    stack = frame.stack
+                    obj = deref(stack.pop(), bci, ins)
+                    memory_access(thread, obj.field_address(field_name),
+                                  8, is_write=False)
+                    stack.append(obj.get_field(field_name))
+                    return nxt
+            else:
+                def h(thread, frame, field_name=field_name, ins=ins,
+                      bci=bci, nxt=nxt):
+                    stack = frame.stack
+                    obj = deref(stack.pop(), bci, ins)
+                    memory_access(thread, obj.field_address(field_name),
+                                  8, is_write=False)
+                    stack.append(obj.get_field(field_name))
+                    return nxt
 
         elif op is Op.PUTFIELD:
             field_name = ins.args[0]
 
-            def h(thread, frame, field_name=field_name, ins=ins,
-                  bci=bci, nxt=nxt):
-                frame.pc = bci
-                stack = frame.stack
-                value = stack.pop()
-                obj = deref(stack.pop(), bci, ins)
-                memory_access(thread, obj.field_address(field_name),
-                              8, is_write=True)
-                obj.set_field(field_name, value)
-                return nxt
+            if observed:
+                def h(thread, frame, field_name=field_name, ins=ins,
+                      bci=bci, nxt=nxt):
+                    frame.pc = bci
+                    stack = frame.stack
+                    value = stack.pop()
+                    obj = deref(stack.pop(), bci, ins)
+                    memory_access(thread, obj.field_address(field_name),
+                                  8, is_write=True)
+                    obj.set_field(field_name, value)
+                    return nxt
+            else:
+                def h(thread, frame, field_name=field_name, ins=ins,
+                      bci=bci, nxt=nxt):
+                    stack = frame.stack
+                    value = stack.pop()
+                    obj = deref(stack.pop(), bci, ins)
+                    memory_access(thread, obj.field_address(field_name),
+                                  8, is_write=True)
+                    obj.set_field(field_name, value)
+                    return nxt
 
         elif op is Op.GETSTATIC:
             key = ins.args[0]
 
-            def h(thread, frame, key=key, bci=bci, nxt=nxt):
-                frame.pc = bci
-                address = machine.static_address(key)
-                memory_access(thread, address, 8, is_write=False)
-                frame.stack.append(machine.get_static(key))
-                return nxt
+            if observed:
+                def h(thread, frame, key=key, bci=bci, nxt=nxt):
+                    frame.pc = bci
+                    address = machine.static_address(key)
+                    memory_access(thread, address, 8, is_write=False)
+                    frame.stack.append(machine.get_static(key))
+                    return nxt
+            else:
+                def h(thread, frame, key=key, nxt=nxt):
+                    address = machine.static_address(key)
+                    memory_access(thread, address, 8, is_write=False)
+                    frame.stack.append(machine.get_static(key))
+                    return nxt
 
         elif op is Op.PUTSTATIC:
             key = ins.args[0]
 
-            def h(thread, frame, key=key, bci=bci, nxt=nxt):
-                frame.pc = bci
-                address = machine.static_address(key)
-                memory_access(thread, address, 8, is_write=True)
-                machine.set_static(key, frame.stack.pop())
-                return nxt
+            if observed:
+                def h(thread, frame, key=key, bci=bci, nxt=nxt):
+                    frame.pc = bci
+                    address = machine.static_address(key)
+                    memory_access(thread, address, 8, is_write=True)
+                    machine.set_static(key, frame.stack.pop())
+                    return nxt
+            else:
+                def h(thread, frame, key=key, nxt=nxt):
+                    address = machine.static_address(key)
+                    memory_access(thread, address, 8, is_write=True)
+                    machine.set_static(key, frame.stack.pop())
+                    return nxt
 
         elif op is Op.ARRAYLENGTH:
-            def h(thread, frame, ins=ins, bci=bci, nxt=nxt):
-                frame.pc = bci
-                stack = frame.stack
-                obj = deref(stack.pop(), bci, ins)
-                # length lives in the header's second word
-                memory_access(thread, obj.addr + 8, 8, is_write=False)
-                stack.append(obj.length)
-                return nxt
+            if observed:
+                def h(thread, frame, ins=ins, bci=bci, nxt=nxt):
+                    frame.pc = bci
+                    stack = frame.stack
+                    obj = deref(stack.pop(), bci, ins)
+                    # length lives in the header's second word
+                    memory_access(thread, obj.addr + 8, 8, is_write=False)
+                    stack.append(obj.length)
+                    return nxt
+            else:
+                def h(thread, frame, ins=ins, bci=bci, nxt=nxt):
+                    stack = frame.stack
+                    obj = deref(stack.pop(), bci, ins)
+                    memory_access(thread, obj.addr + 8, 8, is_write=False)
+                    stack.append(obj.length)
+                    return nxt
 
         elif op is Op.NOP:
             def h(thread, frame, nxt=nxt):

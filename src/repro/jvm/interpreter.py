@@ -159,13 +159,28 @@ class Interpreter:
         runnable = ThreadState.RUNNABLE
         frames = thread.frames
         machine = self.machine
+        bus = machine.bus
         while executed < budget and thread.state is runnable:
             frame = frames[-1]
             runtime = frame.runtime
-            table = runtime.dispatch_table
-            if table is None:
-                table = compile_dispatch(machine, runtime)
-                runtime.dispatch_table = table
+            # Table choice is per stretch: the observed variant keeps
+            # frame.pc current for async unwinds whenever a sampler is
+            # armed or accesses are recorded; otherwise the unobserved
+            # variant skips those dead stores.  Observation state only
+            # changes through subscribe/open_sampler, which take effect
+            # here on the next stretch.
+            if bus.sampling or bus._accesses_wanted:
+                table = runtime.dispatch_table_observed
+                if table is None:
+                    table = compile_dispatch(machine, runtime,
+                                             observed=True)
+                    runtime.dispatch_table_observed = table
+            else:
+                table = runtime.dispatch_table
+                if table is None:
+                    table = compile_dispatch(machine, runtime,
+                                             observed=False)
+                    runtime.dispatch_table = table
             # cpi is constant within a stretch: it only changes when a
             # JIT compile fires, which requires an INVOKE — and INVOKE
             # always ends the stretch.

@@ -37,7 +37,7 @@ class MethodRuntime:
 
     __slots__ = ("method", "invocation_count", "compiled", "method_id",
                  "version", "cycles_per_instruction_cached",
-                 "dispatch_table")
+                 "dispatch_table", "dispatch_table_observed")
 
     def __init__(self, method: JMethod, method_id: int) -> None:
         self.method = method
@@ -49,9 +49,15 @@ class MethodRuntime:
         self.cycles_per_instruction_cached = 0
         #: Lazily built by :func:`repro.jvm.dispatch.compile_dispatch`:
         #: one bound handler closure per bytecode.  The bytecode never
-        #: changes, so the table survives (re)compilations — only the
-        #: per-instruction cycle cost above varies by tier.
+        #: changes, so the tables survive (re)compilations — only the
+        #: per-instruction cycle cost above varies by tier.  Two
+        #: variants: ``dispatch_table`` (unobserved; memory handlers
+        #: skip the ``frame.pc`` store nothing can read) and
+        #: ``dispatch_table_observed`` (keeps ``frame.pc`` current for
+        #: async unwinds while samplers or access recording are live).
+        #: The interpreter picks per stretch.
         self.dispatch_table = None
+        self.dispatch_table_observed = None
 
     @property
     def cycles_per_instruction(self) -> int:
@@ -101,6 +107,10 @@ class MethodTable:
             return self._runtimes[method_name]
         except KeyError:
             raise KeyError(f"unregistered method {method_name!r}") from None
+
+    def runtimes(self) -> "List[MethodRuntime]":
+        """Every registered method's runtime (warm-up iteration)."""
+        return list(self._runtimes.values())
 
     def resolve(self, method_id: int) -> MethodRuntime:
         """Method ID → runtime (current or historic JITted instance)."""

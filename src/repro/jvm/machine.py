@@ -43,7 +43,7 @@ from repro.jvm.interpreter import (
 from repro.jvm.jit import JitConfig, MethodTable
 from repro.memsys.hierarchy import AccessResult, HierarchyConfig, MemoryHierarchy
 from repro.memsys.numa import NumaTopology, PlacementPolicy
-from repro.obs.bus import EventBus
+from repro.obs.bus import NO_LIMIT, EventBus
 from repro.obs.events import (
     ALLOC_HOOK,
     AllocEvent,
@@ -52,6 +52,7 @@ from repro.obs.events import (
     GcNotifyEvent,
     JitCompileEvent,
 )
+from repro.pmu.events import NUM_COMBOS
 
 
 class DeadlockError(Exception):
@@ -83,6 +84,12 @@ class MachineConfig:
     #: the legacy one-step-at-a-time engine (the ``--no-fastpath`` flag);
     #: both produce identical results and event streams.
     fastpath: bool = True
+    #: Deterministic skip-ahead PMU counting: pay per sample, not per
+    #: access (combo-table classification + bulk countdown decrements).
+    #: False forces legacy per-access counting on every armed counter —
+    #: the differential suite's reference arm.  Sample streams are
+    #: bit-identical either way.
+    skip_ahead: bool = True
     seed: int = 12345
 
 
@@ -174,6 +181,7 @@ class Machine:
         # event; the raw callback lists remain for JVMTI-style direct
         # subscriptions (thread objects, not events).
         self.bus = EventBus()
+        self.bus.skip_ahead = cfg.skip_ahead
         self.on_thread_start: List[Callable[[JavaThread], None]] = []
         self.on_thread_end: List[Callable[[JavaThread], None]] = []
 
@@ -244,8 +252,19 @@ class Machine:
         directly and charges the accumulated latency in one step —
         per-line hierarchy state and statistics are identical, and the
         cycle counter is only ever incremented between observations, so
-        the batching is invisible.  Any observer (or ``--no-fastpath``)
-        degrades it to one observed :meth:`memory_access` per line.
+        the batching is invisible.
+
+        Sampled runs keep the fused walk by chunking it to the bus's
+        overflow budget: each chunk provably fits inside every armed
+        counter's countdown, so the walk histograms per-line outcome
+        combos and the counters skip ahead in one step, sample-free by
+        construction.  When the budget hits zero — the *next* counted
+        event may overflow — exactly one observed per-line access runs,
+        pinning any sample to its precise line address, and bulk
+        walking resumes with the re-armed budget.  The resulting sample
+        stream is bit-identical to per-line counting.  Raw-access
+        recording, ``--no-fastpath`` and ``skip_ahead=False`` degrade
+        to one observed :meth:`memory_access` per line throughout.
         """
         bus = self.bus
         if self._fastpath and not (bus.sampling or bus._accesses_wanted):
@@ -254,6 +273,36 @@ class Machine:
             return
         line = self._line_size
         addr = start
+        if (self._fastpath and bus.skip_ahead
+                and not bus._accesses_wanted):
+            tid = thread.tid
+            cpu = thread.cpu
+            hierarchy = self.hierarchy
+            bulk_budget = bus.bulk_budget
+            observe_bulk = bus.observe_bulk
+            while addr < end:
+                budget = bulk_budget(tid, is_write)
+                if budget <= 0:
+                    self.memory_access(thread, addr, 8, is_write)
+                    addr += line
+                    continue
+                if budget >= NO_LIMIT:
+                    # No armed counter can count this write-class at
+                    # all (e.g. zeroing writes under loads-only
+                    # events): the walk is observationally invisible.
+                    thread.cycles += hierarchy.touch_range(
+                        cpu, addr, end, is_write)
+                    return
+                nlines = (end - addr + line - 1) // line
+                chunk_end = addr + budget * line if nlines > budget else end
+                combo_counts = [0] * NUM_COMBOS
+                latency = hierarchy.touch_range(
+                    cpu, addr, chunk_end, is_write, combo_counts)
+                if latency < 0:
+                    break       # unwalkable geometry: per-line the rest
+                thread.cycles += latency
+                observe_bulk(tid, combo_counts)
+                addr = chunk_end
         while addr < end:
             self.memory_access(thread, addr, 8, is_write)
             addr += line
@@ -399,6 +448,24 @@ class Machine:
         self.register_native(ALLOC_HOOK, _native_alloc_hook)
 
     # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+    def warm_dispatch(self) -> None:
+        """Precompile every registered method's dispatch tables (both
+        observation variants), so timed runs measure execution rather
+        than table building.  No-op on the legacy engine."""
+        if not self._fastpath:
+            return
+        from repro.jvm.dispatch import compile_dispatch
+        for runtime in self.method_table.runtimes():
+            if runtime.dispatch_table is None:
+                runtime.dispatch_table = compile_dispatch(
+                    self, runtime, observed=False)
+            if runtime.dispatch_table_observed is None:
+                runtime.dispatch_table_observed = compile_dispatch(
+                    self, runtime, observed=True)
+
+    # ------------------------------------------------------------------
     # Thread lifecycle & scheduling
     # ------------------------------------------------------------------
     def _start_threads(self) -> None:
@@ -514,11 +581,14 @@ def _native_alloc_hook(call: NativeCall):
     """
     machine = call.machine
     bus = machine.bus
-    if not bus.active:
+    if not bus.active or not bus._allocs_wanted:
+        # Demand-driven: with only samples-wanting collectors attached,
+        # neither the event nor its call-path snapshot is built.
         return None
     (ref,) = call.args
     obj = machine.heap.get(ref)
     thread = call.thread
+    bus.alloc_events_built += 1
     bus.publish(AllocEvent(
         tid=thread.tid, addr=obj.addr, end=obj.end, size=obj.size,
         type_name=obj.type_name, path=tuple(thread.call_stack()),

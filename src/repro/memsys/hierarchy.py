@@ -475,7 +475,8 @@ class MemoryHierarchy:
                                    self._scratch_miss)
 
     def touch_range(self, cpu: int, start: int, end: int,
-                    is_write: bool) -> int:
+                    is_write: bool,
+                    combo_counts: Optional[List[int]] = None) -> int:
         """Fused bulk walk: one 8-byte access per line of ``[start, end)``.
 
         State- and statistics-identical to looping
@@ -486,6 +487,17 @@ class MemoryHierarchy:
         so this is for pooled callers only (allocation zeroing,
         arraycopy, the streaming natives) — anything that needs per-line
         outcomes must loop :meth:`access` itself.
+
+        ``combo_counts``, when given, is a
+        :data:`~repro.pmu.events.NUM_COMBOS`-sized histogram that each
+        line's outcome combo (:func:`~repro.pmu.events.combo_index`) is
+        accumulated into — exactly the combos per-line :meth:`access`
+        results would classify to, with the TLB-missed bit set only on
+        the first line of a page run, as per-line walks see it.  That is
+        what lets sampled runs bulk skip-ahead their PMU counters over
+        the walk.  If the preconditions for the fused walk fail while
+        counting, ``-1`` is returned *before any state changes* so the
+        caller can redo the range through observed per-line accesses.
 
         Same-page TLB replays skip the ``move_to_end`` (the page is
         already most recent — addresses only ascend, so a page is never
@@ -499,6 +511,10 @@ class MemoryHierarchy:
         if (cpu < 0 or cpu >= self._num_cpus or start < 0
                 or (start & self._line_low) + 8 > line_size
                 or self._page_size % line_size):
+            if combo_counts is not None:
+                # Counting callers need per-line outcomes they can
+                # observe; nothing has been touched yet, so they can.
+                return -1
             # Odd alignments or geometries: per-line slow path with the
             # same per-access semantics.
             total = 0
@@ -540,6 +556,11 @@ class MemoryHierarchy:
         page = -1
         home_node = 0
         remote = False
+        counting = combo_counts is not None
+        # Low combo bits of the current line: write + remote + (tlb
+        # missed on *this* line — set only for the first line of a page
+        # run that missed, matching the per-line walk's results).
+        base = 2 if is_write else 0
         while addr < end:
             p = addr // page_size
             if p != page:
@@ -553,14 +574,21 @@ class MemoryHierarchy:
                 if p in pages:
                     pages.move_to_end(p)
                     tlb_stats.hits += 1
+                    if counting:
+                        base = (2 if is_write else 0) + (1 if remote else 0)
                 else:
                     tlb_stats.misses += 1
                     if len(pages) >= tlb_entries:
                         pages.popitem(last=False)
                     pages[p] = True
                     total += self._tlb_penalty
+                    if counting:
+                        base = (2 if is_write else 0) \
+                            + (1 if remote else 0) + 4
             else:
                 tlb_stats.hits += 1
+                if base >= 4:
+                    base -= 4
             if remote:
                 pt_stats.remote_accesses += 1
             else:
@@ -573,6 +601,8 @@ class MemoryHierarchy:
                     cset[line] = True
                 l1_stats.hits += 1
                 total += lat_l1
+                if counting:
+                    combo_counts[base] += 1
             else:
                 l1_stats.misses += 1
                 l2set = l2_sets[line % l2_nsets]
@@ -582,6 +612,8 @@ class MemoryHierarchy:
                         l2set[line] = True
                     l2_stats.hits += 1
                     total += lat_l2
+                    if counting:
+                        combo_counts[8 + base] += 1
                 else:
                     l2_stats.misses += 1
                     l3set = l3_sets[line % l3_nsets]
@@ -591,8 +623,12 @@ class MemoryHierarchy:
                             l3set[line] = True
                         l3_stats.hits += 1
                         total += lat_l3
+                        if counting:
+                            combo_counts[16 + base] += 1
                     else:
                         l3_stats.misses += 1
+                        if counting:
+                            combo_counts[24 + base] += 1
                         # L3 fill (the line just missed L3: plain insert).
                         if len(l3set) >= l3_assoc:
                             _v, v_dirty = l3set.popitem(last=False)

@@ -17,6 +17,37 @@ carrying the call path snapshot on each overflow (PEBS + async unwind).
 Sampler state follows thread lifecycle exactly as ``perf_event_open``
 per-thread counters do.
 
+Skip-ahead counting
+-------------------
+The default counting mode pays per *sample*, not per access, the way
+PEBS hardware does.  Per thread, the bus tabulates its armed counters by
+outcome combo (:func:`repro.pmu.events.combo_index`): one list lookup on
+the access's (level, tlb, rw, numa) combo yields exactly the counters
+that count it — usually none, since the paper's preset samples L1
+*misses* and most accesses hit.  A counting counter's countdown register
+(:attr:`~repro.pmu.pmu.PerfCounter.remaining_until_overflow`) is
+decremented in place; only at overflow does the full sample path run
+(call-stack unwind, SampleEvent publication).  Bulk walks go further:
+:meth:`EventBus.bulk_budget` tells the machine how many single-line
+accesses provably cannot overflow any register, the hierarchy's fused
+walk histograms outcomes per combo, and :meth:`EventBus.observe_bulk`
+applies the whole stretch in one decrement per counter.  Events whose
+count is not combo-pure (load-latency filtering), multi-line accesses,
+and ``skip_ahead=False`` (the differential suite's reference arm) all
+fall back to per-access :meth:`~repro.pmu.pmu.PerfCounter.observe` —
+every mode produces bit-identical sample streams.
+
+Demand-driven streams
+---------------------
+Collectors declare capabilities (``wants_accesses``, ``wants_allocs``)
+and subscribe/unsubscribe maintain the refcounted union, so the machine
+skips *constructing* per-access AccessEvents — and per-allocation
+AllocEvents with their call-path snapshots — that nobody consumes
+(``access_events_built`` / ``alloc_events_built`` count what was
+actually built).  Trace recording opts in explicitly, restoring the
+full stream.  Capability changes mid-run take effect at the next
+dispatch stretch, i.e. by the next scheduler quantum.
+
 Two cheap flags gate the hot path: ``active`` (any subscriber) and
 ``sampling`` (any armed sampler).  When both are false a memory access
 costs two attribute reads.
@@ -35,12 +66,19 @@ from repro.obs.events import (
     ThreadEndEvent,
     ThreadStartEvent,
 )
-from repro.pmu.events import PmuEvent
+from repro.pmu.events import LEVEL_INDEX, NUM_COMBOS, PmuEvent
 from repro.pmu.pmu import PerfCounter, PerfEventConfig
 
 #: Default ring capacity; a full ring force-flushes mid-quantum so
 #: memory stays bounded on access-recording runs.
 DEFAULT_CAPACITY = 4096
+
+#: level name → combo-table base index (``combo_index`` top bits).
+_LEVEL_BASE = {level: index * 8 for level, index in LEVEL_INDEX.items()}
+
+#: ``bulk_budget`` result when no enabled counter constrains the walk —
+#: callers seeing it may run the walk without histogramming at all.
+NO_LIMIT = 1 << 60
 
 
 class EventBus:
@@ -60,20 +98,33 @@ class EventBus:
         self._threads: Dict[int, object] = {}
         #: tid → [(sampler_id, counter), ...]
         self._counters: Dict[int, List[Tuple[int, PerfCounter]]] = {}
-        #: One-entry memo over ``_counters`` for the access hot path
-        #: (threads run in scheduler quanta, so consecutive accesses
-        #: almost always share a tid).  Invalidated whenever the
-        #: counter *lists* change shape (_arm / close_sampler /
-        #: thread_ended); in-place counter mutation needs no care.
+        #: One-entry memo over the per-tid counting plan for the access
+        #: hot path (threads run in scheduler quanta, so consecutive
+        #: accesses almost always share a tid).  Invalidated whenever
+        #: the counter *lists* change shape (_arm / close_sampler /
+        #: thread_ended); enabled-flag flips need no care because every
+        #: use re-checks ``counter.enabled``.
         self._hot_tid = -1
-        self._hot_counters: Optional[List[Tuple[int, PerfCounter]]] = None
+        self._hot_entry: Optional[tuple] = None
         self._accesses_wanted = 0
+        self._allocs_wanted = 0
+        #: False switches every counter to legacy per-access counting
+        #: (:meth:`PerfCounter.observe` for each access) — the
+        #: differential suite's reference arm.  Sample streams are
+        #: bit-identical either way.
+        self.skip_ahead = True
         #: True iff at least one collector is subscribed.
         self.active = False
         #: True iff at least one sampler is armed.
         self.sampling = False
         self.events_published = 0
         self.batches_flushed = 0
+        #: AccessEvents actually constructed (0 on samples-only runs).
+        self.access_events_built = 0
+        #: AllocEvents actually constructed (incremented by the machine's
+        #: allocation hook, which skips construction when nobody wants
+        #: allocation events).
+        self.alloc_events_built = 0
 
     # ------------------------------------------------------------------
     # Subscription
@@ -89,6 +140,8 @@ class EventBus:
         collector.bus = self
         if collector.wants_accesses:
             self._accesses_wanted += 1
+        if collector.wants_allocs:
+            self._allocs_wanted += 1
         self.active = True
         collector.on_subscribed(self)
 
@@ -102,6 +155,8 @@ class EventBus:
         self._collectors.remove(collector)
         if collector.wants_accesses:
             self._accesses_wanted -= 1
+        if collector.wants_allocs:
+            self._allocs_wanted -= 1
         self.active = bool(self._collectors)
         collector.bus = None
         collector.on_unsubscribed(self)
@@ -172,8 +227,27 @@ class EventBus:
             self._counters[tid] = [(sid, c) for sid, c in counters
                                    if sid != sampler_id]
         self._hot_tid = -1
-        self._hot_counters = None
+        self._hot_entry = None
         self.sampling = bool(self._samplers)
+
+    def disable_sampler(self, sampler_id: int) -> None:
+        """Freeze one sampler's counters on every thread
+        (``PERF_EVENT_IOC_DISABLE``): each countdown register keeps its
+        exact position, so :meth:`enable_sampler` resumes with no drift.
+        """
+        for counters in self._counters.values():
+            for sid, counter in counters:
+                if sid == sampler_id:
+                    counter.enabled = False
+
+    def enable_sampler(self, sampler_id: int) -> None:
+        """Re-enable a frozen sampler (``PERF_EVENT_IOC_ENABLE``)."""
+        if sampler_id not in self._samplers:
+            return
+        for counters in self._counters.values():
+            for sid, counter in counters:
+                if sid == sampler_id:
+                    counter.enabled = True
 
     def close_samplers(self, owner: str) -> None:
         """Disarm every sampler opened under ``owner``."""
@@ -196,7 +270,7 @@ class EventBus:
         counter = PerfCounter(config, self._make_overflow_handler(sampler_id))
         self._counters.setdefault(tid, []).append((sampler_id, counter))
         self._hot_tid = -1
-        self._hot_counters = None
+        self._hot_entry = None
 
     def _make_overflow_handler(self, sampler_id: int):
         def handler(sample) -> None:
@@ -233,25 +307,183 @@ class EventBus:
         for _, counter in self._counters.get(thread.tid, []):
             counter.enabled = False
         self._hot_tid = -1
-        self._hot_counters = None
+        self._hot_entry = None
+
+    def _entry_for(self, tid: int) -> Optional[tuple]:
+        """Build and memoise ``tid``'s counting plan.
+
+        The plan is ``(table, generic, counters, maxweights)``:
+
+        * ``table`` — combo index → tuple of ``(sampler_id, counter,
+          weight)`` with only non-zero weights, so the common no-count
+          combo costs one list lookup and an empty loop; ``None`` when
+          no armed counter is combo-pure;
+        * ``generic`` — counters whose event has no combo table
+          (load-latency filtering) and must count via ``counts()``;
+        * ``counters`` — the full arm-ordered list, for the per-access
+          reference path (multi-line results, ``skip_ahead=False``, or
+          any generic counter present — mixed-order sample streams stay
+          exactly arm-ordered that way);
+        * ``maxweights`` — ``(counter, max read-combo weight, max
+          write-combo weight)`` triples for :meth:`bulk_budget`; the
+          split lets a walk whose write-class no armed counter can
+          count (e.g. allocation zeroing under ``L1_MISS``, whose
+          write combos all weigh 0) skip counting entirely.
+        """
+        counters = self._counters.get(tid)
+        if counters:
+            rows: List[list] = [[] for _ in range(NUM_COMBOS)]
+            generic = []
+            maxweights = []
+            has_combo = False
+            for sid, counter in counters:
+                weights = counter.config.event.combo_weights
+                if weights is None:
+                    generic.append((sid, counter))
+                else:
+                    has_combo = True
+                    # Combo bit 1 (value 2) is the write bit.
+                    maxweights.append((
+                        counter,
+                        max(w for i, w in enumerate(weights)
+                            if not i & 2),
+                        max(w for i, w in enumerate(weights) if i & 2)))
+                    for i, weight in enumerate(weights):
+                        if weight:
+                            rows[i].append((sid, counter, weight))
+            table = [tuple(row) for row in rows] if has_combo else None
+            entry = (table, tuple(generic), counters, tuple(maxweights))
+        else:
+            entry = None
+        self._hot_tid = tid
+        self._hot_entry = entry
+        return entry
 
     def observe_access(self, thread, result) -> None:
         """Hot path: count one access on armed samplers and (only when
         some collector asked for raw accesses) publish an AccessEvent.
 
         The caller pre-checks ``sampling or _accesses_wanted`` so the
-        common unobserved run pays almost nothing.
+        common unobserved run pays almost nothing.  With skip-ahead on,
+        a single-line access is classified by its outcome combo and only
+        the counters that actually count it are touched — a bare
+        countdown decrement each, with the full sample path deferred to
+        :meth:`_overflow`.  Multi-line results, generic (non-combo)
+        counters and ``skip_ahead=False`` take the per-access reference
+        path; the streams are bit-identical.
         """
         if self.sampling:
             tid = thread.tid
             if tid == self._hot_tid:
-                counters = self._hot_counters
+                entry = self._hot_entry
             else:
-                counters = self._counters.get(tid)
-                self._hot_tid = tid
-                self._hot_counters = counters
-            if counters:
-                for _, counter in counters:
-                    counter.observe(tid, result, ucontext=thread)
+                entry = self._entry_for(tid)
+            if entry is not None:
+                table = entry[0]
+                if (table is not None and not entry[1] and self.skip_ahead
+                        and result.lines == 1):
+                    hits = table[
+                        _LEVEL_BASE[result.level]
+                        + (4 if result.tlb_misses else 0)
+                        + (2 if result.is_write else 0)
+                        + (1 if result.remote else 0)]
+                    for sid, counter, weight in hits:
+                        if counter.enabled:
+                            counter.total += weight
+                            remaining = \
+                                counter.remaining_until_overflow - weight
+                            if remaining > 0:
+                                counter.remaining_until_overflow = remaining
+                            else:
+                                self._overflow(sid, counter, remaining,
+                                               tid, result, thread)
+                else:
+                    for _, counter in entry[2]:
+                        counter.observe(tid, result, ucontext=thread)
         if self._accesses_wanted:
+            self.access_events_built += 1
             self.publish(AccessEvent(thread.tid, result, thread))
+
+    def _overflow(self, sampler_id: int, counter: PerfCounter,
+                  remaining: int, tid: int, result, thread) -> None:
+        """Deliver overflow samples for the skip-ahead fast path.
+
+        Semantically identical to :meth:`PerfCounter.observe` overflowing
+        into the bus's handler, minus the intermediate ``Sample`` object:
+        same register arithmetic, same per-sample path snapshot, same
+        publication order.
+        """
+        period = counter.config.sample_period
+        event_name = counter.config.event.name
+        path = tuple(thread.call_stack()) if thread is not None else ()
+        while remaining <= 0:
+            remaining += period
+            counter.remaining_until_overflow = remaining
+            self.publish(SampleEvent(
+                sampler_id=sampler_id, event=event_name, tid=tid,
+                cpu=result.cpu, address=result.address, size=result.size,
+                is_write=result.is_write, latency=result.latency,
+                level=result.level, home_node=result.home_node,
+                remote=result.remote, path=path, thread=thread))
+            counter.samples_delivered += 1
+
+    def bulk_budget(self, tid: int, is_write: bool) -> int:
+        """How many single-line accesses of one write-class a bulk walk
+        may count without any possibility of overflow, whatever their
+        outcomes.
+
+        0 forbids bulk counting (an enabled counter needs per-access
+        ``counts()``).  :data:`NO_LIMIT` means no enabled counter can
+        count *any* combo of this write-class — the walk need not
+        histogram at all (e.g. allocation-zeroing writes while only
+        ``L1_MISS``, a loads-only event, is armed).  The budget reads
+        the live countdown registers: consume it immediately with
+        :meth:`observe_bulk` — any observed access in between
+        invalidates it.
+        """
+        if tid == self._hot_tid:
+            entry = self._hot_entry
+        else:
+            entry = self._entry_for(tid)
+        if entry is None:
+            return NO_LIMIT
+        for _sid, counter in entry[1]:
+            if counter.enabled:
+                return 0
+        budget = NO_LIMIT
+        for counter, maxw_read, maxw_write in entry[3]:
+            if counter.enabled:
+                maxweight = maxw_write if is_write else maxw_read
+                if maxweight:
+                    b = (counter.remaining_until_overflow - 1) // maxweight
+                    if b >= NO_LIMIT:
+                        # A finite countdown can exceed the sentinel
+                        # (huge counting-only periods); it still needs
+                        # its totals counted, so keep it below it.
+                        b = NO_LIMIT - 1
+                    if b < budget:
+                        budget = b
+        return budget
+
+    def observe_bulk(self, tid: int, combo_counts: List[int]) -> None:
+        """Apply a bulk walk's outcome histogram in one skip-ahead step.
+
+        ``combo_counts`` is a :data:`~repro.pmu.events.NUM_COMBOS`-sized
+        histogram of single-line outcomes, from a walk of no more than
+        :meth:`bulk_budget` lines — so no register can reach zero and no
+        sample fires; every counter just skips ahead by its exact count.
+        """
+        if tid == self._hot_tid:
+            entry = self._hot_entry
+        else:
+            entry = self._entry_for(tid)
+        if entry is None or entry[0] is None:
+            return
+        table = entry[0]
+        for i, n in enumerate(combo_counts):
+            if n:
+                for _sid, counter, weight in table[i]:
+                    if counter.enabled:
+                        counted = n * weight
+                        counter.total += counted
+                        counter.remaining_until_overflow -= counted

@@ -42,6 +42,11 @@ class Collector:
     #: The bus skips AccessEvent construction entirely when no
     #: subscriber wants them, keeping the hot path cheap.
     wants_accesses = False
+    #: Set False for samples-only collectors that ignore AllocEvents.
+    #: The machine skips AllocEvent construction (and the call-stack
+    #: snapshot it requires) when no subscriber wants allocations.
+    #: Defaults True because most collectors track object lifetimes.
+    wants_allocs = True
 
     def __init__(self) -> None:
         self.bus = None

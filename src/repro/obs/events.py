@@ -71,25 +71,51 @@ class ThreadEndEvent:
         return ThreadEndEvent(tid=rec[1])
 
 
-@dataclass(frozen=True)
 class AllocEvent:
     """One object allocation observed by the instrumentation hook.
 
-    Published for *every* allocation the hook sees; collectors apply
-    their own size thresholds.  ``path`` is the allocation call path
-    captured at hook time (AsyncGetCallTrace).
+    Published for every allocation the hook sees *while some subscribed
+    collector sets* ``wants_allocs`` — the hook skips both the event
+    and its call-path snapshot otherwise (demand-driven streams);
+    collectors apply their own size thresholds.  ``path`` is the
+    allocation call path captured at hook time (AsyncGetCallTrace).
+    A plain ``__slots__`` class rather than a dataclass: one is built
+    per allocation on instrumented runs, so construction cost matters.
+    ``thread`` (the live thread, for cycle charging) is never
+    serialised and never compared.
     """
 
     kind = "alloc"
-    tid: int
-    addr: int
-    end: int
-    size: int
-    type_name: str
-    path: RawPath
-    #: Live thread for cycle charging; never serialised, never compared.
-    thread: Optional[object] = field(default=None, compare=False,
-                                     repr=False)
+    __slots__ = ("tid", "addr", "end", "size", "type_name", "path",
+                 "thread")
+
+    def __init__(self, tid: int, addr: int, end: int, size: int,
+                 type_name: str, path: RawPath,
+                 thread: Optional[object] = None) -> None:
+        self.tid = tid
+        self.addr = addr
+        self.end = end
+        self.size = size
+        self.type_name = type_name
+        self.path = path
+        self.thread = thread
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AllocEvent):
+            return NotImplemented
+        return (self.tid == other.tid and self.addr == other.addr
+                and self.end == other.end and self.size == other.size
+                and self.type_name == other.type_name
+                and self.path == other.path)
+
+    def __hash__(self) -> int:
+        return hash((self.tid, self.addr, self.end, self.size,
+                     self.type_name, self.path))
+
+    def __repr__(self) -> str:
+        return (f"AllocEvent(tid={self.tid}, addr={self.addr}, "
+                f"end={self.end}, size={self.size}, "
+                f"type_name={self.type_name!r}, path={self.path!r})")
 
     def to_record(self) -> list:
         return ["al", self.tid, self.addr, self.end, self.size,

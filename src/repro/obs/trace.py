@@ -44,6 +44,10 @@ class TraceWriter(Collector):
     """Collector that serialises the event stream to a trace file."""
 
     label = "trace-writer"
+    #: Traces always carry the allocation stream (replay re-analysis
+    #: needs it); subscribing a writer therefore re-enables AllocEvent
+    #: construction even alongside samples-only collectors.
+    wants_allocs = True
 
     def __init__(self, path: str, machine=None,
                  include_accesses: bool = False,

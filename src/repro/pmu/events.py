@@ -4,14 +4,66 @@ Each event knows how to extract its occurrence count from one
 :class:`~repro.memsys.hierarchy.AccessResult`.  The names follow Intel's
 event mnemonics used in the paper (e.g. ``MEM_LOAD_UOPS_RETIRED:L1_MISS``,
 the event DJXPerf presets).
+
+Outcome combos
+--------------
+For a *single-line* access the entire countable outcome is determined by
+four facts: which level served it (L1/L2/L3/DRAM), whether the TLB
+missed, whether it was a store, and whether the page was NUMA-remote.
+:func:`combo_index` packs those into an integer in ``[0, NUM_COMBOS)``,
+and every catalogue event carries a ``combo_weights`` table mapping each
+combo to its count.  The observation bus uses these static tables to
+count accesses by a single table lookup — and, crucially, to know
+*without calling anything* that an access cannot count (the common
+L1-hit combo weighs zero for the paper's preset L1-miss event), which is
+what makes skip-ahead sampling pay per sample instead of per access.
+Events whose count is not a pure function of the combo (the PEBS
+load-latency filter depends on the configured latency model) leave
+``combo_weights`` as ``None`` and are counted through :meth:`counts`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.memsys.hierarchy import LEVEL_DRAM, AccessResult
+from repro.memsys.hierarchy import (
+    LEVEL_DRAM,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_L3,
+    AccessResult,
+)
+
+#: Cache levels in combo order; index into this is the combo's top bits.
+COMBO_LEVELS = (LEVEL_L1, LEVEL_L2, LEVEL_L3, LEVEL_DRAM)
+
+#: level name → combo level index (exported for the bus hot path).
+LEVEL_INDEX: Dict[str, int] = {lvl: i for i, lvl in enumerate(COMBO_LEVELS)}
+
+#: Total number of single-line outcome combos: 4 levels × tlb × rw × numa.
+NUM_COMBOS = len(COMBO_LEVELS) * 8
+
+
+def combo_index(level: str, tlb_missed: bool, is_write: bool,
+                remote: bool) -> int:
+    """Pack a single-line access outcome into its combo index."""
+    return (LEVEL_INDEX[level] * 8 + (4 if tlb_missed else 0)
+            + (2 if is_write else 0) + (1 if remote else 0))
+
+
+def _combo_table(weight: Callable[[str, bool, bool, bool], int]
+                 ) -> Tuple[int, ...]:
+    """Tabulate ``weight(level, tlb_missed, is_write, remote)`` over all
+    combos, in :func:`combo_index` order."""
+    table = [0] * NUM_COMBOS
+    for level in COMBO_LEVELS:
+        for tlb in (False, True):
+            for write in (False, True):
+                for remote in (False, True):
+                    table[combo_index(level, tlb, write, remote)] = \
+                        weight(level, tlb, write, remote)
+    return tuple(table)
 
 
 @dataclass(frozen=True)
@@ -22,6 +74,11 @@ class PmuEvent:
     counts: Callable[[AccessResult], int]
     #: Precise events carry an effective address (PEBS); all of ours do.
     precise: bool = True
+    #: Per-combo count for a single-line access (:func:`combo_index`
+    #: order), or ``None`` when the count is not a pure function of the
+    #: outcome combo.  Must agree with :attr:`counts` on every
+    #: single-line AccessResult — the differential suite checks this.
+    combo_weights: Optional[Tuple[int, ...]] = None
 
     def __repr__(self) -> str:
         return f"PmuEvent({self.name})"
@@ -55,14 +112,42 @@ def _remote_dram_loads(r: AccessResult) -> int:
     return 1 if (not r.is_write and r.remote and r.level == LEVEL_DRAM) else 0
 
 
-L1_MISS = PmuEvent("MEM_LOAD_UOPS_RETIRED:L1_MISS", _loads_l1_miss)
-L2_MISS = PmuEvent("MEM_LOAD_UOPS_RETIRED:L2_MISS", _loads_l2_miss)
-L3_MISS = PmuEvent("MEM_LOAD_UOPS_RETIRED:L3_MISS", _loads_l3_miss)
-DTLB_LOAD_MISSES = PmuEvent("DTLB_LOAD_MISSES", _dtlb_load_misses)
-ALL_LOADS = PmuEvent("MEM_UOPS_RETIRED:ALL_LOADS", _all_loads)
-ALL_STORES = PmuEvent("MEM_UOPS_RETIRED:ALL_STORES", _all_stores)
-REMOTE_DRAM_LOADS = PmuEvent("MEM_LOAD_UOPS_RETIRED:REMOTE_DRAM",
-                             _remote_dram_loads)
+# Single-line combo tables: on a one-line access the per-level miss
+# counters are 0/1 and fully implied by the serving level (L2 service
+# means exactly one L1 miss, DRAM means one miss at each level), so each
+# ``counts`` function above collapses to a predicate over the combo.
+L1_MISS = PmuEvent(
+    "MEM_LOAD_UOPS_RETIRED:L1_MISS", _loads_l1_miss,
+    combo_weights=_combo_table(
+        lambda level, tlb, write, remote:
+        0 if write or level == LEVEL_L1 else 1))
+L2_MISS = PmuEvent(
+    "MEM_LOAD_UOPS_RETIRED:L2_MISS", _loads_l2_miss,
+    combo_weights=_combo_table(
+        lambda level, tlb, write, remote:
+        1 if not write and level in (LEVEL_L3, LEVEL_DRAM) else 0))
+L3_MISS = PmuEvent(
+    "MEM_LOAD_UOPS_RETIRED:L3_MISS", _loads_l3_miss,
+    combo_weights=_combo_table(
+        lambda level, tlb, write, remote:
+        1 if not write and level == LEVEL_DRAM else 0))
+DTLB_LOAD_MISSES = PmuEvent(
+    "DTLB_LOAD_MISSES", _dtlb_load_misses,
+    combo_weights=_combo_table(
+        lambda level, tlb, write, remote: 1 if tlb and not write else 0))
+ALL_LOADS = PmuEvent(
+    "MEM_UOPS_RETIRED:ALL_LOADS", _all_loads,
+    combo_weights=_combo_table(
+        lambda level, tlb, write, remote: 0 if write else 1))
+ALL_STORES = PmuEvent(
+    "MEM_UOPS_RETIRED:ALL_STORES", _all_stores,
+    combo_weights=_combo_table(
+        lambda level, tlb, write, remote: 1 if write else 0))
+REMOTE_DRAM_LOADS = PmuEvent(
+    "MEM_LOAD_UOPS_RETIRED:REMOTE_DRAM", _remote_dram_loads,
+    combo_weights=_combo_table(
+        lambda level, tlb, write, remote:
+        1 if not write and remote and level == LEVEL_DRAM else 0))
 
 
 def load_latency_event(threshold_cycles: int) -> PmuEvent:
@@ -72,6 +157,9 @@ def load_latency_event(threshold_cycles: int) -> PmuEvent:
     def counts(r: AccessResult) -> int:
         return 1 if (not r.is_write and r.latency >= threshold_cycles) else 0
 
+    # No combo table: the latency of a combo depends on the hierarchy's
+    # configured LatencyModel, which this catalogue cannot see.  The bus
+    # counts load-latency events through ``counts`` per access.
     return PmuEvent(f"MEM_TRANS_RETIRED:LOAD_LATENCY_GT_{threshold_cycles}",
                     counts)
 

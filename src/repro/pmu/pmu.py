@@ -5,6 +5,15 @@ precise event with a sampling period for each thread; when the counter
 overflows, the "kernel" delivers a sample to the thread's signal handler
 carrying the effective address, the CPU number (``PERF_SAMPLE_CPU``), and
 a ucontext from which the call stack can be unwound asynchronously.
+
+Counters count *down*: :attr:`PerfCounter.remaining_until_overflow`
+starts at the period and is decremented per counted event, overflowing
+when it reaches zero — exactly how the hardware implements sampling
+(the PMU register is programmed to ``-period`` and interrupts on carry).
+The skip-ahead fast paths in :mod:`repro.obs.bus` exploit this by bulk
+decrementing the register across stretches that provably cannot
+overflow; the arithmetic here is the per-event reference they must
+agree with bit for bit.
 """
 
 from __future__ import annotations
@@ -52,16 +61,31 @@ SampleHandler = Callable[[Sample], None]
 
 
 class PerfCounter:
-    """One programmed hardware counter in sampling mode."""
+    """One programmed hardware counter in sampling mode.
+
+    The live register is :attr:`remaining_until_overflow`: the number of
+    further counted events before the next sample fires.  Disabling the
+    counter (``PERF_EVENT_IOC_DISABLE``) freezes it exactly where it is;
+    re-enabling resumes with no drift.  Fast paths that can prove a
+    stretch of ``n`` countable events cannot overflow may decrement the
+    register directly (``remaining_until_overflow -= n; total += n``) —
+    the per-event loop in :meth:`observe` is the reference semantics.
+    """
 
     def __init__(self, config: PerfEventConfig,
                  handler: SampleHandler) -> None:
         self.config = config
         self.handler = handler
-        self.value = 0           # counts since last overflow
+        #: Countdown register: counted events left before the next sample.
+        self.remaining_until_overflow = config.sample_period
         self.total = 0           # lifetime event count
         self.samples_delivered = 0
         self.enabled = True
+
+    @property
+    def value(self) -> int:
+        """Counts since the last overflow (the classic counter reading)."""
+        return self.config.sample_period - self.remaining_until_overflow
 
     def observe(self, tid: int, result: AccessResult,
                 ucontext: object = None) -> int:
@@ -73,10 +97,17 @@ class PerfCounter:
         if n == 0:
             return 0
         self.total += n
-        self.value += n
+        remaining = self.remaining_until_overflow - n
+        if remaining > 0:
+            self.remaining_until_overflow = remaining
+            return 0
+        period = self.config.sample_period
         delivered = 0
-        while self.value >= self.config.sample_period:
-            self.value -= self.config.sample_period
+        while remaining <= 0:
+            remaining += period
+            # Commit the register before the handler runs: a handler may
+            # read (or close) the counter, and must see post-overflow state.
+            self.remaining_until_overflow = remaining
             sample = Sample(
                 event=self.config.event.name,
                 address=result.address,

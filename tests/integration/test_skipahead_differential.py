@@ -1,0 +1,72 @@
+"""Differential equivalence: skip-ahead vs per-access PMU counting.
+
+Skip-ahead counting (bulk countdown decrements, overflow-only sample
+path, chunked ``touch_range`` walks) is a pure performance
+transformation: for every suite workload, across sampling periods, both
+counting modes must produce the same MachineResult, the same sampled
+event stream, the same DJXPerf ranking, and — with a trace collector
+attached — byte-identical recorded traces.  The periods cover the paper
+default (64), a prime (13, so bulk-walk chunk boundaries never align
+with the period), and 1, where *every* counted event overflows and the
+fast path degenerates to the sample path.
+"""
+
+import dataclasses
+import gzip
+import json
+
+import pytest
+
+from repro.core import DjxConfig
+from repro.core.report import render_report
+from repro.workloads import get_workload, run_profiled
+from repro.workloads.suite import suite_names
+
+#: Paper-default, a prime, and overflow-on-every-count.
+PERIODS = (64, 13, 1)
+
+
+def _run_arm(workload, skip_ahead, period, tmp_path):
+    mc = dataclasses.replace(workload.machine_config(),
+                             skip_ahead=skip_ahead)
+    path = str(tmp_path / f"{workload.name}-{period}-{skip_ahead}.jsonl.gz")
+    run = run_profiled(workload, config=DjxConfig(sample_period=period),
+                       machine_config=mc, trace_path=path)
+    with gzip.open(path, "rb") as fh:
+        trace = fh.read()
+    return run, trace
+
+
+def _sample_records(trace_bytes):
+    """Decode the trace's SampleEvent records, in stream order."""
+    records = []
+    for line in trace_bytes.splitlines():
+        rec = json.loads(line)
+        if isinstance(rec, list) and rec and rec[0] == "sm":
+            records.append(rec)
+    return records
+
+
+class TestEveryWorkload:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_skip_ahead_is_invisible(self, name, tmp_path):
+        workload = get_workload(name)
+        for period in PERIODS:
+            skip_run, skip_trace = _run_arm(workload, True, period,
+                                            tmp_path)
+            ref_run, ref_trace = _run_arm(workload, False, period,
+                                          tmp_path)
+            assert skip_run.result == ref_run.result, \
+                f"{name} period={period}: MachineResult diverged"
+            assert render_report(skip_run.analysis, top=10) == \
+                render_report(ref_run.analysis, top=10), \
+                f"{name} period={period}: analyzer top-10 diverged"
+            skip_samples = _sample_records(skip_trace)
+            assert skip_samples == _sample_records(ref_trace), \
+                f"{name} period={period}: sample streams diverged"
+            assert skip_trace == ref_trace, \
+                f"{name} period={period}: recorded traces diverged"
+            if period == 1:
+                # Period 1 must actually exercise the overflow path.
+                assert skip_samples, \
+                    f"{name}: no samples at period=1"

@@ -1,0 +1,242 @@
+"""Sampler lifecycle under skip-ahead counting.
+
+The skip-ahead fast path keeps each counter's live countdown register
+(``remaining_until_overflow``) in the bus's per-thread counting plan.
+Lifecycle transitions — open/close mid-run, disable/enable freezes, a
+collector subscribing mid-run — must leave that state exactly where a
+per-access ``perf_event_open`` counter would: closing discards, opening
+re-arms already-running threads at a fresh period, disabling freezes
+the register with no drift, and capability-union changes take effect
+for the accesses that follow.
+"""
+
+from repro.memsys.hierarchy import AccessResult
+from repro.obs.bus import NO_LIMIT, EventBus
+from repro.obs.collector import Collector
+from repro.obs.events import SampleEvent
+from repro.pmu.events import NUM_COMBOS, L1_MISS, combo_index
+
+
+class FakeThread:
+    """Just enough of a JThread for the bus: tid/cpu/name + unwinding."""
+
+    def __init__(self, tid, cpu=0, name="worker"):
+        self.tid = tid
+        self.cpu = cpu
+        self.name = name
+        self.cycles = 0
+        self.stack = ((1, 5), (2, 7))
+
+    def call_stack(self):
+        return self.stack
+
+
+class Recording(Collector):
+    """Records every event it receives, in delivery order."""
+
+    label = "recording"
+    wants_allocs = False
+
+    def __init__(self, wants_accesses=False):
+        super().__init__()
+        self.wants_accesses = wants_accesses
+        self.events = []
+
+    def handle_batch(self, events):
+        self.events.extend(events)
+
+    @property
+    def samples(self):
+        return [e for e in self.events if isinstance(e, SampleEvent)]
+
+
+def miss(address=0x1000):
+    """A single-line load that misses L1 (counts once on L1_MISS)."""
+    return AccessResult(address=address, size=8, is_write=False, cpu=0,
+                        level="L2", latency=12, l1_misses=1, l2_misses=0,
+                        l3_misses=0, tlb_misses=0, home_node=0,
+                        remote=False)
+
+
+def _counter(bus, tid, sampler_id):
+    for sid, counter in bus._counters[tid]:
+        if sid == sampler_id:
+            return counter
+    raise AssertionError(f"sampler {sampler_id} not armed on tid {tid}")
+
+
+def _bus_with_thread(tid=7):
+    bus = EventBus()
+    rec = Recording()
+    bus.subscribe(rec)
+    thread = FakeThread(tid)
+    bus.thread_started(thread)
+    return bus, rec, thread
+
+
+class TestOpenCloseMidRun:
+    def test_open_mid_run_arms_running_threads(self):
+        bus, rec, thread = _bus_with_thread()
+        # Accesses before any sampler exists are never counted.
+        bus.observe_access(thread, miss())
+        sid = bus.open_sampler(L1_MISS, period=4, owner="late")
+        for _ in range(4):
+            bus.observe_access(thread, miss())
+        bus.flush()
+        assert len(rec.samples) == 1
+        assert bus.sampler_total(sid) == 4
+
+    def test_close_then_reopen_rearms_at_fresh_period(self):
+        bus, rec, thread = _bus_with_thread()
+        first = bus.open_sampler(L1_MISS, period=4, owner="p")
+        for _ in range(3):
+            bus.observe_access(thread, miss())
+        bus.close_sampler(first)
+        assert not bus.sampling
+        # Counted nowhere while closed.
+        for _ in range(10):
+            bus.observe_access(thread, miss())
+        second = bus.open_sampler(L1_MISS, period=4, owner="p")
+        counter = _counter(bus, thread.tid, second)
+        assert counter.remaining_until_overflow == 4
+        for _ in range(3):
+            bus.observe_access(thread, miss())
+        bus.flush()
+        # Three of four: the old register's position did not leak in.
+        assert rec.samples == []
+        bus.observe_access(thread, miss())
+        bus.flush()
+        assert len(rec.samples) == 1
+
+    def test_thread_started_mid_run_is_armed(self):
+        bus, rec, thread = _bus_with_thread(tid=1)
+        sid = bus.open_sampler(L1_MISS, period=2, owner="p")
+        late = FakeThread(9)
+        bus.thread_started(late)
+        for _ in range(2):
+            bus.observe_access(late, miss())
+        bus.flush()
+        assert [s.tid for s in rec.samples] == [9]
+        assert bus.sampler_total(sid) == 2
+
+
+class TestDisableEnableFreeze:
+    def test_freeze_keeps_register_without_drift(self):
+        bus, rec, thread = _bus_with_thread()
+        sid = bus.open_sampler(L1_MISS, period=5, owner="p")
+        counter = _counter(bus, thread.tid, sid)
+        for _ in range(3):
+            bus.observe_access(thread, miss())
+        assert counter.remaining_until_overflow == 2
+        bus.disable_sampler(sid)
+        for _ in range(20):
+            bus.observe_access(thread, miss())
+        # Frozen exactly where it was: no counting, no drift.
+        assert counter.remaining_until_overflow == 2
+        assert counter.total == 3
+        bus.enable_sampler(sid)
+        bus.observe_access(thread, miss())
+        bus.flush()
+        assert rec.samples == []
+        bus.observe_access(thread, miss())
+        bus.flush()
+        assert len(rec.samples) == 1
+        assert counter.remaining_until_overflow == 5
+
+    def test_disabled_counter_gives_no_bulk_budget_constraint(self):
+        bus, rec, thread = _bus_with_thread()
+        sid = bus.open_sampler(L1_MISS, period=5, owner="p")
+        assert bus.bulk_budget(thread.tid, False) == 4
+        bus.disable_sampler(sid)
+        assert bus.bulk_budget(thread.tid, False) == NO_LIMIT
+        bus.enable_sampler(sid)
+        assert bus.bulk_budget(thread.tid, False) == 4
+
+
+class TestBulkBudget:
+    def test_write_class_split_frees_loads_only_event(self):
+        bus, rec, thread = _bus_with_thread()
+        bus.open_sampler(L1_MISS, period=64, owner="p")
+        # L1_MISS counts no write combo: a pure-write walk (allocation
+        # zeroing) needs no histogramming at all.
+        assert bus.bulk_budget(thread.tid, True) == NO_LIMIT
+        assert bus.bulk_budget(thread.tid, False) == 63
+
+    def test_counting_mode_period_stays_below_sentinel(self):
+        # A counting-only sampler (huge period, read sampler_total) must
+        # still constrain walks to *counted* histograms: its finite
+        # budget may never collapse into the NO_LIMIT sentinel.
+        bus, rec, thread = _bus_with_thread()
+        sid = bus.open_sampler(L1_MISS, period=1 << 62, owner="pilot")
+        budget = bus.bulk_budget(thread.tid, False)
+        assert 0 < budget < NO_LIMIT
+        counts = [0] * NUM_COMBOS
+        counts[combo_index(level="L2", tlb_missed=False, is_write=False,
+                           remote=False)] = 1000
+        bus.observe_bulk(thread.tid, counts)
+        assert bus.sampler_total(sid) == 1000
+
+    def test_observe_bulk_matches_per_access_counting(self):
+        bus, rec, thread = _bus_with_thread()
+        sid = bus.open_sampler(L1_MISS, period=64, owner="p")
+        budget = bus.bulk_budget(thread.tid, False)
+        counts = [0] * NUM_COMBOS
+        counts[combo_index(level="L2", tlb_missed=False, is_write=False,
+                           remote=False)] = budget
+        bus.observe_bulk(thread.tid, counts)
+        counter = _counter(bus, thread.tid, sid)
+        assert counter.total == budget
+        assert counter.remaining_until_overflow == 64 - budget
+        # The next access overflows, exactly as 64 per-access counts
+        # would have.
+        bus.observe_access(thread, miss())
+        bus.flush()
+        assert len(rec.samples) == 1
+        assert counter.remaining_until_overflow == 64
+
+
+class TestCapabilityUnionMidRun:
+    def test_subscribe_mid_run_upgrades_union_for_next_accesses(self):
+        bus, rec, thread = _bus_with_thread()
+        bus.open_sampler(L1_MISS, period=1, owner="p")
+        bus.observe_access(thread, miss())
+        bus.flush()
+        assert bus.access_events_built == 0
+        # An access-hungry collector joins mid-run: the refcounted
+        # union flips and the very next access builds an AccessEvent.
+        tracer = Recording(wants_accesses=True)
+        bus.subscribe(tracer)
+        assert bus._accesses_wanted == 1
+        bus.observe_access(thread, miss())
+        bus.flush()
+        assert bus.access_events_built == 1
+        assert [e.kind for e in tracer.events[-2:]] == ["sample", "access"]
+        bus.unsubscribe(tracer)
+        assert bus._accesses_wanted == 0
+        bus.observe_access(thread, miss())
+        assert bus.access_events_built == 1
+
+    def test_upgrade_from_within_batch_delivery(self):
+        # A collector that reacts to its first sample by attaching a
+        # tracer (attach-mode profiling): the union upgrade lands at
+        # the flush boundary, i.e. by the next quantum's accesses.
+        bus, rec, thread = _bus_with_thread()
+        tracer = Recording(wants_accesses=True)
+
+        class AttachOnSample(Collector):
+            label = "attacher"
+            wants_allocs = False
+
+            def on_sample(self, event):
+                if tracer.bus is None:
+                    bus.subscribe(tracer)
+
+        bus.subscribe(AttachOnSample())
+        bus.open_sampler(L1_MISS, period=1, owner="p")
+        bus.observe_access(thread, miss())
+        bus.flush()
+        assert bus.access_events_built == 0
+        bus.observe_access(thread, miss())
+        bus.flush()
+        assert bus.access_events_built == 1
+        assert [e.kind for e in tracer.events] == ["sample", "access"]

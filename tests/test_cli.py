@@ -106,3 +106,29 @@ class TestSuite:
         assert main(["suite", "--suite", "specjvm", "--jobs", "2",
                      "--period", "64"]) == 0
         assert "xml-transform" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_workloads_glob_filter(self, capsys):
+        assert main(["bench", "--workloads", "cryp*", "--repeat", "1",
+                     "--no-legacy"]) == 0
+        out = capsys.readouterr().out
+        assert "crypto" in out
+        assert "AGGREGATE" in out
+        assert "avrora" not in out
+
+    def test_workloads_glob_filters_explicit_names(self, capsys):
+        assert main(["bench", "crypto", "avrora", "--workloads", "av*",
+                     "--repeat", "1", "--no-legacy"]) == 0
+        out = capsys.readouterr().out
+        assert "avrora" in out
+        assert "crypto" not in out
+
+    def test_workloads_glob_no_match_is_error(self, capsys):
+        assert main(["bench", "--workloads", "zzz-*"]) == 2
+        assert "no workloads match" in capsys.readouterr().err
+
+    def test_profiled_arm(self, capsys):
+        assert main(["bench", "--workloads", "crypto", "--repeat", "1",
+                     "--no-legacy", "--profiled"]) == 0
+        assert "prof" in capsys.readouterr().out
