@@ -254,7 +254,8 @@ def _timing(result: MachineResult, seconds: float) -> "tuple[ArmTiming, int, int
                       aps=accesses / seconds), instructions, accesses)
 
 
-def _profiled_arms(workload: Workload, repeat: int, variant: str
+def _profiled_arms(workload: Workload, repeat: int, variant: str,
+                   seed: Optional[int] = None
                    ) -> "tuple[ArmTiming, ArmTiming, ArmTiming, int, int]":
     """Time the three profiled arms on the instrumented program.
 
@@ -275,6 +276,8 @@ def _profiled_arms(workload: Workload, repeat: int, variant: str
     program = instrument_program(workload.build_verified(variant))
     base_config = dataclasses.replace(workload.machine_config(),
                                       fastpath=True)
+    if seed is not None:
+        base_config = dataclasses.replace(base_config, seed=seed)
 
     def djx_attach(machine: Machine) -> "DJXPerf":
         profiler = DJXPerf(DjxConfig(sample_period=DJX_PERIOD))
@@ -325,12 +328,16 @@ def _profiled_arms(workload: Workload, repeat: int, variant: str
 
 def bench_workload(workload: Workload, repeat: int = 3,
                    legacy: bool = True, profiled: bool = False,
-                   variant: str = "baseline") -> BenchRow:
+                   variant: str = "baseline",
+                   seed: Optional[int] = None) -> BenchRow:
     """Measure one workload; raises :class:`EquivalenceError` if the
     legacy arm disagrees with the fast path on any result field, or if
-    the profiled arms' counting boundaries disagree."""
+    the profiled arms' counting boundaries disagree.  ``seed`` overrides
+    the machine seed identically on every arm."""
     program = workload.build_verified(variant)
     config = dataclasses.replace(workload.machine_config(), fastpath=True)
+    if seed is not None:
+        config = dataclasses.replace(config, seed=seed)
     fast_result, fast_seconds = _time_run(program, config, repeat)
     fast, instructions, accesses = _timing(fast_result, fast_seconds)
     legacy_timing: Optional[ArmTiming] = None
@@ -349,7 +356,7 @@ def bench_workload(workload: Workload, repeat: int = 3,
     if profiled:
         (profiled_timing, peraccess_timing, families_timing,
          profiled_instructions, profiled_accesses) = _profiled_arms(
-            workload, repeat, variant)
+            workload, repeat, variant, seed=seed)
     return BenchRow(name=workload.name, instructions=instructions,
                     accesses=accesses, fastpath=fast, legacy=legacy_timing,
                     profiled_instructions=profiled_instructions,
@@ -361,8 +368,8 @@ def bench_workload(workload: Workload, repeat: int = 3,
 
 def bench_suite(names: Optional[Sequence[str]] = None, repeat: int = 3,
                 legacy: bool = True, profiled: bool = False,
-                progress: Optional[Callable[[BenchRow], None]] = None
-                ) -> BenchReport:
+                progress: Optional[Callable[[BenchRow], None]] = None,
+                seed: Optional[int] = None) -> BenchReport:
     """Run the harness over ``names`` (default: the full suite)."""
     if names is None:
         names = suite_names()
@@ -371,7 +378,7 @@ def bench_suite(names: Optional[Sequence[str]] = None, repeat: int = 3,
     rows: List[BenchRow] = []
     for name in names:
         row = bench_workload(get_workload(name), repeat=repeat,
-                             legacy=legacy, profiled=profiled)
+                             legacy=legacy, profiled=profiled, seed=seed)
         rows.append(row)
         if progress is not None:
             progress(row)

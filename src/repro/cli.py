@@ -28,6 +28,12 @@ Commands
     accesses/sec) on both engines — compiled-dispatch fast path and
     the legacy stepper — and optionally write/check the tracked
     ``BENCH_throughput.json`` baseline.
+``fuzz``
+    Differential fuzzing: run seeded random programs under every
+    semantics-preserving configuration pair (engines, counting
+    boundaries, live vs replay, native vs profiled) with machine-state
+    sanitizers attached; ``--shrink`` minimises failures into
+    ``tests/fuzz_corpus/``.
 """
 
 from __future__ import annotations
@@ -143,7 +149,8 @@ def cmd_suite(args) -> int:
     from repro.workloads.suite import measure_suite
 
     rows = measure_suite(suite=args.suite, config=_config(args),
-                         jobs=args.jobs, trace_dir=args.trace_dir)
+                         jobs=args.jobs, trace_dir=args.trace_dir,
+                         seed=args.seed)
     print(f"{'workload':24s} {'suite':12s} {'runtime':>8s} {'memory':>8s}")
     for spec, m in rows:
         flag = " *" if spec.alloc_heavy else ""
@@ -209,7 +216,8 @@ def cmd_bench(args) -> int:
 
     report = bench_suite(names, repeat=args.repeat,
                          legacy=not args.no_legacy,
-                         profiled=args.profiled, progress=progress)
+                         profiled=args.profiled, progress=progress,
+                         seed=args.seed)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -236,6 +244,34 @@ def cmd_bench(args) -> int:
             print(f"regression check against {args.check} passed "
                   f"(tolerance {args.tolerance:.0%})")
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import ORACLE_NAMES, run_fuzz
+    from repro.fuzz.harness import DEFAULT_CORPUS_DIR
+
+    if args.oracles:
+        oracles = tuple(s.strip() for s in args.oracles.split(",")
+                        if s.strip())
+    else:
+        oracles = ORACLE_NAMES
+
+    def progress(i, failure):
+        if failure is not None:
+            print(f"FAIL {failure.describe()}", file=sys.stderr)
+        elif (i + 1) % 50 == 0:
+            print(f"  {i + 1} programs clean")
+
+    report = run_fuzz(seed=args.seed, iterations=args.iterations,
+                      time_budget=args.time_budget, oracles=oracles,
+                      shrink=args.shrink,
+                      corpus_dir=args.corpus_dir or DEFAULT_CORPUS_DIR,
+                      progress=progress)
+    status = "OK" if report.ok else f"{len(report.failures)} FAILING"
+    print(f"fuzz: {report.iterations_run} programs, seed {report.seed}, "
+          f"oracles [{','.join(report.oracles)}]: {status} "
+          f"({report.elapsed_seconds:.1f}s)")
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -300,6 +336,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "1 = serial)")
     p_suite.add_argument("--trace-dir", metavar="DIR",
                          help="also record per-workload observation traces")
+    p_suite.add_argument("--seed", type=int, default=None,
+                         help="override every row's machine seed "
+                              "(scheduler/NUMA RNG) for a reproducible "
+                              "study")
     _add_profiler_options(p_suite)
     p_suite.set_defaults(fn=cmd_suite)
 
@@ -343,7 +383,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--tolerance", type=float, default=0.20,
                          help="allowed fractional speedup regression "
                               "for --check (default 0.20)")
+    p_bench.add_argument("--seed", type=int, default=None,
+                         help="override the machine seed on every arm "
+                              "(identical schedules across arms)")
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing of the simulator stack")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; iteration i fuzzes the "
+                             "derived seed seed*1000003+i (default 0)")
+    p_fuzz.add_argument("--iterations", type=int, default=100,
+                        help="generated programs to check (default 100)")
+    p_fuzz.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop early after this much wall time")
+    p_fuzz.add_argument("--oracles", default="",
+                        help="comma-separated subset of "
+                             "engine,counting,replay,native "
+                             "(default: all)")
+    p_fuzz.add_argument("--shrink", action="store_true",
+                        help="minimise failing programs and pin them "
+                             "to the corpus directory")
+    p_fuzz.add_argument("--corpus-dir", metavar="DIR", default=None,
+                        help="where --shrink pins minimised failures "
+                             "(default tests/fuzz_corpus)")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
 
     return parser
 

@@ -1,0 +1,65 @@
+"""Differential fuzzing + machine-state sanitizers (`repro.fuzz`).
+
+The correctness harness behind ``python -m repro fuzz``: a seeded
+random-program generator over the bytecode DSL
+(:mod:`repro.fuzz.generator`), a multi-oracle differential harness that
+runs each program under every semantics-preserving fast path and
+asserts equivalence (:mod:`repro.fuzz.oracles`), pluggable
+machine-state sanitizers checked at quantum boundaries
+(:mod:`repro.fuzz.sanitizers`), and a test-case shrinker that minimises
+failing programs into ``tests/fuzz_corpus/`` regressions
+(:mod:`repro.fuzz.shrinker`).  :mod:`repro.fuzz.harness` ties them into
+the fuzzing loop.
+"""
+
+from repro.fuzz.generator import (
+    FuzzKnobs,
+    MethodSpec,
+    ProgramSpec,
+    build_program,
+    generate_spec,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.fuzz.harness import FuzzFailure, FuzzReport, run_fuzz
+from repro.fuzz.oracles import ORACLE_NAMES, OracleFailure, run_oracles
+from repro.fuzz.sanitizers import (
+    MachineStateSanitizer,
+    SanitizerError,
+    Violation,
+    check_cct,
+    check_heap,
+    check_hierarchy,
+    check_relocation_map_drained,
+    check_relocation_moves,
+    check_splay,
+    check_splay_against_heap,
+)
+from repro.fuzz.shrinker import shrink_spec
+
+__all__ = [
+    "FuzzKnobs",
+    "MethodSpec",
+    "ProgramSpec",
+    "build_program",
+    "generate_spec",
+    "spec_from_json",
+    "spec_to_json",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz",
+    "ORACLE_NAMES",
+    "OracleFailure",
+    "run_oracles",
+    "MachineStateSanitizer",
+    "SanitizerError",
+    "Violation",
+    "check_cct",
+    "check_heap",
+    "check_hierarchy",
+    "check_relocation_map_drained",
+    "check_relocation_moves",
+    "check_splay",
+    "check_splay_against_heap",
+    "shrink_spec",
+]

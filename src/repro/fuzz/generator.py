@@ -1,0 +1,452 @@
+"""Seeded random-program generator over the bytecode DSL.
+
+Programs are generated at the level of a :class:`ProgramSpec` — a small,
+JSON-serialisable tree of per-method *blocks* (allocation sites, strided
+array sweeps, pointer chases, field traffic, helper calls, a
+producer/consumer thread handshake) plus machine-shape knobs (heap size,
+GC policy, NUMA nodes, scheduler quantum).  :func:`generate_spec` is the
+only place randomness enters; :func:`build_program` lowers a spec to a
+:class:`~repro.jvm.classfile.JProgram` fully deterministically, so the
+shrinker and the corpus operate on specs, and replaying a stored spec
+reproduces the exact same program and machine behaviour.
+
+Every emitted method is verifier-valid by construction — loop counters
+are initialised before use, array/list locals are only read after the
+block that allocates them, divisors and shift amounts are bounded, and
+the accumulator is masked after every arithmetic block so values stay
+small non-negative ints.  Generated programs avoid the ``rand`` native
+(machine RNG state must not depend on program shape) and bound their
+live set well under the smallest generated heap, so runs are trap-free.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.heap.layout import FieldSpec, JClass, Kind
+from repro.jvm.bytecode import MethodBuilder
+from repro.jvm.classfile import JProgram
+from repro.workloads.dsl import LocalVar, for_range, while_static_unset
+
+#: Spec JSON envelope.
+SPEC_FORMAT = "djx-fuzz-spec"
+SPEC_VERSION = 1
+
+# Local-variable layout shared by every generated method.
+ACC = 0         #: integer accumulator, printed/returned at method end
+IVAR = 1        #: loop counter
+TMP = 2         #: scratch (list cursor, lengths)
+ARRAY_SLOTS = (3, 4)    #: int-array locals
+REF_SLOTS = (5, 6)      #: list-head / box locals
+SHARED_SLOT = 7         #: the producer/consumer shared array
+
+#: Accumulator mask: keeps values small non-negative ints so shifts and
+#: multiplies never grow unboundedly and SHR never sees a negative.
+CLAMP = 0xFFFFF
+
+#: Statics every generated program declares.
+STATIC_ACC = "fz_acc"
+STATIC_GO = "fz_go"
+STATIC_SHARED = "fz_shared"
+
+_ARITH_OPS = ("add", "sub", "mul", "div", "rem", "band", "bor", "bxor",
+              "shl", "shr")
+_BOX_FIELDS = 4
+
+
+@dataclass(frozen=True)
+class FuzzKnobs:
+    """Size/shape knobs for :func:`generate_spec`."""
+
+    max_helpers: int = 2
+    max_blocks: int = 5
+    max_threads: int = 2
+    max_loop_iters: int = 24
+    max_array_len: int = 48
+    max_list_len: int = 12
+    max_garbage_count: int = 48
+    allow_multithread: bool = True
+    allow_gc_churn: bool = True
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One generated method: a name, a role, and a block list.
+
+    ``kind`` is ``main`` (the first entry), ``worker`` (a second entry
+    gated on the handshake statics) or ``helper`` (invoked, returns the
+    accumulator).  Blocks are plain tuples of str/int so the spec
+    round-trips through JSON.
+    """
+
+    name: str
+    kind: str
+    blocks: Tuple[tuple, ...]
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A complete generated program plus its machine shape."""
+
+    seed: int
+    methods: Tuple[MethodSpec, ...]
+    threads: Tuple[str, ...]
+    heap_size: int = 96 * 1024
+    gc_policy: str = "mark-compact"
+    num_nodes: int = 1
+    quantum: int = 500
+
+    def method(self, name: str) -> MethodSpec:
+        for m in self.methods:
+            if m.name == name:
+                return m
+        raise KeyError(name)
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+def _gen_blocks(rng: random.Random, knobs: FuzzKnobs,
+                helpers: Sequence[str], budget: int) -> List[tuple]:
+    """Generate one method's block list.
+
+    Tracks which locals hold a live array / list / box so access blocks
+    only ever read initialised slots; ``budget`` caps the rough executed
+    instruction count so programs stay simulator-friendly.
+    """
+    blocks: List[tuple] = []
+    arrays: List[int] = []
+    lists: List[int] = []
+    cost = 0
+    for _ in range(rng.randint(2, knobs.max_blocks)):
+        if cost >= budget:
+            break
+        choices = ["arith", "alloc_array", "box_ops", "static_acc"]
+        if knobs.allow_gc_churn:
+            choices += ["garbage", "garbage"]
+        if helpers:
+            choices.append("call")
+        if arrays:
+            choices += ["stride", "stride", "stream"]
+        if lists:
+            choices += ["list_chase", "list_chase"]
+        if len(lists) < len(REF_SLOTS):
+            choices.append("list_build")
+        kind = rng.choice(choices)
+        if kind == "arith":
+            op = rng.choice(_ARITH_OPS)
+            if op in ("div", "rem"):
+                value = rng.randint(1, 9)
+            elif op in ("shl", "shr"):
+                value = rng.randint(1, 4)
+            else:
+                value = rng.randint(0, 255)
+            blocks.append(("arith", op, value))
+            cost += 8
+        elif kind == "alloc_array":
+            slot = rng.choice(ARRAY_SLOTS)
+            length = rng.randint(1, knobs.max_array_len)
+            blocks.append(("alloc_array", slot, length))
+            if slot not in arrays:
+                arrays.append(slot)
+            cost += 4
+        elif kind == "stride":
+            slot = rng.choice(arrays)
+            iters = rng.randint(1, knobs.max_loop_iters)
+            stride = rng.randint(1, 7)
+            write = rng.randint(0, 1)
+            blocks.append(("stride", slot, iters, stride, write))
+            cost += iters * 12
+        elif kind == "stream":
+            slot = rng.choice(arrays)
+            passes = rng.randint(1, 3)
+            write = rng.randint(0, 1)
+            blocks.append(("stream", slot, passes, write))
+            cost += 8
+        elif kind == "garbage":
+            count = rng.randint(1, knobs.max_garbage_count)
+            length = rng.randint(1, knobs.max_array_len)
+            blocks.append(("garbage", count, length,
+                           rng.choice(("int", "ref"))))
+            cost += count * 8
+        elif kind == "list_build":
+            free = [s for s in REF_SLOTS if s not in lists]
+            slot = rng.choice(free)
+            n = rng.randint(1, knobs.max_list_len)
+            blocks.append(("list_build", slot, n))
+            lists.append(slot)
+            cost += n * 12
+        elif kind == "list_chase":
+            blocks.append(("list_chase", rng.choice(lists)))
+            cost += knobs.max_list_len * 8
+        elif kind == "box_ops":
+            slot = rng.choice(REF_SLOTS)
+            if slot in lists:
+                lists.remove(slot)  # the box overwrites the list head
+            iters = rng.randint(1, knobs.max_loop_iters)
+            blocks.append(("box_ops", slot, iters,
+                           rng.randrange(_BOX_FIELDS),
+                           rng.randrange(_BOX_FIELDS)))
+            cost += iters * 10
+        elif kind == "call":
+            blocks.append(("call", rng.choice(list(helpers))))
+            cost += 30
+        else:  # static_acc
+            blocks.append(("static_acc",))
+            cost += 4
+    if not blocks:
+        blocks.append(("arith", "add", 1))
+    return blocks
+
+
+def _estimate_alloc_bytes(methods: Sequence[MethodSpec]) -> int:
+    """Rough total allocation volume, for heap sizing (header = 16B)."""
+    per_method = {}
+    total = 0
+    for method in methods:
+        est = 0
+        for block in method.blocks:
+            kind = block[0]
+            if kind == "alloc_array":
+                est += 16 + 8 * block[2]
+            elif kind == "garbage":
+                est += block[1] * (16 + 8 * block[2])
+            elif kind == "list_build":
+                est += block[2] * 32
+            elif kind == "box_ops":
+                est += 48
+            elif kind == "publish":
+                est += 16 + 8 * block[1]
+            elif kind == "call":
+                est += per_method.get(block[1], 0)
+        per_method[method.name] = est
+        total += est
+    return total
+
+
+def generate_spec(seed: int, knobs: FuzzKnobs = FuzzKnobs()) -> ProgramSpec:
+    """Generate one program spec, fully determined by ``seed``."""
+    rng = random.Random(seed)
+    budget = rng.randint(300, 2500)
+    helper_names = [f"helper{i}"
+                    for i in range(rng.randint(0, knobs.max_helpers))]
+    methods: List[MethodSpec] = [
+        MethodSpec(name, "helper",
+                   tuple(_gen_blocks(rng, knobs, (), budget // 3)))
+        for name in helper_names]
+
+    threads = ["main"]
+    worker = (knobs.allow_multithread and knobs.max_threads > 1
+              and rng.random() < 0.4)
+    main_blocks = _gen_blocks(rng, knobs, helper_names, budget)
+    if worker:
+        # The producer publishes the shared array and sets the go flag
+        # *first*, so a waiting consumer can never deadlock.
+        main_blocks.insert(
+            0, ("publish", rng.randint(4, knobs.max_array_len)))
+        worker_blocks = [("consume_shared",)] + _gen_blocks(
+            rng, knobs, (), budget // 2)
+        methods.append(MethodSpec("worker", "worker",
+                                  tuple(worker_blocks)))
+        threads.append("worker")
+    methods.append(MethodSpec("main", "main", tuple(main_blocks)))
+
+    # Heap sized against the program's allocation volume: tight factors
+    # force real collections (relocation + splay move handling get
+    # fuzzed, not just the allocation path), the loose one leaves some
+    # GC-free programs.  The floor keeps the live set (< ~4KB) safe
+    # even under semispace's halved usable space.
+    est = _estimate_alloc_bytes(methods)
+    factor = rng.choice((0.3, 0.5, 3.0))
+    heap_size = max(16 * 1024, min(96 * 1024, (int(est * factor) + 1023)
+                                   & ~1023))
+    return ProgramSpec(
+        seed=seed,
+        methods=tuple(methods),
+        threads=tuple(threads),
+        heap_size=heap_size,
+        gc_policy=rng.choice(("mark-compact", "mark-compact", "semispace")),
+        num_nodes=rng.choice((1, 2)),
+        quantum=rng.choice((500, 137)))
+
+
+# ----------------------------------------------------------------------
+# Lowering: spec -> JProgram
+# ----------------------------------------------------------------------
+def _clamp(b: MethodBuilder) -> None:
+    b.iconst(CLAMP).band()
+
+
+def _emit_block(b: MethodBuilder, block: tuple) -> None:
+    kind = block[0]
+    if kind == "arith":
+        _, op, value = block
+        b.load(ACC).iconst(value)
+        getattr(b, op)()
+        _clamp(b)
+        b.store(ACC)
+    elif kind == "alloc_array":
+        _, slot, length = block
+        b.iconst(length).newarray(Kind.INT).store(slot)
+    elif kind == "stride":
+        _, slot, iters, stride, write = block
+
+        def body(b: MethodBuilder) -> None:
+            b.load(slot)                     # arrayref
+            b.load(IVAR).iconst(stride).mul()
+            b.load(slot).arraylength()
+            b.rem()                          # index = (i*stride) % len
+            if write:
+                b.load(IVAR).astore()
+            else:
+                b.aload().load(ACC).add()
+                _clamp(b)
+                b.store(ACC)
+
+        for_range(b, IVAR, iters, body)
+    elif kind == "stream":
+        _, slot, passes, write = block
+        b.load(slot).native("stream_array", 1, False, passes, write, 4)
+    elif kind == "garbage":
+        _, count, length, elem = block
+
+        def body(b: MethodBuilder) -> None:
+            b.iconst(length)
+            if elem == "ref":
+                b.anewarray()
+            else:
+                b.newarray(Kind.INT)
+            b.native("blackhole", 1, False)
+
+        for_range(b, IVAR, count, body)
+    elif kind == "list_build":
+        _, slot, n = block
+        b.null().store(slot)
+
+        def body(b: MethodBuilder) -> None:
+            b.new("FzNode").store(TMP)
+            b.load(TMP).load(slot).putfield("next")
+            b.load(TMP).load(IVAR).putfield("val")
+            b.load(TMP).store(slot)
+
+        for_range(b, IVAR, n, body)
+    elif kind == "list_chase":
+        (_, slot) = block
+        b.load(slot).store(TMP)
+        top = b.new_label()
+        end = b.new_label()
+        b.place(top)
+        b.load(TMP).if_null(end)
+        b.load(TMP).getfield("val").load(ACC).add()
+        _clamp(b)
+        b.store(ACC)
+        b.load(TMP).getfield("next").store(TMP)
+        b.goto(top)
+        b.place(end)
+    elif kind == "box_ops":
+        _, slot, iters, fw, fr = block
+        b.new("FzBox").store(slot)
+
+        def body(b: MethodBuilder) -> None:
+            b.load(slot).load(IVAR).putfield(f"f{fw}")
+            b.load(slot).getfield(f"f{fr}").load(ACC).add()
+            _clamp(b)
+            b.store(ACC)
+
+        for_range(b, IVAR, iters, body)
+    elif kind == "call":
+        (_, name) = block
+        b.invoke(name, 0).load(ACC).add()
+        _clamp(b)
+        b.store(ACC)
+    elif kind == "static_acc":
+        b.load(ACC).putstatic(STATIC_ACC)
+        b.getstatic(STATIC_ACC).load(ACC).add()
+        _clamp(b)
+        b.store(ACC)
+    elif kind == "publish":
+        (_, length) = block
+        b.iconst(length).newarray(Kind.INT).store(SHARED_SLOT)
+        b.load(SHARED_SLOT).iconst(0).iconst(7).astore()
+        b.load(SHARED_SLOT).putstatic(STATIC_SHARED)
+        b.iconst(1).putstatic(STATIC_GO)
+    elif kind == "consume_shared":
+        while_static_unset(b, STATIC_GO)
+        b.getstatic(STATIC_SHARED).store(SHARED_SLOT)
+        b.load(SHARED_SLOT).native("stream_array", 1, False, 2, 0, 4)
+        b.load(SHARED_SLOT).arraylength().store(TMP)
+        for_range(
+            b, IVAR, LocalVar(TMP),
+            lambda b: (b.load(SHARED_SLOT).load(IVAR).aload()
+                       .load(ACC).add().iconst(CLAMP).band().store(ACC)))
+    else:
+        raise ValueError(f"unknown block kind {kind!r}")
+
+
+def build_program(spec: ProgramSpec) -> JProgram:
+    """Lower a spec to a (deterministic, verifier-valid) JProgram."""
+    program = JProgram(f"fuzz-{spec.seed}")
+    program.add_class(JClass("FzNode", [FieldSpec("val", Kind.INT),
+                                        FieldSpec("next", Kind.REF)]))
+    program.add_class(JClass("FzBox", [FieldSpec(f"f{i}", Kind.INT)
+                                       for i in range(_BOX_FIELDS)]))
+    program.statics[STATIC_ACC] = 0
+    program.statics[STATIC_GO] = 0
+    program.statics[STATIC_SHARED] = None
+    for method in spec.methods:
+        b = MethodBuilder("Fuzz", method.name,
+                          source_file=f"fuzz_{spec.seed}.java")
+        b.iconst(0).store(ACC)
+        for block in method.blocks:
+            _emit_block(b, block)
+        if method.kind == "helper":
+            b.load(ACC).iret()
+        else:
+            b.load(ACC).native("print", 1, False)
+            b.ret()
+        program.add_builder(b)
+    for name in spec.threads:
+        program.add_entry(name)
+    return program
+
+
+# ----------------------------------------------------------------------
+# Serialisation (the corpus format)
+# ----------------------------------------------------------------------
+def spec_to_json(spec: ProgramSpec, meta: dict = None) -> str:
+    doc = {
+        "format": SPEC_FORMAT,
+        "version": SPEC_VERSION,
+        "seed": spec.seed,
+        "heap_size": spec.heap_size,
+        "gc_policy": spec.gc_policy,
+        "num_nodes": spec.num_nodes,
+        "quantum": spec.quantum,
+        "threads": list(spec.threads),
+        "methods": [{"name": m.name, "kind": m.kind,
+                     "blocks": [list(blk) for blk in m.blocks]}
+                    for m in spec.methods],
+    }
+    if meta:
+        doc["meta"] = meta
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def spec_from_json(text: str) -> "tuple[ProgramSpec, dict]":
+    doc = json.loads(text)
+    if doc.get("format") != SPEC_FORMAT:
+        raise ValueError(f"not a {SPEC_FORMAT} document: "
+                         f"{doc.get('format')!r}")
+    methods = tuple(
+        MethodSpec(m["name"], m["kind"],
+                   tuple(tuple(blk) for blk in m["blocks"]))
+        for m in doc["methods"])
+    spec = ProgramSpec(
+        seed=doc["seed"], methods=methods,
+        threads=tuple(doc["threads"]), heap_size=doc["heap_size"],
+        gc_policy=doc["gc_policy"], num_nodes=doc["num_nodes"],
+        quantum=doc["quantum"])
+    return spec, doc.get("meta", {})

@@ -1,0 +1,144 @@
+"""The fuzzing loop: generate, check oracles, shrink, pin regressions.
+
+Fully deterministic for a given ``(seed, iterations, knobs)``: iteration
+``i`` fuzzes the derived seed ``seed * 1_000_003 + i``, so any failure
+report names the exact per-program seed needed to regenerate it, and a
+minimised failing spec is written to the corpus directory as a
+permanent regression (replayed by ``tests/fuzz/test_corpus_replay.py``
+and the CI corpus-replay step).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.fuzz.generator import (
+    FuzzKnobs,
+    ProgramSpec,
+    build_program,
+    generate_spec,
+    spec_to_json,
+)
+from repro.fuzz.oracles import ORACLE_NAMES, OracleFailure, run_oracles
+from repro.fuzz.shrinker import shrink_spec
+
+#: Where minimised failing programs are pinned, relative to the repo.
+DEFAULT_CORPUS_DIR = os.path.join("tests", "fuzz_corpus")
+
+#: Multiplier deriving per-iteration seeds from the campaign seed.
+SEED_STRIDE = 1_000_003
+
+
+@dataclass
+class FuzzFailure:
+    """One failing generated program, plus its minimised form."""
+
+    iteration: int
+    seed: int
+    oracle: str
+    message: str
+    spec: ProgramSpec
+    shrunk: Optional[ProgramSpec] = None
+    corpus_path: Optional[str] = None
+
+    def describe(self) -> str:
+        lines = [f"iteration {self.iteration} (seed {self.seed}): "
+                 f"[{self.oracle}] {self.message}"]
+        if self.shrunk is not None:
+            size = build_program(self.shrunk).total_instructions()
+            lines.append(f"  shrunk to {size} instructions")
+        if self.corpus_path:
+            lines.append(f"  pinned as {self.corpus_path}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    seed: int
+    iterations_run: int
+    oracles: Sequence[str]
+    failures: List[FuzzFailure] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def iteration_seed(campaign_seed: int, iteration: int) -> int:
+    return campaign_seed * SEED_STRIDE + iteration
+
+
+def _shrink_failure(spec: ProgramSpec, failure: OracleFailure,
+                    oracles: Sequence[str]) -> ProgramSpec:
+    """Minimise ``spec`` while it keeps failing the *same* oracle."""
+    relevant = ([failure.oracle] if failure.oracle in ORACLE_NAMES
+                else [])  # build/run/sanitizer reproduce on the base arm
+
+    def still_fails(candidate: ProgramSpec) -> bool:
+        got = run_oracles(candidate, oracles=relevant or ())
+        return got is not None and got.oracle == failure.oracle
+
+    return shrink_spec(spec, still_fails)
+
+
+def _pin_to_corpus(corpus_dir: str, failure: FuzzFailure) -> str:
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir,
+                        f"fuzz-{failure.seed}-{failure.oracle}.json")
+    spec = failure.shrunk if failure.shrunk is not None else failure.spec
+    meta = {"campaign_iteration": failure.iteration,
+            "oracle": failure.oracle,
+            "message": failure.message[:500]}
+    with open(path, "w") as fh:
+        fh.write(spec_to_json(spec, meta=meta))
+    return path
+
+
+def run_fuzz(seed: int = 0, iterations: int = 100,
+             time_budget: Optional[float] = None,
+             oracles: Sequence[str] = ORACLE_NAMES,
+             shrink: bool = False,
+             corpus_dir: str = DEFAULT_CORPUS_DIR,
+             knobs: FuzzKnobs = FuzzKnobs(),
+             progress: Optional[Callable[[int, Optional[FuzzFailure]],
+                                         None]] = None,
+             max_failures: int = 5) -> FuzzReport:
+    """Run a fuzzing campaign.
+
+    Stops early when ``time_budget`` (seconds) is exhausted or after
+    ``max_failures`` distinct failing programs — each failure already
+    pins a regression, so grinding on is rarely useful.  ``progress``
+    is called after every iteration with the iteration index and the
+    failure, if any.
+    """
+    report = FuzzReport(seed=seed, iterations_run=0, oracles=tuple(oracles))
+    started = time.monotonic()
+    for i in range(iterations):
+        if time_budget is not None \
+                and time.monotonic() - started > time_budget:
+            break
+        iter_seed = iteration_seed(seed, i)
+        spec = generate_spec(iter_seed, knobs)
+        outcome = run_oracles(spec, oracles=oracles)
+        failure = None
+        if outcome is not None:
+            failure = FuzzFailure(iteration=i, seed=iter_seed,
+                                  oracle=outcome.oracle,
+                                  message=outcome.message, spec=spec)
+            if shrink:
+                failure.shrunk = _shrink_failure(spec, outcome, oracles)
+                failure.corpus_path = _pin_to_corpus(corpus_dir, failure)
+            report.failures.append(failure)
+        report.iterations_run = i + 1
+        if progress is not None:
+            progress(i, failure)
+        if len(report.failures) >= max_failures:
+            break
+    report.elapsed_seconds = time.monotonic() - started
+    return report

@@ -1,0 +1,122 @@
+"""Greedy spec-level test-case shrinking.
+
+Minimisation operates on :class:`~repro.fuzz.generator.ProgramSpec`, not
+on bytecode: every candidate is a smaller *spec*, so the result is still
+a well-formed program the corpus can rebuild and re-run.  The reduction
+passes, tried to fixpoint in order of expected payoff:
+
+1. drop the worker thread (and the producer handshake it rides on);
+2. drop whole helper methods together with their call sites;
+3. drop single blocks from any method;
+4. halve every numeric knob (loop trip counts, array/list lengths,
+   garbage churn, stream passes) toward 1.
+
+A candidate is kept only when ``still_fails`` confirms it reproduces
+the original failure; candidates that no longer build (e.g. a dropped
+allocation leaving a read of an uninitialised slot, which the verifier
+now rejects) simply fail the predicate and are discarded.  The number
+of predicate evaluations is bounded by ``max_checks``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List
+
+from repro.fuzz.generator import MethodSpec, ProgramSpec
+
+#: block kind -> indices (into the block tuple) of halvable numerics,
+#: with their floor values.
+_NUMERIC_PARAMS = {
+    "arith": ((2, 1),),  # floor 1: div/rem operands must stay non-zero
+    "alloc_array": ((2, 1),),
+    "stride": ((2, 1), (3, 1)),
+    "stream": ((2, 1),),
+    "garbage": ((1, 1), (2, 1)),
+    "list_build": ((2, 1),),
+    "box_ops": ((2, 1),),
+    "publish": ((1, 4),),
+}
+
+
+def _with_methods(spec: ProgramSpec,
+                  methods: List[MethodSpec]) -> ProgramSpec:
+    return dataclasses.replace(spec, methods=tuple(methods))
+
+
+def _drop_worker(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    if len(spec.threads) <= 1:
+        return
+    methods = []
+    for m in spec.methods:
+        if m.kind == "worker":
+            continue
+        if m.kind == "main":
+            blocks = tuple(b for b in m.blocks if b[0] != "publish")
+            m = MethodSpec(m.name, m.kind, blocks)
+        methods.append(m)
+    yield dataclasses.replace(_with_methods(spec, methods),
+                              threads=("main",))
+
+
+def _drop_helpers(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    helpers = [m.name for m in spec.methods if m.kind == "helper"]
+    for name in helpers:
+        methods = []
+        for m in spec.methods:
+            if m.name == name:
+                continue
+            blocks = tuple(b for b in m.blocks
+                           if not (b[0] == "call" and b[1] == name))
+            methods.append(MethodSpec(m.name, m.kind, blocks))
+        yield _with_methods(spec, methods)
+
+
+def _drop_blocks(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    for mi, method in enumerate(spec.methods):
+        for bi in range(len(method.blocks)):
+            blocks = method.blocks[:bi] + method.blocks[bi + 1:]
+            methods = list(spec.methods)
+            methods[mi] = MethodSpec(method.name, method.kind, blocks)
+            yield _with_methods(spec, methods)
+
+
+def _halve_numerics(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    for mi, method in enumerate(spec.methods):
+        for bi, block in enumerate(method.blocks):
+            for index, floor in _NUMERIC_PARAMS.get(block[0], ()):
+                value = block[index]
+                shrunk = max(floor, value // 2)
+                if shrunk == value:
+                    continue
+                new_block = block[:index] + (shrunk,) + block[index + 1:]
+                blocks = (method.blocks[:bi] + (new_block,)
+                          + method.blocks[bi + 1:])
+                methods = list(spec.methods)
+                methods[mi] = MethodSpec(method.name, method.kind, blocks)
+                yield _with_methods(spec, methods)
+
+
+_PASSES = (_drop_worker, _drop_helpers, _drop_blocks, _halve_numerics)
+
+
+def shrink_spec(spec: ProgramSpec,
+                still_fails: Callable[[ProgramSpec], bool],
+                max_checks: int = 200) -> ProgramSpec:
+    """Greedily minimise ``spec`` while ``still_fails`` stays true."""
+    checks = 0
+    reduced = True
+    while reduced and checks < max_checks:
+        reduced = False
+        for make_candidates in _PASSES:
+            for candidate in make_candidates(spec):
+                if checks >= max_checks:
+                    return spec
+                checks += 1
+                if still_fails(candidate):
+                    spec = candidate
+                    reduced = True
+                    break  # restart this pass on the smaller spec
+            if reduced:
+                break
+    return spec

@@ -7,19 +7,33 @@ that control cannot fall off the end of a method.  Workload programs and
 instrumentation output are verified before execution, which catches
 assembler and rewriting bugs early — the same role HotSpot's verifier
 plays for ASM-instrumented classes.
+
+The same worklist pass also tracks *definite assignment*: a LOAD or
+IINC of a local that some path reaches without a prior STORE is
+rejected (the interpreter would silently push ``None`` and crash with a
+raw TypeError at first use).  Structural checks additionally reject
+negative call/native arities, zero-dimension MULTIANEWARRAY, and
+branches into the middle of an instrumented allocation site (the
+``alloc; DUP; _djx_on_alloc`` triple the Java agent emits is compiled
+as one fused stretch — entering it sideways would publish a hook event
+for a ref that was never allocated on that path).  Call arity against
+the callee's declared ``num_args`` is checked program-wide in
+:func:`verify_program`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.jvm.bytecode import (
+    ALLOCATION_OPS,
     BRANCH_OPS,
     CONDITIONAL_BRANCHES,
     STACK_EFFECTS,
     Instruction,
     Op,
 )
+from repro.obs.events import ALLOC_HOOK
 
 
 class VerificationError(Exception):
@@ -58,6 +72,7 @@ def verify(code: Sequence[Instruction], num_args: int = 0,
     limit = max_locals if max_locals is not None else float("inf")
 
     # Structural checks first: targets in range, sane operands.
+    hook_interiors: set = set()
     for bci, ins in enumerate(code):
         if ins.op in BRANCH_OPS:
             target = ins.target
@@ -71,6 +86,33 @@ def verify(code: Sequence[Instruction], num_args: int = 0,
                 raise VerificationError(
                     f"{method_name} bci {bci}: local index {index} out of "
                     f"range [0, {limit})")
+        if ins.op is Op.INVOKE and ins.args[1] < 0:
+            raise VerificationError(
+                f"{method_name} bci {bci}: negative call arity "
+                f"{ins.args[1]}")
+        if ins.op is Op.NATIVE:
+            if ins.args[1] < 0:
+                raise VerificationError(
+                    f"{method_name} bci {bci}: negative native arity "
+                    f"{ins.args[1]}")
+            if ins.args[0] == ALLOC_HOOK:
+                # The instrumented allocation stretch: alloc; DUP; hook.
+                if (bci < 2 or code[bci - 1].op is not Op.DUP
+                        or code[bci - 2].op not in ALLOCATION_OPS):
+                    raise VerificationError(
+                        f"{method_name} bci {bci}: {ALLOC_HOOK} not "
+                        f"preceded by an allocation and DUP")
+                hook_interiors.update((bci - 1, bci))
+        if ins.op is Op.MULTIANEWARRAY and ins.args[1] < 1:
+            raise VerificationError(
+                f"{method_name} bci {bci}: MULTIANEWARRAY needs at least "
+                f"one dimension, got {ins.args[1]}")
+    if hook_interiors:
+        for bci, ins in enumerate(code):
+            if ins.op in BRANCH_OPS and ins.target in hook_interiors:
+                raise VerificationError(
+                    f"{method_name} bci {bci}: branch into the middle of "
+                    f"an instrumented allocation site (bci {ins.target})")
 
     # Fall-off check: the last instruction must not fall through.
     last = code[-1]
@@ -79,13 +121,18 @@ def verify(code: Sequence[Instruction], num_args: int = 0,
             f"{method_name}: control can fall off the end "
             f"(last op is {last.op.value})")
 
-    # Abstract interpretation of stack depth with a worklist.
+    # Abstract interpretation with a worklist.  Per-BCI state is the
+    # operand-stack depth (exact; mismatch is an error) plus the set of
+    # definitely-assigned locals (merged by intersection; a shrink
+    # re-enqueues the BCI so the pass reaches a fixpoint).
     depth_at: Dict[int, int] = {0: 0}
+    assigned_at: Dict[int, FrozenSet[int]] = {0: frozenset(range(num_args))}
     worklist: List[int] = [0]
     max_depth = 0
     while worklist:
         bci = worklist.pop()
         depth = depth_at[bci]
+        assigned = assigned_at[bci]
         ins = code[bci]
         pops, pushes = _stack_effect(ins)
         if depth < pops:
@@ -94,6 +141,15 @@ def verify(code: Sequence[Instruction], num_args: int = 0,
                 f"({ins.op.value} pops {pops}, depth {depth})")
         new_depth = depth - pops + pushes
         max_depth = max(max_depth, new_depth)
+
+        if ins.op in (Op.LOAD, Op.IINC) and ins.args[0] not in assigned:
+            raise VerificationError(
+                f"{method_name} bci {bci}: read of uninitialized local "
+                f"{ins.args[0]} ({ins.op.value} reachable without a "
+                f"prior store)")
+        new_assigned = assigned
+        if ins.op is Op.STORE:
+            new_assigned = assigned | {ins.args[0]}
 
         successors: List[int] = []
         if ins.op is Op.GOTO:
@@ -115,15 +171,35 @@ def verify(code: Sequence[Instruction], num_args: int = 0,
                     raise VerificationError(
                         f"{method_name} bci {succ}: inconsistent stack depth "
                         f"({depth_at[succ]} vs {new_depth} via bci {bci})")
+                merged = assigned_at[succ] & new_assigned
+                if merged != assigned_at[succ]:
+                    assigned_at[succ] = merged
+                    worklist.append(succ)
             else:
                 depth_at[succ] = new_depth
+                assigned_at[succ] = new_assigned
                 worklist.append(succ)
     return max_depth
 
 
 def verify_program(program) -> None:
-    """Verify every method of a :class:`~repro.jvm.classfile.JProgram`."""
+    """Verify every method of a :class:`~repro.jvm.classfile.JProgram`.
+
+    Beyond per-method checks this validates every INVOKE's declared
+    arity against the resolved callee's ``num_args`` — a mismatch would
+    silently leave arguments on the caller's stack or bind ``None``
+    into the callee's parameter slots.
+    """
     program.resolve_invocations()
     for method in program.methods.values():
         verify(method.code, method.num_args, method.max_locals,
                method.qualified_name)
+        for bci, ins in enumerate(method.code):
+            if ins.op is not Op.INVOKE:
+                continue
+            callee = program.methods.get(ins.args[0])
+            if callee is not None and ins.args[1] != callee.num_args:
+                raise VerificationError(
+                    f"{method.qualified_name} bci {bci}: INVOKE passes "
+                    f"{ins.args[1]} args but {callee.qualified_name} "
+                    f"declares {callee.num_args}")

@@ -15,6 +15,7 @@ of re-simulating.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -24,6 +25,16 @@ from repro.core.analyzer import AnalysisResult
 from repro.core.profiler import DJXPerf, DjxConfig
 from repro.jvm.machine import Machine, MachineConfig, MachineResult
 from repro.workloads.base import Workload
+
+
+def _resolve_machine_config(workload: Workload,
+                            machine_config: Optional[MachineConfig],
+                            seed: Optional[int]) -> MachineConfig:
+    """The workload's machine config, with ``seed`` overriding if given."""
+    config = machine_config or workload.machine_config()
+    if seed is not None and config.seed != seed:
+        config = dataclasses.replace(config, seed=seed)
+    return config
 
 
 @dataclass
@@ -39,12 +50,17 @@ class ProfiledRun:
 
 
 def run_native(workload: Workload, variant: str = "baseline",
-               machine_config: Optional[MachineConfig] = None
-               ) -> MachineResult:
-    """Run a variant without any profiler attached."""
+               machine_config: Optional[MachineConfig] = None,
+               seed: Optional[int] = None) -> MachineResult:
+    """Run a variant without any profiler attached.
+
+    ``seed`` overrides the machine's deterministic RNG seed (scheduler
+    tie-breaking, NUMA placement) without replacing the whole config.
+    """
     workload.check_variant(variant)
     program = workload.build_verified(variant)
-    machine = Machine(program, machine_config or workload.machine_config())
+    machine = Machine(program,
+                      _resolve_machine_config(workload, machine_config, seed))
     return machine.run()
 
 
@@ -52,17 +68,20 @@ def run_profiled(workload: Workload, variant: str = "baseline",
                  config: Optional[DjxConfig] = None,
                  machine_config: Optional[MachineConfig] = None,
                  trace_path: Optional[str] = None,
-                 trace_accesses: bool = False) -> ProfiledRun:
+                 trace_accesses: bool = False,
+                 seed: Optional[int] = None) -> ProfiledRun:
     """Run a variant under DJXPerf (launch mode) and analyze.
 
     With ``trace_path`` the machine's observation events are also
     recorded (see :mod:`repro.obs.trace`); ``trace_accesses`` adds the
     raw access stream so the trace supports period resampling.
+    ``seed`` overrides the machine seed, as in :func:`run_native`.
     """
     workload.check_variant(variant)
     profiler = DJXPerf(config or DjxConfig())
     program = profiler.instrument(workload.build_verified(variant))
-    machine = Machine(program, machine_config or workload.machine_config())
+    machine = Machine(program,
+                      _resolve_machine_config(workload, machine_config, seed))
     writer = None
     if trace_path is not None:
         from repro.obs.trace import TraceWriter
@@ -132,14 +151,18 @@ class OverheadMeasurement:
 
 def measure_overhead(workload: Workload, variant: str = "baseline",
                      config: Optional[DjxConfig] = None,
-                     trace_path: Optional[str] = None
-                     ) -> OverheadMeasurement:
-    """Figure-4 style measurement: run native, then run profiled."""
-    native = run_native(workload, variant)
+                     trace_path: Optional[str] = None,
+                     seed: Optional[int] = None) -> OverheadMeasurement:
+    """Figure-4 style measurement: run native, then run profiled.
+
+    The same ``seed`` is applied to both arms so the comparison is over
+    identical schedules.
+    """
+    native = run_native(workload, variant, seed=seed)
     if native.wall_cycles == 0:
         raise ZeroDivisionError(f"{workload.name}: native run took 0 cycles")
     profiled = run_profiled(workload, variant, config,
-                            trace_path=trace_path)
+                            trace_path=trace_path, seed=seed)
     return OverheadMeasurement(
         name=workload.name,
         native_cycles=native.wall_cycles,
@@ -152,17 +175,18 @@ def measure_overhead(workload: Workload, variant: str = "baseline",
 # ----------------------------------------------------------------------
 # Suite-scale parallel measurement
 # ----------------------------------------------------------------------
-#: (workload name, variant, config, trace_path) — module-level so the
-#: task tuples and the worker stay picklable across the process pool.
-_SuiteTask = Tuple[str, str, Optional[DjxConfig], Optional[str]]
+#: (workload name, variant, config, trace_path, seed) — module-level so
+#: the task tuples and the worker stay picklable across the process pool.
+_SuiteTask = Tuple[str, str, Optional[DjxConfig], Optional[str],
+                   Optional[int]]
 
 
 def _suite_overhead_worker(task: _SuiteTask) -> OverheadMeasurement:
     from repro.workloads.base import get_workload
 
-    name, variant, config, trace_path = task
+    name, variant, config, trace_path, seed = task
     return measure_overhead(get_workload(name), variant, config,
-                            trace_path=trace_path)
+                            trace_path=trace_path, seed=seed)
 
 
 def _trace_path_for(trace_dir: Optional[str], name: str,
@@ -175,7 +199,8 @@ def _trace_path_for(trace_dir: Optional[str], name: str,
 def measure_suite_overheads(names: Sequence[str], variant: str = "baseline",
                             config: Optional[DjxConfig] = None,
                             jobs: Optional[int] = None,
-                            trace_dir: Optional[str] = None
+                            trace_dir: Optional[str] = None,
+                            seed: Optional[int] = None
                             ) -> List[OverheadMeasurement]:
     """Measure overhead for many workloads, fanned over processes.
 
@@ -192,7 +217,8 @@ def measure_suite_overheads(names: Sequence[str], variant: str = "baseline",
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
     tasks: List[_SuiteTask] = [
-        (name, variant, config, _trace_path_for(trace_dir, name, variant))
+        (name, variant, config,
+         _trace_path_for(trace_dir, name, variant), seed)
         for name in names]
     if jobs is None:
         jobs = min(len(tasks), os.cpu_count() or 1)

@@ -1,0 +1,33 @@
+"""Replay every pinned corpus program through the full oracle matrix.
+
+``tests/fuzz_corpus/`` holds minimised specs pinned by ``fuzz --shrink``
+(past failures, kept as permanent regressions) plus hand-pinned
+interesting programs.  All of them must pass every oracle on the
+current tree — a pinned failure that still fails means the bug it
+minimises is back.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz.generator import spec_from_json
+from repro.fuzz.oracles import run_oracles
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "fuzz_corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no pinned programs under {CORPUS_DIR}"
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("path", CORPUS, ids=os.path.basename)
+def test_corpus_entry_passes_all_oracles(path):
+    with open(path) as fh:
+        spec, _meta = spec_from_json(fh.read())
+    failure = run_oracles(spec)
+    assert failure is None, str(failure)

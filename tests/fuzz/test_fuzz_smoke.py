@@ -1,0 +1,39 @@
+"""End-to-end fuzzing campaigns through the public harness."""
+
+import pytest
+
+from repro.fuzz import run_fuzz
+from repro.fuzz.harness import SEED_STRIDE, iteration_seed
+
+
+@pytest.mark.fuzz
+def test_short_campaign_all_oracles_clean(tmp_path):
+    report = run_fuzz(seed=0, iterations=10, corpus_dir=str(tmp_path))
+    assert report.ok, [f.describe() for f in report.failures]
+    assert report.iterations_run == 10
+    assert report.oracles == ("engine", "counting", "replay", "native")
+    assert not list(tmp_path.iterdir())  # nothing pinned on a clean run
+
+
+@pytest.mark.fuzz
+def test_iteration_seeds_are_disjoint_across_campaigns(tmp_path):
+    assert iteration_seed(0, 3) == 3
+    assert iteration_seed(2, 0) == 2 * SEED_STRIDE
+    seen = {iteration_seed(c, i) for c in range(4) for i in range(100)}
+    assert len(seen) == 400
+
+
+@pytest.mark.fuzz
+def test_time_budget_stops_early(tmp_path):
+    report = run_fuzz(seed=0, iterations=10_000, time_budget=0.0,
+                      corpus_dir=str(tmp_path))
+    assert report.iterations_run < 10_000
+
+
+@pytest.mark.fuzz
+@pytest.mark.slow
+def test_long_campaign_all_oracles_clean(tmp_path):
+    # The CI smoke-fuzz configuration: 200 programs, every oracle.
+    report = run_fuzz(seed=0, iterations=200, corpus_dir=str(tmp_path))
+    assert report.ok, [f.describe() for f in report.failures]
+    assert report.iterations_run == 200

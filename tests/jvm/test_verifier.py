@@ -6,6 +6,7 @@ from repro.heap.layout import Kind
 from repro.jvm.bytecode import Instruction, MethodBuilder, Op
 from repro.jvm.verifier import VerificationError, verify, verify_program
 from repro.jvm.classfile import JProgram
+from repro.obs.events import ALLOC_HOOK
 
 
 def code_of(build_fn):
@@ -133,3 +134,128 @@ class TestVerifyProgram:
         main.iconst(5).invoke("callee", 1).pop().ret()
         p.add_builder(main)
         verify_program(p)
+
+    def test_invoke_arity_mismatch_rejected(self):
+        p = JProgram()
+        callee = MethodBuilder("C", "callee", num_args=2)
+        callee.load(0).iret()
+        p.add_builder(callee)
+        main = MethodBuilder("C", "main")
+        main.iconst(5).invoke("callee", 1).pop().ret()
+        p.add_builder(main)
+        with pytest.raises(VerificationError, match="declares 2"):
+            verify_program(p)
+
+
+class TestArityAndDims:
+    def test_negative_invoke_arity_rejected(self):
+        code = [Instruction(Op.INVOKE, ("f", -1)),
+                Instruction(Op.POP), Instruction(Op.RETURN)]
+        with pytest.raises(VerificationError, match="negative call arity"):
+            verify(code)
+
+    def test_negative_native_arity_rejected(self):
+        code = [Instruction(Op.NATIVE, ("print", -2, False)),
+                Instruction(Op.RETURN)]
+        with pytest.raises(VerificationError, match="negative native arity"):
+            verify(code)
+
+    def test_zero_dim_multianewarray_rejected(self):
+        code = [Instruction(Op.MULTIANEWARRAY, (Kind.INT, 0)),
+                Instruction(Op.POP), Instruction(Op.RETURN)]
+        with pytest.raises(VerificationError, match="at least one dimension"):
+            verify(code)
+
+
+class TestDefiniteAssignment:
+    def test_load_of_unassigned_local_rejected(self):
+        code = [Instruction(Op.LOAD, (0,)),
+                Instruction(Op.POP), Instruction(Op.RETURN)]
+        with pytest.raises(VerificationError, match="uninitialized"):
+            verify(code, max_locals=1)
+
+    def test_args_count_as_assigned(self):
+        code = [Instruction(Op.LOAD, (0,)),
+                Instruction(Op.POP), Instruction(Op.RETURN)]
+        verify(code, num_args=1, max_locals=1)
+
+    def test_iinc_of_unassigned_local_rejected(self):
+        code = [Instruction(Op.IINC, (0, 1)), Instruction(Op.RETURN)]
+        with pytest.raises(VerificationError, match="uninitialized"):
+            verify(code, max_locals=1)
+
+    def test_store_on_one_path_only_rejected(self):
+        # The branch around the store leaves local 0 unassigned on the
+        # fall-through-free path; the load at the join must be rejected.
+        b = MethodBuilder("C", "m")
+        join = b.new_label("join")
+        b.iconst(0).if_eq(join)
+        b.iconst(7).store(0)
+        b.place(join)
+        b.load(0).pop().ret()
+        with pytest.raises(VerificationError, match="uninitialized"):
+            verify(b.build().code, max_locals=1)
+
+    def test_store_on_both_paths_accepted(self):
+        b = MethodBuilder("C", "m")
+        els = b.new_label("else")
+        join = b.new_label("join")
+        b.iconst(0).if_eq(els)
+        b.iconst(1).store(0).goto(join)
+        b.place(els)
+        b.iconst(2).store(0)
+        b.place(join)
+        b.load(0).pop().ret()
+        verify(b.build().code, max_locals=1)
+
+
+def _alloc_stretch():
+    """A well-formed instrumented allocation site: alloc; DUP; hook."""
+    return [Instruction(Op.ICONST, (4,)),
+            Instruction(Op.NEWARRAY, (Kind.INT,)),
+            Instruction(Op.DUP),
+            Instruction(Op.NATIVE, (ALLOC_HOOK, 1, False)),
+            Instruction(Op.POP),
+            Instruction(Op.RETURN)]
+
+
+class TestAllocationHookStretch:
+    def test_well_formed_stretch_accepted(self):
+        verify(_alloc_stretch())
+
+    def test_hook_without_dup_rejected(self):
+        code = [Instruction(Op.ICONST, (4,)),
+                Instruction(Op.NEWARRAY, (Kind.INT,)),
+                Instruction(Op.NATIVE, (ALLOC_HOOK, 1, False)),
+                Instruction(Op.RETURN)]
+        with pytest.raises(VerificationError,
+                           match="allocation and DUP"):
+            verify(code)
+
+    def test_hook_at_method_start_rejected(self):
+        code = [Instruction(Op.NATIVE, (ALLOC_HOOK, 1, False)),
+                Instruction(Op.RETURN)]
+        with pytest.raises(VerificationError,
+                           match="allocation and DUP"):
+            verify(code)
+
+    def test_branch_into_dup_rejected(self):
+        code = _alloc_stretch() + [Instruction(Op.GOTO, (2,))]
+        with pytest.raises(VerificationError, match="middle of"):
+            verify(code)
+
+    def test_branch_into_hook_rejected(self):
+        code = _alloc_stretch() + [Instruction(Op.GOTO, (3,))]
+        with pytest.raises(VerificationError, match="middle of"):
+            verify(code)
+
+    def test_branch_to_allocation_itself_accepted(self):
+        # Instrumentation retargets branches at the *allocation* op, so
+        # a jump to bci 1 (the NEWARRAY) must stay legal.
+        code = (_alloc_stretch()[:-1]
+                + [Instruction(Op.ICONST, (4,)),   # new length for the jump
+                   Instruction(Op.ICONST, (0,)),
+                   Instruction(Op.IF_NE, (1,)),
+                   Instruction(Op.POP),
+                   Instruction(Op.RETURN)])
+        verify(code)

@@ -124,3 +124,28 @@ class TestSuiteOverheads:
         assert trace is not None
         analysis = replay_analyze(trace, config)
         assert analysis.total() > 0
+
+
+class TestSeedPlumbing:
+    def test_seed_overrides_machine_config(self):
+        workload = get_workload(FAST)
+        default = run_native(workload)
+        reseeded = run_native(workload, seed=12345)
+        again = run_native(workload, seed=12345)
+        assert reseeded == again           # deterministic under one seed
+        assert default == run_native(workload, seed=workload.machine_config().seed)
+
+    def test_measure_overhead_applies_seed_to_both_arms(self):
+        workload = get_workload(FAST)
+        config = DjxConfig(sample_period=64)
+        a = measure_overhead(workload, config=config, seed=99)
+        b = measure_overhead(workload, config=config, seed=99)
+        assert a == b
+
+    def test_suite_tasks_carry_seed(self):
+        config = DjxConfig(sample_period=64)
+        a = measure_suite_overheads(["compress"], config=config, jobs=1,
+                                    seed=77)
+        b = measure_suite_overheads(["compress"], config=config, jobs=1,
+                                    seed=77)
+        assert a == b
