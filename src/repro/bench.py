@@ -25,6 +25,13 @@ instructions per wall-clock second (ips) and memory accesses per second
     code-centric, allocation-frequency, reuse-distance) — the heaviest
     realistic bus load, including a full-trace ``wants_accesses``
     collector.
+``store``
+    The serving layer's per-profile persistence cost (``--store``):
+    serialise + gzip + SQLite write of the workload's profile into a
+    fresh :class:`repro.serve.store.ProfileStore`, and the read +
+    deserialise back — tracked so payload-size or codec regressions in
+    the continuous-profiling service show up alongside simulator
+    throughput.
 
 Each arm runs ``repeat`` times on a freshly built machine and keeps the
 best wall time (the workloads are deterministic, so best-of-N measures
@@ -57,8 +64,9 @@ from repro.workloads.base import Workload, get_workload
 from repro.workloads.suite import suite_names
 
 #: Schema tag written into every report (bump on breaking change).
-#: ``/2`` added the profiled arms and per-arm instruction counts.
-SCHEMA = "repro-bench-throughput/2"
+#: ``/2`` added the profiled arms and per-arm instruction counts;
+#: ``/3`` added the serving-layer store arm (profile write/read cost).
+SCHEMA = "repro-bench-throughput/3"
 
 #: Quick subset for CI: the heaviest row of each flavour plus two
 #: streaming-native rows, keeping the job under a few seconds.
@@ -75,6 +83,30 @@ class ArmTiming:
     seconds: float
     ips: float
     aps: float
+
+
+@dataclass(frozen=True)
+class StoreTiming:
+    """Serving-layer cost of persisting one workload's profile.
+
+    ``write_seconds`` covers serialise + gzip + SQLite insert into a
+    fresh store; ``read_seconds`` covers select + gunzip + deserialise.
+    Best-of-``repeat``, like the execution arms.
+    """
+
+    write_seconds: float
+    read_seconds: float
+    raw_bytes: int
+    stored_bytes: int
+
+    @property
+    def write_mbps(self) -> float:
+        """Raw payload megabytes persisted per second."""
+        return self.raw_bytes / self.write_seconds / 1e6
+
+    @property
+    def read_mbps(self) -> float:
+        return self.raw_bytes / self.read_seconds / 1e6
 
 
 @dataclass(frozen=True)
@@ -97,6 +129,7 @@ class BenchRow:
     profiled: Optional[ArmTiming] = None
     profiled_peraccess: Optional[ArmTiming] = None
     allfamilies: Optional[ArmTiming] = None
+    store: Optional[StoreTiming] = None
 
     @property
     def speedup_vs_legacy(self) -> Optional[float]:
@@ -156,6 +189,17 @@ class BenchReport:
         return self._aggregate(lambda r: r.allfamilies, profiled=True)
 
     @property
+    def aggregate_store(self) -> Optional[StoreTiming]:
+        timings = [r.store for r in self.rows]
+        if not timings or any(t is None for t in timings):
+            return None
+        return StoreTiming(
+            write_seconds=sum(t.write_seconds for t in timings),
+            read_seconds=sum(t.read_seconds for t in timings),
+            raw_bytes=sum(t.raw_bytes for t in timings),
+            stored_bytes=sum(t.stored_bytes for t in timings))
+
+    @property
     def aggregate_speedup(self) -> Optional[float]:
         fast, legacy = self.aggregate_fastpath, self.aggregate_legacy
         if fast is None or legacy is None:
@@ -177,6 +221,14 @@ class BenchReport:
             return {"seconds": round(t.seconds, 6),
                     "ips": round(t.ips, 1), "aps": round(t.aps, 1)}
 
+        def store_arm(t: Optional[StoreTiming]) -> Optional[Dict]:
+            if t is None:
+                return None
+            return {"write_seconds": round(t.write_seconds, 6),
+                    "read_seconds": round(t.read_seconds, 6),
+                    "raw_bytes": t.raw_bytes,
+                    "stored_bytes": t.stored_bytes}
+
         workloads = {}
         for row in self.rows:
             entry = {"instructions": row.instructions,
@@ -193,6 +245,8 @@ class BenchReport:
                 entry["allfamilies"] = arm(row.allfamilies)
             if row.profiled_speedup is not None:
                 entry["profiled_speedup"] = round(row.profiled_speedup, 3)
+            if row.store is not None:
+                entry["store"] = store_arm(row.store)
             workloads[row.name] = entry
         out = {"schema": SCHEMA, "repeat": self.repeat,
                "workloads": workloads,
@@ -215,6 +269,8 @@ class BenchReport:
         if self.aggregate_profiled_speedup is not None:
             agg["profiled_speedup"] = round(
                 self.aggregate_profiled_speedup, 3)
+        if self.aggregate_store is not None:
+            agg["store"] = store_arm(self.aggregate_store)
         return out
 
 
@@ -326,10 +382,64 @@ def _profiled_arms(workload: Workload, repeat: int, variant: str,
             instructions, accesses)
 
 
+def _store_arm(workload: Workload, repeat: int, variant: str,
+               seed: Optional[int] = None) -> StoreTiming:
+    """Time persisting this workload's profile through the store.
+
+    One profiled run produces the analysis; each repeat then writes it
+    into a fresh store file and reads it back, keeping the best times.
+    The write path is serialise + gzip + insert, the read path is
+    select + gunzip + deserialise — the serving layer's per-profile
+    cost, tracked so regressions in payload size or codec show up in
+    ``BENCH_throughput.json`` like any throughput regression.
+    """
+    import os
+    import tempfile
+
+    from repro.core import DjxConfig
+    from repro.serve.store import ProfileStore, profile_key_for
+    from repro.workloads.runner import run_profiled
+
+    config = DjxConfig(sample_period=DJX_PERIOD)
+    run = run_profiled(workload, variant=variant, config=config, seed=seed)
+    key = profile_key_for(workload, variant, config, seed=seed)
+
+    best_write: Optional[float] = None
+    best_read: Optional[float] = None
+    raw_bytes = stored_bytes = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for i in range(repeat):
+            path = os.path.join(tmp, f"bench-{i}.sqlite")
+            with ProfileStore(path) as store:
+                started = time.perf_counter()
+                record = store.put_profile(
+                    key, run.analysis,
+                    wall_cycles=run.result.wall_cycles)
+                write_elapsed = time.perf_counter() - started
+                started = time.perf_counter()
+                _, loaded = store.get_profile(record.record_id)
+                read_elapsed = time.perf_counter() - started
+                if loaded.total() != run.analysis.total():
+                    raise EquivalenceError(
+                        f"{workload.name}: store round-trip changed the "
+                        f"profile ({loaded.total()} != "
+                        f"{run.analysis.total()} samples)")
+                raw_bytes = record.payload_bytes
+                stored_bytes = store.stats()["stored_bytes"]
+            if best_write is None or write_elapsed < best_write:
+                best_write = write_elapsed
+            if best_read is None or read_elapsed < best_read:
+                best_read = read_elapsed
+    assert best_write is not None and best_read is not None
+    return StoreTiming(write_seconds=best_write, read_seconds=best_read,
+                       raw_bytes=raw_bytes, stored_bytes=stored_bytes)
+
+
 def bench_workload(workload: Workload, repeat: int = 3,
                    legacy: bool = True, profiled: bool = False,
                    variant: str = "baseline",
-                   seed: Optional[int] = None) -> BenchRow:
+                   seed: Optional[int] = None,
+                   store: bool = False) -> BenchRow:
     """Measure one workload; raises :class:`EquivalenceError` if the
     legacy arm disagrees with the fast path on any result field, or if
     the profiled arms' counting boundaries disagree.  ``seed`` overrides
@@ -357,19 +467,23 @@ def bench_workload(workload: Workload, repeat: int = 3,
         (profiled_timing, peraccess_timing, families_timing,
          profiled_instructions, profiled_accesses) = _profiled_arms(
             workload, repeat, variant, seed=seed)
+    store_timing = (_store_arm(workload, repeat, variant, seed=seed)
+                    if store else None)
     return BenchRow(name=workload.name, instructions=instructions,
                     accesses=accesses, fastpath=fast, legacy=legacy_timing,
                     profiled_instructions=profiled_instructions,
                     profiled_accesses=profiled_accesses,
                     profiled=profiled_timing,
                     profiled_peraccess=peraccess_timing,
-                    allfamilies=families_timing)
+                    allfamilies=families_timing,
+                    store=store_timing)
 
 
 def bench_suite(names: Optional[Sequence[str]] = None, repeat: int = 3,
                 legacy: bool = True, profiled: bool = False,
                 progress: Optional[Callable[[BenchRow], None]] = None,
-                seed: Optional[int] = None) -> BenchReport:
+                seed: Optional[int] = None,
+                store: bool = False) -> BenchReport:
     """Run the harness over ``names`` (default: the full suite)."""
     if names is None:
         names = suite_names()
@@ -378,7 +492,8 @@ def bench_suite(names: Optional[Sequence[str]] = None, repeat: int = 3,
     rows: List[BenchRow] = []
     for name in names:
         row = bench_workload(get_workload(name), repeat=repeat,
-                             legacy=legacy, profiled=profiled, seed=seed)
+                             legacy=legacy, profiled=profiled, seed=seed,
+                             store=store)
         rows.append(row)
         if progress is not None:
             progress(row)

@@ -34,6 +34,20 @@ Commands
     boundaries, live vs replay, native vs profiled) with machine-state
     sanitizers attached; ``--shrink`` minimises failures into
     ``tests/fuzz_corpus/``.
+``serve``
+    The continuous-profiling daemon: poll a spool directory for
+    submitted jobs, run them over a worker pool with per-job timeouts
+    and retries, persist every profile into the store, heartbeat to
+    ``<spool>/status.jsonl``.  ``--drain`` processes the backlog and
+    exits (the CI mode).
+``submit``
+    Drop a profile/bench/fuzz job into the spool for the daemon.
+``history``
+    List stored profiles (newest first) from the profile store.
+``regress``
+    Diff the latest stored profile for a workload against a baseline
+    record and print the regression verdict (new top-N objects,
+    sample-share swings, throughput drops).  Exit 1 on regression.
 """
 
 from __future__ import annotations
@@ -210,14 +224,18 @@ def cmd_bench(args) -> int:
                    if row.speedup_vs_legacy is not None else "")
         profiled = (f"  x{row.profiled_speedup:.2f} prof"
                     if row.profiled_speedup is not None else "")
+        store = (f"  {row.store.raw_bytes}B store "
+                 f"{row.store.write_seconds * 1e3:.1f}ms/w "
+                 f"{row.store.read_seconds * 1e3:.1f}ms/r"
+                 if row.store is not None else "")
         print(f"{row.name:24s} {row.instructions:8d} ins  "
               f"{row.fastpath.ips:10.0f} ips  "
-              f"{row.fastpath.aps:10.0f} aps{speedup}{profiled}")
+              f"{row.fastpath.aps:10.0f} aps{speedup}{profiled}{store}")
 
     report = bench_suite(names, repeat=args.repeat,
                          legacy=not args.no_legacy,
                          profiled=args.profiled, progress=progress,
-                         seed=args.seed)
+                         seed=args.seed, store=args.store_arm)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -272,6 +290,127 @@ def cmd_fuzz(args) -> int:
           f"oracles [{','.join(report.oracles)}]: {status} "
           f"({report.elapsed_seconds:.1f}s)")
     return 0 if report.ok else 1
+
+
+#: Default serving-layer locations (shared by serve/submit/history/regress).
+DEFAULT_SPOOL = ".djxserve/spool"
+DEFAULT_STORE = ".djxserve/store.sqlite"
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import ProfilingService
+
+    service = ProfilingService(args.spool, args.store, jobs=args.jobs,
+                               job_timeout=args.timeout)
+    with service:
+        if args.drain:
+            done = service.drain()
+            print(f"drained {done} job(s) "
+                  f"({service.failed} failed, "
+                  f"{service.cached_hits} served from store)")
+        else:
+            print(f"serving spool {args.spool} -> store {args.store} "
+                  f"(heartbeat {service.heartbeat_path}; "
+                  f"SIGINT/SIGTERM drains and exits)")
+            service.serve_forever(poll_interval=args.poll,
+                                  max_polls=args.max_polls,
+                                  install_signal_handlers=True)
+            print(f"stopped after {service.completed} job(s) "
+                  f"({service.failed} failed, "
+                  f"{service.cached_hits} served from store)")
+    return 0 if service.failed == 0 else 1
+
+
+def cmd_submit(args) -> int:
+    from repro.serve import JobSpec, SpoolQueue
+
+    if args.kind in ("profile", "bench"):
+        # Fail fast: the daemon would only discover a bad name after
+        # claiming the job (and burning its attempts).
+        from repro.workloads import get_workload
+        get_workload(args.workload)
+    queue = SpoolQueue(args.spool)
+    spec = queue.submit(JobSpec(
+        job_id="", kind=args.kind, workload=args.workload,
+        variant=args.variant, period=args.period,
+        threshold=args.threshold, seed=args.seed,
+        timeout=args.timeout, force=args.force))
+    print(f"submitted {spec.job_id} "
+          f"({spec.kind} {spec.workload}/{spec.variant}, "
+          f"period {spec.period}, threshold {spec.threshold})")
+    return 0
+
+
+def cmd_history(args) -> int:
+    import json
+    import time as time_mod
+
+    from repro.serve import ProfileStore
+
+    with ProfileStore(args.store) as store:
+        records = store.history(workload=args.workload or None,
+                                variant=args.variant, limit=args.limit)
+        if args.json:
+            print(json.dumps([r.to_dict() for r in records], indent=2,
+                             sort_keys=True))
+            return 0
+        if not records:
+            print("(no stored profiles match)")
+            return 1
+        for record in records:
+            when = time_mod.strftime("%Y-%m-%d %H:%M:%S",
+                                     time_mod.localtime(record.created_at))
+            print(f"{when}  {record.describe()}")
+        stats = store.stats()
+        print(f"store: {stats['profiles']} profile(s), "
+              f"{stats['payloads']} unique payload(s), "
+              f"{stats['stored_bytes']} bytes on disk "
+              f"({stats['raw_bytes']} raw)")
+    return 0
+
+
+def cmd_regress(args) -> int:
+    import json
+
+    from repro.serve import ProfileStore, RegressPolicy, regress_records
+
+    policy = RegressPolicy(top_n=args.top, share_swing=args.swing,
+                           throughput_drop=args.drop)
+    with ProfileStore(args.store) as store:
+        if args.candidate_id is not None:
+            candidate = store.get_record(args.candidate_id)
+        else:
+            records = store.history(workload=args.workload,
+                                    variant=args.variant, limit=1)
+            if not records:
+                print(f"error: no stored profile for {args.workload}",
+                      file=sys.stderr)
+                return 2
+            candidate = records[0]
+        baseline = None
+        if args.baseline_id is not None:
+            baseline = store.get_record(args.baseline_id)
+        elif args.baseline_variant is not None:
+            baselines = store.history(workload=candidate.key.workload,
+                                      variant=args.baseline_variant,
+                                      limit=1)
+            if not baselines:
+                print(f"error: no stored profile for "
+                      f"{candidate.key.workload}/{args.baseline_variant}",
+                      file=sys.stderr)
+                return 2
+            baseline = baselines[0]
+        verdict = regress_records(store, candidate, baseline=baseline,
+                                  policy=policy)
+    if args.json:
+        print(json.dumps(verdict.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(verdict.render())
+    if verdict.status == "regression":
+        return 1
+    if verdict.status == "no-baseline":
+        return 3
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -366,6 +505,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "attached at the paper-default period "
                               "(skip-ahead vs per-access counting) and "
                               "the all-families shared run")
+    p_bench.add_argument("--store-arm", action="store_true",
+                         help="also time the serving-layer arm: profile "
+                              "write/read through a fresh ProfileStore")
     p_bench.add_argument("--repeat", type=int, default=3,
                          help="runs per engine, best wall time kept "
                               "(default 3)")
@@ -409,6 +551,87 @@ def build_parser() -> argparse.ArgumentParser:
                         help="where --shrink pins minimised failures "
                              "(default tests/fuzz_corpus)")
     p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the continuous-profiling daemon")
+    p_serve.add_argument("--spool", default=DEFAULT_SPOOL,
+                         help=f"spool directory (default {DEFAULT_SPOOL})")
+    p_serve.add_argument("--store", default=DEFAULT_STORE,
+                         help=f"profile store (default {DEFAULT_STORE})")
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: CPU count)")
+    p_serve.add_argument("--poll", type=float, default=1.0,
+                         help="seconds between idle spool polls "
+                              "(default 1.0)")
+    p_serve.add_argument("--timeout", type=float, default=300.0,
+                         help="per-job attempt timeout in seconds "
+                              "(default 300)")
+    p_serve.add_argument("--max-polls", type=int, default=None,
+                         help="stop after this many polls (default: "
+                              "run until signalled)")
+    p_serve.add_argument("--drain", action="store_true",
+                         help="process the current backlog and exit "
+                              "instead of polling forever")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="enqueue a job for the serve daemon")
+    p_submit.add_argument("workload")
+    p_submit.add_argument("--variant", default="baseline")
+    p_submit.add_argument("--kind", default="profile",
+                          choices=["profile", "bench", "fuzz"])
+    p_submit.add_argument("--seed", type=int, default=None,
+                          help="machine seed (part of the store key)")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          help="per-attempt timeout for this job")
+    p_submit.add_argument("--force", action="store_true",
+                          help="re-simulate even when the store already "
+                               "has this exact key")
+    p_submit.add_argument("--spool", default=DEFAULT_SPOOL,
+                          help=f"spool directory (default {DEFAULT_SPOOL})")
+    _add_profiler_options(p_submit)
+    p_submit.set_defaults(fn=cmd_submit)
+
+    p_history = sub.add_parser(
+        "history", help="list stored profiles")
+    p_history.add_argument("workload", nargs="?", default="",
+                           help="filter by workload name")
+    p_history.add_argument("--variant", default=None,
+                           help="filter by variant")
+    p_history.add_argument("--limit", type=int, default=20)
+    p_history.add_argument("--json", action="store_true",
+                           help="print records as JSON")
+    p_history.add_argument("--store", default=DEFAULT_STORE,
+                           help=f"profile store (default {DEFAULT_STORE})")
+    p_history.set_defaults(fn=cmd_history)
+
+    p_regress = sub.add_parser(
+        "regress", help="check a stored profile against a baseline")
+    p_regress.add_argument("workload")
+    p_regress.add_argument("--variant", default=None,
+                           help="candidate variant (default: latest "
+                                "record of any variant)")
+    p_regress.add_argument("--candidate-id", type=int, default=None,
+                           help="explicit candidate record id")
+    p_regress.add_argument("--baseline-id", type=int, default=None,
+                           help="explicit baseline record id")
+    p_regress.add_argument("--baseline-variant", default=None,
+                           help="compare against the latest record of "
+                                "this variant instead of the same key")
+    p_regress.add_argument("--top", type=int, default=5,
+                           help="ranking depth for the new-top-site "
+                                "check (default 5)")
+    p_regress.add_argument("--swing", type=float, default=0.05,
+                           help="sample-share gain that flags a site "
+                                "(default 0.05)")
+    p_regress.add_argument("--drop", type=float, default=0.10,
+                           help="fractional wall-cycle growth that "
+                                "flags a slowdown (default 0.10)")
+    p_regress.add_argument("--json", action="store_true",
+                           help="print the verdict as JSON")
+    p_regress.add_argument("--store", default=DEFAULT_STORE,
+                           help=f"profile store (default {DEFAULT_STORE})")
+    p_regress.set_defaults(fn=cmd_regress)
 
     return parser
 

@@ -20,7 +20,11 @@ from repro.core.profile import (
 from repro.core.profiler import DJXPerf, DjxConfig
 from repro.core.report import render_numa_report, render_report, render_site
 from repro.core.splay import IntervalSplayTree
-from repro.core.tuning import CalibrationResult, calibrate_period
+from repro.core.tuning import (
+    CalibrationResult,
+    calibrate_period,
+    clamp_period_to_window,
+)
 from repro.core.diff import ProfileDiff, SiteDelta, diff_profiles
 from repro.core.htmlreport import render_html, write_html
 
@@ -44,6 +48,7 @@ __all__ = [
     "allocation_site_count",
     "analyze_profiles",
     "calibrate_period",
+    "clamp_period_to_window",
     "diff_profiles",
     "ProfileDiff",
     "SiteDelta",

@@ -20,6 +20,10 @@ from repro.core.profile import (
     ThreadProfile,
 )
 
+#: Wire-format tag for serialised AnalysisResults (bump on breaking
+#: change; the profile store refuses payloads it does not understand).
+PROFILE_SCHEMA = "repro-analysis/1"
+
 
 @dataclass
 class AnalysisResult:
@@ -77,6 +81,40 @@ class AnalysisResult:
             return 0.0
         unknown = self.unknown_samples.get(event, 0)
         return 1.0 - unknown / total
+
+    # ------------------------------------------------------------------
+    # Serialisation (the profile store's payload format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Stable JSON-able form; :meth:`from_dict` is the exact inverse.
+
+        Sites keep their ranked order, so serialise→load→diff behaves
+        identically to diffing the in-memory result.
+        """
+        return {
+            "schema": PROFILE_SCHEMA,
+            "primary_event": self.primary_event,
+            "total_samples": dict(self.total_samples),
+            "unknown_samples": dict(self.unknown_samples),
+            "thread_count": self.thread_count,
+            "sites": [site.to_dict() for site in self.sites],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisResult":
+        schema = data.get("schema")
+        if schema != PROFILE_SCHEMA:
+            raise ValueError(
+                f"unexpected analysis schema {schema!r} "
+                f"(want {PROFILE_SCHEMA!r})")
+        return cls(
+            primary_event=data["primary_event"],
+            sites=[ResolvedSite.from_dict(s) for s in data["sites"]],
+            total_samples={k: int(v)
+                           for k, v in data["total_samples"].items()},
+            unknown_samples={k: int(v)
+                             for k, v in data["unknown_samples"].items()},
+            thread_count=int(data["thread_count"]))
 
 
 def _resolve_path(path: RawPath, resolver: FrameResolver,

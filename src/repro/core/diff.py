@@ -65,6 +65,10 @@ class ProfileDiff:
     deltas: List[SiteDelta]
     before_total: int
     after_total: int
+    #: Sites (across both inputs) excluded because their allocation
+    #: leaf failed to resolve — without a leaf there is no site
+    #: identity to match on.  Nonzero values mean the diff is partial.
+    unresolved_sites: int = 0
 
     def improved(self, min_share_drop: float = 0.01) -> List[SiteDelta]:
         """Sites whose share dropped by at least ``min_share_drop``."""
@@ -95,6 +99,9 @@ class ProfileDiff:
                 f"({d.share_delta:+.1%})")
         if not shown:
             lines.append("  (no site's share moved by >=0.5pp)")
+        if self.unresolved_sites:
+            lines.append(f"  ({self.unresolved_sites} site(s) with "
+                         f"unresolvable leaves excluded)")
         return "\n".join(lines)
 
 
@@ -110,11 +117,14 @@ def diff_profiles(before: AnalysisResult,
             f"event {event!r} not present in the 'after' profile")
 
     table: Dict[SiteKey, Dict[str, int]] = {}
+    unresolved = 0
 
     def fold(result: AnalysisResult, prefix: str) -> None:
+        nonlocal unresolved
         for site in result.sites:
             key = _key(site)
             if key is None:
+                unresolved += 1
                 continue
             entry = table.setdefault(key, {
                 "before_samples": 0, "after_samples": 0,
@@ -143,4 +153,5 @@ def diff_profiles(before: AnalysisResult,
             after_allocs=entry["after_allocs"]))
     deltas.sort(key=lambda d: d.share_delta)
     return ProfileDiff(event=event, deltas=deltas,
-                       before_total=before_total, after_total=after_total)
+                       before_total=before_total, after_total=after_total,
+                       unresolved_sites=unresolved)

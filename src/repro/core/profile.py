@@ -161,9 +161,16 @@ class ThreadProfile:
         json.dump(self.to_dict(resolver), fp, indent=1)
 
 
+def encode_resolved_path(path: ResolvedPath) -> List[list]:
+    """Encode an already-resolved path (same wire format as
+    :meth:`ThreadProfile.to_dict`, which resolves as it encodes)."""
+    return [list(frame.as_tuple()) for frame in path]
+
+
 def decode_resolved_path(encoded: List[list]) -> ResolvedPath:
     """Inverse of the path encoding in :meth:`ThreadProfile.to_dict`."""
-    return tuple(ResolvedFrame(*frame) for frame in encoded)
+    return tuple(ResolvedFrame(frame[0], frame[1], frame[2], int(frame[3]))
+                 for frame in encoded)
 
 
 @dataclass
@@ -213,3 +220,43 @@ class ResolvedSite:
         if not self.type_names:
             return "<unknown>"
         return max(self.type_names.items(), key=lambda kv: kv[1])[0]
+
+    # ------------------------------------------------------------------
+    # Serialisation (resolved sites are the unit the profile store keeps)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "path": encode_resolved_path(self.path),
+            "alloc_count": self.alloc_count,
+            "allocated_bytes": self.allocated_bytes,
+            "min_size": self.min_size,
+            "max_size": self.max_size,
+            "type_names": dict(self.type_names),
+            "metrics": dict(self.metrics),
+            "remote_samples": self.remote_samples,
+            "local_samples": self.local_samples,
+            "access_contexts": [
+                {"path": encode_resolved_path(path),
+                 "metrics": dict(metrics)}
+                for path, metrics in self.access_contexts.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResolvedSite":
+        return cls(
+            path=decode_resolved_path(data["path"]),
+            alloc_count=int(data["alloc_count"]),
+            allocated_bytes=int(data["allocated_bytes"]),
+            min_size=int(data["min_size"]),
+            max_size=int(data["max_size"]),
+            type_names={k: int(v)
+                        for k, v in data.get("type_names", {}).items()},
+            metrics={k: int(v) for k, v in data.get("metrics", {}).items()},
+            remote_samples=int(data["remote_samples"]),
+            local_samples=int(data["local_samples"]),
+            access_contexts={
+                decode_resolved_path(ctx["path"]):
+                    {k: int(v) for k, v in ctx["metrics"].items()}
+                for ctx in data.get("access_contexts", [])
+            })

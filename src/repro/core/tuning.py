@@ -10,8 +10,9 @@ the target window.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.jvm.classfile import JProgram
 from repro.jvm.machine import Machine, MachineConfig
@@ -35,12 +36,37 @@ class CalibrationResult:
     predicted_rate: float
 
 
+def clamp_period_to_window(event_rate: float, period: int,
+                           lo: float = TARGET_MIN_PER_SEC,
+                           hi: float = TARGET_MAX_PER_SEC) -> int:
+    """Smallest adjustment of ``period`` landing the predicted rate
+    (``event_rate / period``) inside ``[lo, hi]``.
+
+    A rate above the window raises the period (sample less); a rate
+    below lowers it (sample more), bottoming out at the most sensitive
+    period of 1 — if events simply fire slower than ``lo``, no period
+    can reach the window, and 1 is the best available.
+    """
+    if event_rate <= 0:
+        return max(1, period)
+    if not 0 < lo <= hi:
+        raise ValueError(f"invalid window [{lo}, {hi}]")
+    period = max(1, period)
+    if event_rate / period > hi:
+        period = math.ceil(event_rate / hi)
+    elif event_rate / period < lo:
+        period = max(1, math.floor(event_rate / lo))
+    return period
+
+
 def calibrate_period(program: JProgram,
                      event: PmuEvent,
                      machine_config: Optional[MachineConfig] = None,
                      clock_hz: float = 2.2e9,
                      pilot_instructions: int = 50_000,
-                     target_per_sec: float = 100.0) -> CalibrationResult:
+                     target_per_sec: float = 100.0,
+                     window: Optional[Tuple[float, float]] = None
+                     ) -> CalibrationResult:
     """Pick a sampling period targeting ``target_per_sec`` samples/s.
 
     Runs an unprofiled pilot (counting, not sampling — so the pilot
@@ -48,6 +74,11 @@ def calibrate_period(program: JProgram,
     ``period = event_rate / target_rate``.  ``clock_hz`` converts
     simulated cycles to seconds; the default is the paper machine's
     2.2GHz.
+
+    With ``window`` set to ``(lo, hi)``, the derived period is clamped
+    so the predicted rate lands inside the window even when rounding
+    (or an out-of-window target) would put it outside — the paper's
+    "20-200 samples per second" rule as a hard constraint.
     """
     if target_per_sec <= 0:
         raise ValueError("target_per_sec must be positive")
@@ -70,6 +101,9 @@ def calibrate_period(program: JProgram,
                                  predicted_rate=0.0)
     event_rate = events / seconds
     period = max(1, int(round(event_rate / target_per_sec)))
+    if window is not None:
+        period = clamp_period_to_window(event_rate, period,
+                                        lo=window[0], hi=window[1])
     return CalibrationResult(
         period=period,
         pilot_events=events,

@@ -1,0 +1,62 @@
+"""Continuous-profiling service (the serving layer).
+
+The paper's workflow is iterative — profile, fix the top object,
+re-profile, confirm the misses moved — which only works if profiles
+outlive the process that produced them.  This package turns the
+one-shot CLI profiler into a service:
+
+:mod:`repro.serve.store`
+    Persistent, content-addressed profile store (SQLite index over
+    gzipped JSON payloads) keyed by
+    ``(workload, variant, program-hash, config-hash, seed)``.
+:mod:`repro.serve.queue`
+    Spool-directory job queue: ``submit`` drops a JSON job file,
+    the daemon claims it with an atomic rename, outcomes land in
+    ``done/``/``failed/``.
+:mod:`repro.serve.workers`
+    Process worker pool with per-task timeouts, bounded retries with
+    backoff, and crashed/hung-worker recycling.
+:mod:`repro.serve.regress`
+    Cross-run regression engine over :mod:`repro.core.diff`: new top-N
+    objects, sample-share swings, throughput drops → machine-readable
+    verdicts.
+:mod:`repro.serve.service`
+    The daemon: poll the spool, fan jobs over the pool, persist
+    results, heartbeat to a JSONL status file.
+"""
+
+from repro.serve.queue import JobSpec, SpoolQueue
+from repro.serve.regress import (
+    RegressionFinding,
+    RegressionVerdict,
+    RegressPolicy,
+    regress_records,
+)
+from repro.serve.store import (
+    ProfileKey,
+    ProfileRecord,
+    ProfileStore,
+    config_digest,
+    profile_key_for,
+    program_digest,
+)
+from repro.serve.workers import TaskOutcome, WorkerPool
+from repro.serve.service import ProfilingService
+
+__all__ = [
+    "JobSpec",
+    "ProfileKey",
+    "ProfileRecord",
+    "ProfileStore",
+    "ProfilingService",
+    "RegressPolicy",
+    "RegressionFinding",
+    "RegressionVerdict",
+    "SpoolQueue",
+    "TaskOutcome",
+    "WorkerPool",
+    "config_digest",
+    "profile_key_for",
+    "program_digest",
+    "regress_records",
+]

@@ -1,0 +1,208 @@
+"""Spool-directory job queue.
+
+Submission and execution are separate processes (``submit`` CLI vs the
+``serve`` daemon), so the queue lives on disk: a job is one JSON file
+that moves between subdirectories of the spool as its state changes::
+
+    spool/pending/<id>.json    submitted, waiting for a worker
+    spool/running/<id>.json    claimed by a daemon
+    spool/done/<id>.json       finished; the file gains a "result" key
+    spool/failed/<id>.json     gave up; the file gains an "error" key
+
+Every transition is an atomic rename, so concurrent daemons can claim
+from the same spool without double-running a job, and a crashed daemon
+leaves its claims in ``running/`` where :meth:`SpoolQueue.recover`
+returns them to ``pending`` on the next startup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Job kinds the daemon knows how to execute.
+JOB_KINDS = ("profile", "bench", "fuzz")
+
+_STATES = ("pending", "running", "done", "failed")
+
+
+@dataclass
+class JobSpec:
+    """One unit of work, serialisable to a spool file."""
+
+    job_id: str
+    kind: str
+    workload: str = ""
+    variant: str = "baseline"
+    period: int = 64
+    threshold: int = 1024
+    seed: Optional[int] = None
+    #: Wall-clock seconds a single attempt may take (None = unlimited).
+    timeout: Optional[float] = None
+    max_attempts: int = 3
+    attempts: int = 0
+    submitted_at: float = 0.0
+    #: Re-simulate even when the store already has this exact key.
+    force: bool = False
+    meta: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; "
+                             f"have {JOB_KINDS}")
+
+    def to_dict(self) -> dict:
+        return {"job_id": self.job_id, "kind": self.kind,
+                "workload": self.workload, "variant": self.variant,
+                "period": self.period, "threshold": self.threshold,
+                "seed": self.seed, "timeout": self.timeout,
+                "max_attempts": self.max_attempts,
+                "attempts": self.attempts,
+                "submitted_at": self.submitted_at, "force": self.force,
+                "meta": dict(self.meta)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class SpoolQueue:
+    """Filesystem queue over a spool directory (see module docstring)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        for state in _STATES:
+            os.makedirs(os.path.join(root, state), exist_ok=True)
+        self._seq = 0
+
+    # -- paths ----------------------------------------------------------
+    def _dir(self, state: str) -> str:
+        return os.path.join(self.root, state)
+
+    def _path(self, state: str, job_id: str) -> str:
+        return os.path.join(self.root, state, f"{job_id}.json")
+
+    def _write(self, path: str, data: dict) -> None:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(data, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _read(path: str) -> dict:
+        with open(path) as fh:
+            return json.load(fh)
+
+    def new_job_id(self, hint: str = "job") -> str:
+        self._seq += 1
+        return (f"{hint}-{time.time_ns():016x}-"
+                f"{os.getpid():06x}-{self._seq:04d}")
+
+    # -- transitions ----------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobSpec:
+        """Enqueue a job (fills in id/timestamp when unset)."""
+        if not spec.job_id:
+            spec.job_id = self.new_job_id(spec.workload or spec.kind)
+        if not spec.submitted_at:
+            spec.submitted_at = time.time()
+        self._write(self._path("pending", spec.job_id), spec.to_dict())
+        return spec
+
+    def claim(self) -> Optional[JobSpec]:
+        """Atomically move the oldest pending job to running.
+
+        Returns None when the queue is empty.  A lost race with another
+        daemon (rename fails because the file is gone) just tries the
+        next candidate.
+        """
+        for name in sorted(os.listdir(self._dir("pending"))):
+            if not name.endswith(".json"):
+                continue
+            pending = os.path.join(self._dir("pending"), name)
+            running = os.path.join(self._dir("running"), name)
+            try:
+                os.rename(pending, running)
+            except OSError:
+                continue
+            return JobSpec.from_dict(self._read(running))
+        return None
+
+    def complete(self, spec: JobSpec, result: dict) -> None:
+        """running → done, attaching the result to the job file."""
+        data = spec.to_dict()
+        data["result"] = result
+        data["finished_at"] = time.time()
+        self._write(self._path("done", spec.job_id), data)
+        self._remove("running", spec.job_id)
+
+    def fail(self, spec: JobSpec, error: str) -> None:
+        """running → failed, attaching the error."""
+        data = spec.to_dict()
+        data["error"] = error
+        data["finished_at"] = time.time()
+        self._write(self._path("failed", spec.job_id), data)
+        self._remove("running", spec.job_id)
+
+    def requeue(self, spec: JobSpec, reason: str = "") -> JobSpec:
+        """running → pending with the attempt counted.
+
+        Returns the updated spec; call :meth:`fail` instead once
+        ``spec.attempts`` reaches ``spec.max_attempts``.
+        """
+        spec.attempts += 1
+        data = spec.to_dict()
+        if reason:
+            data["meta"] = {**data["meta"], "last_requeue": reason}
+            spec.meta["last_requeue"] = reason
+        self._write(self._path("pending", spec.job_id), data)
+        self._remove("running", spec.job_id)
+        return spec
+
+    def recover(self) -> List[JobSpec]:
+        """Return any running jobs (a crashed daemon's claims) to pending."""
+        recovered = []
+        for name in sorted(os.listdir(self._dir("running"))):
+            if not name.endswith(".json"):
+                continue
+            spec = JobSpec.from_dict(
+                self._read(os.path.join(self._dir("running"), name)))
+            recovered.append(self.requeue(spec, reason="daemon-crash"))
+        return recovered
+
+    def _remove(self, state: str, job_id: str) -> None:
+        try:
+            os.remove(self._path(state, job_id))
+        except FileNotFoundError:
+            pass
+
+    # -- inspection -----------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        return {state: len([n for n in os.listdir(self._dir(state))
+                            if n.endswith(".json")])
+                for state in _STATES}
+
+    def pending_count(self) -> int:
+        return self.counts()["pending"]
+
+    def outcome(self, job_id: str) -> Optional[dict]:
+        """The done/failed record for a job, or None if still in flight."""
+        for state in ("done", "failed"):
+            path = self._path(state, job_id)
+            if os.path.exists(path):
+                return self._read(path)
+        return None
+
+    def outcomes(self) -> List[dict]:
+        """All finished job records, oldest first."""
+        records = []
+        for state in ("done", "failed"):
+            for name in sorted(os.listdir(self._dir(state))):
+                if name.endswith(".json"):
+                    records.append(
+                        self._read(os.path.join(self._dir(state), name)))
+        records.sort(key=lambda r: r.get("finished_at", 0.0))
+        return records

@@ -1,0 +1,228 @@
+"""Cross-run regression detection over stored profiles.
+
+Given a candidate profile and a stored baseline for the same key, the
+engine diffs them with :mod:`repro.core.diff` and flags three kinds of
+memory-inefficiency regressions, each naming the offending allocation
+site:
+
+``new-top-site``
+    An allocation site entered the top-N ranking that was not in the
+    baseline's top-N — a brand-new (or newly hot) inefficiency.
+``share-swing``
+    A site's share of the sampled metric grew by more than the policy
+    threshold — an existing object got relatively hotter.
+``throughput-drop``
+    The run's wall cycles grew beyond the policy threshold — the
+    program as a whole slowed down, whatever the per-site picture.
+
+Verdicts are machine-readable (``to_dict``) so CI can gate on them, and
+renderable for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.analyzer import AnalysisResult
+from repro.core.diff import ProfileDiff, SiteKey, diff_profiles
+
+#: Verdict states.
+CLEAN = "clean"
+REGRESSION = "regression"
+NO_BASELINE = "no-baseline"
+
+
+@dataclass(frozen=True)
+class RegressPolicy:
+    """Thresholds that separate noise from a finding."""
+
+    #: Ranking depth for the new-top-site check.
+    top_n: int = 5
+    #: Minimum sample-share gain (absolute, 0..1) to flag a swing.
+    share_swing: float = 0.05
+    #: Minimum fractional wall-cycle growth to flag a slowdown.
+    throughput_drop: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.top_n < 1:
+            raise ValueError("top_n must be >= 1")
+        if not 0 < self.share_swing <= 1:
+            raise ValueError("share_swing must be in (0, 1]")
+        if self.throughput_drop <= 0:
+            raise ValueError("throughput_drop must be positive")
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One flagged regression (kind + the site or metric it names)."""
+
+    kind: str
+    location: str
+    detail: str
+    before: float
+    after: float
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "location": self.location,
+                "detail": self.detail, "before": self.before,
+                "after": self.after}
+
+
+@dataclass
+class RegressionVerdict:
+    """Machine-readable outcome of one candidate-vs-baseline check."""
+
+    status: str
+    workload: str
+    variant: str
+    event: str
+    candidate_id: Optional[int] = None
+    baseline_id: Optional[int] = None
+    findings: List[RegressionFinding] = field(default_factory=list)
+    #: Sites whose share *dropped* past the swing threshold (good news).
+    improvements: List[RegressionFinding] = field(default_factory=list)
+    #: Diff sites skipped because their leaf failed to resolve.
+    unresolved_sites: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == CLEAN
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "workload": self.workload,
+            "variant": self.variant,
+            "event": self.event,
+            "candidate_id": self.candidate_id,
+            "baseline_id": self.baseline_id,
+            "findings": [f.to_dict() for f in self.findings],
+            "improvements": [f.to_dict() for f in self.improvements],
+            "unresolved_sites": self.unresolved_sites,
+        }
+
+    def render(self) -> str:
+        lines = [f"regression verdict: {self.status.upper()} "
+                 f"({self.workload}/{self.variant}, {self.event})"]
+        if self.baseline_id is not None:
+            lines.append(f"  baseline  : record #{self.baseline_id}")
+        if self.candidate_id is not None:
+            lines.append(f"  candidate : record #{self.candidate_id}")
+        for finding in self.findings:
+            lines.append(f"  REGRESSED {finding.kind:16s} "
+                         f"{finding.location:40s} {finding.detail}")
+        for finding in self.improvements:
+            lines.append(f"  improved  {finding.kind:16s} "
+                         f"{finding.location:40s} {finding.detail}")
+        if self.unresolved_sites:
+            lines.append(f"  ({self.unresolved_sites} site(s) with "
+                         f"unresolvable allocation leaves excluded)")
+        if self.status == NO_BASELINE:
+            lines.append("  (no stored baseline for this key; "
+                         "store one run first)")
+        elif not self.findings:
+            lines.append("  (no regressions past policy thresholds)")
+        return "\n".join(lines)
+
+
+def _location(key: SiteKey) -> str:
+    class_name, method, _source, line = key
+    return f"{class_name}.{method}:{line}"
+
+
+def _top_keys(analysis: AnalysisResult, top_n: int,
+              event: str) -> Dict[SiteKey, float]:
+    """Top-N site keys → share, for sites that actually sampled."""
+    out: Dict[SiteKey, float] = {}
+    for site in analysis.top_sites(top_n, event):
+        if site.metric(event) == 0 or site.leaf is None:
+            continue
+        out[site.leaf.as_tuple()] = analysis.share(site, event)
+    return out
+
+
+def regress_analyses(baseline: AnalysisResult, candidate: AnalysisResult,
+                     workload: str = "", variant: str = "",
+                     baseline_cycles: int = 0, candidate_cycles: int = 0,
+                     policy: Optional[RegressPolicy] = None,
+                     event: Optional[str] = None) -> RegressionVerdict:
+    """Check a candidate analysis against a baseline analysis."""
+    policy = policy or RegressPolicy()
+    event = event or baseline.primary_event
+    diff: ProfileDiff = diff_profiles(baseline, candidate, event=event)
+
+    verdict = RegressionVerdict(
+        status=CLEAN, workload=workload, variant=variant, event=event,
+        unresolved_sites=diff.unresolved_sites)
+
+    before_top = _top_keys(baseline, policy.top_n, event)
+    after_top = _top_keys(candidate, policy.top_n, event)
+    for key, share in after_top.items():
+        if key not in before_top:
+            verdict.findings.append(RegressionFinding(
+                kind="new-top-site", location=_location(key),
+                detail=f"entered top-{policy.top_n} at {share:.1%} "
+                       f"of {event}",
+                before=0.0, after=share))
+
+    for delta in diff.deltas:
+        if delta.share_delta >= policy.share_swing:
+            # Skip sites already reported as brand-new top sites.
+            if delta.key in after_top and delta.key not in before_top:
+                continue
+            verdict.findings.append(RegressionFinding(
+                kind="share-swing", location=delta.location,
+                detail=f"share {delta.before_share:.1%} -> "
+                       f"{delta.after_share:.1%} "
+                       f"({delta.share_delta:+.1%})",
+                before=delta.before_share, after=delta.after_share))
+        elif delta.share_delta <= -policy.share_swing:
+            verdict.improvements.append(RegressionFinding(
+                kind="share-swing", location=delta.location,
+                detail=f"share {delta.before_share:.1%} -> "
+                       f"{delta.after_share:.1%} "
+                       f"({delta.share_delta:+.1%})",
+                before=delta.before_share, after=delta.after_share))
+
+    if baseline_cycles > 0 and candidate_cycles > 0:
+        growth = candidate_cycles / baseline_cycles - 1.0
+        if growth >= policy.throughput_drop:
+            verdict.findings.append(RegressionFinding(
+                kind="throughput-drop", location="<whole program>",
+                detail=f"wall cycles {baseline_cycles} -> "
+                       f"{candidate_cycles} ({growth:+.1%})",
+                before=float(baseline_cycles),
+                after=float(candidate_cycles)))
+
+    if verdict.findings:
+        verdict.status = REGRESSION
+    return verdict
+
+
+def regress_records(store, candidate, baseline=None,
+                    policy: Optional[RegressPolicy] = None
+                    ) -> RegressionVerdict:
+    """Check a stored candidate record against a stored baseline.
+
+    ``baseline`` defaults to the most recent earlier record with the
+    candidate's exact key (:meth:`ProfileStore.baseline_for`); pass an
+    explicit record to compare across variants or configs.
+    """
+    if baseline is None:
+        baseline = store.baseline_for(candidate)
+    if baseline is None:
+        return RegressionVerdict(
+            status=NO_BASELINE, workload=candidate.key.workload,
+            variant=candidate.key.variant,
+            event=candidate.primary_event,
+            candidate_id=candidate.record_id)
+    verdict = regress_analyses(
+        store.load_analysis(baseline), store.load_analysis(candidate),
+        workload=candidate.key.workload, variant=candidate.key.variant,
+        baseline_cycles=baseline.wall_cycles,
+        candidate_cycles=candidate.wall_cycles,
+        policy=policy)
+    verdict.candidate_id = candidate.record_id
+    verdict.baseline_id = baseline.record_id
+    return verdict

@@ -1,0 +1,283 @@
+"""The continuous-profiling daemon.
+
+One service instance owns a spool queue, a worker pool, and a profile
+store.  Each poll it claims every pending job, serves exact-key repeats
+straight from the store (no re-simulation), fans the rest over the
+worker pool, persists the resulting profiles, and appends a heartbeat
+line to ``<spool>/status.jsonl`` so an operator (or the CI smoke job)
+can watch it without attaching a debugger.
+
+Job outcomes are written back into the spool (``done/``/``failed/``),
+so ``submit`` callers can poll for their job id.  Failed jobs are
+requeued with a counted attempt until ``max_attempts`` is exhausted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from typing import Dict, List, Optional
+
+from repro.core.analyzer import AnalysisResult
+from repro.core.profiler import DjxConfig
+from repro.serve.queue import JobSpec, SpoolQueue
+from repro.serve.store import ProfileKey, ProfileStore, profile_key_for
+from repro.serve.workers import WorkerPool
+
+#: Heartbeat file name inside the spool directory.
+STATUS_FILE = "status.jsonl"
+
+
+# ----------------------------------------------------------------------
+# Job execution (runs inside worker processes — must stay picklable)
+# ----------------------------------------------------------------------
+def _job_config(spec: JobSpec) -> DjxConfig:
+    return DjxConfig(sample_period=spec.period,
+                     size_threshold=spec.threshold)
+
+
+def execute_job(payload: dict) -> dict:
+    """Run one job and return a JSON-able result (worker entry point)."""
+    spec = JobSpec.from_dict(payload)
+    if spec.kind == "profile":
+        return _execute_profile(spec)
+    if spec.kind == "bench":
+        return _execute_bench(spec)
+    if spec.kind == "fuzz":
+        return _execute_fuzz(spec)
+    raise ValueError(f"unknown job kind {spec.kind!r}")
+
+
+def _execute_profile(spec: JobSpec) -> dict:
+    from repro.workloads import get_workload, run_profiled
+
+    workload = get_workload(spec.workload)
+    trace_path = spec.meta.get("trace_path")
+    run = run_profiled(workload, variant=spec.variant,
+                       config=_job_config(spec), seed=spec.seed,
+                       trace_path=trace_path)
+    return {
+        "kind": "profile",
+        "analysis": run.analysis.to_dict(),
+        "wall_cycles": run.result.wall_cycles,
+        "total_samples": run.analysis.total(),
+        "trace_path": trace_path,
+    }
+
+
+def _execute_bench(spec: JobSpec) -> dict:
+    from repro.bench import bench_workload
+    from repro.workloads import get_workload
+
+    row = bench_workload(get_workload(spec.workload),
+                         repeat=int(spec.meta.get("repeat", 1)),
+                         legacy=bool(spec.meta.get("legacy", False)),
+                         seed=spec.seed)
+    return {
+        "kind": "bench",
+        "name": row.name,
+        "instructions": row.instructions,
+        "accesses": row.accesses,
+        "fastpath_seconds": row.fastpath.seconds,
+        "ips": row.fastpath.ips,
+        "aps": row.fastpath.aps,
+    }
+
+
+def _execute_fuzz(spec: JobSpec) -> dict:
+    from repro.fuzz import run_fuzz
+
+    report = run_fuzz(seed=spec.seed or 0,
+                      iterations=int(spec.meta.get("iterations", 25)))
+    return {
+        "kind": "fuzz",
+        "ok": report.ok,
+        "iterations_run": report.iterations_run,
+        "failures": len(report.failures),
+    }
+
+
+# ----------------------------------------------------------------------
+# The daemon
+# ----------------------------------------------------------------------
+class ProfilingService:
+    """Poll the spool, execute jobs, persist profiles, heartbeat."""
+
+    def __init__(self, spool_dir: str, store_path: str,
+                 jobs: Optional[int] = None,
+                 job_timeout: Optional[float] = None,
+                 heartbeat_path: Optional[str] = None) -> None:
+        self.queue = SpoolQueue(spool_dir)
+        self.store = ProfileStore(store_path)
+        self.pool = WorkerPool(execute_job, jobs=jobs, timeout=job_timeout,
+                               retries=0)
+        self.heartbeat_path = heartbeat_path or os.path.join(
+            spool_dir, STATUS_FILE)
+        self.completed = 0
+        self.failed = 0
+        self.cached_hits = 0
+        self._stopping = False
+        # A previous daemon may have died mid-job: reclaim its work.
+        recovered = self.queue.recover()
+        if recovered:
+            self._heartbeat("recovered",
+                            extra={"recovered": len(recovered)})
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        self.pool.shutdown()
+        self.store.close()
+
+    def __enter__(self) -> "ProfilingService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request_stop(self, *_signal_args) -> None:
+        """Ask the serve loop to drain and exit (signal-handler safe)."""
+        self._stopping = True
+
+    # -- the work -------------------------------------------------------
+    def _profile_key(self, spec: JobSpec) -> ProfileKey:
+        from repro.workloads import get_workload
+
+        return profile_key_for(get_workload(spec.workload), spec.variant,
+                               _job_config(spec), seed=spec.seed)
+
+    def _serve_from_store(self, spec: JobSpec) -> Optional[dict]:
+        """A completed result for an exact-key repeat, or None."""
+        if spec.kind != "profile" or spec.force:
+            return None
+        try:
+            key = self._profile_key(spec)
+        except (KeyError, ValueError) as exc:
+            # Unknown workload/variant: fall through to the worker,
+            # which fails the job with the same message.
+            spec.meta["key_error"] = str(exc)
+            return None
+        record = self.store.find_latest(key)
+        if record is None:
+            return None
+        self.cached_hits += 1
+        return {"kind": "profile", "cached": True,
+                "record_id": record.record_id,
+                "payload_hash": record.payload_hash,
+                "wall_cycles": record.wall_cycles,
+                "total_samples": record.total_samples}
+
+    def _persist(self, spec: JobSpec, result: dict) -> dict:
+        """Store a worker result; returns the (augmented) job result."""
+        if result.get("kind") == "profile":
+            analysis = AnalysisResult.from_dict(result["analysis"])
+            record = self.store.put_profile(
+                self._profile_key(spec), analysis,
+                wall_cycles=result["wall_cycles"],
+                trace_path=result.get("trace_path"),
+                meta={"job_id": spec.job_id})
+            return {"kind": "profile", "cached": False,
+                    "record_id": record.record_id,
+                    "payload_hash": record.payload_hash,
+                    "deduplicated": record.deduplicated,
+                    "wall_cycles": result["wall_cycles"],
+                    "total_samples": result["total_samples"]}
+        if result.get("kind") == "bench":
+            row_id = self.store.put_bench(result["name"], result)
+            return {**result, "bench_row_id": row_id}
+        return result
+
+    def run_once(self, max_jobs: Optional[int] = None) -> List[dict]:
+        """One poll: claim, execute, persist.  Returns job summaries."""
+        claimed: List[JobSpec] = []
+        while max_jobs is None or len(claimed) < max_jobs:
+            spec = self.queue.claim()
+            if spec is None:
+                break
+            claimed.append(spec)
+        if not claimed:
+            return []
+
+        summaries: List[dict] = []
+        to_run: List[JobSpec] = []
+        for spec in claimed:
+            cached = self._serve_from_store(spec)
+            if cached is not None:
+                self.queue.complete(spec, cached)
+                self.completed += 1
+                summaries.append({"job_id": spec.job_id, "ok": True,
+                                  **cached})
+            else:
+                to_run.append(spec)
+
+        if to_run:
+            self._heartbeat("working", extra={"in_flight": len(to_run)})
+            outcomes = self.pool.map([spec.to_dict() for spec in to_run])
+            for spec, outcome in zip(to_run, outcomes):
+                if outcome.ok:
+                    stored = self._persist(spec, outcome.value)
+                    self.queue.complete(spec, stored)
+                    self.completed += 1
+                    summaries.append({"job_id": spec.job_id, "ok": True,
+                                      **stored})
+                else:
+                    spec.attempts = max(spec.attempts, outcome.attempts)
+                    if spec.attempts < spec.max_attempts:
+                        self.queue.requeue(spec, reason=outcome.error or "")
+                        summaries.append({"job_id": spec.job_id,
+                                          "ok": False, "requeued": True,
+                                          "error": outcome.error})
+                    else:
+                        self.queue.fail(spec, outcome.error or "failed")
+                        self.failed += 1
+                        summaries.append({"job_id": spec.job_id,
+                                          "ok": False, "requeued": False,
+                                          "error": outcome.error})
+        self._heartbeat("idle")
+        return summaries
+
+    def drain(self, max_polls: int = 100) -> int:
+        """Run polls until the queue is empty; returns jobs completed."""
+        before = self.completed
+        for _ in range(max_polls):
+            if not self.run_once() and self.queue.pending_count() == 0:
+                break
+        return self.completed - before
+
+    def serve_forever(self, poll_interval: float = 1.0,
+                      max_polls: Optional[int] = None,
+                      install_signal_handlers: bool = False) -> None:
+        """Poll until stopped (SIGINT/SIGTERM with handlers installed)."""
+        if install_signal_handlers:
+            signal.signal(signal.SIGTERM, self.request_stop)
+            signal.signal(signal.SIGINT, self.request_stop)
+        polls = 0
+        self._heartbeat("started")
+        while not self._stopping:
+            if max_polls is not None and polls >= max_polls:
+                break
+            polls += 1
+            if not self.run_once():
+                time.sleep(poll_interval)
+        # Graceful drain: finish what is already queued, then stop.
+        self.drain()
+        self._heartbeat("stopped")
+
+    # -- observability --------------------------------------------------
+    def _heartbeat(self, state: str,
+                   extra: Optional[Dict] = None) -> None:
+        line = {
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "state": state,
+            "queue": self.queue.counts(),
+            "completed": self.completed,
+            "failed": self.failed,
+            "cached_hits": self.cached_hits,
+            "pool": dict(self.pool.stats),
+        }
+        if extra:
+            line.update(extra)
+        with open(self.heartbeat_path, "a") as fh:
+            fh.write(json.dumps(line, sort_keys=True) + "\n")

@@ -4,6 +4,7 @@ from repro.workloads.base import Workload, get_workload, register, workload_name
 from repro.workloads.runner import (
     OverheadMeasurement,
     ProfiledRun,
+    SuiteMeasurementError,
     measure_overhead,
     measure_speedup,
     measure_suite_overheads,
@@ -26,6 +27,7 @@ from repro.workloads import (  # noqa: F401
 __all__ = [
     "OverheadMeasurement",
     "ProfiledRun",
+    "SuiteMeasurementError",
     "Workload",
     "get_workload",
     "measure_overhead",

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -196,13 +195,25 @@ def _trace_path_for(trace_dir: Optional[str], name: str,
     return os.path.join(trace_dir, f"{name}-{variant}.trace.jsonl.gz")
 
 
+class SuiteMeasurementError(RuntimeError):
+    """Some workloads failed; the ones that finished are attached."""
+
+    def __init__(self, message: str,
+                 completed: "List[tuple[str, OverheadMeasurement]]"):
+        super().__init__(message)
+        #: (name, measurement) for every workload that did finish.
+        self.completed = completed
+
+
 def measure_suite_overheads(names: Sequence[str], variant: str = "baseline",
                             config: Optional[DjxConfig] = None,
                             jobs: Optional[int] = None,
                             trace_dir: Optional[str] = None,
-                            seed: Optional[int] = None
+                            seed: Optional[int] = None,
+                            timeout: Optional[float] = None,
+                            retries: int = 1
                             ) -> List[OverheadMeasurement]:
-    """Measure overhead for many workloads, fanned over processes.
+    """Measure overhead for many workloads, fanned over a worker pool.
 
     ``jobs`` defaults to the CPU count (capped at the workload count);
     ``jobs <= 1`` runs serially in-process.  With ``trace_dir`` each
@@ -211,9 +222,18 @@ def measure_suite_overheads(names: Sequence[str], variant: str = "baseline",
     measurements carry the paths — re-analysis then replays the traces
     instead of re-simulating (:func:`repro.obs.replay.replay_analyze`).
 
+    The fan-out runs on :class:`repro.serve.workers.WorkerPool`, so one
+    hung or crashed workload cannot stall the suite: with ``timeout``
+    set, a task that exceeds it is killed and retried up to ``retries``
+    times.  If any workload still fails, every other result is computed
+    first and a :class:`SuiteMeasurementError` is raised naming each
+    failure (the finished measurements ride on the exception).
+
     Results are returned in ``names`` order regardless of which worker
     finished first.
     """
+    from repro.serve.workers import WorkerPool
+
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
     tasks: List[_SuiteTask] = [
@@ -222,7 +242,16 @@ def measure_suite_overheads(names: Sequence[str], variant: str = "baseline",
         for name in names]
     if jobs is None:
         jobs = min(len(tasks), os.cpu_count() or 1)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [_suite_overhead_worker(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_suite_overhead_worker, tasks))
+    if len(tasks) <= 1:
+        jobs = 1
+    with WorkerPool(_suite_overhead_worker, jobs=jobs, timeout=timeout,
+                    retries=retries) as pool:
+        outcomes = pool.map(tasks)
+    failures = [(names[o.index], o.error) for o in outcomes if not o.ok]
+    if failures:
+        completed = [(names[o.index], o.value) for o in outcomes if o.ok]
+        detail = "; ".join(f"{name}: {error}" for name, error in failures)
+        raise SuiteMeasurementError(
+            f"{len(failures)} of {len(tasks)} workload(s) failed "
+            f"({detail})", completed)
+    return [o.value for o in outcomes]

@@ -142,19 +142,21 @@ def alloc_heavy_names() -> List[str]:
 
 
 def measure_suite(suite: str = "", config=None, jobs=None, trace_dir=None,
-                  seed=None):
-    """Run the Figure-4 overhead study, fanned over a process pool.
+                  seed=None, timeout=None):
+    """Run the Figure-4 overhead study, fanned over a worker pool.
 
     Returns ``[(SuiteSpec, OverheadMeasurement), ...]`` in row order.
     Each worker simulates one row; with ``trace_dir`` the workers also
     record observation traces, so follow-up analyses (new threshold or
     period) replay rather than re-simulate.  ``seed`` overrides every
-    row's machine seed so a whole study is reproducible from one knob.
-    See :func:`repro.workloads.runner.measure_suite_overheads`.
+    row's machine seed so a whole study is reproducible from one knob;
+    ``timeout`` bounds any single row so one hung workload cannot stall
+    the study.  See :func:`repro.workloads.runner.measure_suite_overheads`.
     """
     from repro.workloads.runner import measure_suite_overheads
 
     names = suite_names(suite)
     measurements = measure_suite_overheads(
-        names, config=config, jobs=jobs, trace_dir=trace_dir, seed=seed)
+        names, config=config, jobs=jobs, trace_dir=trace_dir, seed=seed,
+        timeout=timeout)
     return [(SUITE_ROWS[name], m) for name, m in zip(names, measurements)]

@@ -75,6 +75,49 @@ class TestSyntheticDiff:
         assert diff.before_total == 0
 
 
+class TestUnresolvedSites:
+    def analysis_with_unresolved(self):
+        profile = ThreadProfile(0)
+        stats = profile.site(((1, 5),))
+        stats.record_allocation("int[]", 128)
+        profile.record_total(EVENT)
+        stats.record_sample(EVENT, (), remote=False)
+        # An empty allocation path resolves to no leaf: the site has
+        # no source identity and cannot be matched in a diff.
+        orphan = profile.site(())
+        orphan.record_allocation("int[]", 64)
+        return analyze_profiles([profile], resolver, EVENT)
+
+    def test_counted_not_silently_dropped(self):
+        before = self.analysis_with_unresolved()
+        after = analysis({(1, 5): (1, 1)})
+        diff = diff_profiles(before, after)
+        assert diff.unresolved_sites == 1
+        # The resolvable site still diffs normally.
+        assert [d.location for d in diff.deltas] == ["C.m1:5"]
+
+    def test_counted_across_both_inputs(self):
+        before = self.analysis_with_unresolved()
+        after = self.analysis_with_unresolved()
+        assert diff_profiles(before, after).unresolved_sites == 2
+
+    def test_zero_when_all_resolve(self):
+        before = analysis({(1, 5): (2, 3)})
+        after = analysis({(1, 5): (2, 3)})
+        assert diff_profiles(before, after).unresolved_sites == 0
+
+    def test_rendered_in_report(self):
+        before = self.analysis_with_unresolved()
+        after = self.analysis_with_unresolved()
+        text = diff_profiles(before, after).render()
+        assert "2 site(s) with unresolvable leaves excluded" in text
+
+    def test_not_rendered_when_zero(self):
+        text = diff_profiles(analysis({(1, 5): (1, 1)}),
+                             analysis({(1, 5): (1, 1)})).render()
+        assert "unresolvable" not in text
+
+
 class TestWorkloadDiff:
     def test_hoisting_collapses_allocation_count(self):
         workload = get_workload("objectlayout")

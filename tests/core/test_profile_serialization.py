@@ -5,12 +5,18 @@ import json
 
 import pytest
 
+from repro.core.analyzer import (
+    PROFILE_SCHEMA,
+    AnalysisResult,
+    analyze_profiles,
+)
 from repro.core.profile import (
     ObjectSiteStats,
     ResolvedFrame,
     ResolvedSite,
     ThreadProfile,
     decode_resolved_path,
+    encode_resolved_path,
 )
 
 EVENT = "MEM_LOAD_UOPS_RETIRED:L1_MISS"
@@ -78,6 +84,66 @@ class TestObjectSiteStats:
         stats.record_allocation("float[]", 8)
         stats.record_allocation("int[]", 8)
         assert stats.type_names == {"int[]": 2, "float[]": 1}
+
+
+class TestPathCodec:
+    def test_encode_decode_inverse(self):
+        path = (ResolvedFrame("A", "f", "A.java", 3),
+                ResolvedFrame("B", "g", "B.java", 17))
+        assert decode_resolved_path(encode_resolved_path(path)) == path
+
+    def test_decode_coerces_line_to_int(self):
+        # JSON round-trips may widen ints; decoding re-narrows them.
+        path = decode_resolved_path([["C", "m", "C.java", 7.0]])
+        assert path[0].line == 7
+        assert isinstance(path[0].line, int)
+
+
+class TestAnalysisResultRoundTrip:
+    def build(self):
+        return analyze_profiles([sample_profile()], resolver, EVENT)
+
+    def test_to_dict_schema(self):
+        data = self.build().to_dict()
+        assert data["schema"] == PROFILE_SCHEMA
+        assert data["primary_event"] == EVENT
+        assert data["total_samples"][EVENT] == 2
+        assert data["unknown_samples"][EVENT] == 1
+
+    def test_round_trip_preserves_everything(self):
+        original = self.build()
+        restored = AnalysisResult.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()
+        assert restored.total() == original.total()
+        assert restored.thread_count == original.thread_count
+        assert len(restored.sites) == len(original.sites)
+        for a, b in zip(original.sites, restored.sites):
+            assert a.path == b.path
+            assert a.alloc_count == b.alloc_count
+            assert a.allocated_bytes == b.allocated_bytes
+            assert a.type_names == b.type_names
+            assert a.metrics == b.metrics
+
+    def test_round_trip_preserves_ranking_and_shares(self):
+        original = self.build()
+        restored = AnalysisResult.from_dict(original.to_dict())
+        assert ([s.location for s in restored.top_sites(5)]
+                == [s.location for s in original.top_sites(5)])
+        for a, b in zip(original.sites, restored.sites):
+            assert restored.share(b) == pytest.approx(original.share(a))
+
+    def test_json_round_trip(self):
+        # The store path: dict -> JSON text -> dict -> AnalysisResult.
+        original = self.build()
+        text = json.dumps(original.to_dict(), sort_keys=True)
+        restored = AnalysisResult.from_dict(json.loads(text))
+        assert restored.to_dict() == original.to_dict()
+
+    def test_schema_mismatch_rejected(self):
+        data = self.build().to_dict()
+        data["schema"] = "repro-analysis/99"
+        with pytest.raises(ValueError, match="schema"):
+            AnalysisResult.from_dict(data)
 
 
 class TestResolvedSite:

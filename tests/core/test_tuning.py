@@ -8,6 +8,7 @@ from repro.core.tuning import (
     TARGET_MIN_PER_SEC,
     CalibrationResult,
     calibrate_period,
+    clamp_period_to_window,
     rate_in_target_window,
 )
 from repro.jvm import Machine
@@ -92,3 +93,69 @@ class TestWindowHelper:
         assert rate_in_target_window(200.0)
         assert not rate_in_target_window(19.9)
         assert not rate_in_target_window(200.1)
+
+
+class TestZeroPilotEvents:
+    def test_empty_program_pilot(self):
+        # A pilot that executes nothing (zero instructions): no events,
+        # no cycles — calibration must not divide by zero.
+        program, config = workload_program()
+        result = calibrate_period(program, L1_MISS, config,
+                                  pilot_instructions=0)
+        assert result.period == 1
+        assert result.pilot_events == 0
+        assert result.predicted_rate == 0.0
+
+    def test_zero_event_fallback_respects_window(self):
+        from repro.pmu.events import PmuEvent
+        never = PmuEvent("NEVER", lambda r: 0)
+        program, config = workload_program()
+        result = calibrate_period(
+            program, never, config,
+            window=(TARGET_MIN_PER_SEC, TARGET_MAX_PER_SEC))
+        assert result.period == 1
+
+
+class TestPeriodClamp:
+    def test_in_window_untouched(self):
+        # rate/period = 2000/20 = 100/s, inside [20, 200].
+        assert clamp_period_to_window(2000.0, 20) == 20
+
+    def test_rate_too_high_raises_period(self):
+        # rate/period = 100000/10 = 10000/s >> 200/s.
+        period = clamp_period_to_window(100000.0, 10)
+        assert TARGET_MIN_PER_SEC <= 100000.0 / period <= TARGET_MAX_PER_SEC
+
+    def test_rate_too_low_lowers_period(self):
+        # rate/period = 1000/500 = 2/s << 20/s.
+        period = clamp_period_to_window(1000.0, 500)
+        assert period < 500
+        assert TARGET_MIN_PER_SEC <= 1000.0 / period <= TARGET_MAX_PER_SEC
+
+    def test_bottoms_out_at_one(self):
+        # Events fire slower than the window floor: period 1 is the
+        # best available even though the rate stays below the window.
+        assert clamp_period_to_window(5.0, 64) == 1
+
+    def test_zero_rate_keeps_period(self):
+        assert clamp_period_to_window(0.0, 64) == 64
+        assert clamp_period_to_window(0.0, 0) == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            clamp_period_to_window(100.0, 10, lo=200.0, hi=20.0)
+        with pytest.raises(ValueError):
+            clamp_period_to_window(100.0, 10, lo=0.0, hi=20.0)
+
+    def test_calibrate_with_window_lands_inside(self):
+        # Ask for an absurdly high target rate; the window clamp must
+        # pull the derived period back into the paper's 20-200/s rule.
+        # (Simulated seconds are tiny, so scale the window the same way
+        # test_calibrated_profile_is_usable scales the target.)
+        program, config = workload_program()
+        lo, hi = 50_000.0, 500_000.0
+        result = calibrate_period(program, L1_MISS, config,
+                                  target_per_sec=10_000_000.0,
+                                  window=(lo, hi))
+        rate = (result.pilot_events / result.pilot_seconds) / result.period
+        assert lo <= rate <= hi

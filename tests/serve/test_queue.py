@@ -1,0 +1,145 @@
+"""Tests for the spool-directory job queue."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve.queue import JobSpec, SpoolQueue
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return SpoolQueue(str(tmp_path / "spool"))
+
+
+def spec(workload="montecarlo", **kw):
+    return JobSpec(job_id="", kind="profile", workload=workload, **kw)
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        original = spec(period=32, seed=7, timeout=10.0,
+                        meta={"trace_path": "/tmp/t"})
+        original.job_id = "j-1"
+        restored = JobSpec.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec(job_id="j", kind="teleport")
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = spec().to_dict()
+        data["job_id"] = "j-1"
+        data["future_field"] = "ignored"
+        assert JobSpec.from_dict(data).job_id == "j-1"
+
+
+class TestTransitions:
+    def test_submit_fills_id_and_timestamp(self, queue):
+        submitted = queue.submit(spec())
+        assert submitted.job_id
+        assert submitted.submitted_at > 0
+        assert queue.counts() == {"pending": 1, "running": 0,
+                                  "done": 0, "failed": 0}
+
+    def test_claim_moves_to_running(self, queue):
+        submitted = queue.submit(spec())
+        claimed = queue.claim()
+        assert claimed.job_id == submitted.job_id
+        assert queue.counts()["running"] == 1
+        assert queue.counts()["pending"] == 0
+
+    def test_claim_oldest_first(self, queue):
+        first = queue.submit(spec())
+        second = queue.submit(spec())
+        assert queue.claim().job_id == first.job_id
+        assert queue.claim().job_id == second.job_id
+        assert queue.claim() is None
+
+    def test_complete_attaches_result(self, queue):
+        submitted = queue.submit(spec())
+        claimed = queue.claim()
+        queue.complete(claimed, {"total_samples": 42})
+        outcome = queue.outcome(submitted.job_id)
+        assert outcome["result"]["total_samples"] == 42
+        assert outcome["finished_at"] > 0
+        assert queue.counts()["running"] == 0
+
+    def test_fail_attaches_error(self, queue):
+        submitted = queue.submit(spec())
+        queue.fail(queue.claim(), "boom")
+        outcome = queue.outcome(submitted.job_id)
+        assert outcome["error"] == "boom"
+        assert queue.counts()["failed"] == 1
+
+    def test_requeue_counts_attempt(self, queue):
+        queue.submit(spec())
+        claimed = queue.claim()
+        requeued = queue.requeue(claimed, reason="timeout")
+        assert requeued.attempts == 1
+        assert queue.counts()["pending"] == 1
+        again = queue.claim()
+        assert again.attempts == 1
+        assert again.meta["last_requeue"] == "timeout"
+
+    def test_outcome_none_while_in_flight(self, queue):
+        submitted = queue.submit(spec())
+        assert queue.outcome(submitted.job_id) is None
+        queue.claim()
+        assert queue.outcome(submitted.job_id) is None
+
+
+class TestRecovery:
+    def test_recover_returns_running_to_pending(self, queue):
+        queue.submit(spec())
+        queue.submit(spec())
+        queue.claim()
+        queue.claim()
+        # Simulate a daemon crash: claims sit in running/ forever.
+        recovered = queue.recover()
+        assert len(recovered) == 2
+        assert all(job.attempts == 1 for job in recovered)
+        assert all(job.meta["last_requeue"] == "daemon-crash"
+                   for job in recovered)
+        assert queue.counts() == {"pending": 2, "running": 0,
+                                  "done": 0, "failed": 0}
+
+    def test_recover_empty_is_noop(self, queue):
+        assert queue.recover() == []
+
+
+class TestAtomicity:
+    def test_no_tmp_files_left_behind(self, queue):
+        queue.submit(spec())
+        queue.complete(queue.claim(), {})
+        for state in ("pending", "running", "done", "failed"):
+            names = os.listdir(os.path.join(queue.root, state))
+            assert all(name.endswith(".json") for name in names)
+
+    def test_claim_skips_stolen_jobs(self, queue, tmp_path):
+        """A lost rename race (file already claimed) tries the next."""
+        first = queue.submit(spec())
+        second = queue.submit(spec())
+        # Another daemon wins the race for the first job.
+        other = SpoolQueue(queue.root)
+        stolen = other.claim()
+        assert stolen.job_id == first.job_id
+        claimed = queue.claim()
+        assert claimed.job_id == second.job_id
+
+    def test_non_json_files_ignored(self, queue):
+        with open(os.path.join(queue.root, "pending", "README"), "w") as fh:
+            fh.write("not a job")
+        assert queue.claim() is None
+        assert queue.pending_count() == 0
+
+    def test_job_files_are_valid_json(self, queue):
+        submitted = queue.submit(spec(period=32))
+        path = os.path.join(queue.root, "pending",
+                            f"{submitted.job_id}.json")
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["period"] == 32
+        assert data["kind"] == "profile"

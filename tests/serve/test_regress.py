@@ -1,0 +1,171 @@
+"""Tests for cross-run regression detection."""
+
+import pytest
+
+from repro.core import DjxConfig
+from repro.core.analyzer import analyze_profiles
+from repro.core.profile import ResolvedFrame, ThreadProfile
+from repro.serve.regress import (
+    CLEAN,
+    NO_BASELINE,
+    REGRESSION,
+    RegressPolicy,
+    regress_analyses,
+    regress_records,
+)
+from repro.serve.store import ProfileKey, ProfileStore
+from repro.workloads import get_workload, run_profiled
+
+EVENT = "MEM_LOAD_UOPS_RETIRED:L1_MISS"
+
+
+def resolver(frame):
+    method_id, bci = frame
+    return ResolvedFrame("C", f"m{method_id}", "C.java", bci)
+
+
+def analysis(site_samples):
+    """site_samples: {(method_id, bci): samples}."""
+    profile = ThreadProfile(0)
+    for frame, samples in site_samples.items():
+        stats = profile.site((frame,))
+        stats.record_allocation("int[]", 128)
+        for _ in range(samples):
+            profile.record_total(EVENT)
+            stats.record_sample(EVENT, (), remote=False)
+    return analyze_profiles([profile], resolver, EVENT)
+
+
+def key():
+    return ProfileKey(workload="w", variant="baseline",
+                      program_hash="p" * 8, config_hash="c" * 8)
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        policy = RegressPolicy()
+        assert policy.top_n == 5
+        assert policy.share_swing == pytest.approx(0.05)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            RegressPolicy(top_n=0)
+        with pytest.raises(ValueError):
+            RegressPolicy(share_swing=0.0)
+        with pytest.raises(ValueError):
+            RegressPolicy(throughput_drop=-0.1)
+
+
+class TestAnalysesVerdicts:
+    def test_identical_profiles_clean(self):
+        a = analysis({(1, 5): 10, (2, 7): 5})
+        verdict = regress_analyses(a, analysis({(1, 5): 10, (2, 7): 5}))
+        assert verdict.status == CLEAN
+        assert verdict.ok
+        assert verdict.findings == []
+
+    def test_new_top_site_names_location(self):
+        before = analysis({(1, 5): 10})
+        after = analysis({(1, 5): 10, (9, 42): 30})
+        verdict = regress_analyses(before, after)
+        assert verdict.status == REGRESSION
+        kinds = {f.kind: f for f in verdict.findings}
+        assert kinds["new-top-site"].location == "C.m9:42"
+        assert kinds["new-top-site"].after > 0.5
+
+    def test_share_swing_flagged(self):
+        before = analysis({(1, 5): 10, (2, 7): 10})
+        after = analysis({(1, 5): 4, (2, 7): 16})
+        verdict = regress_analyses(before, after)
+        swings = [f for f in verdict.findings if f.kind == "share-swing"]
+        assert [f.location for f in swings] == ["C.m2:7"]
+        improved = [f.location for f in verdict.improvements]
+        assert improved == ["C.m1:5"]
+
+    def test_new_top_site_not_double_reported_as_swing(self):
+        before = analysis({(1, 5): 10})
+        after = analysis({(1, 5): 10, (9, 42): 30})
+        verdict = regress_analyses(before, after)
+        swing_locs = [f.location for f in verdict.findings
+                      if f.kind == "share-swing"]
+        assert "C.m9:42" not in swing_locs
+
+    def test_small_swing_below_threshold_clean(self):
+        before = analysis({(1, 5): 100, (2, 7): 100})
+        after = analysis({(1, 5): 98, (2, 7): 102})
+        verdict = regress_analyses(before, after,
+                                   policy=RegressPolicy(share_swing=0.05))
+        assert verdict.status == CLEAN
+
+    def test_throughput_drop_flagged(self):
+        a = analysis({(1, 5): 10})
+        verdict = regress_analyses(a, analysis({(1, 5): 10}),
+                                   baseline_cycles=1000,
+                                   candidate_cycles=1300)
+        drops = [f for f in verdict.findings
+                 if f.kind == "throughput-drop"]
+        assert len(drops) == 1
+        assert "+30.0%" in drops[0].detail
+
+    def test_throughput_within_threshold_clean(self):
+        a = analysis({(1, 5): 10})
+        verdict = regress_analyses(a, analysis({(1, 5): 10}),
+                                   baseline_cycles=1000,
+                                   candidate_cycles=1050)
+        assert verdict.status == CLEAN
+
+    def test_to_dict_machine_readable(self):
+        before = analysis({(1, 5): 10})
+        after = analysis({(1, 5): 10, (9, 42): 30})
+        data = regress_analyses(before, after, workload="w",
+                                variant="baseline").to_dict()
+        assert data["status"] == "regression"
+        assert data["findings"][0]["kind"] == "new-top-site"
+        assert data["findings"][0]["location"] == "C.m9:42"
+
+    def test_render_mentions_site(self):
+        before = analysis({(1, 5): 10})
+        after = analysis({(1, 5): 10, (9, 42): 30})
+        text = regress_analyses(before, after).render()
+        assert "REGRESSION" in text
+        assert "C.m9:42" in text
+
+
+class TestStoreBackedVerdicts:
+    def test_no_baseline(self, tmp_path):
+        with ProfileStore(str(tmp_path / "s.sqlite")) as store:
+            record = store.put_profile(key(), analysis({(1, 5): 10}))
+            verdict = regress_records(store, record)
+        assert verdict.status == NO_BASELINE
+        assert not verdict.ok
+        assert verdict.candidate_id == record.record_id
+
+    def test_repeat_run_clean(self, tmp_path):
+        with ProfileStore(str(tmp_path / "s.sqlite")) as store:
+            a = analysis({(1, 5): 10})
+            store.put_profile(key(), a, wall_cycles=1000,
+                              created_at=100.0)
+            candidate = store.put_profile(key(), a, wall_cycles=1000,
+                                          created_at=200.0)
+            verdict = regress_records(store, candidate)
+        assert verdict.status == CLEAN
+        assert verdict.baseline_id is not None
+
+    def test_degraded_variant_names_offending_site(self, tmp_path):
+        """Acceptance check: a hoist-disabled run against the hoisted
+        baseline yields a verdict naming the offending allocation site."""
+        workload = get_workload("batik-makeroom")
+        config = DjxConfig(sample_period=32)
+        good = run_profiled(workload, "hoisted", config)
+        bad = run_profiled(workload, "baseline", config)
+        with ProfileStore(str(tmp_path / "s.sqlite")) as store:
+            baseline = store.put_profile(
+                key(), good.analysis,
+                wall_cycles=good.result.wall_cycles, created_at=100.0)
+            candidate = store.put_profile(
+                key(), bad.analysis,
+                wall_cycles=bad.result.wall_cycles, created_at=200.0)
+            verdict = regress_records(store, candidate, baseline=baseline)
+        assert verdict.status == REGRESSION
+        locations = [f.location for f in verdict.findings]
+        assert any("makeRoom" in loc for loc in locations)

@@ -1,0 +1,149 @@
+"""End-to-end tests for the continuous-profiling daemon."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve.queue import JobSpec, SpoolQueue
+from repro.serve.service import ProfilingService, execute_job
+
+WORKLOAD = "objectlayout"
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return str(tmp_path / "spool")
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "store.sqlite")
+
+
+def submit(spool, workload=WORKLOAD, **kw):
+    queue = SpoolQueue(spool)
+    kw.setdefault("period", 32)
+    return queue.submit(JobSpec(job_id="", kind="profile",
+                                workload=workload, **kw))
+
+
+class TestExecuteJob:
+    """The worker entry point, run in-process for determinism."""
+
+    def test_profile_job(self):
+        spec = JobSpec(job_id="j", kind="profile", workload=WORKLOAD,
+                       period=32)
+        result = execute_job(spec.to_dict())
+        assert result["kind"] == "profile"
+        assert result["total_samples"] > 0
+        assert result["wall_cycles"] > 0
+        assert result["analysis"]["schema"] == "repro-analysis/1"
+
+    def test_unknown_workload_raises(self):
+        spec = JobSpec(job_id="j", kind="profile", workload="no-such")
+        with pytest.raises(KeyError):
+            execute_job(spec.to_dict())
+
+
+class TestDaemon:
+    def test_submit_drain_history_round_trip(self, spool, store_path):
+        first = submit(spool)
+        second = submit(spool, workload="montecarlo")
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            done = service.drain()
+            assert done == 2
+            records = service.store.history()
+            workloads = {r.key.workload for r in records}
+            assert workloads == {WORKLOAD, "montecarlo"}
+            # Job outcomes are visible to the submitters.
+            for submitted in (first, second):
+                outcome = service.queue.outcome(submitted.job_id)
+                assert outcome["result"]["cached"] is False
+                assert outcome["result"]["total_samples"] > 0
+
+    def test_exact_key_repeat_served_from_store(self, spool, store_path):
+        submit(spool)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.drain()
+            assert service.cached_hits == 0
+            repeat = submit(spool)
+            service.drain()
+            assert service.cached_hits == 1
+            outcome = service.queue.outcome(repeat.job_id)
+            assert outcome["result"]["cached"] is True
+            # Cache hit: index row count unchanged, no new payload.
+            assert service.store.stats()["profiles"] == 1
+
+    def test_force_resimulates(self, spool, store_path):
+        submit(spool)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.drain()
+            submit(spool, force=True)
+            service.drain()
+            assert service.cached_hits == 0
+            stats = service.store.stats()
+            assert stats["profiles"] == 2
+            # Deterministic rerun produced an identical payload.
+            assert stats["payloads"] == 1
+
+    def test_different_config_not_cached(self, spool, store_path):
+        submit(spool, period=32)
+        submit(spool, period=64)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.drain()
+            assert service.cached_hits == 0
+            assert service.store.stats()["profiles"] == 2
+
+    def test_bad_job_fails_after_max_attempts(self, spool, store_path):
+        bad = submit(spool, workload="no-such-workload", max_attempts=2)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.drain()
+            assert service.failed == 1
+            outcome = service.queue.outcome(bad.job_id)
+            assert "no-such-workload" in outcome["error"]
+            counts = service.queue.counts()
+            assert counts["failed"] == 1
+            assert counts["pending"] == 0
+
+    def test_heartbeat_written(self, spool, store_path):
+        submit(spool)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.drain()
+            path = service.heartbeat_path
+        assert os.path.exists(path)
+        lines = [json.loads(line)
+                 for line in open(path) if line.strip()]
+        states = [line["state"] for line in lines]
+        assert "working" in states
+        assert states[-1] == "idle"
+        assert lines[-1]["completed"] == 1
+        assert lines[-1]["queue"]["done"] == 1
+
+    def test_recovers_crashed_daemon_claims(self, spool, store_path):
+        submitted = submit(spool)
+        queue = SpoolQueue(spool)
+        queue.claim()  # crashed daemon took it and died
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            assert service.queue.counts()["pending"] == 1
+            service.drain()
+            outcome = service.queue.outcome(submitted.job_id)
+            assert outcome["result"]["total_samples"] > 0
+
+    def test_serve_forever_bounded_polls(self, spool, store_path):
+        submit(spool)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.serve_forever(poll_interval=0.01, max_polls=3)
+            assert service.completed == 1
+        lines = [json.loads(line)
+                 for line in open(service.heartbeat_path) if line.strip()]
+        assert lines[0]["state"] == "started"
+        assert lines[-1]["state"] == "stopped"
+
+    def test_request_stop_drains_queue(self, spool, store_path):
+        submit(spool)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.request_stop()
+            service.serve_forever(poll_interval=0.01)
+            # Stop was requested before the loop: still drains the job.
+            assert service.completed == 1

@@ -132,3 +132,97 @@ class TestBench:
         assert main(["bench", "--workloads", "crypto", "--repeat", "1",
                      "--no-legacy", "--profiled"]) == 0
         assert "prof" in capsys.readouterr().out
+
+    def test_store_arm(self, capsys):
+        assert main(["bench", "--workloads", "crypto", "--repeat", "1",
+                     "--no-legacy", "--store-arm"]) == 0
+        assert "store" in capsys.readouterr().out
+
+
+class TestServe:
+    """The serving layer: submit -> serve --drain -> history/regress."""
+
+    def serve_args(self, tmp_path):
+        return ["--spool", str(tmp_path / "spool")], \
+               ["--store", str(tmp_path / "store.sqlite")]
+
+    def test_submit_then_drain_then_history(self, capsys, tmp_path):
+        spool, store = self.serve_args(tmp_path)
+        assert main(["submit", "objectlayout", "--period", "32",
+                     *spool]) == 0
+        assert "submitted" in capsys.readouterr().out
+        assert main(["serve", "--drain", *spool, *store]) == 0
+        assert "drained 1 job(s)" in capsys.readouterr().out
+        assert main(["history", *store]) == 0
+        out = capsys.readouterr().out
+        assert "objectlayout/baseline" in out
+        assert "1 profile(s)" in out
+
+    def test_history_json_and_empty(self, capsys, tmp_path):
+        _, store = self.serve_args(tmp_path)
+        assert main(["history", "--json", *store]) == 0
+        assert capsys.readouterr().out.strip() == "[]"
+        assert main(["history", *store]) == 1
+
+    def test_repeat_submission_served_from_store(self, capsys, tmp_path):
+        spool, store = self.serve_args(tmp_path)
+        for _ in range(2):
+            assert main(["submit", "objectlayout", "--period", "32",
+                         *spool]) == 0
+            assert main(["serve", "--drain", *spool, *store]) == 0
+        assert "1 served from store" in capsys.readouterr().out
+
+    def test_regress_degraded_variant_names_site(self, capsys, tmp_path):
+        spool, store = self.serve_args(tmp_path)
+        for variant in ("hoisted", "baseline"):
+            assert main(["submit", "batik-makeroom", "--variant", variant,
+                         "--period", "32", *spool]) == 0
+        assert main(["serve", "--drain", *spool, *store]) == 0
+        capsys.readouterr()
+        code = main(["regress", "batik-makeroom", "--variant", "baseline",
+                     "--baseline-variant", "hoisted", *store])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out
+        assert "makeRoom" in out
+
+    def test_regress_no_baseline_exit_code(self, capsys, tmp_path):
+        spool, store = self.serve_args(tmp_path)
+        assert main(["submit", "objectlayout", "--period", "32",
+                     *spool]) == 0
+        assert main(["serve", "--drain", *spool, *store]) == 0
+        capsys.readouterr()
+        assert main(["regress", "objectlayout", *store]) == 3
+        assert "NO-BASELINE" in capsys.readouterr().out
+
+    def test_regress_same_key_repeat_clean(self, capsys, tmp_path):
+        spool, store = self.serve_args(tmp_path)
+        for _ in range(2):
+            assert main(["submit", "objectlayout", "--period", "32",
+                         "--force", *spool]) == 0
+            assert main(["serve", "--drain", *spool, *store]) == 0
+        capsys.readouterr()
+        assert main(["regress", "objectlayout", *store]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_regress_json_output(self, capsys, tmp_path):
+        import json
+
+        spool, store = self.serve_args(tmp_path)
+        assert main(["submit", "objectlayout", "--period", "32",
+                     *spool]) == 0
+        assert main(["serve", "--drain", *spool, *store]) == 0
+        capsys.readouterr()
+        assert main(["regress", "objectlayout", "--json", *store]) == 3
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["status"] == "no-baseline"
+
+    def test_submit_unknown_workload_fails_fast(self, capsys, tmp_path):
+        spool, _ = self.serve_args(tmp_path)
+        assert main(["submit", "no-such-workload", *spool]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_regress_empty_store_is_error(self, capsys, tmp_path):
+        _, store = self.serve_args(tmp_path)
+        assert main(["regress", "objectlayout", *store]) == 2
+        assert "error" in capsys.readouterr().err
