@@ -5,8 +5,15 @@ instructions per wall-clock second (ips) and memory accesses per second
 (aps) — for every suite workload, across up to five arms:
 
 ``fastpath``
-    Compiled dispatch tables + the hierarchy's pooled L1 fast path
-    (the default engine), no profilers attached.
+    Compiled dispatch tables + the hierarchy's pooled L1 fast path,
+    superinstruction fusion *off* — the per-handler compiled engine,
+    no profilers attached.
+``fused``
+    The default engine: compiled dispatch with superinstruction fusion
+    (straight-line handler runs execute as single fused closures) and
+    the batched memory-system walk.  Measured against ``fastpath`` as
+    ``fused_speedup``; the two arms' MachineResults are compared on
+    every run, so the bench doubles as an equivalence check.
 ``legacy``
     The original one-step-at-a-time interpreter and composed hierarchy
     walk (``--no-fastpath``).
@@ -65,12 +72,18 @@ from repro.workloads.suite import suite_names
 
 #: Schema tag written into every report (bump on breaking change).
 #: ``/2`` added the profiled arms and per-arm instruction counts;
-#: ``/3`` added the serving-layer store arm (profile write/read cost).
-SCHEMA = "repro-bench-throughput/3"
+#: ``/3`` added the serving-layer store arm (profile write/read cost);
+#: ``/4`` added the fused superinstruction arm and fusion counters.
+SCHEMA = "repro-bench-throughput/4"
 
-#: Quick subset for CI: the heaviest row of each flavour plus two
-#: streaming-native rows, keeping the job under a few seconds.
-SMALL_SUITE = ("mnemonics", "akka-uct", "avrora", "crypto")
+#: Quick subset for CI: the heaviest row of each flavour, two
+#: streaming-native rows, and the engine-bound interpreter kernels.
+#: The suite rows weight the aggregate towards allocation/native cost;
+#: the kernels weight it towards dispatch, which is what the fused
+#: ratio gate needs to resolve.
+SMALL_SUITE = ("mnemonics", "akka-uct", "avrora", "crypto",
+               "kernel-arith", "kernel-array", "kernel-field",
+               "kernel-mixed")
 
 #: The paper's default PMU sampling period, used by the profiled arms.
 DJX_PERIOD = 64
@@ -130,12 +143,23 @@ class BenchRow:
     profiled_peraccess: Optional[ArmTiming] = None
     allfamilies: Optional[ArmTiming] = None
     store: Optional[StoreTiming] = None
+    fused: Optional[ArmTiming] = None
+    #: Superinstruction observability from the fused arm's machine:
+    #: blocks_fused / fused_executions / guard_bailouts.
+    fusion: Optional[Dict[str, int]] = None
 
     @property
     def speedup_vs_legacy(self) -> Optional[float]:
         if self.legacy is None:
             return None
         return self.legacy.seconds / self.fastpath.seconds
+
+    @property
+    def fused_speedup(self) -> Optional[float]:
+        """Fused superinstruction engine over plain compiled dispatch."""
+        if self.fused is None:
+            return None
+        return self.fastpath.seconds / self.fused.seconds
 
     @property
     def profiled_speedup(self) -> Optional[float]:
@@ -170,6 +194,10 @@ class BenchReport:
     @property
     def aggregate_fastpath(self) -> Optional[ArmTiming]:
         return self._aggregate(lambda r: r.fastpath)
+
+    @property
+    def aggregate_fused(self) -> Optional[ArmTiming]:
+        return self._aggregate(lambda r: r.fused)
 
     @property
     def aggregate_legacy(self) -> Optional[ArmTiming]:
@@ -207,6 +235,13 @@ class BenchReport:
         return legacy.seconds / fast.seconds
 
     @property
+    def aggregate_fused_speedup(self) -> Optional[float]:
+        fast, fused = self.aggregate_fastpath, self.aggregate_fused
+        if fast is None or fused is None:
+            return None
+        return fast.seconds / fused.seconds
+
+    @property
     def aggregate_profiled_speedup(self) -> Optional[float]:
         skip = self.aggregate_profiled
         peraccess = self.aggregate_profiled_peraccess
@@ -237,6 +272,11 @@ class BenchReport:
                      "legacy": arm(row.legacy)}
             if row.speedup_vs_legacy is not None:
                 entry["speedup_vs_legacy"] = round(row.speedup_vs_legacy, 3)
+            if row.fused is not None:
+                entry["fused"] = arm(row.fused)
+                entry["fused_speedup"] = round(row.fused_speedup, 3)
+            if row.fusion is not None:
+                entry["fusion"] = dict(row.fusion)
             if row.profiled is not None:
                 entry["profiled_instructions"] = row.profiled_instructions
                 entry["profiled_accesses"] = row.profiled_accesses
@@ -258,6 +298,9 @@ class BenchReport:
         agg = out["aggregate"]
         if self.aggregate_speedup is not None:
             agg["speedup_vs_legacy"] = round(self.aggregate_speedup, 3)
+        if self.aggregate_fused is not None:
+            agg["fused"] = arm(self.aggregate_fused)
+            agg["fused_speedup"] = round(self.aggregate_fused_speedup, 3)
         if self.aggregate_profiled is not None:
             agg["profiled_instructions"] = sum(
                 r.profiled_instructions for r in self.rows)
@@ -280,15 +323,19 @@ class EquivalenceError(AssertionError):
 
 def _time_run(program, config, repeat: int,
               attach: Optional[Callable[[Machine], None]] = None
-              ) -> "tuple[MachineResult, float]":
+              ) -> "tuple[MachineResult, float, Machine]":
     """Best-of-``repeat`` wall time for one arm.
 
     A fresh machine (and, via ``attach``, fresh collectors) is built per
-    repeat; dispatch tables are warmed before the timer starts so the
-    first repeat measures execution, not table compilation.
+    repeat; dispatch tables (and, on the fused engine, superinstruction
+    tables) are warmed before the timer starts so the first repeat
+    measures execution, not table compilation.  The last repeat's
+    machine is returned alongside for post-run counters (the fused arm
+    reports its fusion stats).
     """
     best: Optional[float] = None
     result: Optional[MachineResult] = None
+    machine: Optional[Machine] = None
     for _ in range(repeat):
         machine = Machine(program, config)
         if attach is not None:
@@ -299,8 +346,8 @@ def _time_run(program, config, repeat: int,
         elapsed = time.perf_counter() - started
         if best is None or elapsed < best:
             best = elapsed
-    assert result is not None and best is not None
-    return result, best
+    assert result is not None and best is not None and machine is not None
+    return result, best, machine
 
 
 def _timing(result: MachineResult, seconds: float) -> "tuple[ArmTiming, int, int]":
@@ -345,13 +392,13 @@ def _profiled_arms(workload: Workload, repeat: int, variant: str,
     def attach_skip(machine: Machine) -> None:
         agents.append(djx_attach(machine).agent)
 
-    skip_result, skip_seconds = _time_run(
+    skip_result, skip_seconds, _ = _time_run(
         program, dataclasses.replace(base_config, skip_ahead=True),
         repeat, attach_skip)
     skip_samples = agents[-1].stats.samples_handled
 
     agents.clear()
-    peraccess_result, peraccess_seconds = _time_run(
+    peraccess_result, peraccess_seconds, _ = _time_run(
         program, dataclasses.replace(base_config, skip_ahead=False),
         repeat, attach_skip)
     peraccess_samples = agents[-1].stats.samples_handled
@@ -369,7 +416,7 @@ def _profiled_arms(workload: Workload, repeat: int, variant: str,
         AllocFrequencyProfiler().attach(machine)
         ReuseDistanceProfiler().attach(machine)
 
-    _, families_seconds = _time_run(
+    _, families_seconds, _ = _time_run(
         program, dataclasses.replace(base_config, skip_ahead=True),
         repeat, attach_families)
 
@@ -439,20 +486,42 @@ def bench_workload(workload: Workload, repeat: int = 3,
                    legacy: bool = True, profiled: bool = False,
                    variant: str = "baseline",
                    seed: Optional[int] = None,
-                   store: bool = False) -> BenchRow:
+                   store: bool = False,
+                   fused: bool = True) -> BenchRow:
     """Measure one workload; raises :class:`EquivalenceError` if the
-    legacy arm disagrees with the fast path on any result field, or if
-    the profiled arms' counting boundaries disagree.  ``seed`` overrides
-    the machine seed identically on every arm."""
+    legacy arm disagrees with the fast path on any result field, if the
+    fused arm disagrees with either, or if the profiled arms' counting
+    boundaries disagree.  ``seed`` overrides the machine seed
+    identically on every arm."""
     program = workload.build_verified(variant)
-    config = dataclasses.replace(workload.machine_config(), fastpath=True)
+    config = dataclasses.replace(workload.machine_config(), fastpath=True,
+                                 fused=False)
     if seed is not None:
         config = dataclasses.replace(config, seed=seed)
-    fast_result, fast_seconds = _time_run(program, config, repeat)
+    fast_result, fast_seconds, _ = _time_run(program, config, repeat)
     fast, instructions, accesses = _timing(fast_result, fast_seconds)
+    fused_timing: Optional[ArmTiming] = None
+    fusion_counters: Optional[Dict[str, int]] = None
+    if fused:
+        fused_result, fused_seconds, fused_machine = _time_run(
+            program, dataclasses.replace(config, fused=True), repeat)
+        if fused_result != fast_result:
+            raise EquivalenceError(
+                f"{workload.name}: fused and compiled-dispatch engines "
+                f"disagree (fused={fused_result!r}, "
+                f"fastpath={fast_result!r})")
+        fused_timing = ArmTiming(seconds=fused_seconds,
+                                 ips=instructions / fused_seconds,
+                                 aps=accesses / fused_seconds)
+        stats = fused_machine.fusion
+        fusion_counters = {
+            "blocks_fused": stats.blocks_fused,
+            "fused_executions": stats.fused_executions,
+            "guard_bailouts": stats.guard_bailouts,
+        }
     legacy_timing: Optional[ArmTiming] = None
     if legacy:
-        legacy_result, legacy_seconds = _time_run(
+        legacy_result, legacy_seconds, _ = _time_run(
             program, dataclasses.replace(config, fastpath=False), repeat)
         if legacy_result != fast_result:
             raise EquivalenceError(
@@ -476,24 +545,67 @@ def bench_workload(workload: Workload, repeat: int = 3,
                     profiled=profiled_timing,
                     profiled_peraccess=peraccess_timing,
                     allfamilies=families_timing,
-                    store=store_timing)
+                    store=store_timing,
+                    fused=fused_timing,
+                    fusion=fusion_counters)
+
+
+def _bench_worker(task) -> BenchRow:
+    """One suite fan-out task: ``(name, repeat, legacy, profiled,
+    variant, seed, store, fused)``.  Module-level so the worker stays
+    picklable across the process pool; BenchRow and its timings are
+    frozen dataclasses of primitives, so results pickle cleanly too."""
+    name, repeat, legacy, profiled, variant, seed, store, fused = task
+    return bench_workload(get_workload(name), repeat=repeat, legacy=legacy,
+                          profiled=profiled, variant=variant, seed=seed,
+                          store=store, fused=fused)
 
 
 def bench_suite(names: Optional[Sequence[str]] = None, repeat: int = 3,
                 legacy: bool = True, profiled: bool = False,
                 progress: Optional[Callable[[BenchRow], None]] = None,
                 seed: Optional[int] = None,
-                store: bool = False) -> BenchReport:
-    """Run the harness over ``names`` (default: the full suite)."""
+                store: bool = False,
+                fused: bool = True,
+                jobs: int = 1) -> BenchReport:
+    """Run the harness over ``names`` (default: the full suite).
+
+    ``jobs > 1`` fans the per-workload measurements over a
+    :class:`repro.serve.workers.WorkerPool` process pool (one workload
+    per task, rows returned in ``names`` order; ``progress`` fires as
+    the ordered results are collected).  Wall-time measurements from
+    parallel workers are noisier than serial ones — use fan-out for
+    quick comparative runs, keep the committed baseline serial.
+    """
     if names is None:
         names = suite_names()
     if not names:
         raise ValueError("no workloads to benchmark")
     rows: List[BenchRow] = []
+    if jobs > 1 and len(names) > 1:
+        from repro.serve.workers import WorkerPool
+
+        tasks = [(name, repeat, legacy, profiled, "baseline", seed,
+                  store, fused) for name in names]
+        with WorkerPool(_bench_worker,
+                        jobs=min(jobs, len(tasks))) as pool:
+            outcomes = pool.map(tasks)
+        failures = [(names[o.index], o.error)
+                    for o in outcomes if not o.ok]
+        if failures:
+            detail = "; ".join(f"{n}: {e}" for n, e in failures)
+            raise RuntimeError(
+                f"{len(failures)} of {len(tasks)} bench workload(s) "
+                f"failed ({detail})")
+        for outcome in outcomes:
+            rows.append(outcome.value)
+            if progress is not None:
+                progress(outcome.value)
+        return BenchReport(rows=rows, repeat=repeat)
     for name in names:
         row = bench_workload(get_workload(name), repeat=repeat,
                              legacy=legacy, profiled=profiled, seed=seed,
-                             store=store)
+                             store=store, fused=fused)
         rows.append(row)
         if progress is not None:
             progress(row)
@@ -541,6 +653,15 @@ def check_regression(report: BenchReport, baseline: Dict,
             f"aggregate fastpath speedup regressed: measured "
             f"{measured:.3f}x < floor {floor:.3f}x "
             f"(committed {committed:.3f}x - {tolerance:.0%})")
+    fused_measured = report.aggregate_fused_speedup
+    fused_committed = baseline.get("aggregate", {}).get("fused_speedup")
+    if fused_measured is not None and fused_committed is not None:
+        fused_floor = fused_committed * (1.0 - tolerance)
+        if fused_measured < fused_floor:
+            failures.append(
+                f"fused superinstruction speedup regressed: measured "
+                f"{fused_measured:.3f}x < floor {fused_floor:.3f}x "
+                f"(committed {fused_committed:.3f}x - {tolerance:.0%})")
     profiled_measured = report.aggregate_profiled_speedup
     profiled_committed = baseline.get("aggregate", {}).get(
         "profiled_speedup")

@@ -98,9 +98,10 @@ def cmd_list(args) -> int:
 def cmd_profile(args) -> int:
     workload = get_workload(args.workload)
     machine_config = None
-    if args.no_fastpath:
+    if args.no_fastpath or args.no_fused:
         machine_config = dataclasses.replace(workload.machine_config(),
-                                             fastpath=False)
+                                             fastpath=not args.no_fastpath,
+                                             fused=not args.no_fused)
     run = run_profiled(workload, variant=args.variant,
                        config=_config(args),
                        machine_config=machine_config,
@@ -220,6 +221,8 @@ def cmd_bench(args) -> int:
     def progress(row):
         if args.json:
             return
+        fused = (f"  x{row.fused_speedup:.2f} fused"
+                 if row.fused_speedup is not None else "")
         speedup = (f"  x{row.speedup_vs_legacy:.2f}"
                    if row.speedup_vs_legacy is not None else "")
         profiled = (f"  x{row.profiled_speedup:.2f} prof"
@@ -230,12 +233,15 @@ def cmd_bench(args) -> int:
                  if row.store is not None else "")
         print(f"{row.name:24s} {row.instructions:8d} ins  "
               f"{row.fastpath.ips:10.0f} ips  "
-              f"{row.fastpath.aps:10.0f} aps{speedup}{profiled}{store}")
+              f"{row.fastpath.aps:10.0f} aps{fused}{speedup}"
+              f"{profiled}{store}")
 
     report = bench_suite(names, repeat=args.repeat,
                          legacy=not args.no_legacy,
                          profiled=args.profiled, progress=progress,
-                         seed=args.seed, store=args.store_arm)
+                         seed=args.seed, store=args.store_arm,
+                         fused=not args.no_fused,
+                         jobs=args.jobs or 1)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -243,6 +249,8 @@ def cmd_bench(args) -> int:
         print(f"{'AGGREGATE':24s} "
               f"{sum(r.instructions for r in report.rows):8d} ins  "
               f"{agg.ips:10.0f} ips  {agg.aps:10.0f} aps"
+              + (f"  x{report.aggregate_fused_speedup:.2f} fused"
+                 if report.aggregate_fused_speedup is not None else "")
               + (f"  x{report.aggregate_speedup:.2f} vs legacy"
                  if report.aggregate_speedup is not None else "")
               + (f"  x{report.aggregate_profiled_speedup:.2f} profiled"
@@ -441,6 +449,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "the compiled-dispatch fast path "
                                 "(identical results, slower; for "
                                 "debugging and differential testing)")
+    p_profile.add_argument("--no-fused", action="store_true",
+                           help="run per-handler compiled dispatch "
+                                "instead of fused superinstruction "
+                                "blocks (identical results, slower; "
+                                "for debugging and differential "
+                                "testing)")
     _add_profiler_options(p_profile)
     p_profile.set_defaults(fn=cmd_profile)
 
@@ -514,6 +528,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-legacy", action="store_true",
                          help="skip the legacy-engine arm (faster; "
                               "disables speedup and --check)")
+    p_bench.add_argument("--no-fused", action="store_true",
+                         help="skip the fused superinstruction arm")
+    p_bench.add_argument("--jobs", type=int, default=None,
+                         help="fan per-workload measurements over this "
+                              "many worker processes (default 1 = "
+                              "serial; parallel timings are noisier)")
     p_bench.add_argument("--json", action="store_true",
                          help="print the full report as JSON instead "
                               "of the table")

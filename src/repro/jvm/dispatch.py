@@ -54,7 +54,9 @@ Equivalence contract (the fast path must be observationally invisible):
 
 from __future__ import annotations
 
-from typing import Callable, List
+import re
+
+from typing import Callable, List, Optional, Tuple
 
 from repro.heap.allocator import Ref
 from repro.heap.layout import Kind
@@ -563,3 +565,560 @@ _ZERO_BRANCHES = {
     Op.IF_NULL: lambda v: v is None,
     Op.IF_NONNULL: lambda v: v is not None,
 }
+
+
+# ----------------------------------------------------------------------
+# Superinstruction fusion
+# ----------------------------------------------------------------------
+# compile_fused() raises dispatch one level above the per-opcode tables:
+# straight-line handler runs (basic blocks, per the verifier's
+# block_leaders) are compiled — via Python source generation + exec, the
+# simulator's analogue of a template JIT emitting a fused code stub —
+# into single *superinstruction* closures that execute the whole block
+# with one call.  The driver pays one fused-table lookup and one call
+# per block instead of one dict-free but still per-instruction closure
+# call each.
+#
+# Fusion rules
+# ------------
+# * Blocks start at basic-block leaders and never cross one, so control
+#   can only enter a superinstruction at its head (a branch into the
+#   interior lands on a ``None`` fused-table slot and runs per-handler).
+# * Stretch enders (INVOKE/NATIVE/RETURN/IRETURN) and allocation sites
+#   are never fused: they switch frames, may run GC, or publish events
+#   that observe ``frame.pc`` mid-instruction.  The instrumented
+#   ``alloc; DUP; hook`` triple therefore always runs per-handler.
+# * A conditional branch or GOTO may only *terminate* a block; the
+#   closure returns the taken target exactly as the handler would.
+# * Minimum block size is 2 — fusing a single handler only adds a
+#   wrapper.
+#
+# Guard protocol (observed tables)
+# --------------------------------
+# A fused block's memory accesses are issued back-to-back without the
+# per-access ``frame.pc`` stores and per-access PMU observation the
+# observed handlers perform.  That is only invisible when (a) no
+# collector records raw accesses, and (b) the whole block provably fits
+# inside every armed counter's countdown — i.e. ``bus.bulk_budget(tid,
+# wclass) >= n_accesses`` under skip-ahead counting, so no overflow (and
+# hence no mid-block async unwind) can occur.  The closure checks that
+# guard on entry; on success it runs an inlined fast body that
+# histograms per-access outcome combos and applies them in one
+# ``observe_bulk_map`` step, and on failure it falls back to calling
+# the block's per-handler chain (counting a ``guard_bailouts`` stat),
+# which preserves exact per-access observation order.  Unobserved
+# tables need no guard: their stretches run with no sampler armed and
+# no access collector, which cannot change mid-stretch.
+#
+# Symbolic-stack compilation
+# --------------------------
+# Within a block the operand stack is tracked *at compile time*: pure
+# pushes (LOAD/ICONST/DUP results, constants) become deferred
+# expressions, every value-computing or faultable op materialises into
+# a local temp at its own position, operands are popped from the real
+# ``frame.stack`` lazily (only when the symbolic stack runs dry, in
+# handler order), and whatever survives the block is pushed back in one
+# step at the exit.  A LOAD whose slot is written later in the block is
+# snapshotted into a temp at its own position; otherwise the (pure)
+# read is deferred to its use.  One hoisted bound check replaces the
+# per-STORE/IINC ``locals`` extension — growing ``frame.locals`` early
+# is invisible because LOAD treats missing and None slots identically.
+#
+# Fault protocol
+# --------------
+# Every generated closure tracks the in-block instruction index
+# (``ipc``, updated just before each *faultable* statement) and, on any
+# exception, stores ``thread.fused_fault = (faulting_bci,
+# instructions_charged)`` before re-raising — the fused driver uses it
+# to charge partial progress and pin ``frame.pc`` to the faulting bci,
+# byte-identically to per-handler execution (including the
+# trap-message decoration, which the driver still applies).  Deferred
+# expressions are restricted to non-faulting reads, so a fault always
+# surfaces at a marked statement.  On a mid-block fault the real
+# stack/locals hold the values semantics of per-handler execution
+# (same heap, cache, cycle and sample state; completed instructions'
+# pushes may still be pending in temps) — the faulted frame never
+# resumes, so the difference is unobservable.
+
+#: A fused-table entry: ``(closure, instruction_count)`` at a block
+#: leader, ``None`` everywhere else.  Closures never return -1.
+FusedEntry = Optional[Tuple[Handler, int]]
+
+#: Ops an interior (non-tail) fused instruction may use.
+_FUSABLE_BODY = frozenset({
+    Op.LOAD, Op.STORE, Op.IINC, Op.ICONST, Op.FCONST, Op.ACONST_NULL,
+    Op.POP, Op.DUP, Op.SWAP, Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM,
+    Op.NEG, Op.SHL, Op.SHR, Op.AND, Op.OR, Op.XOR, Op.I2F, Op.F2I,
+    Op.ALOAD, Op.ASTORE, Op.GETFIELD, Op.PUTFIELD, Op.GETSTATIC,
+    Op.PUTSTATIC, Op.ARRAYLENGTH, Op.NOP,
+})
+
+#: Ops that may only terminate a fused block.
+_FUSABLE_TAIL = (frozenset(_CMP_BRANCHES) | frozenset(_ZERO_BRANCHES)
+                 | {Op.GOTO})
+
+#: Ops that issue a memory access (size 8, 8-aligned by heap layout).
+_ACCESS_OPS = frozenset({
+    Op.ALOAD, Op.ASTORE, Op.GETFIELD, Op.PUTFIELD, Op.GETSTATIC,
+    Op.PUTSTATIC, Op.ARRAYLENGTH,
+})
+
+_WRITE_OPS = frozenset({Op.ASTORE, Op.PUTFIELD, Op.PUTSTATIC})
+
+_BINOP_SYMS = {
+    Op.ADD: "+", Op.SUB: "-", Op.MUL: "*", Op.SHL: "<<", Op.SHR: ">>",
+    Op.AND: "&", Op.OR: "|", Op.XOR: "^",
+}
+
+_CMP_SYMS = {
+    Op.IF_ICMPEQ: "==", Op.IF_ICMPNE: "!=", Op.IF_ICMPLT: "<",
+    Op.IF_ICMPGE: ">=", Op.IF_ICMPGT: ">", Op.IF_ICMPLE: "<=",
+}
+
+_ZERO_TESTS = {
+    Op.IF_EQ: "v == 0", Op.IF_NE: "v != 0", Op.IF_LT: "v < 0",
+    Op.IF_GE: "v >= 0", Op.IF_GT: "v > 0", Op.IF_LE: "v <= 0",
+    Op.IF_NULL: "v is None", Op.IF_NONNULL: "v is not None",
+}
+
+#: Expressions safe to duplicate / substitute without a pinning temp:
+#: bare names (temps, bound constants, None) and integer literals.
+_ATOM_RE = re.compile(r"-?\d+|[A-Za-z_]\w*")
+
+
+def fused_blocks(code) -> List["tuple[int, int]"]:
+    """``[start, end)`` ranges of fusable straight-line runs (size >= 2).
+
+    Blocks begin at basic-block leaders, contain only fusable ops, and
+    stop before the next leader; a branch may be the final instruction.
+    """
+    from repro.jvm.verifier import block_leaders
+
+    leaders = block_leaders(code)
+    n = len(code)
+    blocks: List[tuple] = []
+    for start in sorted(leaders):
+        if start >= n:
+            continue
+        end = start
+        while end < n:
+            if end > start and end in leaders:
+                break
+            op = code[end].op
+            if op in _FUSABLE_TAIL:
+                end += 1
+                break
+            if op not in _FUSABLE_BODY:
+                break
+            end += 1
+        if end - start >= 2:
+            blocks.append((start, end))
+    return blocks
+
+
+def compile_fused(machine, runtime, table: List[Handler],
+                  observed: bool = True) -> List[FusedEntry]:
+    """Compile ``runtime``'s superinstruction table.
+
+    ``table`` is the matching plain dispatch table (same ``observed``
+    variant); observed blocks call back into it when the bulk-budget
+    guard fails.  Cached on ``runtime.fused_table_observed`` /
+    ``runtime.fused_table`` by the fused driver; like the plain tables
+    it survives JIT recompiles because bytecode is immutable.
+    """
+    from repro.jvm.interpreter import (
+        ArithmeticTrap,
+        NullPointerError,
+        _int_div,
+        _int_rem,
+    )
+
+    method = runtime.method
+    code = method.code
+    qname = method.qualified_name
+    heap = machine.heap
+    bus = machine.bus
+    # The inlined fast bodies classify every access as single-line,
+    # which the heap layout guarantees (8-byte accesses at 8-aligned
+    # addresses) only when a cache line holds at least one element.
+    fast_ok = machine._line_size >= 8
+
+    def deref(ref, bci: int, ins: Instruction):
+        if not isinstance(ref, Ref):
+            raise NullPointerError(
+                f"{qname} bci {bci} ({ins!r}): dereferencing {ref!r}")
+        return heap.get(ref)
+
+    from repro.obs.bus import _LEVEL_BASE
+
+    ns: dict = {
+        "_deref": deref,
+        "_ah": machine.hierarchy.access_hot,
+        "_sa": machine.static_address,
+        "_gs": machine.get_static,
+        "_ss": machine.set_static,
+        "_idiv": _int_div,
+        "_irem": _int_rem,
+        "_AT": ArithmeticTrap,
+        "_bus": bus,
+        "_bb": bus.bulk_budget,
+        "_obm": bus.observe_bulk_map,
+        "_LB": _LEVEL_BASE,
+        "_fusion": machine.fusion,
+    }
+
+    def lit(value, name: str) -> str:
+        """Inline int/str/bool constants; bind anything else by name."""
+        if type(value) in (int, str, bool):
+            return repr(value)
+        ns[name] = value
+        return name
+
+    def emit_access(out, ind, addr_expr, size_expr, is_write, combo):
+        out.append(f"{ind}r = _ah(thread.cpu, {addr_expr}, {size_expr}, "
+                   f"{is_write})")
+        out.append(f"{ind}thread.cycles += r.latency")
+        if combo:
+            if is_write:
+                out.append(f"{ind}ci = _LB[r.level] "
+                           f"+ (4 if r.tlb_misses else 0) "
+                           f"+ (3 if r.remote else 2)")
+            else:
+                out.append(f"{ind}ci = _LB[r.level] "
+                           f"+ (4 if r.tlb_misses else 0) "
+                           f"+ (1 if r.remote else 0)")
+            out.append(f"{ind}combos[ci] = combos.get(ci, 0) + 1")
+
+    def gen_fast_body(block, start, ind, guarded) -> List[str]:
+        """Symbolic-stack compilation of one block's fast body.
+
+        Returns the body's source lines (prologue included), indented
+        with ``ind``.  See the section comment above: pure pushes
+        defer, faultable ops materialise into temps at their own
+        ``ipc`` marker, the real stack is popped lazily (in handler
+        order) and repaid in one push at the exit.
+        """
+        out: List[str] = []
+        syms: List[str] = []            # compile-time operand stack
+        state = {"t": 0, "ipc": 0, "stack": False, "locals": False}
+        store_idx = [ins.args[0] for ins in block
+                     if ins.op in (Op.STORE, Op.IINC)]
+        maxstore = max(store_idx) if store_idx else -1
+
+        def newt() -> str:
+            state["t"] += 1
+            return f"t{state['t']}"
+
+        def spop() -> str:
+            if syms:
+                return syms.pop()
+            state["stack"] = True
+            t = newt()
+            out.append(f"{ind}{t} = stack.pop()")
+            return t
+
+        def mat(expr: str) -> str:
+            """Pin a pure expression's value into a temp unless it is
+            already a bare name or an integer literal."""
+            if _ATOM_RE.fullmatch(expr):
+                return expr
+            t = newt()
+            out.append(f"{ind}{t} = {expr}")
+            return t
+
+        def marker(j: int) -> None:
+            if state["ipc"] != j:
+                out.append(f"{ind}ipc = {j}")
+                state["ipc"] = j
+
+        def load_expr(i: int) -> str:
+            state["locals"] = True
+            if i <= maxstore:       # hoisted extend covers the slot
+                return f"L[{i}]"
+            return f"(L[{i}] if {i} < len(L) else None)"
+
+        def emit_one(j: int, ins) -> None:
+            bci = start + j
+            op = ins.op
+            if op is Op.LOAD:
+                i = ins.args[0]
+                e = load_expr(i)
+                if any(b.op in (Op.STORE, Op.IINC) and b.args[0] == i
+                       for b in block[j + 1:]):
+                    e = mat(e)      # slot rewritten later: snapshot now
+                syms.append(e)
+            elif op is Op.ICONST or op is Op.FCONST:
+                syms.append(lit(ins.args[0], f"c{bci}"))
+            elif op is Op.ACONST_NULL:
+                syms.append("None")
+            elif op is Op.POP:
+                if syms:
+                    syms.pop()      # deferred exprs are pure: just drop
+                else:
+                    state["stack"] = True
+                    out.append(f"{ind}stack.pop()")
+            elif op is Op.DUP:
+                if syms:
+                    if not _ATOM_RE.fullmatch(syms[-1]):
+                        syms[-1] = mat(syms[-1])
+                    syms.append(syms[-1])
+                else:
+                    state["stack"] = True
+                    t = newt()
+                    out.append(f"{ind}{t} = stack[-1]")
+                    syms.append(t)
+            elif op is Op.SWAP:
+                a = spop()
+                b = spop()
+                syms.append(a)
+                syms.append(b)
+            elif op is Op.IINC:
+                i, delta = ins.args
+                state["locals"] = True
+                marker(j)
+                out.append(f"{ind}L[{i}] = L[{i}] "
+                           f"+ {lit(delta, f'c{bci}')}")
+            elif op is Op.STORE:
+                i = ins.args[0]
+                v = spop()
+                state["locals"] = True
+                out.append(f"{ind}L[{i}] = {v}")
+            elif op in _BINOP_SYMS:
+                b = spop()
+                a = spop()
+                marker(j)
+                t = newt()
+                out.append(f"{ind}{t} = {a} {_BINOP_SYMS[op]} {b}")
+                syms.append(t)
+            elif op is Op.DIV:
+                b = mat(spop())
+                a = mat(spop())
+                marker(j)
+                t = newt()
+                out.append(f"{ind}if isinstance({a}, float) "
+                           f"or isinstance({b}, float):")
+                out.append(f"{ind}    if {b} == 0:")
+                out.append(f"{ind}        raise _AT('float division "
+                           f"by zero')")
+                out.append(f"{ind}    {t} = {a} / {b}")
+                out.append(f"{ind}else:")
+                out.append(f"{ind}    {t} = _idiv({a}, {b})")
+                syms.append(t)
+            elif op is Op.REM:
+                b = mat(spop())
+                a = mat(spop())
+                marker(j)
+                t = newt()
+                out.append(f"{ind}{t} = _irem({a}, {b}) "
+                           f"if isinstance({a}, int) "
+                           f"and isinstance({b}, int) else {a} % {b}")
+                syms.append(t)
+            elif op is Op.NEG:
+                v = spop()
+                marker(j)
+                t = newt()
+                out.append(f"{ind}{t} = -({v})")
+                syms.append(t)
+            elif op is Op.I2F:
+                v = spop()
+                marker(j)
+                t = newt()
+                out.append(f"{ind}{t} = float({v})")
+                syms.append(t)
+            elif op is Op.F2I:
+                v = spop()
+                marker(j)
+                t = newt()
+                out.append(f"{ind}{t} = int({v})")
+                syms.append(t)
+            elif op is Op.ALOAD:
+                idx = spop()
+                ref = spop()
+                marker(j)
+                idx = mat(idx)
+                ns[f"i{bci}"] = ins
+                obj = newt()
+                out.append(f"{ind}{obj} = _deref({ref}, {bci}, i{bci})")
+                emit_access(out, ind, f"{obj}.element_address({idx})",
+                            f"{obj}.elem_size()", False, guarded)
+                t = newt()
+                out.append(f"{ind}{t} = {obj}.elements[{idx}]")
+                syms.append(t)
+            elif op is Op.ASTORE:
+                v = spop()
+                idx = spop()
+                ref = spop()
+                marker(j)
+                idx = mat(idx)
+                ns[f"i{bci}"] = ins
+                obj = newt()
+                out.append(f"{ind}{obj} = _deref({ref}, {bci}, i{bci})")
+                emit_access(out, ind, f"{obj}.element_address({idx})",
+                            f"{obj}.elem_size()", True, guarded)
+                out.append(f"{ind}{obj}.elements[{idx}] = {v}")
+            elif op is Op.GETFIELD:
+                ref = spop()
+                marker(j)
+                ns[f"i{bci}"] = ins
+                name = lit(ins.args[0], f"c{bci}")
+                obj = newt()
+                out.append(f"{ind}{obj} = _deref({ref}, {bci}, i{bci})")
+                emit_access(out, ind, f"{obj}.field_address({name})",
+                            "8", False, guarded)
+                t = newt()
+                out.append(f"{ind}{t} = {obj}.get_field({name})")
+                syms.append(t)
+            elif op is Op.PUTFIELD:
+                v = spop()
+                ref = spop()
+                marker(j)
+                ns[f"i{bci}"] = ins
+                name = lit(ins.args[0], f"c{bci}")
+                obj = newt()
+                out.append(f"{ind}{obj} = _deref({ref}, {bci}, i{bci})")
+                emit_access(out, ind, f"{obj}.field_address({name})",
+                            "8", True, guarded)
+                out.append(f"{ind}{obj}.set_field({name}, {v})")
+            elif op is Op.GETSTATIC:
+                marker(j)
+                key = lit(ins.args[0], f"c{bci}")
+                emit_access(out, ind, f"_sa({key})", "8", False, guarded)
+                t = newt()
+                out.append(f"{ind}{t} = _gs({key})")
+                syms.append(t)
+            elif op is Op.PUTSTATIC:
+                v = spop()
+                marker(j)
+                key = lit(ins.args[0], f"c{bci}")
+                emit_access(out, ind, f"_sa({key})", "8", True, guarded)
+                out.append(f"{ind}_ss({key}, {v})")
+            elif op is Op.ARRAYLENGTH:
+                ref = spop()
+                marker(j)
+                ns[f"i{bci}"] = ins
+                obj = newt()
+                out.append(f"{ind}{obj} = _deref({ref}, {bci}, i{bci})")
+                emit_access(out, ind, f"{obj}.addr + 8", "8", False,
+                            guarded)
+                syms.append(f"{obj}.length")    # immutable: defer
+            elif op is Op.NOP:
+                pass
+            else:  # pragma: no cover - fused_blocks admits only these
+                raise AssertionError(
+                    f"unfusable op {op} reached the emitter")
+
+        def finish() -> None:
+            """Repay deferred pushes; flush the combo histogram."""
+            if syms:
+                state["stack"] = True
+                if len(syms) == 1:
+                    out.append(f"{ind}stack.append({syms[0]})")
+                else:
+                    out.append(f"{ind}stack += ({', '.join(syms)},)")
+                syms.clear()
+            if guarded:
+                out.append(f"{ind}_obm(thread.tid, combos)")
+                out.append(f"{ind}combos = None")
+
+        for j, ins in enumerate(block[:-1]):
+            emit_one(j, ins)
+        j = len(block) - 1
+        tail = block[-1]
+        op = tail.op
+        nxt = start + j + 1
+        if op in _CMP_SYMS:
+            b = spop()
+            a = spop()
+            marker(j)
+            finish()
+            out.append(f"{ind}return {tail.args[0]} "
+                       f"if {a} {_CMP_SYMS[op]} {b} else {nxt}")
+        elif op in _ZERO_TESTS:
+            v = spop()
+            marker(j)
+            finish()
+            out.append(f"{ind}return {tail.args[0]} "
+                       f"if {v}{_ZERO_TESTS[op][1:]} else {nxt}")
+        elif op is Op.GOTO:
+            finish()
+            out.append(f"{ind}return {tail.args[0]}")
+        else:
+            emit_one(j, tail)
+            finish()
+            out.append(f"{ind}return {nxt}")
+
+        pro: List[str] = []
+        if state["stack"]:
+            pro.append(f"{ind}stack = frame.stack")
+        if state["locals"]:
+            pro.append(f"{ind}L = frame.locals")
+        if maxstore >= 0:
+            pro.append(f"{ind}if {maxstore} >= len(L): "
+                       f"L.extend([None] * ({maxstore} + 1 - len(L)))")
+        if guarded:
+            pro.append(f"{ind}combos = {{}}")
+        return pro + out
+
+    blocks = fused_blocks(code)
+    fused: List[FusedEntry] = [None] * len(code)
+    if not blocks:
+        return fused
+
+    src: List[str] = []
+    for start, end in blocks:
+        block = code[start:end]
+        accesses = [ins.op in _WRITE_OPS for ins in block
+                    if ins.op in _ACCESS_OPS]
+        if accesses:
+            if all(accesses):
+                wclass = "True"
+            elif not any(accesses):
+                wclass = "False"
+            else:
+                wclass = "None"
+        guarded = observed and accesses and fast_ok
+        chain = observed and accesses
+
+        src.append(f"def _sf_{start}(thread, frame):")
+        src.append("    ipc = 0")
+        if guarded:
+            src.append("    combos = None")
+        src.append("    try:")
+        if guarded:
+            src.append(f"        if (not _bus._accesses_wanted "
+                       f"and _bus.skip_ahead "
+                       f"and _bb(thread.tid, {wclass}) "
+                       f">= {len(accesses)}):")
+            body_ind = "            "
+        elif chain:
+            body_ind = None     # chain-only (tiny lines; fast_ok False)
+        else:
+            body_ind = "        "
+        if body_ind is not None:
+            src.extend(gen_fast_body(block, start, body_ind, guarded))
+        if chain:
+            if guarded:
+                src.append("        _fusion.guard_bailouts += 1")
+                src.append("        ipc = 0")
+            for j in range(len(block) - 1):
+                if j:
+                    src.append(f"        ipc = {j}")
+                src.append(f"        _h{start + j}(thread, frame)")
+                ns[f"_h{start + j}"] = table[start + j]
+            src.append(f"        ipc = {len(block) - 1}")
+            src.append(f"        return _h{end - 1}(thread, frame)")
+            ns[f"_h{end - 1}"] = table[end - 1]
+        src.append("    except Exception:")
+        if guarded:
+            src.append("        if combos:")
+            src.append("            _obm(thread.tid, combos)")
+        src.append(f"        thread.fused_fault = "
+                   f"({start} + ipc, ipc + 1)")
+        src.append("        raise")
+        src.append("")
+
+    exec(compile("\n".join(src), f"<fused:{qname}>", "exec"), ns)
+    for start, end in blocks:
+        fused[start] = (ns[f"_sf_{start}"], end - start)
+    machine.fusion.blocks_fused += len(blocks)
+    return fused

@@ -24,7 +24,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.heap.allocator import Ref
 from repro.heap.layout import Kind
 from repro.jvm.bytecode import Instruction, Op
-from repro.jvm.dispatch import compile_dispatch
+from repro.jvm.dispatch import compile_dispatch, compile_fused
 from repro.jvm.jit import MethodRuntime
 
 
@@ -93,6 +93,11 @@ class JavaThread:
         self.result = None
         #: When WAITING, re-checked by the scheduler each round.
         self.wait_predicate: Optional[Callable[[], bool]] = None
+        #: Set by a faulting superinstruction closure before re-raising:
+        #: ``(faulting_bci, instructions_charged)``.  The fused driver
+        #: reads and clears it to charge partial block progress and pin
+        #: ``frame.pc`` exactly as per-handler execution would.
+        self.fused_fault: Optional["tuple[int, int]"] = None
 
     @property
     def current_frame(self) -> Frame:
@@ -143,9 +148,14 @@ class Interpreter:
     and asserts byte-identical event traces.
     """
 
-    def __init__(self, machine, fastpath: bool = True) -> None:
+    def __init__(self, machine, fastpath: bool = True,
+                 fused: bool = False) -> None:
         self.machine = machine
         self.fastpath = fastpath
+        #: Superinstruction mode: drive each stretch through the fused
+        #: block table (:func:`repro.jvm.dispatch.compile_fused`) with
+        #: per-handler execution between blocks.  Requires ``fastpath``.
+        self.fused = fused and fastpath
 
     # ------------------------------------------------------------------
     def run_quantum(self, thread: JavaThread, budget: int) -> int:
@@ -155,6 +165,8 @@ class Interpreter:
         """
         if not self.fastpath:
             return self._run_quantum_legacy(thread, budget)
+        if self.fused:
+            return self._run_quantum_fused(thread, budget)
         executed = 0
         runnable = ThreadState.RUNNABLE
         frames = thread.frames
@@ -232,6 +244,115 @@ class Interpreter:
             if pc >= 0:
                 # Budget exhausted mid-method: persist the resume point.
                 # On frame switches (-1) the handler already stored it.
+                frame.pc = pc
+        return executed
+
+    def _run_quantum_fused(self, thread: JavaThread, budget: int) -> int:
+        """Superinstruction engine: fused blocks with per-handler gaps.
+
+        Identical stretch structure to the fast path above, but at each
+        pc the driver first consults the method's fused table: a
+        ``(closure, count)`` entry means a whole basic block can run as
+        one call, charging ``count`` instructions.  Entries are ``None``
+        off block leaders (including jumps into block interiors), and a
+        block bigger than the remaining budget falls back to per-handler
+        execution so quantum boundaries land on the exact instruction.
+        Fault accounting inside a block arrives via ``thread.fused_fault``
+        (see :func:`repro.jvm.dispatch.compile_fused`).
+        """
+        executed = 0
+        runnable = ThreadState.RUNNABLE
+        frames = thread.frames
+        machine = self.machine
+        bus = machine.bus
+        fusion = machine.fusion
+        while executed < budget and thread.state is runnable:
+            frame = frames[-1]
+            runtime = frame.runtime
+            if bus.sampling or bus._accesses_wanted:
+                table = runtime.dispatch_table_observed
+                if table is None:
+                    table = compile_dispatch(machine, runtime,
+                                             observed=True)
+                    runtime.dispatch_table_observed = table
+                fused = runtime.fused_table_observed
+                if fused is None:
+                    fused = compile_fused(machine, runtime, table,
+                                          observed=True)
+                    runtime.fused_table_observed = fused
+            else:
+                table = runtime.dispatch_table
+                if table is None:
+                    table = compile_dispatch(machine, runtime,
+                                             observed=False)
+                    runtime.dispatch_table = table
+                fused = runtime.fused_table
+                if fused is None:
+                    fused = compile_fused(machine, runtime, table,
+                                          observed=False)
+                    runtime.fused_table = fused
+            cpi = runtime.cycles_per_instruction_cached
+            code_len = len(table)
+            pc = frame.pc
+            limit = budget - executed
+            done = 0
+            fb = 0
+            trap: Optional[TrapError] = None
+            try:
+                while done < limit:
+                    if pc >= code_len:
+                        trap = TrapError(
+                            f"{runtime.method.qualified_name}: pc {pc} "
+                            f"past end (missing return?)")
+                        break
+                    entry = fused[pc]
+                    if entry is not None:
+                        k = entry[1]
+                        if k <= limit - done:
+                            pc = entry[0](thread, frame)
+                            done += k
+                            fb += 1
+                            continue
+                    done += 1
+                    nxt = table[pc](thread, frame)
+                    if nxt == -1:
+                        pc = -1
+                        break
+                    pc = nxt
+            except TrapError:
+                ff = thread.fused_fault
+                if ff is not None:
+                    thread.fused_fault = None
+                    pc = ff[0]
+                    done += ff[1]
+                thread.cycles += cpi * done
+                thread.instructions += done
+                fusion.fused_executions += fb
+                if runtime.method.code[pc].op is not Op.INVOKE:
+                    frame.pc = pc
+                raise
+            except Exception as exc:
+                ff = thread.fused_fault
+                if ff is not None:
+                    thread.fused_fault = None
+                    pc = ff[0]
+                    done += ff[1]
+                thread.cycles += cpi * done
+                thread.instructions += done
+                fusion.fused_executions += fb
+                frame.pc = pc
+                ins = runtime.method.code[pc]
+                raise TrapError(
+                    f"{runtime.method.qualified_name} bci {pc} "
+                    f"({ins!r}): {exc}") from exc
+            thread.cycles += cpi * done
+            thread.instructions += done
+            fusion.fused_executions += fb
+            executed += done
+            if trap is not None:
+                frame.pc = pc
+                raise trap
+            if pc >= 0:
                 frame.pc = pc
         return executed
 

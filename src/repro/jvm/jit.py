@@ -37,7 +37,8 @@ class MethodRuntime:
 
     __slots__ = ("method", "invocation_count", "compiled", "method_id",
                  "version", "cycles_per_instruction_cached",
-                 "dispatch_table", "dispatch_table_observed")
+                 "dispatch_table", "dispatch_table_observed",
+                 "fused_table", "fused_table_observed")
 
     def __init__(self, method: JMethod, method_id: int) -> None:
         self.method = method
@@ -58,6 +59,13 @@ class MethodRuntime:
         #: The interpreter picks per stretch.
         self.dispatch_table = None
         self.dispatch_table_observed = None
+        #: Superinstruction tables (:func:`repro.jvm.dispatch
+        #: .compile_fused`), parallel to the plain tables above: an
+        #: entry per bytecode, ``(closure, count)`` at each fused-block
+        #: leader and ``None`` elsewhere.  Same two observation
+        #: variants, same immutability argument.
+        self.fused_table = None
+        self.fused_table_observed = None
 
     @property
     def cycles_per_instruction(self) -> int:

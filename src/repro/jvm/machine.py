@@ -90,7 +90,31 @@ class MachineConfig:
     #: the differential suite's reference arm.  Sample streams are
     #: bit-identical either way.
     skip_ahead: bool = True
+    #: Superinstruction fusion: compile straight-line handler runs into
+    #: single-closure blocks executed with one call (and, when observed,
+    #: one skip-ahead PMU guard).  Requires ``fastpath``; False keeps
+    #: the per-handler compiled-dispatch engine.  Traces, samples and
+    #: results are bit-identical either way.
+    fused: bool = True
     seed: int = 12345
+
+
+@dataclass
+class FusionStats:
+    """Superinstruction engine observability (per machine).
+
+    Deliberately *not* part of :class:`MachineResult`: results must
+    compare equal across engines, and these counters exist precisely to
+    differ between them.
+    """
+
+    #: Fused blocks compiled across all tables (both variants).
+    blocks_fused: int = 0
+    #: Fused-block closure invocations (fast or chain body).
+    fused_executions: int = 0
+    #: Observed blocks whose PMU guard failed, falling back to the
+    #: per-handler chain inside the closure.
+    guard_bailouts: int = 0
 
 
 @dataclass
@@ -162,7 +186,11 @@ class Machine:
                 f"expected 'mark-compact' or 'semispace'")
         self.method_table = MethodTable(cfg.jit)
         self.method_table.register_program(program)
-        self.interpreter = Interpreter(self, fastpath=cfg.fastpath)
+        #: Superinstruction counters; created before the interpreter so
+        #: fused-table compilation can always bind it.
+        self.fusion = FusionStats()
+        self.interpreter = Interpreter(self, fastpath=cfg.fastpath,
+                                       fused=cfg.fused)
         self.rng = random.Random(cfg.seed)
         self._fastpath = cfg.fastpath
         self._line_size = cfg.hierarchy.line_size
@@ -452,11 +480,13 @@ class Machine:
     # ------------------------------------------------------------------
     def warm_dispatch(self) -> None:
         """Precompile every registered method's dispatch tables (both
-        observation variants), so timed runs measure execution rather
+        observation variants) — and, on the fused engine, both fused
+        superinstruction tables — so timed runs measure execution rather
         than table building.  No-op on the legacy engine."""
         if not self._fastpath:
             return
-        from repro.jvm.dispatch import compile_dispatch
+        from repro.jvm.dispatch import compile_dispatch, compile_fused
+        fused = self.interpreter.fused
         for runtime in self.method_table.runtimes():
             if runtime.dispatch_table is None:
                 runtime.dispatch_table = compile_dispatch(
@@ -464,6 +494,15 @@ class Machine:
             if runtime.dispatch_table_observed is None:
                 runtime.dispatch_table_observed = compile_dispatch(
                     self, runtime, observed=True)
+            if fused:
+                if runtime.fused_table is None:
+                    runtime.fused_table = compile_fused(
+                        self, runtime, runtime.dispatch_table,
+                        observed=False)
+                if runtime.fused_table_observed is None:
+                    runtime.fused_table_observed = compile_fused(
+                        self, runtime, runtime.dispatch_table_observed,
+                        observed=True)
 
     # ------------------------------------------------------------------
     # Thread lifecycle & scheduling

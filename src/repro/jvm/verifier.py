@@ -23,7 +23,7 @@ the callee's declared ``num_args`` is checked program-wide in
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
 from repro.jvm.bytecode import (
     ALLOCATION_OPS,
@@ -38,6 +38,37 @@ from repro.obs.events import ALLOC_HOOK
 
 class VerificationError(Exception):
     """The method failed verification; message pinpoints the BCI."""
+
+
+#: Ops after which a new block begins: stretch enders (frame switches)
+#: and allocation sites (GC + hook observation boundaries).
+_LEADER_AFTER = frozenset(
+    {Op.INVOKE, Op.NATIVE, Op.RETURN, Op.IRETURN}) | ALLOCATION_OPS
+
+
+def block_leaders(code: Sequence[Instruction]) -> Set[int]:
+    """Basic-block leaders of a method body.
+
+    A leader is any BCI control can reach other than by falling through
+    from the previous instruction: the entry point, every branch target,
+    and the instruction after any control transfer or *stretch ender*
+    (INVOKE/NATIVE/RETURN/IRETURN, whose handlers return ``-1`` to the
+    driver) or allocation site (which may trigger GC and publishes the
+    allocation hook's stack snapshot).  This is the single source of
+    truth shared by the verifier's stretch rules and the superinstruction
+    compiler (:func:`repro.jvm.dispatch.compile_fused`): a fused block
+    never extends past a leader, so no branch can enter a
+    superinstruction's interior.
+    """
+    leaders: Set[int] = {0}
+    n = len(code)
+    for bci, ins in enumerate(code):
+        op = ins.op
+        if op in BRANCH_OPS:
+            leaders.add(ins.target)
+        if (op in BRANCH_OPS or op in _LEADER_AFTER) and bci + 1 < n:
+            leaders.add(bci + 1)
+    return leaders
 
 
 def _stack_effect(ins: Instruction) -> "tuple[int, int]":

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.memsys.batch import page_runs
 from repro.memsys.cache import Cache, lines_spanned
 from repro.memsys.numa import NumaTopology, PageTable, PlacementPolicy
 from repro.memsys.tlb import Tlb
@@ -529,9 +530,6 @@ class MemoryHierarchy:
         pt_stats = self._pt_stats
         cpu_node = self._node_of_cpu[cpu]
         tlb = self.tlb[cpu]
-        pages = tlb._pages
-        tlb_stats = tlb.stats
-        tlb_entries = tlb.entries
         l1 = self.l1[cpu]
         l1_sets = l1._sets
         l1_nsets = l1.num_sets
@@ -552,109 +550,139 @@ class MemoryHierarchy:
         lat_l3 = self._l3_hit_latency
         total = 0
         n = 0
-        addr = start
-        page = -1
-        home_node = 0
-        remote = False
         counting = combo_counts is not None
-        # Low combo bits of the current line: write + remote + (tlb
-        # missed on *this* line — set only for the first line of a page
-        # run that missed, matching the per-line walk's results).
-        base = 2 if is_write else 0
-        while addr < end:
-            p = addr // page_size
-            if p != page:
-                # First line of a page run: PageTable.touch + Tlb.access.
-                page = p
-                home_node = page_node.get(p)
-                if home_node is None:
-                    home_node = cpu_node
-                    page_node[p] = home_node
-                remote = home_node != cpu_node
-                if p in pages:
-                    pages.move_to_end(p)
-                    tlb_stats.hits += 1
-                    if counting:
-                        base = (2 if is_write else 0) + (1 if remote else 0)
-                else:
-                    tlb_stats.misses += 1
-                    if len(pages) >= tlb_entries:
-                        pages.popitem(last=False)
-                    pages[p] = True
-                    total += self._tlb_penalty
-                    if counting:
-                        base = (2 if is_write else 0) \
-                            + (1 if remote else 0) + 4
-            else:
-                tlb_stats.hits += 1
-                if base >= 4:
-                    base -= 4
+        wbase = 2 if is_write else 0
+        # The walk is planned per page run (repro.memsys.batch): each
+        # run's page-table touch and TLB traffic collapse to one step,
+        # and the two overwhelmingly common line-run outcomes — every
+        # line already in L1 (warm re-stream) or every line missing all
+        # the way to DRAM (fresh-allocation zeroing) — execute as bulk
+        # recency/dirty updates or closed-form per-set fills.  Runs with
+        # mixed per-line outcomes take the sequential walk below; every
+        # path leaves stats, LRU order and dirty bits exactly as the
+        # per-line loop would.
+        for run_addr, nlines in page_runs(start, end, line_size, page_size):
+            page = run_addr // page_size
+            home_node = page_node.get(page)
+            if home_node is None:
+                home_node = cpu_node
+                page_node[page] = home_node
+            remote = home_node != cpu_node
             if remote:
-                pt_stats.remote_accesses += 1
+                pt_stats.remote_accesses += nlines
             else:
-                pt_stats.local_accesses += 1
-            line = addr // line_size
-            cset = l1_sets[line % l1_nsets]
-            if line in cset:
-                cset.move_to_end(line)
-                if is_write:
-                    cset[line] = True
-                l1_stats.hits += 1
-                total += lat_l1
-                if counting:
-                    combo_counts[base] += 1
-            else:
-                l1_stats.misses += 1
-                l2set = l2_sets[line % l2_nsets]
-                if line in l2set:
-                    l2set.move_to_end(line)
+                pt_stats.local_accesses += nlines
+            tlb_missed = tlb.touch_run(page, nlines)
+            if tlb_missed:
+                total += self._tlb_penalty
+            # Low combo bits shared by the run's lines (write + remote);
+            # only the first line carries the TLB-missed bit, as the
+            # per-line walk's results would.
+            base = wbase + 1 if remote else wbase
+            line0 = run_addr // line_size
+            run_end = line0 + nlines
+            n += nlines
+            l1_resident = 0
+            for line in range(line0, run_end):
+                if line in l1_sets[line % l1_nsets]:
+                    l1_resident += 1
+            if l1_resident == nlines:
+                # Bulk all-L1-hit: per-line work is recency + dirty only.
+                for line in range(line0, run_end):
+                    cset = l1_sets[line % l1_nsets]
+                    cset.move_to_end(line)
                     if is_write:
-                        l2set[line] = True
-                    l2_stats.hits += 1
-                    total += lat_l2
+                        cset[line] = True
+                l1_stats.hits += nlines
+                total += lat_l1 * nlines
+                if counting:
+                    combo_counts[base] += nlines - 1
+                    combo_counts[base + 4 if tlb_missed else base] += 1
+                continue
+            if l1_resident == 0 and not any(
+                    line in l2_sets[line % l2_nsets]
+                    or line in l3_sets[line % l3_nsets]
+                    for line in range(line0, run_end)):
+                # Bulk all-miss-to-DRAM: the membership pre-pass above is
+                # non-mutating and stays valid under the fills (run lines
+                # are distinct and fills only insert run lines), so each
+                # level takes its misses and its grouped per-set fill in
+                # one step.
+                l1_stats.misses += nlines
+                l2_stats.misses += nlines
+                l3_stats.misses += nlines
+                l3.bulk_fill(line0, nlines, False)
+                l2.bulk_fill(line0, nlines, False)
+                l1.bulk_fill(line0, nlines, is_write)
+                total += (self._dram_remote_latency if remote
+                          else self._dram_local_latency) * nlines
+                if counting:
+                    combo_counts[24 + base] += nlines - 1
+                    combo_counts[24 + (base + 4 if tlb_missed else base)] += 1
+                continue
+            # Mixed run: sequential per-line walk, TLB/page work done.
+            cb = base + 4 if tlb_missed else base
+            for line in range(line0, run_end):
+                cset = l1_sets[line % l1_nsets]
+                if line in cset:
+                    cset.move_to_end(line)
+                    if is_write:
+                        cset[line] = True
+                    l1_stats.hits += 1
+                    total += lat_l1
                     if counting:
-                        combo_counts[8 + base] += 1
+                        combo_counts[cb] += 1
                 else:
-                    l2_stats.misses += 1
-                    l3set = l3_sets[line % l3_nsets]
-                    if line in l3set:
-                        l3set.move_to_end(line)
+                    l1_stats.misses += 1
+                    l2set = l2_sets[line % l2_nsets]
+                    if line in l2set:
+                        l2set.move_to_end(line)
                         if is_write:
-                            l3set[line] = True
-                        l3_stats.hits += 1
-                        total += lat_l3
+                            l2set[line] = True
+                        l2_stats.hits += 1
+                        total += lat_l2
                         if counting:
-                            combo_counts[16 + base] += 1
+                            combo_counts[8 + cb] += 1
                     else:
-                        l3_stats.misses += 1
-                        if counting:
-                            combo_counts[24 + base] += 1
-                        # L3 fill (the line just missed L3: plain insert).
-                        if len(l3set) >= l3_assoc:
-                            _v, v_dirty = l3set.popitem(last=False)
-                            l3_stats.evictions += 1
+                        l2_stats.misses += 1
+                        l3set = l3_sets[line % l3_nsets]
+                        if line in l3set:
+                            l3set.move_to_end(line)
+                            if is_write:
+                                l3set[line] = True
+                            l3_stats.hits += 1
+                            total += lat_l3
+                            if counting:
+                                combo_counts[16 + cb] += 1
+                        else:
+                            l3_stats.misses += 1
+                            if counting:
+                                combo_counts[24 + cb] += 1
+                            # L3 fill (just missed L3: plain insert).
+                            if len(l3set) >= l3_assoc:
+                                _v, v_dirty = l3set.popitem(last=False)
+                                l3_stats.evictions += 1
+                                if v_dirty:
+                                    l3_stats.writebacks += 1
+                            l3set[line] = False
+                            total += (self._dram_remote_latency if remote
+                                      else self._dram_local_latency)
+                        # L2 fill, clean (the line just missed L2).
+                        if len(l2set) >= l2_assoc:
+                            _v, v_dirty = l2set.popitem(last=False)
+                            l2_stats.evictions += 1
                             if v_dirty:
-                                l3_stats.writebacks += 1
-                        l3set[line] = False
-                        total += (self._dram_remote_latency if remote
-                                  else self._dram_local_latency)
-                    # L2 fill, clean (the line just missed L2).
-                    if len(l2set) >= l2_assoc:
-                        _v, v_dirty = l2set.popitem(last=False)
-                        l2_stats.evictions += 1
-                        if v_dirty:
-                            l2_stats.writebacks += 1
-                    l2set[line] = False
-                # L1 fill, inlined (the line just missed, so this is a
-                # plain insert-with-eviction).
-                if len(cset) >= l1_assoc:
-                    _victim, victim_dirty = cset.popitem(last=False)
-                    l1_stats.evictions += 1
-                    if victim_dirty:
-                        l1_stats.writebacks += 1
-                cset[line] = is_write
-            n += 1
-            addr += line_size
+                                l2_stats.writebacks += 1
+                        l2set[line] = False
+                    # L1 fill, inlined (the line just missed, so this is
+                    # a plain insert-with-eviction).
+                    if len(cset) >= l1_assoc:
+                        _victim, victim_dirty = cset.popitem(last=False)
+                        l1_stats.evictions += 1
+                        if victim_dirty:
+                            l1_stats.writebacks += 1
+                    cset[line] = is_write
+                cb = base
         stats = self.stats
         stats.accesses += n
         if is_write:

@@ -59,6 +59,27 @@ class Tlb:
         self._pages[page] = True
         return False
 
+    def touch_run(self, page: int, n: int) -> bool:
+        """One page run's TLB traffic in a single step: a lookup for the
+        run's first line plus ``n - 1`` same-page replays, which always
+        hit (the page is most recent after the first lookup, and run
+        addresses only ascend).  Returns True when the first lookup
+        missed.  Stats and LRU state identical to ``n`` sequential
+        :meth:`access` calls on the same page.
+        """
+        pages = self._pages
+        stats = self.stats
+        if page in pages:
+            pages.move_to_end(page)
+            stats.hits += n
+            return False
+        stats.misses += 1
+        stats.hits += n - 1
+        if len(pages) >= self.entries:
+            pages.popitem(last=False)
+        pages[page] = True
+        return True
+
     def flush(self) -> None:
         self._pages.clear()
 

@@ -427,7 +427,7 @@ class EventBus:
                 remote=result.remote, path=path, thread=thread))
             counter.samples_delivered += 1
 
-    def bulk_budget(self, tid: int, is_write: bool) -> int:
+    def bulk_budget(self, tid: int, is_write: Optional[bool]) -> int:
         """How many single-line accesses of one write-class a bulk walk
         may count without any possibility of overflow, whatever their
         outcomes.
@@ -438,8 +438,14 @@ class EventBus:
         histogram at all (e.g. allocation-zeroing writes while only
         ``L1_MISS``, a loads-only event, is armed).  The budget reads
         the live countdown registers: consume it immediately with
-        :meth:`observe_bulk` — any observed access in between
-        invalidates it.
+        :meth:`observe_bulk` / :meth:`observe_bulk_map` — any observed
+        access in between invalidates it.
+
+        ``is_write=None`` budgets a *mixed* walk (loads and stores
+        interleaved, as a fused superinstruction block may issue): each
+        counter is bounded by its worse write-class, so the budget is
+        never larger than either single-class budget and the
+        no-overflow guarantee holds for any interleaving.
         """
         if tid == self._hot_tid:
             entry = self._hot_entry
@@ -453,7 +459,11 @@ class EventBus:
         budget = NO_LIMIT
         for counter, maxw_read, maxw_write in entry[3]:
             if counter.enabled:
-                maxweight = maxw_write if is_write else maxw_read
+                if is_write is None:
+                    maxweight = maxw_write if maxw_write > maxw_read \
+                        else maxw_read
+                else:
+                    maxweight = maxw_write if is_write else maxw_read
                 if maxweight:
                     b = (counter.remaining_until_overflow - 1) // maxweight
                     if b >= NO_LIMIT:
@@ -487,3 +497,26 @@ class EventBus:
                         counted = n * weight
                         counter.total += counted
                         counter.remaining_until_overflow -= counted
+
+    def observe_bulk_map(self, tid: int, combo_map: Dict[int, int]) -> None:
+        """Sparse variant of :meth:`observe_bulk` for fused blocks.
+
+        A superinstruction block touches a handful of lines, so its
+        outcome histogram is a small ``{combo_index: count}`` dict
+        rather than a dense :data:`~repro.pmu.events.NUM_COMBOS` list.
+        Same contract: the block ran under a :meth:`bulk_budget` big
+        enough for every access, so no register can overflow here.
+        """
+        if tid == self._hot_tid:
+            entry = self._hot_entry
+        else:
+            entry = self._entry_for(tid)
+        if entry is None or entry[0] is None:
+            return
+        table = entry[0]
+        for i, n in combo_map.items():
+            for _sid, counter, weight in table[i]:
+                if counter.enabled:
+                    counted = n * weight
+                    counter.total += counted
+                    counter.remaining_until_overflow -= counted

@@ -17,6 +17,7 @@ from repro.workloads import (  # noqa: F401
     bloat,
     growth,
     insignificant,
+    kernels,
     known_bugs,
     numa_apps,
     numeric,

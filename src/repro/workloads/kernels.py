@@ -1,0 +1,189 @@
+"""Interpreter-throughput kernels — the engine-bound bench rows.
+
+The Figure-4 suite rows mirror the paper's allocation/work profiles,
+which makes them allocation- and native-bound: they measure the cost
+of profiling *around* the engine, not the engine itself.  These
+kernels are the complement — long straight-line bytecode loops with
+negligible allocation — so the throughput bench can resolve changes to
+the dispatch hot path (superinstruction fusion, handler tables) that
+the suite rows bury in setup cost.  The shapes follow the classic
+interpreter-benchmark kernels: integer arithmetic, array streaming,
+field traffic, and a mixed control/arithmetic loop.
+
+Every kernel funnels its result through the ``blackhole`` native so
+the loop bodies stay observable, and sizes target a few hundred
+thousand executed instructions: enough for stable timer signal, small
+enough that the legacy bench arm stays affordable in CI.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.heap.layout import FieldSpec, JClass, Kind
+from repro.jvm.bytecode import MethodBuilder
+from repro.jvm.classfile import JProgram
+from repro.jvm.machine import MachineConfig
+from repro.workloads.base import Workload, register, sim_machine
+from repro.workloads.dsl import consume, for_range
+
+
+class KernelWorkload(Workload):
+    """Base for the engine-bound kernels: one hot method, one thread."""
+
+    variants = ("baseline",)
+    paper_ref = "§7.3 overhead study (engine-bound complement)"
+
+    def machine_config(self) -> MachineConfig:
+        return sim_machine(heap_size=1024 * 1024)
+
+
+@register
+class ArithKernel(KernelWorkload):
+    """Pure integer arithmetic: the dispatch-rate ceiling."""
+
+    name = "kernel-arith"
+    description = ("tight integer loop (add/mul/mask), no memory "
+                   "traffic: measures raw bytecode dispatch rate")
+
+    ITERS = 120_000
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self.check_variant(variant)
+        p = JProgram(self.name)
+        b = MethodBuilder("ArithKernel", "run")
+        b.iconst(0).store(2)                       # acc
+
+        def body(b: MethodBuilder) -> None:
+            # acc = ((acc + i) * 3) & 8191
+            (b.load(2).load(1).add()
+             .iconst(3).mul()
+             .iconst(8191).band()
+             .store(2))
+
+        for_range(b, 1, self.ITERS, body)
+        consume(b, 2)
+        b.ret()
+        p.add_builder(b)
+        p.add_entry("run")
+        return p
+
+
+@register
+class ArrayKernel(KernelWorkload):
+    """Array read-modify-write streaming: fused blocks with accesses."""
+
+    name = "kernel-array"
+    description = ("read-modify-write sweeps over an int[2048]: "
+                   "dispatch plus per-element cache traffic")
+
+    PASSES = 18
+    LEN = 2048
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self.check_variant(variant)
+        p = JProgram(self.name)
+        b = MethodBuilder("ArrayKernel", "run")
+        b.iconst(self.LEN).newarray(Kind.INT).store(3)
+
+        def inner(b: MethodBuilder) -> None:
+            # a[j] = a[j] * 3 + j
+            (b.load(3).load(2)                     # a, j  (astore dest)
+             .load(3).load(2).aload()              # a[j]
+             .iconst(3).mul().load(2).add()
+             .astore())
+
+        def outer(b: MethodBuilder) -> None:
+            for_range(b, 2, self.LEN, inner)
+
+        for_range(b, 1, self.PASSES, outer)
+        b.iconst(0).store(4)
+        (b.load(3).iconst(7).aload().store(4))
+        consume(b, 4)
+        b.ret()
+        p.add_builder(b)
+        p.add_entry("run")
+        return p
+
+
+@register
+class FieldKernel(KernelWorkload):
+    """Object field traffic: GETFIELD/PUTFIELD-dominated loop."""
+
+    name = "kernel-field"
+    description = ("field increment loop over one live object: "
+                   "dispatch plus header/field cache traffic")
+
+    ITERS = 16_000
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self.check_variant(variant)
+        p = JProgram(self.name)
+        p.add_class(JClass("KPair", [FieldSpec("a"), FieldSpec("b")]))
+        b = MethodBuilder("FieldKernel", "run")
+        b.new("KPair").store(2)
+        b.load(2).iconst(1).putfield("b")
+
+        def body(b: MethodBuilder) -> None:
+            # o.a = o.a + o.b;  o.b = (o.b + i) & 1023
+            (b.load(2)
+             .load(2).getfield("a")
+             .load(2).getfield("b")
+             .add().putfield("a"))
+            (b.load(2)
+             .load(2).getfield("b")
+             .load(1).add().iconst(1023).band()
+             .putfield("b"))
+
+        for_range(b, 1, self.ITERS, body)
+        b.load(2).getfield("a").store(3)
+        consume(b, 3)
+        b.ret()
+        p.add_builder(b)
+        p.add_entry("run")
+        return p
+
+
+@register
+class MixedKernel(KernelWorkload):
+    """Mixed control/arithmetic: branches, div/rem, stack shuffles."""
+
+    name = "kernel-mixed"
+    description = ("branchy loop with div/rem and dup/swap stack "
+                   "shuffles: the worst-case fusion shape")
+
+    ITERS = 80_000
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self.check_variant(variant)
+        p = JProgram(self.name)
+        b = MethodBuilder("MixedKernel", "run")
+        b.iconst(1).store(2)                       # acc
+
+        def body(b: MethodBuilder) -> None:
+            odd = b.new_label()
+            done = b.new_label()
+            b.load(1).iconst(1).band().if_ne(odd)
+            # even: acc = (acc + i * 7) % 9973
+            (b.load(2).load(1).iconst(7).mul().add()
+             .iconst(9973).rem().store(2))
+            b.goto(done)
+            b.place(odd)
+            # odd: acc = acc + (i / 3 ^ acc), via dup/swap shuffles
+            (b.load(1).iconst(3).div()
+             .load(2).swap().bxor()
+             .dup().pop()
+             .load(2).add().store(2))
+            b.place(done)
+
+        for_range(b, 1, self.ITERS, body)
+        consume(b, 2)
+        b.ret()
+        p.add_builder(b)
+        p.add_entry("run")
+        return p
+
+
+def kernel_names() -> List[str]:
+    """The engine-bound kernel rows, in bench order."""
+    return ["kernel-arith", "kernel-array", "kernel-field", "kernel-mixed"]

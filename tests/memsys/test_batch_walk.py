@@ -1,0 +1,248 @@
+"""Batched bulk walks vs per-line accesses: bit-identical state.
+
+:meth:`MemoryHierarchy.touch_range` plans its walk through
+:mod:`repro.memsys.batch` (per-page line runs, closed-form eviction
+arithmetic) instead of walking line by line.  The refactor's contract
+is *bit-identical observable state*: for any range, write mix and
+revisit pattern, a batched walk must leave every cache set's
+OrderedDict (contents, LRU order, dirty bits), every stats object, the
+TLB's recency order, the page table and the summed latency exactly
+where the equivalent ``access(cpu, addr, 8, is_write)`` loop would —
+and, when counting, produce exactly the outcome-combo histogram the
+per-line AccessResults would classify to.
+
+The twin-hierarchy property test drives both engines through the same
+walk schedule on identical geometries and compares full state
+snapshots after every walk.  The whole suite runs twice: once with the
+planner's numpy path available and once forced onto the pure-Python
+fallback (the CI matrix additionally runs the entire test suite with
+``REPRO_NO_NUMPY=1``).
+"""
+
+import pytest
+
+from repro.memsys import HierarchyConfig, MemoryHierarchy, NumaTopology
+from repro.memsys import batch
+from repro.pmu.events import NUM_COMBOS, combo_index
+
+
+def small_config(**overrides):
+    base = dict(l1_size=1024, l1_assoc=2,
+                l2_size=4096, l2_assoc=4,
+                l3_size=16 * 1024, l3_assoc=4,
+                tlb_entries=4, page_size=4096)
+    base.update(overrides)
+    return HierarchyConfig(**base)
+
+
+def make_twins(cfg=None, num_nodes=2, cpus_per_node=2):
+    cfg = cfg or small_config()
+    return (MemoryHierarchy(NumaTopology(num_nodes, cpus_per_node), cfg),
+            MemoryHierarchy(NumaTopology(num_nodes, cpus_per_node), cfg))
+
+
+def cache_state(cache):
+    """Stats plus every set's full (line, dirty) sequence in LRU order."""
+    return (vars(cache.stats),
+            [list(cset.items()) for cset in cache._sets])
+
+
+def snapshot(h):
+    """Every observable the equivalence contract covers."""
+    return {
+        "l1": [cache_state(c) for c in h.l1],
+        "l2": [cache_state(c) for c in h.l2],
+        "l3": [cache_state(c) for c in h.l3],
+        "tlb": [(vars(t.stats), list(t.page_map().items()))
+                for t in h.tlb],
+        "pt": (vars(h.page_table.stats), dict(h.page_table._page_node)),
+        "stats": vars(h.stats),
+    }
+
+
+def reference_walk(h, cpu, start, end, is_write):
+    """The per-line loop the batched walk must be indistinguishable
+    from; returns (total latency, dense combo histogram)."""
+    combos = [0] * NUM_COMBOS
+    total = 0
+    line = h.config.line_size
+    addr = start
+    while addr < end:
+        r = h.access(cpu, addr, 8, is_write)
+        total += r.latency
+        combos[combo_index(r.level, r.tlb_misses > 0,
+                           r.is_write, r.remote)] += 1
+        addr += line
+    return total, combos
+
+
+#: (label, [(cpu, start, n_lines, is_write), ...]) walk schedules.
+#: Line size is 64, page size 4096 (64 lines/page) throughout.
+SCHEDULES = [
+    ("zeroing-cold", [
+        # A fresh allocation's zeroing walk: everything misses to DRAM.
+        (0, 0x10000, 256, True),
+    ]),
+    ("warm-restream", [
+        # Second pass re-streams entirely from L1 (16 lines fit).
+        (0, 0x2000, 16, True),
+        (0, 0x2000, 16, False),
+        (0, 0x2000, 16, True),
+    ]),
+    ("page-straddle", [
+        # Start mid-page so runs split across page boundaries.
+        (0, 0x10000 + 62 * 64, 70, False),
+        (0, 0x10000 + 63 * 64, 3, True),
+    ]),
+    ("set-overwhelm", [
+        # 256 lines through a 16-set 2-way L1: every set overwhelmed,
+        # exercising the closed-form eviction plan's skip_new arm.
+        (0, 0x40000, 256, False),
+        (0, 0x40000, 256, True),
+    ]),
+    ("revisit-interleave", [
+        # Overlapping revisits with flipped write classes and a second
+        # CPU pulling shared lines through its own private levels.
+        (0, 0x8000, 32, False),
+        (0, 0x8400, 32, True),
+        (1, 0x8000, 48, False),
+        (0, 0x8000, 8, True),
+    ]),
+    ("remote-node", [
+        # First touch places pages on node 0; cpu 2 (node 1) then
+        # streams them remotely.
+        (0, 0x100000, 128, True),
+        (2, 0x100000, 128, False),
+    ]),
+    ("tlb-thrash", [
+        # 8 pages through a 4-entry TLB, twice: eviction + re-fill
+        # order must match per-line walks exactly.
+        (0, 0x200000, 8 * 64, False),
+        (0, 0x200000, 8 * 64, False),
+    ]),
+]
+
+
+@pytest.fixture(params=["planner-numpy", "planner-pure"])
+def planner(request, monkeypatch):
+    """Run every test against both planner implementations."""
+    if request.param == "planner-pure":
+        monkeypatch.setattr(batch, "HAVE_NUMPY", False)
+    elif not batch.HAVE_NUMPY:
+        pytest.skip("numpy not available")
+    # Make the numpy path actually engage on test-sized ranges.
+    monkeypatch.setattr(batch, "_NUMPY_MIN_LINES", 4)
+    return request.param
+
+
+class TestBatchedWalkEquivalence:
+    @pytest.mark.parametrize(
+        "label,walks", SCHEDULES, ids=[s[0] for s in SCHEDULES])
+    def test_state_identical_to_per_line_loop(self, planner, label, walks):
+        batched, looped = make_twins()
+        line = batched.config.line_size
+        for cpu, start, n_lines, is_write in walks:
+            end = start + n_lines * line
+            combos = [0] * NUM_COMBOS
+            got = batched.touch_range(cpu, start, end, is_write,
+                                      combo_counts=combos)
+            assert got != -1, f"{label}: fused preconditions failed"
+            want, want_combos = reference_walk(looped, cpu, start, end,
+                                               is_write)
+            assert got == want, f"{label}: latency diverged"
+            assert combos == want_combos, f"{label}: combos diverged"
+            assert snapshot(batched) == snapshot(looped), \
+                f"{label}: state diverged after walk {cpu, start, n_lines}"
+
+    def test_interleaved_single_accesses_see_same_world(self, planner):
+        # After a bulk walk, individual accesses (the interpreter's
+        # normal traffic) must observe identical hit/miss behaviour.
+        batched, looped = make_twins()
+        batched.touch_range(0, 0x3000, 0x3000 + 40 * 64, True)
+        reference_walk(looped, 0, 0x3000, 0x3000 + 40 * 64, True)
+        for addr in (0x3000, 0x3000 + 39 * 64, 0x3000 + 17 * 64, 0x9000):
+            rb = batched.access(0, addr, 8, False)
+            rl = looped.access(0, addr, 8, False)
+            assert (rb.level, rb.latency, rb.tlb_misses, rb.remote) == \
+                (rl.level, rl.latency, rl.tlb_misses, rl.remote)
+        assert snapshot(batched) == snapshot(looped)
+
+    def test_unaligned_start_falls_back_identically(self, planner):
+        # A start whose 8-byte access straddles a line boundary fails
+        # the fused preconditions: counting callers get -1 *before any
+        # state changes*, non-counting callers get the per-line path.
+        batched, looped = make_twins()
+        start, end = 0x5000 + 60, 0x5000 + 60 + 6 * 64
+        before = snapshot(batched)
+        assert batched.touch_range(0, start, end, False,
+                                   combo_counts=[0] * NUM_COMBOS) == -1
+        assert snapshot(batched) == before
+        got = batched.touch_range(0, start, end, False)
+        want, _ = reference_walk(looped, 0, start, end, False)
+        assert got == want
+        assert snapshot(batched) == snapshot(looped)
+
+
+class TestPlannerPrimitives:
+    def test_page_runs_matches_sequential_walk(self, planner):
+        for start, end, line, page in [
+            (0, 4096 * 3, 64, 4096),
+            (100, 9000, 64, 4096),
+            (4096 - 64, 4096 + 64, 64, 4096),
+            (8192, 8192 + 64 * 300, 64, 4096),
+            (0, 64, 64, 4096),
+        ]:
+            runs = batch.page_runs(start, end, line, page)
+            # Rebuild the line-address stream and check it equals the
+            # sequential addr += line loop, with every run one page.
+            stream = []
+            for first, n in runs:
+                assert n > 0
+                addrs = [first + k * line for k in range(n)]
+                assert len({a // page for a in addrs}) == 1
+                stream.extend(addrs)
+            expect = list(range(start, end, line))
+            assert stream == expect, (start, end)
+
+    def test_numpy_and_pure_planners_agree(self):
+        if not batch.HAVE_NUMPY:
+            pytest.skip("numpy not available")
+        cases = [(0, 4096 * 5, 64, 4096), (123, 50000, 64, 4096),
+                 (4000, 4200, 64, 4096)]
+        for case in cases:
+            with_np = batch.page_runs(*case)
+            saved = batch.HAVE_NUMPY
+            try:
+                batch.HAVE_NUMPY = False
+                pure = batch.page_runs(*case)
+            finally:
+                batch.HAVE_NUMPY = saved
+            assert with_np == pure, case
+
+    @pytest.mark.parametrize("occupied,incoming,assoc", [
+        (0, 0, 4), (0, 4, 4), (2, 1, 4), (2, 2, 4), (4, 4, 4),
+        (3, 10, 4), (0, 9, 2), (1, 1, 1), (8, 3, 8), (2, 100, 2),
+    ])
+    def test_eviction_plan_matches_sequential_inserts(
+            self, occupied, incoming, assoc):
+        # Simulate the LRU inserts the plan summarises.
+        from collections import OrderedDict
+        cset = OrderedDict((f"old{i}", False) for i in range(occupied))
+        evictions = pop_existing = 0
+        inserted = []
+        for i in range(incoming):
+            if len(cset) >= assoc:
+                victim, _ = cset.popitem(last=False)
+                evictions += 1
+                if victim.startswith("old"):
+                    pop_existing += 1
+                else:
+                    inserted.remove(victim)
+            cset[f"new{i}"] = False
+            inserted.append(f"new{i}")
+        want = (evictions, pop_existing,
+                evictions - pop_existing)
+        assert batch.eviction_plan(occupied, incoming, assoc) == want
+        # skip_new really is the count of incoming lines that did not
+        # survive the fill.
+        assert incoming - len(inserted) == want[2]

@@ -14,7 +14,7 @@ from repro.memsys.hierarchy import AccessResult
 from repro.obs.bus import NO_LIMIT, EventBus
 from repro.obs.collector import Collector
 from repro.obs.events import SampleEvent
-from repro.pmu.events import NUM_COMBOS, L1_MISS, combo_index
+from repro.pmu.events import ALL_STORES, NUM_COMBOS, L1_MISS, combo_index
 
 
 class FakeThread:
@@ -193,6 +193,41 @@ class TestBulkBudget:
         bus.flush()
         assert len(rec.samples) == 1
         assert counter.remaining_until_overflow == 64
+
+    def test_mixed_walk_budget_is_worst_write_class(self):
+        # A fused superinstruction block may interleave loads and
+        # stores; budgeting with is_write=None must bound each counter
+        # by its worse write-class so no interleaving can overflow.
+        bus, rec, thread = _bus_with_thread()
+        bus.open_sampler(L1_MISS, period=64, owner="p")      # loads only
+        assert bus.bulk_budget(thread.tid, None) == 63
+        bus.open_sampler(ALL_STORES, period=10, owner="p")   # stores only
+        assert bus.bulk_budget(thread.tid, False) == 63
+        assert bus.bulk_budget(thread.tid, True) == 9
+        assert bus.bulk_budget(thread.tid, None) == 9
+
+    def test_observe_bulk_map_matches_dense_histogram(self):
+        # The sparse fused-block variant must count exactly like the
+        # dense observe_bulk path.
+        combo = combo_index(level="L2", tlb_missed=False, is_write=False,
+                            remote=False)
+        write_combo = combo_index(level="DRAM", tlb_missed=True,
+                                  is_write=True, remote=False)
+        bus_a, _, thread_a = _bus_with_thread()
+        sid_a = bus_a.open_sampler(L1_MISS, period=64, owner="p")
+        bus_a.observe_bulk_map(thread_a.tid, {combo: 5, write_combo: 7})
+        bus_b, _, thread_b = _bus_with_thread()
+        sid_b = bus_b.open_sampler(L1_MISS, period=64, owner="p")
+        dense = [0] * NUM_COMBOS
+        dense[combo] = 5
+        dense[write_combo] = 7
+        bus_b.observe_bulk(thread_b.tid, dense)
+        ca = _counter(bus_a, thread_a.tid, sid_a)
+        cb = _counter(bus_b, thread_b.tid, sid_b)
+        # L1_MISS counts no write combo: only the 5 load misses land.
+        assert ca.total == cb.total == 5
+        assert ca.remaining_until_overflow == \
+            cb.remaining_until_overflow == 59
 
 
 class TestCapabilityUnionMidRun:
