@@ -73,8 +73,10 @@ from repro.workloads.suite import suite_names
 #: Schema tag written into every report (bump on breaking change).
 #: ``/2`` added the profiled arms and per-arm instruction counts;
 #: ``/3`` added the serving-layer store arm (profile write/read cost);
-#: ``/4`` added the fused superinstruction arm and fusion counters.
-SCHEMA = "repro-bench-throughput/4"
+#: ``/4`` added the fused superinstruction arm and fusion counters;
+#: ``/5`` added the serve-load fleet arm (p50/p99 submit-to-verdict
+#: latency, dedupe hit rate, cross-shard reshard check).
+SCHEMA = "repro-bench-throughput/5"
 
 #: Quick subset for CI: the heaviest row of each flavour, two
 #: streaming-native rows, and the engine-bound interpreter kernels.
@@ -171,10 +173,17 @@ class BenchRow:
 
 @dataclass(frozen=True)
 class BenchReport:
-    """A full harness run: per-workload rows plus the aggregate."""
+    """A full harness run: per-workload rows plus the aggregate.
+
+    ``serve_load`` (a :meth:`repro.serve.loadgen.ServeLoadResult.
+    to_dict` payload) rides alongside the engine rows when the
+    serving-layer arm ran — fleet latency is tracked in the same
+    report, and gated by the same ``--check``, as engine speedups.
+    """
 
     rows: List[BenchRow]
     repeat: int
+    serve_load: Optional[Dict] = None
 
     def _aggregate(self, arm: Callable[[BenchRow], Optional[ArmTiming]],
                    profiled: bool = False) -> Optional[ArmTiming]:
@@ -314,6 +323,8 @@ class BenchReport:
                 self.aggregate_profiled_speedup, 3)
         if self.aggregate_store is not None:
             agg["store"] = store_arm(self.aggregate_store)
+        if self.serve_load is not None:
+            out["serve_load"] = self.serve_load
         return out
 
 
@@ -627,18 +638,8 @@ def load_report(path: str) -> Dict:
     return data
 
 
-def check_regression(report: BenchReport, baseline: Dict,
-                     tolerance: float = 0.20) -> List[str]:
-    """Compare a fresh run against a committed baseline report.
-
-    Returns a list of human-readable failures (empty = pass).  Speedup
-    *ratios* are compared, not absolute throughput: each ratio's two
-    arms are measured within one process on one machine, so the ratio
-    transfers between the committing machine and the checking machine,
-    while raw ips does not.  Two ratios are checked when available:
-    fastpath-over-legacy, and — if both the run and the baseline carry
-    profiled arms — skip-ahead-over-per-access with DJXPerf attached.
-    """
+def _check_engine_ratios(report: BenchReport, baseline: Dict,
+                         tolerance: float) -> List[str]:
     failures: List[str] = []
     measured = report.aggregate_speedup
     if measured is None:
@@ -672,4 +673,80 @@ def check_regression(report: BenchReport, baseline: Dict,
                 f"profiled skip-ahead speedup regressed: measured "
                 f"{profiled_measured:.3f}x < floor {profiled_floor:.3f}x "
                 f"(committed {profiled_committed:.3f}x - {tolerance:.0%})")
+    return failures
+
+
+def _check_serve_load(serve: Dict, base: Dict, tolerance: float,
+                      serve_tolerance: float) -> List[str]:
+    """Gate the fleet arm on machine-transferable quantities.
+
+    Absolute p50/p99 latencies do not transfer between the committing
+    machine and the checking machine, but the *tail ratio* (p99/p50)
+    does — both percentiles come from the same clients on the same
+    machine.  ``serve_tolerance`` is the allowed relative growth of the
+    tail ratio (default 1.0: fail only when the tail more than doubles
+    relative to the committed ratio — serving latency under a thread
+    scheduler is far noisier than in-process engine timing).  The
+    dedupe hit rate is deterministic (fixed duplicate schedule), so it
+    gets the ordinary ``tolerance`` as a floor, and the cross-shard
+    reshard hit is pass/fail: once committed as working it must not be
+    lost.
+    """
+    failures: List[str] = []
+    measured_tail = serve.get("tail_ratio")
+    committed_tail = base.get("tail_ratio")
+    if measured_tail is None:
+        failures.append("serve_load run has no tail_ratio")
+    elif committed_tail is not None:
+        ceiling = committed_tail * (1.0 + serve_tolerance)
+        if measured_tail > ceiling:
+            failures.append(
+                f"serve p99/p50 tail ratio regressed: measured "
+                f"{measured_tail:.2f} > ceiling {ceiling:.2f} "
+                f"(committed {committed_tail:.2f} + "
+                f"{serve_tolerance:.0%})")
+    measured_hits = serve.get("dedupe_hit_rate")
+    committed_hits = base.get("dedupe_hit_rate")
+    if measured_hits is not None and committed_hits is not None:
+        hit_floor = committed_hits * (1.0 - tolerance)
+        if measured_hits < hit_floor:
+            failures.append(
+                f"fleet dedupe hit rate regressed: measured "
+                f"{measured_hits:.3f} < floor {hit_floor:.3f} "
+                f"(committed {committed_hits:.3f} - {tolerance:.0%})")
+    if (base.get("cross_shard") or {}).get("hit") and \
+            not (serve.get("cross_shard") or {}).get("hit"):
+        failures.append(
+            "cross-shard dedupe lost: the resharded duplicate was "
+            "simulated instead of served from the fleet index")
+    return failures
+
+
+def check_regression(report: BenchReport, baseline: Dict,
+                     tolerance: float = 0.20,
+                     serve_tolerance: float = 1.0) -> List[str]:
+    """Compare a fresh run against a committed baseline report.
+
+    Returns a list of human-readable failures (empty = pass).  Speedup
+    *ratios* are compared, not absolute throughput: each ratio's two
+    arms are measured within one process on one machine, so the ratio
+    transfers between the committing machine and the checking machine,
+    while raw ips does not.  Engine rows gate fastpath-over-legacy,
+    fused, and — if both the run and the baseline carry profiled arms —
+    skip-ahead-over-per-access ratios; a ``serve_load`` section gates
+    the fleet arm's p99/p50 tail ratio (ceiling ``serve_tolerance``),
+    dedupe hit rate (floor ``tolerance``), and the cross-shard reshard
+    hit (see :func:`_check_serve_load`).
+    """
+    failures: List[str] = []
+    if report.rows:
+        failures.extend(_check_engine_ratios(report, baseline, tolerance))
+    serve = report.serve_load
+    base_serve = baseline.get("serve_load")
+    if serve is not None and base_serve is not None:
+        failures.extend(_check_serve_load(serve, base_serve, tolerance,
+                                          serve_tolerance))
+    if not report.rows and serve is None:
+        failures.append("nothing to check: the run has neither engine "
+                        "rows nor a serve_load section")
     return failures

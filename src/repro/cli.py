@@ -40,6 +40,11 @@ Commands
     and retries, persist every profile into the store, heartbeat to
     ``<spool>/status.jsonl``.  ``--drain`` processes the backlog and
     exits (the CI mode).
+``fleet``
+    The sharded serving tier: N shard daemons (each its own spool +
+    store) behind one asyncio HTTP front door, with the fleet-wide
+    dedupe index and per-tenant fairness quotas.  ``--max-seconds``
+    bounds the run for smoke tests.
 ``submit``
     Drop a profile/bench/fuzz job into the spool for the daemon.
 ``history``
@@ -236,15 +241,37 @@ def cmd_bench(args) -> int:
               f"{row.fastpath.aps:10.0f} aps{fused}{speedup}"
               f"{profiled}{store}")
 
-    report = bench_suite(names, repeat=args.repeat,
-                         legacy=not args.no_legacy,
-                         profiled=args.profiled, progress=progress,
-                         seed=args.seed, store=args.store_arm,
-                         fused=not args.no_fused,
-                         jobs=args.jobs or 1)
+    if args.serve_only:
+        from repro.bench import BenchReport
+
+        report = BenchReport(rows=[], repeat=args.repeat)
+    else:
+        report = bench_suite(names, repeat=args.repeat,
+                             legacy=not args.no_legacy,
+                             profiled=args.profiled, progress=progress,
+                             seed=args.seed, store=args.store_arm,
+                             fused=not args.no_fused,
+                             jobs=args.jobs or 1)
+    if args.serve_load or args.serve_only:
+        from repro.serve import run_serve_load
+
+        result = run_serve_load(clients=args.clients,
+                                shards=args.serve_shards,
+                                requests_per_client=args.serve_requests)
+        report = dataclasses.replace(report, serve_load=result.to_dict())
+        if not args.json:
+            cross = "hit" if result.cross_shard.get("hit") else "MISS"
+            print(f"{'SERVE-LOAD':24s} {result.jobs_ok:3d}/"
+                  f"{result.jobs_total} jobs  "
+                  f"p50 {result.p50_ms:7.1f}ms  "
+                  f"p99 {result.p99_ms:7.1f}ms  "
+                  f"tail x{result.tail_ratio:.2f}  "
+                  f"dedupe {result.dedupe_hit_rate:.0%}  "
+                  f"{result.throttled} throttled  "
+                  f"cross-shard {cross}")
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
-    else:
+    elif report.rows:
         agg = report.aggregate_fastpath
         print(f"{'AGGREGATE':24s} "
               f"{sum(r.instructions for r in report.rows):8d} ins  "
@@ -261,7 +288,8 @@ def cmd_bench(args) -> int:
             print(f"report written to {args.out}")
     if args.check:
         failures = check_regression(report, load_report(args.check),
-                                    tolerance=args.tolerance)
+                                    tolerance=args.tolerance,
+                                    serve_tolerance=args.serve_tolerance)
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:
@@ -303,6 +331,7 @@ def cmd_fuzz(args) -> int:
 #: Default serving-layer locations (shared by serve/submit/history/regress).
 DEFAULT_SPOOL = ".djxserve/spool"
 DEFAULT_STORE = ".djxserve/store.sqlite"
+DEFAULT_FLEET_ROOT = ".djxserve/fleet"
 
 
 def cmd_serve(args) -> int:
@@ -327,6 +356,55 @@ def cmd_serve(args) -> int:
                   f"({service.failed} failed, "
                   f"{service.cached_hits} served from store)")
     return 0 if service.failed == 0 else 1
+
+
+def cmd_fleet(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import FairnessPolicy, Fleet, HttpFrontDoor
+
+    policy = FairnessPolicy(
+        max_pending_per_tenant=args.tenant_pending,
+        max_inflight_per_tenant=args.tenant_inflight,
+        max_queue_depth=args.queue_depth)
+
+    async def _run() -> int:
+        fleet = Fleet(args.root, shards=args.shards, jobs=args.jobs,
+                      job_timeout=args.timeout, queue_policy=policy)
+        door = HttpFrontDoor(fleet, host=args.host, port=args.port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, OSError):
+                pass  # non-main thread or unsupported platform
+        with fleet:
+            fleet.start(poll_interval=args.poll)
+            await door.start()
+            print(f"fleet: {args.shards} shard(s) under {args.root}, "
+                  f"listening on http://{door.host}:{door.port} "
+                  f"(SIGINT/SIGTERM stops)")
+            if args.max_seconds is not None:
+                try:
+                    await asyncio.wait_for(stop.wait(), args.max_seconds)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await stop.wait()
+            await door.stop()
+            stats = fleet.stats()
+        completed = sum(s["completed"] for s in stats["shards"])
+        failed = sum(s["failed"] for s in stats["shards"])
+        print(f"stopped after {door.requests_served} request(s): "
+              f"{completed} job(s) done, {failed} failed, "
+              f"dedupe {stats['dedupe']['hits']} hit(s) / "
+              f"{stats['dedupe']['misses']} miss(es), "
+              f"{stats['dedupe']['indexed']} key(s) indexed")
+        return 0 if failed == 0 else 1
+
+    return asyncio.run(_run())
 
 
 def cmd_submit(args) -> int:
@@ -548,6 +626,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=None,
                          help="override the machine seed on every arm "
                               "(identical schedules across arms)")
+    p_bench.add_argument("--serve-load", action="store_true",
+                         help="also run the serving-layer load arm: K "
+                              "concurrent HTTP clients against an "
+                              "in-process sharded fleet, recording "
+                              "p50/p99 submit-to-verdict latency, "
+                              "dedupe hit rate, and the cross-shard "
+                              "reshard check")
+    p_bench.add_argument("--serve-only", action="store_true",
+                         help="run only the serve-load arm, skipping "
+                              "the engine rows (the CI smoke mode)")
+    p_bench.add_argument("--clients", type=int, default=8,
+                         help="concurrent load-generator clients for "
+                              "--serve-load (default 8)")
+    p_bench.add_argument("--serve-shards", type=int, default=2,
+                         help="fleet shard count for --serve-load "
+                              "(default 2)")
+    p_bench.add_argument("--serve-requests", type=int, default=5,
+                         help="requests per client for --serve-load "
+                              "(default 5)")
+    p_bench.add_argument("--serve-tolerance", type=float, default=1.0,
+                         help="allowed fractional growth of the serve "
+                              "p99/p50 tail ratio for --check "
+                              "(default 1.0: fail only when the tail "
+                              "more than doubles)")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_fuzz = sub.add_parser(
@@ -593,6 +695,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process the current backlog and exit "
                               "instead of polling forever")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run the sharded fleet behind the HTTP front door")
+    p_fleet.add_argument("--root", default=DEFAULT_FLEET_ROOT,
+                         help="fleet root directory holding the shard "
+                              f"spools/stores and the dedupe index "
+                              f"(default {DEFAULT_FLEET_ROOT})")
+    p_fleet.add_argument("--shards", type=int, default=2,
+                         help="shard daemons to run (default 2; "
+                              "growing the count reshards — old "
+                              "profiles are found through the fleet "
+                              "index)")
+    p_fleet.add_argument("--host", default="127.0.0.1",
+                         help="front-door bind address "
+                              "(default 127.0.0.1)")
+    p_fleet.add_argument("--port", type=int, default=8750,
+                         help="front-door port (default 8750; 0 picks "
+                              "an ephemeral port)")
+    p_fleet.add_argument("--jobs", type=int, default=1,
+                         help="worker processes per shard (default 1)")
+    p_fleet.add_argument("--poll", type=float, default=0.5,
+                         help="seconds between idle spool polls per "
+                              "shard, before backoff (default 0.5)")
+    p_fleet.add_argument("--timeout", type=float, default=300.0,
+                         help="per-job attempt timeout in seconds "
+                              "(default 300)")
+    p_fleet.add_argument("--tenant-pending", type=int, default=32,
+                         help="pending jobs one tenant may queue per "
+                              "shard before 429 (default 32)")
+    p_fleet.add_argument("--tenant-inflight", type=int, default=4,
+                         help="in-flight jobs one tenant may hold per "
+                              "shard (default 4)")
+    p_fleet.add_argument("--queue-depth", type=int, default=512,
+                         help="total pending jobs per shard before "
+                              "429 (default 512)")
+    p_fleet.add_argument("--max-seconds", type=float, default=None,
+                         help="stop after this much wall time instead "
+                              "of waiting for a signal (smoke tests)")
+    p_fleet.set_defaults(fn=cmd_fleet)
 
     p_submit = sub.add_parser(
         "submit", help="enqueue a job for the serve daemon")

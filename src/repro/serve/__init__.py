@@ -21,11 +21,28 @@ one-shot CLI profiler into a service:
     objects, sample-share swings, throughput drops → machine-readable
     verdicts.
 :mod:`repro.serve.service`
-    The daemon: poll the spool, fan jobs over the pool, persist
-    results, heartbeat to a JSONL status file.
+    The daemon: poll the spool (with jittered idle backoff), fan jobs
+    over the pool, persist results, heartbeat to a JSONL status file.
+:mod:`repro.serve.router`
+    The fleet tier: stable shard placement over N shard directories,
+    the fleet-wide ``(program-hash, config-hash, seed)`` dedupe index,
+    and the in-process :class:`~repro.serve.router.Fleet` assembly.
+:mod:`repro.serve.http`
+    Asyncio HTTP front door: submit / status / history / regress /
+    fleet endpoints over stdlib streams, with 429 + ``Retry-After``
+    backpressure from the queue's fairness policy.
+:mod:`repro.serve.loadgen`
+    Load generator behind ``bench --serve-load``: K concurrent HTTP
+    clients, p50/p99 submit-to-verdict latency, dedupe hit rate, and
+    the reshard cross-shard dedupe check.
 """
 
-from repro.serve.queue import JobSpec, SpoolQueue
+from repro.serve.queue import (
+    FairnessPolicy,
+    JobSpec,
+    QuotaExceeded,
+    SpoolQueue,
+)
 from repro.serve.regress import (
     RegressionFinding,
     RegressionVerdict,
@@ -42,9 +59,21 @@ from repro.serve.store import (
 )
 from repro.serve.workers import TaskOutcome, WorkerPool
 from repro.serve.service import ProfilingService
+from repro.serve.router import Fleet, FleetIndex, ShardRouter, shard_for
+from repro.serve.http import HttpFrontDoor
+from repro.serve.loadgen import ServeLoadResult, run_serve_load
 
 __all__ = [
+    "FairnessPolicy",
+    "Fleet",
+    "FleetIndex",
+    "HttpFrontDoor",
     "JobSpec",
+    "QuotaExceeded",
+    "ServeLoadResult",
+    "ShardRouter",
+    "shard_for",
+    "run_serve_load",
     "ProfileKey",
     "ProfileRecord",
     "ProfileStore",

@@ -1,0 +1,284 @@
+"""Asyncio HTTP front door for a profiling fleet.
+
+One event loop accepts every client; submissions, status polls, and
+history/regress queries are routed to the :class:`~repro.serve.router.
+Fleet` (shard daemons run on their own threads, so the loop never
+blocks on a simulation).  Implemented directly on stdlib
+``asyncio.start_server`` streams — no web framework, no dependencies —
+because the protocol surface is five JSON endpoints:
+
+``POST /submit``
+    Body: ``{"workload": ..., "variant", "period", "threshold",
+    "seed", "tenant", "priority", "force", "kind"}``.  Routes by
+    ``(workload, program-hash)`` to a shard and enqueues.  Returns
+    202 with ``{"job_id", "shard"}``; 429 with a ``Retry-After``
+    header when the tenant's quota or the shard's queue depth is
+    exceeded; 400 on unknown workloads or malformed JSON.
+``GET /status/<job_id>``
+    Lifecycle state (``pending``/``running``/``done``/``failed``) and,
+    once finished, the full job record including the verdict.
+``GET /history?workload=&variant=&limit=``
+    Stored profiles merged across every shard, newest first.
+``GET /regress/<workload>?variant=``
+    Regression verdict for the fleet's newest record of a workload.
+``GET /fleet``
+    Per-shard queue depths, dedupe hit/miss counters, store stats.
+
+Responses always close the connection (``Connection: close``) — the
+load generator and CLI clients open one connection per request, which
+keeps the parser honest and the server state-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.queue import JobSpec, QuotaExceeded
+from repro.serve.router import Fleet
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+#: Submission fields accepted from the wire, with coercions.
+_SUBMIT_FIELDS = {
+    "workload": str, "variant": str, "kind": str, "tenant": str,
+    "period": int, "threshold": int, "priority": int, "seed": int,
+    "max_attempts": int, "timeout": float, "force": bool,
+}
+
+
+class HttpError(Exception):
+    """An error the handler turns into a JSON error response."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+class HttpFrontDoor:
+    """The fleet's HTTP server (see module docstring)."""
+
+    def __init__(self, fleet: Fleet, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.fleet = fleet
+        self.host = host
+        self.port = port
+        self.requests_served = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting (port 0 picks an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request plumbing -----------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+                status, payload, headers = await self._route(
+                    method, target, body)
+            except HttpError as exc:
+                status = exc.status
+                payload = {"error": exc.message}
+                headers = exc.headers
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as exc:  # noqa: BLE001 — served as a 500
+                status = 500
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+                headers = {}
+            self.requests_served += 1
+            await self._respond(writer, status, payload, headers)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader
+                            ) -> Tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise HttpError(400, f"malformed request line "
+                                 f"{request_line!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    @staticmethod
+    async def _respond(writer: asyncio.StreamWriter, status: int,
+                       payload: dict,
+                       headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(body)}",
+                 "Connection: close"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()
+
+    # -- routing --------------------------------------------------------
+    async def _route(self, method: str, target: str, body: bytes
+                     ) -> Tuple[int, dict, Dict[str, str]]:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = {name: values[-1]
+                 for name, values in parse_qs(split.query).items()}
+        if path == "/submit":
+            if method != "POST":
+                raise HttpError(405, "submit requires POST")
+            return self._handle_submit(body)
+        if method != "GET":
+            raise HttpError(405, f"{path} requires GET")
+        if path.startswith("/status/"):
+            return self._handle_status(path[len("/status/"):])
+        if path == "/history":
+            return await self._handle_history(query)
+        if path.startswith("/regress/"):
+            return await self._handle_regress(path[len("/regress/"):],
+                                              query)
+        if path == "/fleet":
+            return 200, self.fleet.stats(), {}
+        raise HttpError(404, f"no route for {path}")
+
+    # -- handlers -------------------------------------------------------
+    def _handle_submit(self, body: bytes
+                       ) -> Tuple[int, dict, Dict[str, str]]:
+        try:
+            raw = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"body is not JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise HttpError(400, "body must be a JSON object")
+        fields = {}
+        for name, value in raw.items():
+            coerce = _SUBMIT_FIELDS.get(name)
+            if coerce is None:
+                raise HttpError(400, f"unknown field {name!r}")
+            if value is not None:
+                try:
+                    fields[name] = coerce(value)
+                except (TypeError, ValueError) as exc:
+                    raise HttpError(
+                        400, f"field {name!r}: {exc}") from exc
+        fields.setdefault("kind", "profile")
+        if fields["kind"] in ("profile", "bench") and \
+                not fields.get("workload"):
+            raise HttpError(400, "workload is required")
+        try:
+            spec = JobSpec(job_id="", **fields)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+        try:
+            spec, shard = self.fleet.submit(spec)
+        except QuotaExceeded as exc:
+            raise HttpError(
+                429, exc.reason,
+                headers={"Retry-After": f"{exc.retry_after:g}"}) from exc
+        except (KeyError, ValueError) as exc:
+            raise HttpError(400, f"cannot route: {exc}") from exc
+        return 202, {"job_id": spec.job_id, "shard": shard,
+                     "tenant": spec.tenant}, {}
+
+    def _handle_status(self, job_id: str
+                       ) -> Tuple[int, dict, Dict[str, str]]:
+        if not job_id:
+            raise HttpError(400, "job id is required")
+        status = self.fleet.status(job_id)
+        if status is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        return 200, status, {}
+
+    async def _handle_history(self, query: Dict[str, str]
+                              ) -> Tuple[int, dict, Dict[str, str]]:
+        try:
+            limit = int(query.get("limit", "50"))
+        except ValueError as exc:
+            raise HttpError(400, f"bad limit: {exc}") from exc
+        # Store reads touch SQLite: keep the accept loop responsive.
+        records = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.fleet.history(
+                workload=query.get("workload") or None,
+                variant=query.get("variant") or None, limit=limit))
+        return 200, {"records": records}, {}
+
+    async def _handle_regress(self, workload: str, query: Dict[str, str]
+                              ) -> Tuple[int, dict, Dict[str, str]]:
+        if not workload:
+            raise HttpError(400, "workload is required")
+        verdict = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.fleet.regress(
+                workload, variant=query.get("variant") or None))
+        if verdict is None:
+            raise HttpError(404, f"no stored profile for {workload!r}")
+        return 200, verdict, {}
+
+
+# ----------------------------------------------------------------------
+# Minimal async client (used by the load generator and tests)
+# ----------------------------------------------------------------------
+async def http_request(host: str, port: int, method: str, path: str,
+                       payload: Optional[dict] = None
+                       ) -> Tuple[int, dict, Dict[str, str]]:
+    """One request/response against a front door; returns
+    ``(status, json-body, headers)``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else b"")
+        lines = [f"{method} {path} HTTP/1.1",
+                 f"Host: {host}:{port}",
+                 f"Content-Length: {len(body)}",
+                 "Connection: close"]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()
+        status_line = (await reader.readline()).decode("latin-1")
+        status = int(status_line.split()[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raw = await reader.read()
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        return status, data, headers
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass

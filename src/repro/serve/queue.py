@@ -1,4 +1,4 @@
-"""Spool-directory job queue.
+"""Spool-directory job queue with per-tenant fairness.
 
 Submission and execution are separate processes (``submit`` CLI vs the
 ``serve`` daemon), so the queue lives on disk: a job is one JSON file
@@ -13,6 +13,26 @@ Every transition is an atomic rename, so concurrent daemons can claim
 from the same spool without double-running a job, and a crashed daemon
 leaves its claims in ``running/`` where :meth:`SpoolQueue.recover`
 returns them to ``pending`` on the next startup.
+
+Fairness
+--------
+Under fleet traffic many tenants share one spool, and strict FIFO lets
+one chatty tenant starve everyone behind it.  A :class:`FairnessPolicy`
+adds three controls:
+
+* **weighted claim order** — tenants are scheduled by stride
+  scheduling: each claim charges the winning tenant ``1/weight`` of a
+  pass, so a weight-3 tenant is claimed three times as often as a
+  weight-1 tenant while both have pending work, and an idle tenant
+  never accumulates an unbounded head start;
+* **bounded per-tenant in-flight** — a tenant at its
+  ``max_inflight_per_tenant`` limit is skipped by :meth:`claim` until
+  one of its running jobs finishes;
+* **backpressure** — :meth:`submit` raises :class:`QuotaExceeded`
+  (carrying a ``retry_after`` hint for HTTP 429 responses) when the
+  tenant's pending quota or the whole spool's depth limit is hit.
+
+Without a policy the queue behaves exactly as before: unlimited FIFO.
 """
 
 from __future__ import annotations
@@ -21,12 +41,49 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: Job kinds the daemon knows how to execute.
 JOB_KINDS = ("profile", "bench", "fuzz")
 
 _STATES = ("pending", "running", "done", "failed")
+
+#: Stride-scheduling numerator: a tenant's pass advances by
+#: ``_STRIDE_ONE // weight`` per claim, so larger weights mean smaller
+#: strides and therefore more frequent claims.
+_STRIDE_ONE = 1 << 20
+
+
+class QuotaExceeded(RuntimeError):
+    """A submit was refused by the fairness policy (backpressure).
+
+    ``retry_after`` is the suggested wait in seconds before retrying —
+    the HTTP front door maps it straight onto a 429 ``Retry-After``.
+    """
+
+    def __init__(self, reason: str, retry_after: float) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class FairnessPolicy:
+    """Per-tenant quotas and weights for one spool (see module doc)."""
+
+    #: Pending jobs one tenant may have queued (None = unlimited).
+    max_pending_per_tenant: Optional[int] = None
+    #: Claimed-but-unfinished jobs one tenant may have (None = unlimited).
+    max_inflight_per_tenant: Optional[int] = None
+    #: Total pending jobs across all tenants (None = unlimited).
+    max_queue_depth: Optional[int] = None
+    #: Relative claim rates; unlisted tenants get weight 1.
+    tenant_weights: Dict[str, int] = field(default_factory=dict)
+    #: Retry-after hint attached to QuotaExceeded, in seconds.
+    retry_after: float = 1.0
+
+    def weight(self, tenant: str) -> int:
+        return max(1, int(self.tenant_weights.get(tenant, 1)))
 
 
 @dataclass
@@ -47,6 +104,10 @@ class JobSpec:
     submitted_at: float = 0.0
     #: Re-simulate even when the store already has this exact key.
     force: bool = False
+    #: Who submitted the job — the fairness unit.
+    tenant: str = "default"
+    #: Higher claims first within a tenant (FIFO among equals).
+    priority: int = 0
     meta: Dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -62,6 +123,7 @@ class JobSpec:
                 "max_attempts": self.max_attempts,
                 "attempts": self.attempts,
                 "submitted_at": self.submitted_at, "force": self.force,
+                "tenant": self.tenant, "priority": self.priority,
                 "meta": dict(self.meta)}
 
     @classmethod
@@ -73,11 +135,16 @@ class JobSpec:
 class SpoolQueue:
     """Filesystem queue over a spool directory (see module docstring)."""
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str,
+                 policy: Optional[FairnessPolicy] = None) -> None:
         self.root = root
+        self.policy = policy
         for state in _STATES:
             os.makedirs(os.path.join(root, state), exist_ok=True)
         self._seq = 0
+        #: Stride-scheduling pass value per tenant (process-local; two
+        #: daemons sharing a spool each run their own fair schedule).
+        self._passes: Dict[str, int] = {}
 
     # -- paths ----------------------------------------------------------
     def _dir(self, state: str) -> str:
@@ -102,9 +169,61 @@ class SpoolQueue:
         return (f"{hint}-{time.time_ns():016x}-"
                 f"{os.getpid():06x}-{self._seq:04d}")
 
+    # -- scanning helpers -----------------------------------------------
+    def _scan(self, state: str) -> List[Tuple[str, dict]]:
+        """(filename, job-dict) for every job file in ``state``.
+
+        Files that vanish mid-scan (lost races with another daemon) are
+        skipped, as are files that are not yet fully-written JSON.
+        """
+        entries: List[Tuple[str, dict]] = []
+        for name in sorted(os.listdir(self._dir(state))):
+            if not name.endswith(".json"):
+                continue
+            try:
+                entries.append(
+                    (name, self._read(os.path.join(self._dir(state),
+                                                   name))))
+            except (FileNotFoundError, json.JSONDecodeError):
+                continue
+        return entries
+
+    def tenants_inflight(self) -> Dict[str, int]:
+        """Running-job count per tenant (the in-flight bound's input)."""
+        counts: Dict[str, int] = {}
+        for _name, data in self._scan("running"):
+            tenant = data.get("tenant", "default")
+            counts[tenant] = counts.get(tenant, 0) + 1
+        return counts
+
+    def tenants_pending(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for _name, data in self._scan("pending"):
+            tenant = data.get("tenant", "default")
+            counts[tenant] = counts.get(tenant, 0) + 1
+        return counts
+
     # -- transitions ----------------------------------------------------
     def submit(self, spec: JobSpec) -> JobSpec:
-        """Enqueue a job (fills in id/timestamp when unset)."""
+        """Enqueue a job (fills in id/timestamp when unset).
+
+        Raises :class:`QuotaExceeded` when a fairness policy refuses
+        the submission (tenant pending quota or global depth limit).
+        """
+        if self.policy is not None:
+            depth = self.policy.max_queue_depth
+            if depth is not None and self.pending_count() >= depth:
+                raise QuotaExceeded(
+                    f"queue depth limit {depth} reached",
+                    self.policy.retry_after)
+            quota = self.policy.max_pending_per_tenant
+            if quota is not None:
+                pending = self.tenants_pending().get(spec.tenant, 0)
+                if pending >= quota:
+                    raise QuotaExceeded(
+                        f"tenant {spec.tenant!r} has {pending} pending "
+                        f"job(s), quota {quota}",
+                        self.policy.retry_after)
         if not spec.job_id:
             spec.job_id = self.new_job_id(spec.workload or spec.kind)
         if not spec.submitted_at:
@@ -113,22 +232,59 @@ class SpoolQueue:
         return spec
 
     def claim(self) -> Optional[JobSpec]:
-        """Atomically move the oldest pending job to running.
+        """Atomically move one pending job to running, fairly.
 
-        Returns None when the queue is empty.  A lost race with another
-        daemon (rename fails because the file is gone) just tries the
-        next candidate.
+        Tenants are scheduled by weighted stride order; within a tenant
+        the highest-priority, oldest job wins.  Tenants at their
+        in-flight bound are skipped.  Returns None when nothing is
+        claimable (empty queue, or every pending tenant throttled).  A
+        lost race with another daemon (rename fails because the file is
+        gone) just tries the next candidate.
         """
-        for name in sorted(os.listdir(self._dir("pending"))):
-            if not name.endswith(".json"):
-                continue
-            pending = os.path.join(self._dir("pending"), name)
-            running = os.path.join(self._dir("running"), name)
-            try:
-                os.rename(pending, running)
-            except OSError:
-                continue
-            return JobSpec.from_dict(self._read(running))
+        pending = self._scan("pending")
+        if not pending:
+            return None
+        by_tenant: Dict[str, List[Tuple[int, float, str]]] = {}
+        for name, data in pending:
+            tenant = data.get("tenant", "default")
+            by_tenant.setdefault(tenant, []).append(
+                (-int(data.get("priority", 0)),
+                 float(data.get("submitted_at", 0.0)), name))
+        for jobs in by_tenant.values():
+            jobs.sort()
+
+        policy = self.policy
+        inflight = (self.tenants_inflight()
+                    if policy is not None
+                    and policy.max_inflight_per_tenant is not None
+                    else {})
+        eligible = []
+        for tenant in by_tenant:
+            if policy is not None:
+                bound = policy.max_inflight_per_tenant
+                if bound is not None and inflight.get(tenant, 0) >= bound:
+                    continue
+            eligible.append(tenant)
+        if not eligible:
+            return None
+
+        # Stride scheduling: lowest pass claims; a tenant first seen
+        # now starts at the current minimum so it cannot monopolise.
+        floor = min(self._passes.values()) if self._passes else 0
+        for tenant in eligible:
+            self._passes.setdefault(tenant, floor)
+        for tenant in sorted(eligible,
+                             key=lambda t: (self._passes[t], t)):
+            weight = policy.weight(tenant) if policy is not None else 1
+            for _prio, _ts, name in by_tenant[tenant]:
+                pending_path = os.path.join(self._dir("pending"), name)
+                running_path = os.path.join(self._dir("running"), name)
+                try:
+                    os.rename(pending_path, running_path)
+                except OSError:
+                    continue
+                self._passes[tenant] += _STRIDE_ONE // weight
+                return JobSpec.from_dict(self._read(running_path))
         return None
 
     def complete(self, spec: JobSpec, result: dict) -> None:
@@ -163,13 +319,33 @@ class SpoolQueue:
         return spec
 
     def recover(self) -> List[JobSpec]:
-        """Return any running jobs (a crashed daemon's claims) to pending."""
+        """Return a crashed daemon's ``running/`` claims to pending.
+
+        Safe against live neighbours: a running file whose job already
+        has a done/failed outcome is a stale leftover (the finishing
+        daemon won), so it is removed, never requeued; a file that
+        vanishes mid-recovery lost a race to the daemon actually
+        executing it and is skipped.
+        """
         recovered = []
         for name in sorted(os.listdir(self._dir("running"))):
             if not name.endswith(".json"):
                 continue
-            spec = JobSpec.from_dict(
-                self._read(os.path.join(self._dir("running"), name)))
+            job_id = name[:-len(".json")]
+            if self.outcome(job_id) is not None:
+                # Finished elsewhere: drop the stale claim.
+                self._remove("running", job_id)
+                continue
+            try:
+                spec = JobSpec.from_dict(
+                    self._read(os.path.join(self._dir("running"), name)))
+            except (FileNotFoundError, json.JSONDecodeError):
+                continue
+            if self.outcome(job_id) is not None:
+                # Completed between the read and now; the completing
+                # daemon already removed (or is removing) the file.
+                self._remove("running", job_id)
+                continue
             recovered.append(self.requeue(spec, reason="daemon-crash"))
         return recovered
 

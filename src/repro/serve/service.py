@@ -16,13 +16,14 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import signal
 import time
 from typing import Dict, List, Optional
 
 from repro.core.analyzer import AnalysisResult
 from repro.core.profiler import DjxConfig
-from repro.serve.queue import JobSpec, SpoolQueue
+from repro.serve.queue import FairnessPolicy, JobSpec, SpoolQueue
 from repro.serve.store import ProfileKey, ProfileStore, profile_key_for
 from repro.serve.workers import WorkerPool
 
@@ -108,18 +109,34 @@ class ProfilingService:
     def __init__(self, spool_dir: str, store_path: str,
                  jobs: Optional[int] = None,
                  job_timeout: Optional[float] = None,
-                 heartbeat_path: Optional[str] = None) -> None:
-        self.queue = SpoolQueue(spool_dir)
+                 heartbeat_path: Optional[str] = None,
+                 fleet_index=None, shard_id: int = 0,
+                 queue_policy: Optional[FairnessPolicy] = None) -> None:
+        self.queue = SpoolQueue(spool_dir, policy=queue_policy)
         self.store = ProfileStore(store_path)
         self.pool = WorkerPool(execute_job, jobs=jobs, timeout=job_timeout,
                                retries=0)
         self.heartbeat_path = heartbeat_path or os.path.join(
             spool_dir, STATUS_FILE)
+        #: Fleet-wide dedupe index (:class:`repro.serve.router.FleetIndex`)
+        #: when this daemon is one shard of a fleet; None standalone.
+        self.fleet_index = fleet_index
+        self.shard_id = shard_id
         self.completed = 0
         self.failed = 0
         self.cached_hits = 0
+        #: Cross-shard dedupe counters (consults of the fleet index
+        #: after a local store miss), surfaced in every heartbeat.
+        self.fleet_hits = 0
+        self.fleet_misses = 0
+        #: Read handles on other shards' stores, opened on first
+        #: cross-shard hit (WAL keeps these reads safe under writers).
+        self._remote_stores: Dict[str, ProfileStore] = {}
+        #: Last idle-poll sleep serve_forever took (observability).
+        self.idle_delay = 0.0
         self._stopping = False
-        # A previous daemon may have died mid-job: reclaim its work.
+        # A crashed predecessor's running/ claims must not stay
+        # stranded until an operator intervenes: reclaim at startup.
         recovered = self.queue.recover()
         if recovered:
             self._heartbeat("recovered",
@@ -129,6 +146,9 @@ class ProfilingService:
     def close(self) -> None:
         self.pool.shutdown()
         self.store.close()
+        for remote in self._remote_stores.values():
+            remote.close()
+        self._remote_stores.clear()
 
     def __enter__(self) -> "ProfilingService":
         return self
@@ -148,7 +168,14 @@ class ProfilingService:
                                _job_config(spec), seed=spec.seed)
 
     def _serve_from_store(self, spec: JobSpec) -> Optional[dict]:
-        """A completed result for an exact-key repeat, or None."""
+        """A completed result for an exact-key repeat, or None.
+
+        Two tiers: the shard's own store by exact key first, then the
+        fleet-wide dedupe index by ``(program_hash, config_hash,
+        seed)`` — content identity, not labels — so a submission that
+        any shard already answered (e.g. its old home before a
+        reshard) never touches the simulator.
+        """
         if spec.kind != "profile" or spec.force:
             return None
         try:
@@ -159,24 +186,64 @@ class ProfilingService:
             spec.meta["key_error"] = str(exc)
             return None
         record = self.store.find_latest(key)
-        if record is None:
+        if record is not None:
+            self.cached_hits += 1
+            return {"kind": "profile", "cached": True,
+                    "record_id": record.record_id,
+                    "payload_hash": record.payload_hash,
+                    "wall_cycles": record.wall_cycles,
+                    "total_samples": record.total_samples}
+        return self._serve_from_fleet(key)
+
+    def _serve_from_fleet(self, key: ProfileKey) -> Optional[dict]:
+        """Cross-shard dedupe: serve from whichever shard has it."""
+        if self.fleet_index is None:
             return None
-        self.cached_hits += 1
-        return {"kind": "profile", "cached": True,
+        hit = self.fleet_index.lookup(key.program_hash, key.config_hash,
+                                      key.seed)
+        if hit is None:
+            self.fleet_misses += 1
+            return None
+        try:
+            store = self._store_for(hit.store_path)
+            record = store.get_record(hit.record_id)
+        except (KeyError, OSError):
+            # The owning shard's store moved or lost the row; the
+            # index entry is stale — simulate and re-register.
+            self.fleet_misses += 1
+            return None
+        self.fleet_hits += 1
+        return {"kind": "profile", "cached": True, "fleet": True,
+                "origin_shard": hit.shard, "shard": self.shard_id,
                 "record_id": record.record_id,
                 "payload_hash": record.payload_hash,
                 "wall_cycles": record.wall_cycles,
                 "total_samples": record.total_samples}
 
+    def _store_for(self, store_path: str) -> ProfileStore:
+        """This shard's own store, or a cached read handle on another's."""
+        if os.path.abspath(store_path) == os.path.abspath(self.store.path):
+            return self.store
+        store = self._remote_stores.get(store_path)
+        if store is None:
+            store = ProfileStore(store_path)
+            self._remote_stores[store_path] = store
+        return store
+
     def _persist(self, spec: JobSpec, result: dict) -> dict:
         """Store a worker result; returns the (augmented) job result."""
         if result.get("kind") == "profile":
             analysis = AnalysisResult.from_dict(result["analysis"])
+            key = self._profile_key(spec)
             record = self.store.put_profile(
-                self._profile_key(spec), analysis,
+                key, analysis,
                 wall_cycles=result["wall_cycles"],
                 trace_path=result.get("trace_path"),
                 meta={"job_id": spec.job_id})
+            if self.fleet_index is not None:
+                self.fleet_index.register(key, self.shard_id,
+                                          record.record_id,
+                                          self.store.path)
             return {"kind": "profile", "cached": False,
                     "record_id": record.record_id,
                     "payload_hash": record.payload_hash,
@@ -245,21 +312,45 @@ class ProfilingService:
                 break
         return self.completed - before
 
+    @staticmethod
+    def next_idle_delay(current: float, base: float,
+                        max_backoff: float) -> float:
+        """The delay after one more empty poll (exponential, capped)."""
+        return min(max(current, base) * 2.0, max_backoff)
+
     def serve_forever(self, poll_interval: float = 1.0,
                       max_polls: Optional[int] = None,
-                      install_signal_handlers: bool = False) -> None:
-        """Poll until stopped (SIGINT/SIGTERM with handlers installed)."""
+                      install_signal_handlers: bool = False,
+                      max_backoff: Optional[float] = None,
+                      jitter: float = 0.1) -> None:
+        """Poll until stopped (SIGINT/SIGTERM with handlers installed).
+
+        An empty queue does not deserve a fixed-rate poll: each idle
+        poll doubles the sleep (jittered ±``jitter`` so a fleet of
+        daemons sharing a spool never phase-locks their directory
+        scans) up to ``max_backoff`` (default ``32 * poll_interval``);
+        the first claimed job resets the delay to ``poll_interval``.
+        """
         if install_signal_handlers:
             signal.signal(signal.SIGTERM, self.request_stop)
             signal.signal(signal.SIGINT, self.request_stop)
+        if max_backoff is None:
+            max_backoff = poll_interval * 32.0
+        rng = random.Random(os.getpid() ^ id(self))
+        delay = poll_interval
         polls = 0
         self._heartbeat("started")
         while not self._stopping:
             if max_polls is not None and polls >= max_polls:
                 break
             polls += 1
-            if not self.run_once():
-                time.sleep(poll_interval)
+            if self.run_once():
+                delay = poll_interval
+            else:
+                self.idle_delay = delay
+                time.sleep(delay * (1.0 + rng.uniform(-jitter, jitter)))
+                delay = self.next_idle_delay(delay, poll_interval,
+                                             max_backoff)
         # Graceful drain: finish what is already queued, then stop.
         self.drain()
         self._heartbeat("stopped")
@@ -277,6 +368,10 @@ class ProfilingService:
             "cached_hits": self.cached_hits,
             "pool": dict(self.pool.stats),
         }
+        if self.fleet_index is not None:
+            line["fleet"] = {"shard": self.shard_id,
+                             "dedupe_hits": self.fleet_hits,
+                             "dedupe_misses": self.fleet_misses}
         if extra:
             line.update(extra)
         with open(self.heartbeat_path, "a") as fh:

@@ -191,13 +191,29 @@ CREATE TABLE IF NOT EXISTS bench_rows (
 
 
 class ProfileStore:
-    """SQLite-backed content-addressed store (one file, safe to copy)."""
+    """SQLite-backed content-addressed store (one file, safe to copy).
 
-    def __init__(self, path: str) -> None:
+    Opened in WAL journal mode with a busy timeout: shard daemons, the
+    HTTP front door, and cross-shard dedupe lookups all read the same
+    file while a writer commits, and WAL lets those readers proceed
+    instead of raising ``database is locked``.  ``busy_timeout`` bounds
+    how long a second *writer* waits for the lock before erroring.
+    """
+
+    def __init__(self, path: str, busy_timeout: float = 10.0) -> None:
         self.path = path
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
-        self._db = sqlite3.connect(path, check_same_thread=False)
+        self._db = sqlite3.connect(path, check_same_thread=False,
+                                   timeout=busy_timeout)
+        # WAL survives in the file; setting it again is a cheap no-op.
+        # Some filesystems refuse WAL (e.g. network mounts) — the
+        # returned mode is whatever SQLite actually granted, and the
+        # store still works, just with coarser reader/writer exclusion.
+        self.journal_mode = self._db.execute(
+            "PRAGMA journal_mode=WAL").fetchone()[0]
+        self._db.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
+        self._db.execute("PRAGMA synchronous=NORMAL")
         self._db.executescript(_SCHEMA)
         version = self._db.execute("PRAGMA user_version").fetchone()[0]
         if version == 0:

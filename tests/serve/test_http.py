@@ -1,0 +1,169 @@
+"""Tests for the asyncio HTTP front door.
+
+Each test runs its own event loop via ``asyncio.run``; fleet daemons
+are never started — jobs that must finish are executed by calling the
+owning shard's service directly inside the coroutine, which keeps the
+tests deterministic and fast.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import HttpFrontDoor, http_request
+from repro.serve.queue import FairnessPolicy
+from repro.serve.router import Fleet
+
+WORKLOAD = "objectlayout"
+
+
+def drive(tmp_path, coro_fn, policy=None, shards=2):
+    """Run ``coro_fn(fleet, door)`` against a started front door."""
+    async def runner():
+        with Fleet(str(tmp_path / "fleet"), shards=shards,
+                   queue_policy=policy) as fleet:
+            door = HttpFrontDoor(fleet)
+            await door.start()
+            try:
+                return await coro_fn(fleet, door)
+            finally:
+                await door.stop()
+    return asyncio.run(runner())
+
+
+def submit_payload(**kw):
+    payload = {"workload": WORKLOAD, "period": 32}
+    payload.update(kw)
+    return payload
+
+
+class TestSubmit:
+    def test_accepted_with_job_id_and_shard(self, tmp_path):
+        async def scenario(fleet, door):
+            status, data, _h = await http_request(
+                door.host, door.port, "POST", "/submit",
+                submit_payload(seed=1))
+            assert status == 202
+            assert data["job_id"]
+            assert data["shard"] in (0, 1)
+            assert data["tenant"] == "default"
+            assert fleet.services[data["shard"]].queue.pending_count() \
+                == 1
+        drive(tmp_path, scenario)
+
+    def test_unknown_workload_is_400(self, tmp_path):
+        async def scenario(fleet, door):
+            status, data, _h = await http_request(
+                door.host, door.port, "POST", "/submit",
+                submit_payload(workload="no-such"))
+            assert status == 400
+            assert "no-such" in data["error"]
+        drive(tmp_path, scenario)
+
+    def test_unknown_field_is_400(self, tmp_path):
+        async def scenario(fleet, door):
+            status, data, _h = await http_request(
+                door.host, door.port, "POST", "/submit",
+                submit_payload(frobnicate=1))
+            assert status == 400
+            assert "frobnicate" in data["error"]
+        drive(tmp_path, scenario)
+
+    def test_malformed_json_is_400(self, tmp_path):
+        async def scenario(fleet, door):
+            reader, writer = await asyncio.open_connection(
+                door.host, door.port)
+            body = b"{not json"
+            writer.write(
+                (f"POST /submit HTTP/1.1\r\nHost: x\r\n"
+                 f"Content-Length: {len(body)}\r\n"
+                 f"Connection: close\r\n\r\n").encode() + body)
+            await writer.drain()
+            status_line = (await reader.readline()).decode()
+            writer.close()
+            assert " 400 " in status_line
+        drive(tmp_path, scenario)
+
+    def test_get_submit_is_405(self, tmp_path):
+        async def scenario(fleet, door):
+            status, _d, _h = await http_request(
+                door.host, door.port, "GET", "/submit")
+            assert status == 405
+        drive(tmp_path, scenario)
+
+    def test_quota_exceeded_is_429_with_retry_after(self, tmp_path):
+        policy = FairnessPolicy(max_pending_per_tenant=1,
+                                retry_after=0.5)
+
+        async def scenario(fleet, door):
+            status, _d, _h = await http_request(
+                door.host, door.port, "POST", "/submit",
+                submit_payload(tenant="t", seed=1))
+            assert status == 202
+            status, data, headers = await http_request(
+                door.host, door.port, "POST", "/submit",
+                submit_payload(tenant="t", seed=2))
+            assert status == 429
+            assert headers["retry-after"] == "0.5"
+            assert "quota" in data["error"]
+        drive(tmp_path, scenario, policy=policy)
+
+
+class TestStatusAndViews:
+    def test_status_tracks_lifecycle_to_done(self, tmp_path):
+        async def scenario(fleet, door):
+            _s, accepted, _h = await http_request(
+                door.host, door.port, "POST", "/submit",
+                submit_payload(seed=9))
+            status, data, _h = await http_request(
+                door.host, door.port, "GET",
+                f"/status/{accepted['job_id']}")
+            assert (status, data["state"]) == (200, "pending")
+            fleet.services[accepted["shard"]].drain()
+            status, data, _h = await http_request(
+                door.host, door.port, "GET",
+                f"/status/{accepted['job_id']}")
+            assert (status, data["state"]) == (200, "done")
+            assert data["job"]["result"]["total_samples"] > 0
+        drive(tmp_path, scenario)
+
+    def test_unknown_job_is_404(self, tmp_path):
+        async def scenario(fleet, door):
+            status, _d, _h = await http_request(
+                door.host, door.port, "GET", "/status/nope")
+            assert status == 404
+        drive(tmp_path, scenario)
+
+    def test_history_and_fleet_views(self, tmp_path):
+        async def scenario(fleet, door):
+            _s, accepted, _h = await http_request(
+                door.host, door.port, "POST", "/submit",
+                submit_payload(seed=9))
+            fleet.services[accepted["shard"]].drain()
+            status, data, _h = await http_request(
+                door.host, door.port, "GET",
+                f"/history?workload={WORKLOAD}&limit=5")
+            assert status == 200
+            assert len(data["records"]) == 1
+            assert data["records"][0]["shard"] == accepted["shard"]
+            status, stats, _h = await http_request(
+                door.host, door.port, "GET", "/fleet")
+            assert status == 200
+            assert stats["shard_count"] == 2
+            assert sum(s["completed"]
+                       for s in stats["shards"]) == 1
+        drive(tmp_path, scenario)
+
+    def test_unknown_route_is_404(self, tmp_path):
+        async def scenario(fleet, door):
+            status, _d, _h = await http_request(
+                door.host, door.port, "GET", "/nope")
+            assert status == 404
+        drive(tmp_path, scenario)
+
+    def test_bad_limit_is_400(self, tmp_path):
+        async def scenario(fleet, door):
+            status, _d, _h = await http_request(
+                door.host, door.port, "GET", "/history?limit=banana")
+            assert status == 400
+        drive(tmp_path, scenario)

@@ -2,10 +2,16 @@
 
 import json
 import os
+import threading
 
 import pytest
 
-from repro.serve.queue import JobSpec, SpoolQueue
+from repro.serve.queue import (
+    FairnessPolicy,
+    JobSpec,
+    QuotaExceeded,
+    SpoolQueue,
+)
 
 
 @pytest.fixture
@@ -143,3 +149,111 @@ class TestAtomicity:
             data = json.load(fh)
         assert data["period"] == 32
         assert data["kind"] == "profile"
+
+
+class TestFairness:
+    def test_pending_quota_backpressure(self, tmp_path):
+        queue = SpoolQueue(str(tmp_path / "spool"),
+                           policy=FairnessPolicy(max_pending_per_tenant=2,
+                                                 retry_after=0.25))
+        queue.submit(spec(tenant="a"))
+        queue.submit(spec(tenant="a"))
+        with pytest.raises(QuotaExceeded) as excinfo:
+            queue.submit(spec(tenant="a"))
+        assert excinfo.value.retry_after == 0.25
+        assert "quota" in excinfo.value.reason
+        # Another tenant still has room.
+        queue.submit(spec(tenant="b"))
+
+    def test_queue_depth_backpressure(self, tmp_path):
+        queue = SpoolQueue(str(tmp_path / "spool"),
+                           policy=FairnessPolicy(max_queue_depth=1))
+        queue.submit(spec(tenant="a"))
+        with pytest.raises(QuotaExceeded, match="depth"):
+            queue.submit(spec(tenant="b"))
+
+    def test_weighted_claim_order(self, tmp_path):
+        queue = SpoolQueue(
+            str(tmp_path / "spool"),
+            policy=FairnessPolicy(tenant_weights={"a": 2, "b": 1}))
+        for _ in range(6):
+            queue.submit(spec(tenant="a"))
+            queue.submit(spec(tenant="b"))
+        claimed = [queue.claim().tenant for _ in range(6)]
+        # Stride scheduling: weight-2 a is claimed twice as often.
+        assert claimed.count("a") == 4
+        assert claimed.count("b") == 2
+
+    def test_priority_within_tenant(self, queue):
+        low = queue.submit(spec(priority=0))
+        high = queue.submit(spec(priority=5))
+        assert queue.claim().job_id == high.job_id
+        assert queue.claim().job_id == low.job_id
+
+    def test_inflight_bound_throttles_tenant(self, tmp_path):
+        queue = SpoolQueue(str(tmp_path / "spool"),
+                           policy=FairnessPolicy(
+                               max_inflight_per_tenant=1))
+        first = queue.submit(spec(tenant="a"))
+        queue.submit(spec(tenant="a"))
+        claimed = queue.claim()
+        assert claimed.job_id == first.job_id
+        # Tenant a is at its bound: nothing claimable.
+        assert queue.claim() is None
+        queue.complete(claimed, {})
+        assert queue.claim() is not None
+
+    def test_inflight_bound_skips_to_other_tenant(self, tmp_path):
+        queue = SpoolQueue(str(tmp_path / "spool"),
+                           policy=FairnessPolicy(
+                               max_inflight_per_tenant=1))
+        queue.submit(spec(tenant="a"))
+        queue.submit(spec(tenant="a"))
+        other = queue.submit(spec(tenant="b"))
+        queue.claim()  # a's first job; a is now at its bound
+        assert queue.claim().job_id == other.job_id
+
+
+class TestClaimRaces:
+    def test_threaded_daemons_never_double_claim(self, tmp_path):
+        """Two daemons hammering one spool: the atomic rename makes the
+        loser of every race see FileNotFoundError and move on, so each
+        job is claimed exactly once."""
+        root = str(tmp_path / "spool")
+        setup = SpoolQueue(root)
+        submitted = {setup.submit(spec()).job_id for _ in range(24)}
+        claims = {0: [], 1: []}
+        barrier = threading.Barrier(2)
+
+        def daemon(slot):
+            queue = SpoolQueue(root)
+            barrier.wait()
+            while True:
+                job = queue.claim()
+                if job is None:
+                    break
+                claims[slot].append(job.job_id)
+
+        threads = [threading.Thread(target=daemon, args=(slot,))
+                   for slot in claims]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not set(claims[0]) & set(claims[1])
+        assert set(claims[0]) | set(claims[1]) == submitted
+
+    def test_recover_drops_stale_claim_of_finished_job(self, queue):
+        """A running file whose job already has an outcome is a stale
+        leftover; recover must remove it, not resurrect the job."""
+        queue.submit(spec())
+        claimed = queue.claim()
+        queue.complete(claimed, {"total_samples": 7})
+        # Simulate the stale claim a crashed daemon left behind.
+        queue._write(queue._path("running", claimed.job_id),
+                     claimed.to_dict())
+        assert queue.recover() == []
+        assert queue.counts() == {"pending": 0, "running": 0,
+                                  "done": 1, "failed": 0}
+        assert queue.outcome(claimed.job_id)["result"][
+            "total_samples"] == 7

@@ -147,3 +147,89 @@ class TestDaemon:
             service.serve_forever(poll_interval=0.01)
             # Stop was requested before the loop: still drains the job.
             assert service.completed == 1
+
+
+class TestIdleBackoff:
+    def test_next_idle_delay_doubles_and_caps(self):
+        next_delay = ProfilingService.next_idle_delay
+        assert next_delay(0.01, 0.01, 0.32) == pytest.approx(0.02)
+        assert next_delay(0.02, 0.01, 0.32) == pytest.approx(0.04)
+        assert next_delay(0.30, 0.01, 0.32) == pytest.approx(0.32)
+        assert next_delay(0.32, 0.01, 0.32) == pytest.approx(0.32)
+        # A reset delay below base restarts the ramp from base.
+        assert next_delay(0.0, 0.01, 0.32) == pytest.approx(0.02)
+
+    def test_idle_polls_back_off_exponentially(self, spool, store_path,
+                                               monkeypatch):
+        from repro.serve import service as service_mod
+
+        sleeps = []
+        monkeypatch.setattr(service_mod.time, "sleep", sleeps.append)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.serve_forever(poll_interval=0.01, max_polls=4,
+                                  jitter=0.0)
+        assert sleeps == pytest.approx([0.01, 0.02, 0.04, 0.08])
+
+    def test_claimed_job_resets_backoff(self, spool, store_path,
+                                        monkeypatch):
+        from repro.serve import service as service_mod
+
+        sleeps = []
+        monkeypatch.setattr(service_mod.time, "sleep", sleeps.append)
+        submit(spool)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.serve_forever(poll_interval=0.01, max_polls=3,
+                                  jitter=0.0)
+            assert service.completed == 1
+        # Poll 1 claimed the job (no sleep); the following idle polls
+        # ramp from the base interval again.
+        assert sleeps == pytest.approx([0.01, 0.02])
+
+    def test_backoff_cap_respected(self, spool, store_path, monkeypatch):
+        from repro.serve import service as service_mod
+
+        sleeps = []
+        monkeypatch.setattr(service_mod.time, "sleep", sleeps.append)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.serve_forever(poll_interval=0.01, max_polls=6,
+                                  max_backoff=0.04, jitter=0.0)
+        assert sleeps == pytest.approx([0.01, 0.02, 0.04, 0.04, 0.04,
+                                        0.04])
+
+
+class TestFleetDedupe:
+    def test_identical_submission_served_from_other_shard(self, tmp_path):
+        """Service-level cross-shard dedupe: shard B answers from shard
+        A's store through the fleet index, zero simulator work."""
+        from repro.serve.router import FleetIndex
+
+        index = FleetIndex(str(tmp_path / "fleet-index.sqlite"))
+        a = ProfilingService(str(tmp_path / "a-spool"),
+                             str(tmp_path / "a-store.sqlite"), jobs=1,
+                             fleet_index=index, shard_id=0)
+        b = ProfilingService(str(tmp_path / "b-spool"),
+                             str(tmp_path / "b-store.sqlite"), jobs=1,
+                             fleet_index=index, shard_id=1)
+        try:
+            submit(str(tmp_path / "a-spool"), seed=11)
+            a.drain()
+            assert index.count() == 1
+
+            repeat = submit(str(tmp_path / "b-spool"), seed=11)
+            b.drain()
+            assert b.fleet_hits == 1
+            assert b.pool.stats["tasks"] == 0  # nothing simulated
+            outcome = b.queue.outcome(repeat.job_id)
+            assert outcome["result"]["fleet"] is True
+            assert outcome["result"]["origin_shard"] == 0
+            assert b.store.stats()["profiles"] == 0
+
+            # A different seed is a miss: shard B simulates it.
+            submit(str(tmp_path / "b-spool"), seed=12)
+            b.drain()
+            assert b.fleet_misses == 1
+            assert b.pool.stats["tasks"] == 1
+        finally:
+            a.close()
+            b.close()
+            index.close()

@@ -219,3 +219,27 @@ class TestPointersAndBench:
         db.close()
         with pytest.raises(ValueError, match="version"):
             ProfileStore(path)
+
+
+class TestConcurrency:
+    def test_wal_journal_mode(self, store):
+        assert store.journal_mode == "wal"
+
+    def test_busy_timeout_applied(self, tmp_path):
+        with ProfileStore(str(tmp_path / "s.sqlite"),
+                          busy_timeout=2.5) as store:
+            timeout = store._db.execute(
+                "PRAGMA busy_timeout").fetchone()[0]
+            assert timeout == 2500
+
+    def test_reader_sees_committed_rows_during_writer(self, tmp_path):
+        """WAL lets a second connection read while the first writes —
+        the fleet's front-door reads alongside a shard daemon."""
+        path = str(tmp_path / "store.sqlite")
+        with ProfileStore(path) as writer, ProfileStore(path) as reader:
+            writer.put_profile(key(seed=1), analysis({(1, 5): (1, 1)}))
+            assert len(reader.history()) == 1
+            writer.put_profile(key(seed=2), analysis({(2, 6): (1, 2)}))
+            records = reader.history()
+            assert len(records) == 2
+            assert reader.load_analysis(records[0]).total() == 2
