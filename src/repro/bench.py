@@ -75,8 +75,10 @@ from repro.workloads.suite import suite_names
 #: ``/3`` added the serving-layer store arm (profile write/read cost);
 #: ``/4`` added the fused superinstruction arm and fusion counters;
 #: ``/5`` added the serve-load fleet arm (p50/p99 submit-to-verdict
-#: latency, dedupe hit rate, cross-shard reshard check).
-SCHEMA = "repro-bench-throughput/5"
+#: latency, dedupe hit rate, cross-shard reshard check);
+#: ``/6`` added the multi-process fleet-scaling arm (jobs/sec at 1 vs
+#: N supervised shard processes, warm compile-cache hit rate).
+SCHEMA = "repro-bench-throughput/6"
 
 #: Quick subset for CI: the heaviest row of each flavour, two
 #: streaming-native rows, and the engine-bound interpreter kernels.
@@ -179,11 +181,15 @@ class BenchReport:
     to_dict` payload) rides alongside the engine rows when the
     serving-layer arm ran — fleet latency is tracked in the same
     report, and gated by the same ``--check``, as engine speedups.
+    ``fleet_scaling`` (a :meth:`repro.serve.loadgen.
+    FleetScalingResult.to_dict` payload) likewise carries the
+    multi-process jobs/sec scaling curve when ``--fleet-scaling`` ran.
     """
 
     rows: List[BenchRow]
     repeat: int
     serve_load: Optional[Dict] = None
+    fleet_scaling: Optional[Dict] = None
 
     def _aggregate(self, arm: Callable[[BenchRow], Optional[ArmTiming]],
                    profiled: bool = False) -> Optional[ArmTiming]:
@@ -325,6 +331,8 @@ class BenchReport:
             agg["store"] = store_arm(self.aggregate_store)
         if self.serve_load is not None:
             out["serve_load"] = self.serve_load
+        if self.fleet_scaling is not None:
+            out["fleet_scaling"] = self.fleet_scaling
         return out
 
 
@@ -722,6 +730,50 @@ def _check_serve_load(serve: Dict, base: Dict, tolerance: float,
     return failures
 
 
+def _check_fleet_scaling(fleet: Dict, base: Dict,
+                         tolerance: float) -> List[str]:
+    """Gate the multi-process scaling arm on transferable ratios.
+
+    Absolute jobs/sec depends on the machine, but the *scaling ratio*
+    (N-shard jobs/sec over 1-shard jobs/sec, both measured back-to-back
+    on the same machine) transfers: a code change that serialises the
+    shard workers — a shared lock, a front door that blocks on one
+    shard, supervision that thrashes restarts — drags the ratio toward
+    1.0 on any multi-core machine.  The floor is relative to the
+    *committed* ratio so a 1-core committing machine (ratio ~1.0)
+    still produces a meaningful gate on a multi-core checker.  The
+    warm compile-cache hit rate is deterministic for a fixed request
+    mix, so it gets the same relative floor.
+    """
+    failures: List[str] = []
+    measured = fleet.get("scaling_ratio")
+    committed = base.get("scaling_ratio")
+    if measured is None:
+        failures.append("fleet_scaling run has no scaling_ratio")
+    elif committed is not None:
+        floor = committed * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"fleet scaling ratio regressed: measured "
+                f"{measured:.3f}x < floor {floor:.3f}x "
+                f"(committed {committed:.3f}x - {tolerance:.0%})")
+    measured_warm = fleet.get("warm_hit_rate")
+    committed_warm = base.get("warm_hit_rate")
+    if measured_warm is not None and committed_warm is not None:
+        warm_floor = committed_warm * (1.0 - tolerance)
+        if measured_warm < warm_floor:
+            failures.append(
+                f"warm compile-cache hit rate regressed: measured "
+                f"{measured_warm:.3f} < floor {warm_floor:.3f} "
+                f"(committed {committed_warm:.3f} - {tolerance:.0%})")
+    for point in fleet.get("points", []):
+        if point.get("jobs_failed"):
+            failures.append(
+                f"fleet scaling point shards={point.get('shards')} "
+                f"had {point['jobs_failed']} failed jobs")
+    return failures
+
+
 def check_regression(report: BenchReport, baseline: Dict,
                      tolerance: float = 0.20,
                      serve_tolerance: float = 1.0) -> List[str]:
@@ -736,7 +788,9 @@ def check_regression(report: BenchReport, baseline: Dict,
     skip-ahead-over-per-access ratios; a ``serve_load`` section gates
     the fleet arm's p99/p50 tail ratio (ceiling ``serve_tolerance``),
     dedupe hit rate (floor ``tolerance``), and the cross-shard reshard
-    hit (see :func:`_check_serve_load`).
+    hit (see :func:`_check_serve_load`); a ``fleet_scaling`` section
+    gates the multi-process scaling ratio and warm compile-cache hit
+    rate (see :func:`_check_fleet_scaling`).
     """
     failures: List[str] = []
     if report.rows:
@@ -746,7 +800,12 @@ def check_regression(report: BenchReport, baseline: Dict,
     if serve is not None and base_serve is not None:
         failures.extend(_check_serve_load(serve, base_serve, tolerance,
                                           serve_tolerance))
-    if not report.rows and serve is None:
+    fleet = report.fleet_scaling
+    base_fleet = baseline.get("fleet_scaling")
+    if fleet is not None and base_fleet is not None:
+        failures.extend(_check_fleet_scaling(fleet, base_fleet,
+                                             tolerance))
+    if not report.rows and serve is None and fleet is None:
         failures.append("nothing to check: the run has neither engine "
-                        "rows nor a serve_load section")
+                        "rows nor a serve arm section")
     return failures

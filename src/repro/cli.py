@@ -252,7 +252,11 @@ def cmd_bench(args) -> int:
                              seed=args.seed, store=args.store_arm,
                              fused=not args.no_fused,
                              jobs=args.jobs or 1)
-    if args.serve_load or args.serve_only:
+    # A bare --serve-only keeps its historical meaning (serve-load
+    # smoke); with --fleet-scaling it runs only the requested arms.
+    run_serve = args.serve_load or (args.serve_only and
+                                    not args.fleet_scaling)
+    if run_serve:
         from repro.serve import run_serve_load
 
         result = run_serve_load(clients=args.clients,
@@ -269,6 +273,23 @@ def cmd_bench(args) -> int:
                   f"dedupe {result.dedupe_hit_rate:.0%}  "
                   f"{result.throttled} throttled  "
                   f"cross-shard {cross}")
+    if args.fleet_scaling:
+        from repro.serve.loadgen import run_fleet_scaling
+
+        scaling = run_fleet_scaling(shards=(1, args.fleet_shards),
+                                    requests=args.fleet_requests,
+                                    clients=args.clients)
+        report = dataclasses.replace(report,
+                                     fleet_scaling=scaling.to_dict())
+        if not args.json:
+            for point in scaling.points:
+                print(f"{'FLEET-SCALING':24s} {point.shards:2d} "
+                      f"shard(s)  {point.jobs_ok:3d}/"
+                      f"{point.jobs_ok + point.jobs_failed} jobs  "
+                      f"{point.jobs_per_sec:7.2f} jobs/s  "
+                      f"warm {point.warm_hit_rate:.0%}")
+            print(f"{'':24s} scaling x{scaling.scaling_ratio:.2f} "
+                  f"({scaling.max_shards}-shard vs 1-shard)")
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     elif report.rows:
@@ -359,19 +380,155 @@ def cmd_serve(args) -> int:
 
 
 def cmd_fleet(args) -> int:
-    import asyncio
-    import signal
-
-    from repro.serve import FairnessPolicy, Fleet, HttpFrontDoor
+    from repro.serve import FairnessPolicy
 
     policy = FairnessPolicy(
         max_pending_per_tenant=args.tenant_pending,
         max_inflight_per_tenant=args.tenant_inflight,
         max_queue_depth=args.queue_depth)
+    if args.shard is not None and args.front_only:
+        print("fleet: --shard and --front-only are mutually exclusive")
+        return 2
+    if args.processes:
+        return _fleet_supervisor(args)
+    if args.shard is not None:
+        return _fleet_worker(args, policy)
+    if args.front_only:
+        return _fleet_front_door(args, policy)
+    return _fleet_in_process(args, policy)
+
+
+def _fleet_worker(args, policy) -> int:
+    """One shard's polling daemon in this process (``--shard K``).
+
+    Shares the fleet root's spool dirs, WAL stores, and fleet index
+    with its sibling worker processes; everything on disk is already
+    multi-process-safe (atomic renames, WAL, busy timeouts).
+    """
+    import os
+
+    from repro.serve import FleetIndex, ProfilingService, ShardRouter
+
+    if not 0 <= args.shard < args.shards:
+        print(f"fleet: --shard {args.shard} out of range "
+              f"(0..{args.shards - 1})")
+        return 2
+    router = ShardRouter(args.root, args.shards)
+    with FleetIndex(router.index_path) as index:
+        service = ProfilingService(
+            router.spool_dir(args.shard), router.store_path(args.shard),
+            jobs=args.jobs, job_timeout=args.timeout,
+            fleet_index=index, shard_id=args.shard,
+            queue_policy=policy, retention=args.retention)
+        with service:
+            print(f"fleet worker: shard {args.shard}/{args.shards} "
+                  f"under {args.root} (pid {os.getpid()}; "
+                  f"SIGINT/SIGTERM drains and exits)", flush=True)
+            service.serve_forever(poll_interval=args.poll,
+                                  install_signal_handlers=True)
+            print(f"shard {args.shard} stopped after "
+                  f"{service.completed} job(s) ({service.failed} "
+                  f"failed, {service.cached_hits} store hit(s), "
+                  f"{service.fleet_hits} fleet hit(s), warm "
+                  f"{service.warm_hits}/{service.warm_misses} "
+                  f"hit/miss)", flush=True)
+        return 0 if service.failed == 0 else 1
+
+
+def _fleet_front_door(args, policy) -> int:
+    """Router-only HTTP process (``--front-only``).
+
+    Routes submissions into the shard spools and reads results from
+    the shard stores without running any worker — the shard daemons
+    are separate processes.  Publishes its bound address (port 0 is
+    resolved to an ephemeral port) to ``<root>/front-door.json``.
+    """
+    import asyncio
+    import signal
+
+    from repro.serve import Fleet, HttpFrontDoor
+    from repro.serve.supervisor import write_front_door_file
+
+    async def _run() -> int:
+        fleet = Fleet(args.root, shards=args.shards,
+                      queue_policy=policy, workers="external")
+        door = HttpFrontDoor(fleet, host=args.host, port=args.port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, OSError):
+                pass
+        with fleet:
+            await door.start()
+            write_front_door_file(args.root, door.host, door.port)
+            print(f"fleet front door: {args.shards} shard(s) under "
+                  f"{args.root}, listening on "
+                  f"http://{door.host}:{door.port} (router-only; "
+                  f"SIGINT/SIGTERM stops)", flush=True)
+            if args.max_seconds is not None:
+                try:
+                    await asyncio.wait_for(stop.wait(), args.max_seconds)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await stop.wait()
+            await door.stop()
+        print(f"front door stopped after {door.requests_served} "
+              f"request(s)", flush=True)
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _fleet_supervisor(args) -> int:
+    """Supervised multi-process fleet (``--processes``)."""
+    import json
+
+    from repro.serve import FleetSupervisor
+    from repro.serve.supervisor import read_front_door_file
+
+    supervisor = FleetSupervisor(
+        args.root, shards=args.shards, host=args.host, port=args.port,
+        jobs=args.jobs, poll=args.poll, job_timeout=args.timeout,
+        retention=args.retention,
+        tenant_pending=args.tenant_pending,
+        tenant_inflight=args.tenant_inflight,
+        queue_depth=args.queue_depth,
+        stale_after=args.stale_after)
+    print(f"fleet supervisor: {args.shards} worker process(es) + "
+          f"front door under {args.root}", flush=True)
+
+    def _report_front() -> None:
+        info = supervisor.front_address(timeout=30.0)
+        if info is not None:
+            print(f"fleet: listening on http://{info['host']}:"
+                  f"{info['port']} (front door pid {info['pid']})",
+                  flush=True)
+
+    import threading
+    threading.Thread(target=_report_front, daemon=True).start()
+    code = supervisor.run(max_seconds=args.max_seconds)
+    info = read_front_door_file(args.root)
+    served = f" ({info['port']})" if info else ""
+    print(f"fleet supervisor stopped{served}: "
+          f"{json.dumps(supervisor.status()['children'], sort_keys=True)}",
+          flush=True)
+    return code
+
+
+def _fleet_in_process(args, policy) -> int:
+    """Single-process fleet: shard daemons on threads (the default)."""
+    import asyncio
+    import signal
+
+    from repro.serve import Fleet, HttpFrontDoor
 
     async def _run() -> int:
         fleet = Fleet(args.root, shards=args.shards, jobs=args.jobs,
-                      job_timeout=args.timeout, queue_policy=policy)
+                      job_timeout=args.timeout, queue_policy=policy,
+                      retention=args.retention)
         door = HttpFrontDoor(fleet, host=args.host, port=args.port)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -650,6 +807,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "p99/p50 tail ratio for --check "
                               "(default 1.0: fail only when the tail "
                               "more than doubles)")
+    p_bench.add_argument("--fleet-scaling", action="store_true",
+                         help="run the multi-process fleet scaling arm: "
+                              "boot supervised 1-shard and N-shard "
+                              "fleets (real OS processes, real "
+                              "sockets), measure the jobs/sec scaling "
+                              "ratio and warm compile-cache hit rate")
+    p_bench.add_argument("--fleet-shards", type=int, default=4,
+                         help="largest fleet size for --fleet-scaling "
+                              "(default 4; 1-shard is always measured "
+                              "as the baseline)")
+    p_bench.add_argument("--fleet-requests", type=int, default=24,
+                         help="jobs per fleet-scaling point "
+                              "(default 24)")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_fuzz = sub.add_parser(
@@ -733,6 +903,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--max-seconds", type=float, default=None,
                          help="stop after this much wall time instead "
                               "of waiting for a signal (smoke tests)")
+    p_fleet.add_argument("--shard", type=int, default=None,
+                         help="run ONLY shard K's polling daemon in "
+                              "this process (a multi-process fleet "
+                              "worker; no HTTP)")
+    p_fleet.add_argument("--front-only", action="store_true",
+                         help="run ONLY the router/HTTP front door in "
+                              "this process (shard workers run "
+                              "elsewhere); publishes the bound "
+                              "address to <root>/front-door.json")
+    p_fleet.add_argument("--processes", action="store_true",
+                         help="supervise a multi-process fleet: spawn "
+                              "one --shard worker process per shard "
+                              "plus a --front-only process, restart "
+                              "crashes with backoff, drain on "
+                              "SIGTERM/SIGINT")
+    p_fleet.add_argument("--retention", type=float, default=86400.0,
+                         help="seconds done/failed job files are kept "
+                              "before the idle-tick sweep removes "
+                              "them (default 86400; <= 0 keeps "
+                              "forever)")
+    p_fleet.add_argument("--stale-after", type=float, default=120.0,
+                         help="supervisor kills a worker whose "
+                              "heartbeat is older than this many "
+                              "seconds (default 120; --processes "
+                              "only)")
     p_fleet.set_defaults(fn=cmd_fleet)
 
     p_submit = sub.add_parser(

@@ -56,7 +56,8 @@ from __future__ import annotations
 
 import re
 
-from typing import Callable, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.heap.allocator import Ref
 from repro.heap.layout import Kind
@@ -716,62 +717,106 @@ def fused_blocks(code) -> List["tuple[int, int]"]:
     return blocks
 
 
-def compile_fused(machine, runtime, table: List[Handler],
-                  observed: bool = True) -> List[FusedEntry]:
-    """Compile ``runtime``'s superinstruction table.
+class _FusedArtifact:
+    """Machine-independent half of a fused compilation.
 
-    ``table`` is the matching plain dispatch table (same ``observed``
-    variant); observed blocks call back into it when the bulk-budget
-    guard fails.  Cached on ``runtime.fused_table_observed`` /
-    ``runtime.fused_table`` by the fused driver; like the plain tables
-    it survives JIT recompiles because bytecode is immutable.
+    ``code`` is the compiled superinstruction module (None when the
+    method has no fusable blocks), ``consts`` the machine-independent
+    name bindings the module needs (Instruction objects, non-inlinable
+    constants), ``chain_bcis`` the bytecode indices whose plain
+    handlers the observed bailout chain calls — those are bound per
+    machine at instantiation time.
     """
-    from repro.jvm.interpreter import (
-        ArithmeticTrap,
-        NullPointerError,
-        _int_div,
-        _int_rem,
-    )
 
-    method = runtime.method
+    __slots__ = ("code", "consts", "blocks", "chain_bcis")
+
+    def __init__(self, code, consts, blocks, chain_bcis):
+        self.code = code
+        self.consts = consts
+        self.blocks = blocks
+        self.chain_bcis = chain_bcis
+
+
+class FusedCodegenCache:
+    """Process-wide warm cache for fused superinstruction codegen.
+
+    Source generation and ``compile()`` are the expensive parts of
+    :func:`compile_fused`, and they depend only on the method's
+    bytecode, the observation variant, and line-size fast-path
+    eligibility — never on the machine.  A long-lived shard daemon
+    therefore generates each (method, variant) once and replays the
+    compiled module for every later job; fleet placement pins a
+    program to one shard, so repeat traffic is almost all warm hits.
+    Bounded LRU: eviction only costs a regeneration.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, _FusedArtifact]" = OrderedDict()
+
+    @staticmethod
+    def key_for(method, observed: bool, fast_ok: bool) -> tuple:
+        sig = tuple((ins.op, ins.args) for ins in method.code)
+        return (method.qualified_name, bool(observed), bool(fast_ok), sig)
+
+    def get(self, method, observed: bool, fast_ok: bool) -> _FusedArtifact:
+        key = self.key_for(method, observed, fast_ok)
+        art = self._entries.get(key)
+        if art is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return art
+        self.misses += 1
+        art = _generate_fused(method, observed, fast_ok)
+        self._entries[key] = art
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return art
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
+
+    def clear(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._entries.clear()
+
+
+_CODEGEN_CACHE = FusedCodegenCache()
+
+
+def warm_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters for the process-wide codegen cache."""
+    return _CODEGEN_CACHE.stats()
+
+
+def reset_warm_cache() -> None:
+    _CODEGEN_CACHE.clear()
+
+
+def _generate_fused(method, observed: bool,
+                    fast_ok: bool) -> _FusedArtifact:
+    """Generate and compile a method's superinstruction module.
+
+    Everything here is machine-independent; :func:`compile_fused`
+    finishes the job per machine by layering its bound closures (heap
+    deref, hierarchy access, event bus, plain-handler chain) on top of
+    ``consts`` and exec-ing the module.
+    """
     code = method.code
     qname = method.qualified_name
-    heap = machine.heap
-    bus = machine.bus
-    # The inlined fast bodies classify every access as single-line,
-    # which the heap layout guarantees (8-byte accesses at 8-aligned
-    # addresses) only when a cache line holds at least one element.
-    fast_ok = machine._line_size >= 8
 
-    def deref(ref, bci: int, ins: Instruction):
-        if not isinstance(ref, Ref):
-            raise NullPointerError(
-                f"{qname} bci {bci} ({ins!r}): dereferencing {ref!r}")
-        return heap.get(ref)
-
-    from repro.obs.bus import _LEVEL_BASE
-
-    ns: dict = {
-        "_deref": deref,
-        "_ah": machine.hierarchy.access_hot,
-        "_sa": machine.static_address,
-        "_gs": machine.get_static,
-        "_ss": machine.set_static,
-        "_idiv": _int_div,
-        "_irem": _int_rem,
-        "_AT": ArithmeticTrap,
-        "_bus": bus,
-        "_bb": bus.bulk_budget,
-        "_obm": bus.observe_bulk_map,
-        "_LB": _LEVEL_BASE,
-        "_fusion": machine.fusion,
-    }
+    consts: dict = {}
+    chain_bcis: set = set()
 
     def lit(value, name: str) -> str:
         """Inline int/str/bool constants; bind anything else by name."""
         if type(value) in (int, str, bool):
             return repr(value)
-        ns[name] = value
+        consts[name] = value
         return name
 
     def emit_access(out, ind, addr_expr, size_expr, is_write, combo):
@@ -936,7 +981,7 @@ def compile_fused(machine, runtime, table: List[Handler],
                 ref = spop()
                 marker(j)
                 idx = mat(idx)
-                ns[f"i{bci}"] = ins
+                consts[f"i{bci}"] = ins
                 obj = newt()
                 out.append(f"{ind}{obj} = _deref({ref}, {bci}, i{bci})")
                 emit_access(out, ind, f"{obj}.element_address({idx})",
@@ -950,7 +995,7 @@ def compile_fused(machine, runtime, table: List[Handler],
                 ref = spop()
                 marker(j)
                 idx = mat(idx)
-                ns[f"i{bci}"] = ins
+                consts[f"i{bci}"] = ins
                 obj = newt()
                 out.append(f"{ind}{obj} = _deref({ref}, {bci}, i{bci})")
                 emit_access(out, ind, f"{obj}.element_address({idx})",
@@ -959,7 +1004,7 @@ def compile_fused(machine, runtime, table: List[Handler],
             elif op is Op.GETFIELD:
                 ref = spop()
                 marker(j)
-                ns[f"i{bci}"] = ins
+                consts[f"i{bci}"] = ins
                 name = lit(ins.args[0], f"c{bci}")
                 obj = newt()
                 out.append(f"{ind}{obj} = _deref({ref}, {bci}, i{bci})")
@@ -972,7 +1017,7 @@ def compile_fused(machine, runtime, table: List[Handler],
                 v = spop()
                 ref = spop()
                 marker(j)
-                ns[f"i{bci}"] = ins
+                consts[f"i{bci}"] = ins
                 name = lit(ins.args[0], f"c{bci}")
                 obj = newt()
                 out.append(f"{ind}{obj} = _deref({ref}, {bci}, i{bci})")
@@ -995,7 +1040,7 @@ def compile_fused(machine, runtime, table: List[Handler],
             elif op is Op.ARRAYLENGTH:
                 ref = spop()
                 marker(j)
-                ns[f"i{bci}"] = ins
+                consts[f"i{bci}"] = ins
                 obj = newt()
                 out.append(f"{ind}{obj} = _deref({ref}, {bci}, i{bci})")
                 emit_access(out, ind, f"{obj}.addr + 8", "8", False,
@@ -1060,9 +1105,8 @@ def compile_fused(machine, runtime, table: List[Handler],
         return pro + out
 
     blocks = fused_blocks(code)
-    fused: List[FusedEntry] = [None] * len(code)
     if not blocks:
-        return fused
+        return _FusedArtifact(None, consts, [], ())
 
     src: List[str] = []
     for start, end in blocks:
@@ -1104,10 +1148,10 @@ def compile_fused(machine, runtime, table: List[Handler],
                 if j:
                     src.append(f"        ipc = {j}")
                 src.append(f"        _h{start + j}(thread, frame)")
-                ns[f"_h{start + j}"] = table[start + j]
+                chain_bcis.add(start + j)
             src.append(f"        ipc = {len(block) - 1}")
             src.append(f"        return _h{end - 1}(thread, frame)")
-            ns[f"_h{end - 1}"] = table[end - 1]
+            chain_bcis.add(end - 1)
         src.append("    except Exception:")
         if guarded:
             src.append("        if combos:")
@@ -1117,8 +1161,77 @@ def compile_fused(machine, runtime, table: List[Handler],
         src.append("        raise")
         src.append("")
 
-    exec(compile("\n".join(src), f"<fused:{qname}>", "exec"), ns)
-    for start, end in blocks:
+    module = compile("\n".join(src), f"<fused:{qname}>", "exec")
+    return _FusedArtifact(module, consts, blocks,
+                          tuple(sorted(chain_bcis)))
+
+
+def compile_fused(machine, runtime, table: List[Handler],
+                  observed: bool = True) -> List[FusedEntry]:
+    """Compile ``runtime``'s superinstruction table.
+
+    ``table`` is the matching plain dispatch table (same ``observed``
+    variant); observed blocks call back into it when the bulk-budget
+    guard fails.  Cached on ``runtime.fused_table_observed`` /
+    ``runtime.fused_table`` by the fused driver; like the plain tables
+    it survives JIT recompiles because bytecode is immutable.
+
+    The expensive codegen half is machine-independent and served from
+    the process-wide :class:`FusedCodegenCache`; this function only
+    builds the per-machine namespace (heap/bus/hierarchy closures plus
+    the plain-handler chain bindings) and execs the cached module —
+    which is why a warm shard daemon skips recompilation for repeat
+    programs.
+    """
+    from repro.jvm.interpreter import (
+        ArithmeticTrap,
+        NullPointerError,
+        _int_div,
+        _int_rem,
+    )
+    from repro.obs.bus import _LEVEL_BASE
+
+    method = runtime.method
+    qname = method.qualified_name
+    heap = machine.heap
+    bus = machine.bus
+    # The inlined fast bodies classify every access as single-line,
+    # which the heap layout guarantees (8-byte accesses at 8-aligned
+    # addresses) only when a cache line holds at least one element.
+    fast_ok = machine._line_size >= 8
+
+    fused: List[FusedEntry] = [None] * len(method.code)
+    art = _CODEGEN_CACHE.get(method, observed, fast_ok)
+    if art.code is None:
+        return fused
+
+    def deref(ref, bci: int, ins: Instruction):
+        if not isinstance(ref, Ref):
+            raise NullPointerError(
+                f"{qname} bci {bci} ({ins!r}): dereferencing {ref!r}")
+        return heap.get(ref)
+
+    ns: dict = {
+        "_deref": deref,
+        "_ah": machine.hierarchy.access_hot,
+        "_sa": machine.static_address,
+        "_gs": machine.get_static,
+        "_ss": machine.set_static,
+        "_idiv": _int_div,
+        "_irem": _int_rem,
+        "_AT": ArithmeticTrap,
+        "_bus": bus,
+        "_bb": bus.bulk_budget,
+        "_obm": bus.observe_bulk_map,
+        "_LB": _LEVEL_BASE,
+        "_fusion": machine.fusion,
+    }
+    ns.update(art.consts)
+    for bci in art.chain_bcis:
+        ns[f"_h{bci}"] = table[bci]
+
+    exec(art.code, ns)
+    for start, end in art.blocks:
         fused[start] = (ns[f"_sf_{start}"], end - start)
-    machine.fusion.blocks_fused += len(blocks)
+    machine.fusion.blocks_fused += len(art.blocks)
     return fused

@@ -34,7 +34,13 @@ one-shot CLI profiler into a service:
 :mod:`repro.serve.loadgen`
     Load generator behind ``bench --serve-load``: K concurrent HTTP
     clients, p50/p99 submit-to-verdict latency, dedupe hit rate, and
-    the reshard cross-shard dedupe check.
+    the reshard cross-shard dedupe check — plus the multi-process
+    fleet scaling harness behind ``bench --fleet-scaling``.
+:mod:`repro.serve.supervisor`
+    Multi-process fleet supervision: spawns shard workers and a
+    router-only front door as OS processes, watches heartbeats,
+    restarts crashes with backoff + a circuit breaker, drains on
+    SIGTERM.
 """
 
 from repro.serve.queue import (
@@ -61,18 +67,29 @@ from repro.serve.workers import TaskOutcome, WorkerPool
 from repro.serve.service import ProfilingService
 from repro.serve.router import Fleet, FleetIndex, ShardRouter, shard_for
 from repro.serve.http import HttpFrontDoor
-from repro.serve.loadgen import ServeLoadResult, run_serve_load
+from repro.serve.loadgen import (
+    FleetScalingPoint,
+    FleetScalingResult,
+    ServeLoadResult,
+    run_fleet_scaling,
+    run_serve_load,
+)
+from repro.serve.supervisor import FleetSupervisor
 
 __all__ = [
     "FairnessPolicy",
     "Fleet",
     "FleetIndex",
+    "FleetScalingPoint",
+    "FleetScalingResult",
+    "FleetSupervisor",
     "HttpFrontDoor",
     "JobSpec",
     "QuotaExceeded",
     "ServeLoadResult",
     "ShardRouter",
     "shard_for",
+    "run_fleet_scaling",
     "run_serve_load",
     "ProfileKey",
     "ProfileRecord",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import math
+import os
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -371,3 +372,202 @@ def run_serve_load(clients: int = 8, shards: int = 2,
         return asyncio.run(drive(root))
     with tempfile.TemporaryDirectory(prefix="djx-serve-load-") as tmp:
         return asyncio.run(drive(tmp))
+
+
+# ----------------------------------------------------------------------
+# Multi-process fleet scaling (the ``bench --fleet-scaling`` arm)
+# ----------------------------------------------------------------------
+
+#: Default workload mix for the scaling curve: enough distinct
+#: programs that ``sha256(workload ++ program_hash) mod N`` populates
+#: every shard of a 4-shard fleet, engine-bound so jobs/sec measures
+#: simulation (parallelisable across worker processes), repeated so
+#: the warm compile cache inside each worker gets exercised.
+FLEET_SCALING_WORKLOADS = ("kernel-arith", "kernel-array",
+                           "kernel-field", "kernel-mixed",
+                           "objectlayout", "mnemonics",
+                           "crypto", "montecarlo")
+
+
+@dataclass(frozen=True)
+class FleetScalingPoint:
+    """Throughput of one supervised multi-process fleet size."""
+
+    shards: int
+    jobs_ok: int
+    jobs_failed: int
+    elapsed_seconds: float
+    jobs_per_sec: float
+    #: Fused-codegen warm-cache totals summed over the worker
+    #: processes (from their heartbeats via ``GET /fleet``).
+    warm_hits: int
+    warm_misses: int
+    per_shard_jobs: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def warm_hit_rate(self) -> float:
+        total = self.warm_hits + self.warm_misses
+        return self.warm_hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "jobs_ok": self.jobs_ok,
+            "jobs_failed": self.jobs_failed,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "jobs_per_sec": round(self.jobs_per_sec, 3),
+            "warm_hits": self.warm_hits,
+            "warm_misses": self.warm_misses,
+            "warm_hit_rate": round(self.warm_hit_rate, 4),
+            "per_shard_jobs": {str(k): v for k, v in
+                               sorted(self.per_shard_jobs.items())},
+        }
+
+
+@dataclass(frozen=True)
+class FleetScalingResult:
+    """The jobs/sec scaling curve across fleet sizes (1 vs N)."""
+
+    requests: int
+    clients: int
+    workloads: Tuple[str, ...]
+    points: Tuple[FleetScalingPoint, ...]
+
+    def _point(self, shards: int) -> Optional[FleetScalingPoint]:
+        return next((p for p in self.points if p.shards == shards),
+                    None)
+
+    @property
+    def max_shards(self) -> int:
+        return max(p.shards for p in self.points)
+
+    @property
+    def scaling_ratio(self) -> float:
+        """Largest fleet's jobs/sec over the single-shard baseline."""
+        base = self._point(1)
+        peak = max(self.points, key=lambda p: p.shards)
+        if base is None or base.jobs_per_sec <= 0:
+            return 0.0
+        return peak.jobs_per_sec / base.jobs_per_sec
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Warm compile hit rate at the largest fleet size."""
+        return max(self.points,
+                   key=lambda p: p.shards).warm_hit_rate
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "clients": self.clients,
+            "workloads": list(self.workloads),
+            "max_shards": self.max_shards,
+            "scaling_ratio": round(self.scaling_ratio, 3),
+            "warm_hit_rate": round(self.warm_hit_rate, 4),
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+async def _drive_fleet_point(host: str, port: int, clients: int,
+                             jobs: List[dict], poll_interval: float,
+                             shards: int) -> FleetScalingPoint:
+    """Drive one supervised fleet over real sockets; measure jobs/sec."""
+    runners = [_Client(c, host, port, tenant="scale",
+                       poll_interval=poll_interval)
+               for c in range(min(clients, len(jobs)))]
+    assignments: List[List[dict]] = [[] for _ in runners]
+    for i, payload in enumerate(jobs):
+        assignments[i % len(runners)].append(payload)
+    started = time.perf_counter()
+    await asyncio.gather(*(runner.run(batch) for runner, batch
+                           in zip(runners, assignments)))
+    elapsed = time.perf_counter() - started
+
+    # Worker heartbeats trail job completion by up to one poll; let
+    # them settle before reading the fleet-wide warm counters.
+    await asyncio.sleep(max(0.2, poll_interval * 4))
+    _status, stats, _h = await http_request(host, port, "GET", "/fleet")
+
+    results = [res for runner in runners for res in runner.results]
+    ok = [r for r in results if r["state"] == "done"]
+    per_shard: Dict[int, int] = {}
+    for r in results:
+        per_shard[r["shard"]] = per_shard.get(r["shard"], 0) + 1
+    warm = stats.get("warm") or {}
+    return FleetScalingPoint(
+        shards=shards,
+        jobs_ok=len(ok),
+        jobs_failed=len(results) - len(ok),
+        elapsed_seconds=elapsed,
+        jobs_per_sec=len(ok) / elapsed if elapsed > 0 else 0.0,
+        warm_hits=int(warm.get("hits", 0)),
+        warm_misses=int(warm.get("misses", 0)),
+        per_shard_jobs=per_shard)
+
+
+def run_fleet_scaling(shards: Sequence[int] = (1, 4),
+                      requests: int = 24,
+                      clients: int = 8,
+                      workloads: Sequence[str] =
+                      FLEET_SCALING_WORKLOADS,
+                      period: int = 32,
+                      poll_interval: float = 0.05,
+                      root: Optional[str] = None,
+                      python: Optional[str] = None
+                      ) -> FleetScalingResult:
+    """Measure the multi-process fleet's jobs/sec scaling curve.
+
+    Unlike :func:`run_serve_load` (threads in this process), every
+    point here boots a **real multi-process fleet** under a
+    :class:`~repro.serve.supervisor.FleetSupervisor` — N shard worker
+    processes plus a router-only front door — over a fresh root, then
+    drives the same ``requests``-job mix through real sockets.  Seeds
+    are unique per point so every job simulates (no dedupe shortcut);
+    workloads repeat so each worker's warm compile cache is exercised
+    and its hit rate lands in the point.  The headline numbers are the
+    ``scaling_ratio`` (largest-N jobs/sec over 1-shard jobs/sec —
+    bounded by the machine's cores, near 1.0 on a 1-core box) and the
+    ``warm_hit_rate`` at the largest size.
+    """
+    from repro.serve.supervisor import FleetSupervisor
+
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    sizes = sorted(set(int(n) for n in shards))
+    if not sizes or sizes[0] < 1:
+        raise ValueError(f"bad shard sizes {shards!r}")
+    if 1 not in sizes:
+        sizes.insert(0, 1)
+
+    def measure(base_root: str) -> FleetScalingResult:
+        points: List[FleetScalingPoint] = []
+        for idx, size in enumerate(sizes):
+            run_root = os.path.join(base_root, f"fleet-{size:02d}")
+            jobs = [{"workload": workloads[i % len(workloads)],
+                     "period": period,
+                     "seed": 500_000 * (idx + 1) + i}
+                    for i in range(requests)]
+            supervisor = FleetSupervisor(run_root, shards=size, port=0,
+                                         poll=poll_interval,
+                                         python=python)
+            supervisor.start()
+            try:
+                info = supervisor.front_address(timeout=60.0)
+                if info is None:
+                    raise RuntimeError(
+                        f"{size}-shard fleet front door failed to "
+                        f"start (see {run_root}/logs)")
+                points.append(asyncio.run(_drive_fleet_point(
+                    str(info["host"]), int(info["port"]), clients,
+                    jobs, poll_interval, size)))
+            finally:
+                supervisor.shutdown(grace=60.0)
+        return FleetScalingResult(requests=requests, clients=clients,
+                                  workloads=tuple(workloads),
+                                  points=tuple(points))
+
+    if root is not None:
+        os.makedirs(root, exist_ok=True)
+        return measure(root)
+    with tempfile.TemporaryDirectory(prefix="djx-fleet-scale-") as tmp:
+        return measure(tmp)

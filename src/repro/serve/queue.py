@@ -355,6 +355,45 @@ class SpoolQueue:
         except FileNotFoundError:
             pass
 
+    def sweep(self, retention: Optional[float],
+              now: Optional[float] = None) -> int:
+        """Remove ``done/``/``failed/`` files older than ``retention``.
+
+        Bounds spool disk growth for long-running fleets: outcome files
+        are the submitter's poll target, so they must linger, but only
+        for the retention window (seconds).  Age is the recorded
+        ``finished_at`` (file mtime when absent).  ``retention`` of
+        None or <= 0 disables the sweep.  Returns files removed; safe
+        under concurrent daemons — a file that vanishes mid-sweep was
+        simply removed by a neighbour first.
+        """
+        if not retention or retention <= 0:
+            return 0
+        now = time.time() if now is None else now
+        removed = 0
+        for state in ("done", "failed"):
+            state_dir = self._dir(state)
+            for name in os.listdir(state_dir):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(state_dir, name)
+                try:
+                    finished = self._read(path).get("finished_at")
+                except (FileNotFoundError, json.JSONDecodeError):
+                    continue
+                if finished is None:
+                    try:
+                        finished = os.path.getmtime(path)
+                    except OSError:
+                        continue
+                if now - float(finished) >= retention:
+                    try:
+                        os.remove(path)
+                        removed += 1
+                    except FileNotFoundError:
+                        pass
+        return removed
+
     # -- inspection -----------------------------------------------------
     def counts(self) -> Dict[str, int]:
         return {state: len([n for n in os.listdir(self._dir(state))

@@ -35,6 +35,7 @@ new home shard finds the old shard's record and serves it from disk.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import sqlite3
 import threading
@@ -42,8 +43,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.serve.queue import FairnessPolicy, JobSpec
-from repro.serve.service import ProfilingService
+from repro.serve.queue import FairnessPolicy, JobSpec, SpoolQueue
+from repro.serve.service import STATUS_FILE, ProfilingService
 from repro.serve.store import (
     ProfileKey,
     ProfileRecord,
@@ -224,17 +225,41 @@ class Fleet:
     def __init__(self, root: str, shards: int = 2,
                  jobs: Optional[int] = 1,
                  job_timeout: Optional[float] = None,
-                 queue_policy: Optional[FairnessPolicy] = None) -> None:
+                 queue_policy: Optional[FairnessPolicy] = None,
+                 workers: str = "threads",
+                 retention: Optional[float] = None) -> None:
+        if workers not in ("threads", "external"):
+            raise ValueError(f"workers must be 'threads' or 'external', "
+                             f"got {workers!r}")
+        self.workers = workers
         self.router = ShardRouter(root, shards)
         self.index = FleetIndex(self.router.index_path)
-        self.services: List[ProfilingService] = [
-            ProfilingService(self.router.spool_dir(shard),
-                             self.router.store_path(shard),
-                             jobs=jobs, job_timeout=job_timeout,
-                             fleet_index=self.index, shard_id=shard,
-                             queue_policy=queue_policy)
-            for shard in range(shards)
-        ]
+        if workers == "threads":
+            self.services: List[ProfilingService] = [
+                ProfilingService(self.router.spool_dir(shard),
+                                 self.router.store_path(shard),
+                                 jobs=jobs, job_timeout=job_timeout,
+                                 fleet_index=self.index, shard_id=shard,
+                                 queue_policy=queue_policy,
+                                 retention=retention)
+                for shard in range(shards)
+            ]
+            self._queues: List[SpoolQueue] = [
+                service.queue for service in self.services]
+        else:
+            # Router-only assembly for a multi-process fleet: shard
+            # daemons run in their own OS processes (`repro fleet
+            # --shard K`), so this process must NOT construct
+            # ProfilingServices — their startup `recover()` would
+            # steal running/ claims owned by live workers.  Bare
+            # queues give submit/status, WAL stores give reads, and
+            # per-shard heartbeats give health.
+            self.services = []
+            self._queues = [
+                SpoolQueue(self.router.spool_dir(shard),
+                           policy=queue_policy)
+                for shard in range(shards)
+            ]
         self._front_stores: List[ProfileStore] = [
             ProfileStore(self.router.store_path(shard))
             for shard in range(shards)
@@ -246,8 +271,8 @@ class Fleet:
     # -- lifecycle ------------------------------------------------------
     def start(self, poll_interval: float = 0.05,
               max_backoff: Optional[float] = None) -> None:
-        """Spawn one daemon thread per shard."""
-        if self._started:
+        """Spawn one daemon thread per shard (no-op router-only)."""
+        if self._started or not self.services:
             return
         self._started = True
         for service in self.services:
@@ -316,23 +341,20 @@ class Fleet:
             # Kinds with no program identity (fuzz) spread by tenant.
             shard = shard_for(spec.tenant, spec.kind, self.router.shards)
         spec.meta["shard"] = shard
-        return self.services[shard].queue.submit(spec), shard
+        return self._queues[shard].submit(spec), shard
 
     # -- merged views ---------------------------------------------------
     def status(self, job_id: str) -> Optional[dict]:
         """Lifecycle state of a job on whichever shard holds it."""
-        for service in self.services:
-            queue = service.queue
+        for shard, queue in enumerate(self._queues):
             outcome = queue.outcome(job_id)
             if outcome is not None:
                 state = "done" if "result" in outcome else "failed"
-                return {"state": state, "shard": service.shard_id,
-                        "job": outcome}
+                return {"state": state, "shard": shard, "job": outcome}
             for spool_state in ("running", "pending"):
                 path = queue._path(spool_state, job_id)
                 if os.path.exists(path):
-                    return {"state": spool_state,
-                            "shard": service.shard_id,
+                    return {"state": spool_state, "shard": shard,
                             "job": queue._read(path)}
         return None
 
@@ -380,28 +402,81 @@ class Fleet:
         out["shard"] = shard
         return out
 
+    def _shard_heartbeat(self, shard: int) -> Optional[dict]:
+        """The last heartbeat line a shard's daemon process wrote."""
+        path = os.path.join(self.router.spool_dir(shard), STATUS_FILE)
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                fh.seek(max(0, fh.tell() - 8192))
+                tail = fh.read().decode("utf-8", "replace").splitlines()
+        except OSError:
+            return None
+        for line in reversed(tail):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                return json.loads(line)
+            except json.JSONDecodeError:
+                continue
+        return None
+
     def stats(self) -> dict:
-        """Fleet-wide health: per-shard queues, dedupe counters, stores."""
+        """Fleet-wide health: per-shard queues, dedupe counters, stores.
+
+        With in-process workers the counters come straight off the
+        service objects; router-only they come from each worker
+        process's last heartbeat line (slightly stale, never blocking).
+        """
         shards = []
         dedupe_hits = dedupe_misses = 0
-        for shard, service in enumerate(self.services):
-            dedupe_hits += service.fleet_hits
-            dedupe_misses += service.fleet_misses
-            shards.append({
-                "shard": shard,
-                "queue": service.queue.counts(),
-                "completed": service.completed,
-                "failed": service.failed,
-                "cached_hits": service.cached_hits,
-                "fleet_hits": service.fleet_hits,
-                "fleet_misses": service.fleet_misses,
-                "store": self._front_stores[shard].stats(),
-            })
+        warm_hits = warm_misses = 0
+        for shard in range(self.router.shards):
+            if self.services:
+                service = self.services[shard]
+                entry = {
+                    "shard": shard,
+                    "queue": service.queue.counts(),
+                    "completed": service.completed,
+                    "failed": service.failed,
+                    "cached_hits": service.cached_hits,
+                    "fleet_hits": service.fleet_hits,
+                    "fleet_misses": service.fleet_misses,
+                    "warm": {"hits": service.warm_hits,
+                             "misses": service.warm_misses},
+                }
+            else:
+                beat = self._shard_heartbeat(shard) or {}
+                fleet_beat = beat.get("fleet") or {}
+                entry = {
+                    "shard": shard,
+                    "queue": self._queues[shard].counts(),
+                    "completed": int(beat.get("completed", 0)),
+                    "failed": int(beat.get("failed", 0)),
+                    "cached_hits": int(beat.get("cached_hits", 0)),
+                    "fleet_hits": int(fleet_beat.get("dedupe_hits", 0)),
+                    "fleet_misses": int(
+                        fleet_beat.get("dedupe_misses", 0)),
+                    "warm": dict(beat.get("warm")
+                                 or {"hits": 0, "misses": 0}),
+                    "heartbeat": {"ts": beat.get("ts"),
+                                  "pid": beat.get("pid"),
+                                  "state": beat.get("state")},
+                }
+            entry["store"] = self._front_stores[shard].stats()
+            dedupe_hits += entry["fleet_hits"]
+            dedupe_misses += entry["fleet_misses"]
+            warm_hits += int(entry["warm"].get("hits", 0))
+            warm_misses += int(entry["warm"].get("misses", 0))
+            shards.append(entry)
         return {
             "shards": shards,
             "shard_count": self.router.shards,
+            "workers": self.workers,
             "dedupe": {"hits": dedupe_hits, "misses": dedupe_misses,
                        "indexed": self.index.count()},
+            "warm": {"hits": warm_hits, "misses": warm_misses},
         }
 
     def dedupe_key_for(self, workload: str, variant: str,

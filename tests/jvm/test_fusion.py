@@ -333,3 +333,112 @@ class TestGuardBailout:
         _, r_fast = _profiled_result(array_program, skip_ahead=True)
         _, r_bail = _profiled_result(array_program, skip_ahead=False)
         assert r_fast == r_bail
+
+
+# ----------------------------------------------------------------------
+# Warm codegen cache (process-wide reuse of fused artifacts)
+# ----------------------------------------------------------------------
+
+class TestWarmCodegenCache:
+    def setup_method(self):
+        from repro.jvm.dispatch import reset_warm_cache
+
+        reset_warm_cache()
+
+    def test_second_machine_reuses_compiled_artifacts(self):
+        from repro.jvm.dispatch import warm_cache_stats
+
+        first = Machine(arith_program())
+        first.warm_dispatch()
+        after_first = warm_cache_stats()
+        assert after_first["misses"] > 0
+        cold_misses = after_first["misses"]
+
+        second = Machine(arith_program())
+        second.warm_dispatch()
+        after_second = warm_cache_stats()
+        # Same bytecode: every artifact comes from the cache.
+        assert after_second["misses"] == cold_misses
+        assert after_second["hits"] >= cold_misses
+
+    def test_warm_machine_results_identical_to_cold(self):
+        cold = Machine(arith_program())
+        cold.warm_dispatch()
+        cold_result = cold.run()
+        warm = Machine(arith_program())
+        warm.warm_dispatch()
+        warm_result = warm.run()
+        assert warm_result == cold_result
+        assert warm.fusion.blocks_fused == cold.fusion.blocks_fused
+
+    def test_different_programs_do_not_collide(self):
+        from repro.jvm.dispatch import warm_cache_stats
+
+        Machine(arith_program()).warm_dispatch()
+        misses_one = warm_cache_stats()["misses"]
+        # Same class/method name, different bytecode: distinct keys.
+        Machine(mixed_program()).warm_dispatch()
+        assert warm_cache_stats()["misses"] > misses_one
+
+    def test_machine_config_variants_keyed_separately(self):
+        """fast_ok depends on the machine's line size, so a machine
+        that cannot take the aligned fast path must not reuse an
+        artifact generated for one that can."""
+        from repro.jvm.dispatch import warm_cache_stats
+
+        Machine(array_program()).warm_dispatch()
+        baseline = warm_cache_stats()["misses"]
+        from repro.memsys.hierarchy import HierarchyConfig
+
+        narrow = Machine(array_program(),
+                         MachineConfig(hierarchy=HierarchyConfig(
+                             line_size=4)))
+        narrow.warm_dispatch()
+        after_narrow = warm_cache_stats()["misses"]
+        assert after_narrow > baseline
+        # A default machine re-warming hits the original artifacts.
+        wide = Machine(array_program())
+        wide.warm_dispatch()
+        assert warm_cache_stats()["misses"] == after_narrow
+        assert wide.run() is not None
+
+    def test_lru_capacity_bounds_entries(self):
+        from repro.jvm.dispatch import FusedCodegenCache
+
+        cache = FusedCodegenCache(capacity=1)
+        m_arith = arith_program().methods["main"]
+        m_mixed = mixed_program().methods["main"]
+        cache.get(m_arith, True, True)
+        cache.get(m_mixed, True, True)   # evicts arith
+        cache.get(m_arith, True, True)   # recompiles
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["misses"] == 3
+        assert stats["hits"] == 0
+
+    def test_lru_touch_keeps_hot_entries(self):
+        from repro.jvm.dispatch import FusedCodegenCache
+
+        cache = FusedCodegenCache(capacity=2)
+        m_arith = arith_program().methods["main"]
+        m_mixed = mixed_program().methods["main"]
+        m_field = field_program().methods["main"]
+        cache.get(m_arith, True, True)
+        cache.get(m_mixed, True, True)
+        cache.get(m_arith, True, True)   # touch: arith is now hot
+        cache.get(m_field, True, True)   # evicts mixed, not arith
+        assert cache.stats() == {"hits": 1, "misses": 3, "entries": 2}
+        cache.get(m_arith, True, True)
+        assert cache.stats()["hits"] == 2
+
+    def test_reset_clears_entries_and_counters(self):
+        from repro.jvm.dispatch import (
+            reset_warm_cache,
+            warm_cache_stats,
+        )
+
+        Machine(arith_program()).warm_dispatch()
+        assert warm_cache_stats()["entries"] > 0
+        reset_warm_cache()
+        assert warm_cache_stats() == {"hits": 0, "misses": 0,
+                                      "entries": 0}

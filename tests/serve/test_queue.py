@@ -257,3 +257,56 @@ class TestClaimRaces:
                                   "done": 1, "failed": 0}
         assert queue.outcome(claimed.job_id)["result"][
             "total_samples"] == 7
+
+
+class TestSweep:
+    def finish_one(self, queue, **kw):
+        submitted = queue.submit(spec(**kw))
+        queue.complete(queue.claim(), {"total_samples": 1})
+        return submitted
+
+    def test_aged_outcomes_removed_fresh_kept(self, queue):
+        old = self.finish_one(queue, seed=1)
+        fresh = self.finish_one(queue, seed=2)
+        # Backdate the first outcome's recorded finish time.
+        path = queue._path("done", old.job_id)
+        data = queue._read(path)
+        data["finished_at"] = data["finished_at"] - 1000.0
+        queue._write(path, data)
+        assert queue.sweep(retention=500.0) == 1
+        assert queue.outcome(old.job_id) is None
+        assert queue.outcome(fresh.job_id) is not None
+
+    def test_failed_outcomes_swept_too(self, queue):
+        submitted = queue.submit(spec(max_attempts=1))
+        queue.fail(queue.claim(), "boom")
+        path = queue._path("failed", submitted.job_id)
+        data = queue._read(path)
+        data["finished_at"] = data["finished_at"] - 1000.0
+        queue._write(path, data)
+        assert queue.sweep(retention=500.0) == 1
+        assert queue.counts()["failed"] == 0
+
+    def test_disabled_retention_keeps_everything(self, queue):
+        self.finish_one(queue)
+        assert queue.sweep(retention=None) == 0
+        assert queue.sweep(retention=0) == 0
+        assert queue.sweep(retention=-5.0) == 0
+        assert queue.counts()["done"] == 1
+
+    def test_mtime_fallback_when_no_finished_at(self, queue, tmp_path):
+        submitted = self.finish_one(queue)
+        path = queue._path("done", submitted.job_id)
+        data = queue._read(path)
+        del data["finished_at"]
+        queue._write(path, data)
+        os.utime(path, (1.0, 1.0))  # epoch-old mtime
+        assert queue.sweep(retention=500.0) == 1
+
+    def test_pending_and_running_never_swept(self, queue):
+        queue.submit(spec(seed=1))
+        queue.submit(spec(seed=2))
+        queue.claim()
+        assert queue.sweep(retention=0.0000001, now=10**12) == 0
+        counts = queue.counts()
+        assert counts["pending"] == 1 and counts["running"] == 1

@@ -188,3 +188,78 @@ class TestFleet:
             outcome = service.queue.outcome(repeat.job_id)
             assert outcome["result"]["fleet"] is True
             assert outcome["result"]["origin_shard"] == origin
+
+
+class TestFleetExternalWorkers:
+    """Router-only assembly for the multi-process fleet."""
+
+    def test_invalid_workers_value_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="workers must be"):
+            Fleet(str(tmp_path / "fleet"), shards=2, workers="fibers")
+
+    def test_no_services_and_start_is_a_noop(self, tmp_path):
+        with Fleet(str(tmp_path / "fleet"), shards=2,
+                   workers="external") as fleet:
+            assert fleet.services == []
+            fleet.start()  # must not spawn threads
+            assert fleet._threads == []
+
+    def test_submit_enqueues_without_executing(self, tmp_path):
+        """External mode is routing only: the job lands in pending/
+        for a worker process to claim; nothing simulates here."""
+        with Fleet(str(tmp_path / "fleet"), shards=2,
+                   workers="external") as fleet:
+            submitted, shard = fleet.submit(spec())
+            status = fleet.status(submitted.job_id)
+            assert status["state"] == "pending"
+            assert status["shard"] == shard
+            assert fleet._queues[shard].counts()["pending"] == 1
+
+    def test_external_worker_process_roundtrip(self, tmp_path):
+        """Claim + complete through a second bare queue (standing in
+        for the worker process) becomes visible to the router."""
+        with Fleet(str(tmp_path / "fleet"), shards=2,
+                   workers="external") as fleet:
+            submitted, shard = fleet.submit(spec())
+            worker_queue = type(fleet._queues[shard])(
+                fleet.router.spool_dir(shard))
+            claimed = worker_queue.claim()
+            worker_queue.complete(claimed, {"total_samples": 5})
+            status = fleet.status(submitted.job_id)
+            assert status["state"] == "done"
+            assert status["job"]["result"]["total_samples"] == 5
+
+    def test_stats_reads_worker_heartbeats(self, tmp_path):
+        import json as _json
+        import os as _os
+
+        from repro.serve.service import STATUS_FILE
+
+        with Fleet(str(tmp_path / "fleet"), shards=2,
+                   workers="external") as fleet:
+            heartbeat = {"ts": 123.0, "pid": 4242, "state": "idle",
+                         "completed": 7, "failed": 1, "cached_hits": 2,
+                         "warm": {"hits": 9, "misses": 3},
+                         "fleet": {"dedupe_hits": 1,
+                                   "dedupe_misses": 2}}
+            path = _os.path.join(fleet.router.spool_dir(0), STATUS_FILE)
+            with open(path, "a") as fh:
+                fh.write(_json.dumps(heartbeat) + "\n")
+            stats = fleet.stats()
+            assert stats["workers"] == "external"
+            shard0 = stats["shards"][0]
+            assert shard0["completed"] == 7
+            assert shard0["warm"] == {"hits": 9, "misses": 3}
+            assert shard0["heartbeat"]["pid"] == 4242
+            # Shard 1 never heartbeat: present but empty counters.
+            shard1 = stats["shards"][1]
+            assert shard1["heartbeat"]["pid"] is None
+            assert shard1["completed"] == 0
+            # Aggregate warm totals only count live heartbeats.
+            assert stats["warm"] == {"hits": 9, "misses": 3}
+
+    def test_threads_mode_stats_report_workers_field(self, tmp_path):
+        with Fleet(str(tmp_path / "fleet"), shards=1) as fleet:
+            stats = fleet.stats()
+            assert stats["workers"] == "threads"
+            assert stats["warm"] == {"hits": 0, "misses": 0}

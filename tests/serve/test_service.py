@@ -233,3 +233,110 @@ class TestFleetDedupe:
             a.close()
             b.close()
             index.close()
+
+
+class TestWarmCompileCache:
+    def test_repeat_traffic_hits_the_warm_cache(self, spool,
+                                                store_path):
+        """Two jobs, same workload, different seeds: the first
+        compiles (misses), the second reuses the per-process fused
+        artifacts (hits, zero misses)."""
+        from repro.jvm.dispatch import reset_warm_cache
+
+        reset_warm_cache()
+        first = submit(spool, seed=11)
+        second = submit(spool, seed=22)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.drain()
+            assert service.warm_misses > 0
+            assert service.warm_hits > 0
+            cold = service.queue.outcome(first.job_id)["result"]["warm"]
+            warm = service.queue.outcome(second.job_id)["result"]["warm"]
+            assert cold["misses"] > 0
+            assert warm["misses"] == 0
+            assert warm["hits"] == cold["misses"]
+            # The totals reach the heartbeat for fleet observability.
+            service._heartbeat("probe")
+            with open(service.heartbeat_path) as fh:
+                last = json.loads(fh.readlines()[-1])
+            assert last["warm"] == {"hits": service.warm_hits,
+                                    "misses": service.warm_misses}
+
+    def test_cached_repeat_adds_no_warm_traffic(self, spool,
+                                                store_path):
+        from repro.jvm.dispatch import reset_warm_cache
+
+        reset_warm_cache()
+        submit(spool, seed=33)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.drain()
+            hits_before = service.warm_hits
+            submit(spool, seed=33)  # exact key: served from store
+            service.drain()
+            assert service.warm_hits == hits_before
+
+
+class TestHeartbeatRotation:
+    def test_size_capped_roll_to_dot_one(self, spool, store_path):
+        with ProfilingService(spool, store_path, jobs=1,
+                              heartbeat_max_bytes=600) as service:
+            for _ in range(12):
+                service._heartbeat("tick")
+            rolled = service.heartbeat_path + ".1"
+            assert os.path.exists(rolled)
+            # The roll happens before an append, so the live file is
+            # bounded by the cap plus one heartbeat line.
+            assert os.path.getsize(service.heartbeat_path) < 2 * 600
+            # Every surviving line is still valid JSONL.
+            for path in (service.heartbeat_path, rolled):
+                with open(path) as fh:
+                    for line in fh:
+                        assert json.loads(line)["state"]
+
+    def test_roll_keeps_one_generation(self, spool, store_path):
+        with ProfilingService(spool, store_path, jobs=1,
+                              heartbeat_max_bytes=400) as service:
+            for _ in range(40):
+                service._heartbeat("tick")
+            siblings = [n for n in os.listdir(spool)
+                        if n.startswith("status.jsonl")]
+            assert sorted(siblings) == ["status.jsonl",
+                                        "status.jsonl.1"]
+
+
+class TestRetentionSweep:
+    def test_startup_sweep_removes_aged_outcomes(self, spool,
+                                                 store_path):
+        done = submit(spool)
+        with ProfilingService(spool, store_path, jobs=1) as service:
+            service.drain()
+            path = service.queue._path("done", done.job_id)
+            data = service.queue._read(path)
+            data["finished_at"] = data["finished_at"] - 7200.0
+            service.queue._write(path, data)
+        with ProfilingService(spool, store_path, jobs=1,
+                              retention=3600.0) as service:
+            assert service.swept == 1
+            assert service.queue.outcome(done.job_id) is None
+
+    def test_idle_poll_sweeps_and_heartbeats(self, spool, store_path,
+                                             monkeypatch):
+        monkeypatch.setattr("time.sleep", lambda *_: None)
+        done = submit(spool)
+        with ProfilingService(spool, store_path, jobs=1,
+                              retention=3600.0) as service:
+            service.drain()
+            path = service.queue._path("done", done.job_id)
+            data = service.queue._read(path)
+            data["finished_at"] = data["finished_at"] - 7200.0
+            service.queue._write(path, data)
+            service.serve_forever(poll_interval=0.01, max_polls=3)
+            assert service.swept == 1
+            with open(service.heartbeat_path) as fh:
+                states = [json.loads(line)["state"] for line in fh]
+            # Idle polls heartbeat (supervisor liveness), alongside
+            # the lifecycle markers (the initial drain() already
+            # heartbeat "working" before serve_forever "started").
+            assert "started" in states
+            assert states[-1] == "stopped"
+            assert "idle" in states
