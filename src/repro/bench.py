@@ -28,10 +28,10 @@ instructions per wall-clock second (ips) and memory accesses per second
     is measured against; the two arms' MachineResults are compared on
     every run, so the bench doubles as an equivalence check.
 ``allfamilies``
-    One shared run feeding all four profiler families (DJXPerf,
-    code-centric, allocation-frequency, reuse-distance) — the heaviest
-    realistic bus load, including a full-trace ``wants_accesses``
-    collector.
+    One shared run feeding all six profiler families (DJXPerf,
+    code-centric, allocation-frequency, reuse-distance, object-replica,
+    load/store-redundancy) — the heaviest realistic bus load, including
+    full-trace and value-carrying ``wants_accesses`` collectors.
 ``store``
     The serving layer's per-profile persistence cost (``--store``):
     serialise + gzip + SQLite write of the workload's profile into a
@@ -430,10 +430,14 @@ def _profiled_arms(workload: Workload, repeat: int, variant: str,
             f"peraccess={peraccess_result!r}/{peraccess_samples} samples)")
 
     def attach_families(machine: Machine) -> None:
+        from repro.families import RedundancyProfiler, ReplicaProfiler
+
         djx_attach(machine)
         CodeCentricProfiler(sample_period=DJX_PERIOD).attach(machine)
         AllocFrequencyProfiler().attach(machine)
         ReuseDistanceProfiler().attach(machine)
+        ReplicaProfiler(sample_period=DJX_PERIOD).attach(machine)
+        RedundancyProfiler(sample_period=DJX_PERIOD).attach(machine)
 
     _, families_seconds, _ = _time_run(
         program, dataclasses.replace(base_config, skip_ahead=True),

@@ -75,11 +75,18 @@ from repro.workloads import (
 
 
 def _add_profiler_options(parser: argparse.ArgumentParser) -> None:
+    from repro.families import FAMILY_CHOICES
+
     parser.add_argument("--period", type=int, default=64,
                         help="PMU sampling period (default 64)")
     parser.add_argument("--threshold", type=int, default=1024,
                         help="size threshold S in bytes (default 1024; "
                              "0 monitors every allocation)")
+    parser.add_argument("--family", choices=FAMILY_CHOICES,
+                        default="djxperf",
+                        help="profiler family: djxperf (bloat, default), "
+                             "replica (duplicate objects) or redundancy "
+                             "(dead stores / silent loads)")
 
 
 def _config(args) -> DjxConfig:
@@ -111,7 +118,8 @@ def cmd_profile(args) -> int:
                        config=_config(args),
                        machine_config=machine_config,
                        trace_path=args.trace,
-                       trace_accesses=args.trace_accesses)
+                       trace_accesses=args.trace_accesses,
+                       family=args.family)
     print(render_report(run.analysis, top=args.top))
     if args.trace:
         print(f"\nobservation trace written to {args.trace}")
@@ -142,7 +150,8 @@ def cmd_speedup(args) -> int:
 
 def cmd_overhead(args) -> int:
     workload = get_workload(args.workload)
-    m = measure_overhead(workload, config=_config(args))
+    m = measure_overhead(workload, config=_config(args),
+                         family=args.family)
     print(f"workload          : {workload.name}")
     print(f"native            : {m.native_cycles} cycles, "
           f"peak heap {m.native_peak_memory} bytes")
@@ -154,10 +163,21 @@ def cmd_overhead(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    from repro.obs.replay import replay_analyze
+    if args.family != "djxperf":
+        from repro.families import replay_family
 
-    analysis = replay_analyze(args.trace, config=_config(args),
-                              resample=args.resample)
+        if args.resample:
+            print("error: --resample is DJXPerf-only (family profilers "
+                  "consume the exact access stream)", file=sys.stderr)
+            return 2
+        analysis = replay_family(args.trace, args.family,
+                                 sample_period=args.period,
+                                 size_threshold=args.threshold)
+    else:
+        from repro.obs.replay import replay_analyze
+
+        analysis = replay_analyze(args.trace, config=_config(args),
+                                  resample=args.resample)
     print(render_report(analysis, top=args.top))
     if analysis.top_remote_sites(1):
         print()
@@ -170,7 +190,7 @@ def cmd_suite(args) -> int:
 
     rows = measure_suite(suite=args.suite, config=_config(args),
                          jobs=args.jobs, trace_dir=args.trace_dir,
-                         seed=args.seed)
+                         seed=args.seed, family=args.family)
     print(f"{'workload':24s} {'suite':12s} {'runtime':>8s} {'memory':>8s}")
     for spec, m in rows:
         flag = " *" if spec.alloc_heavy else ""
@@ -576,11 +596,12 @@ def cmd_submit(args) -> int:
     spec = queue.submit(JobSpec(
         job_id="", kind=args.kind, workload=args.workload,
         variant=args.variant, period=args.period,
-        threshold=args.threshold, seed=args.seed,
+        threshold=args.threshold, family=args.family, seed=args.seed,
         timeout=args.timeout, force=args.force))
     print(f"submitted {spec.job_id} "
           f"({spec.kind} {spec.workload}/{spec.variant}, "
-          f"period {spec.period}, threshold {spec.threshold})")
+          f"family {spec.family}, period {spec.period}, "
+          f"threshold {spec.threshold})")
     return 0
 
 

@@ -1,0 +1,87 @@
+"""Profiler families beyond DJXPerf, built on the observation bus.
+
+DJXPerf's attribution substrate — allocation-site call paths, the
+interval splay tree over live object ranges, GC relocation handling and
+the offline analyzer — generalises past memory bloat.  This package
+hosts the sibling-paper families that reuse it:
+
+* :class:`ReplicaProfiler` — OJXPerf-style object replica detection:
+  objects whose written payloads are byte-identical are grouped, and
+  allocation sites are ranked by replicated bytes weighted by sampled
+  cache misses.
+* :class:`RedundancyProfiler` — JXPerf-style (Su & Chabbi) load/store
+  redundancy: dead stores (a store never loaded before the next store
+  or the object's free) and silent loads (a load observing the value
+  the previous load already saw), attributed to the allocation site of
+  the touched object.
+
+Both families consume the demand-driven event streams: they declare
+``wants_accesses``/``wants_allocs`` so the machine only constructs the
+events somebody asked for, and both run **offline** against recorded
+traces (:func:`replay_family`) exactly as they run live.
+"""
+
+from repro.families.base import FamilyCostModel, ObjectFamilyProfiler
+from repro.families.redundancy import RedundancyProfiler
+from repro.families.replica import ReplicaProfiler
+
+#: family name → profiler class, the registry CLI/serve paths use.
+FAMILIES = {
+    ReplicaProfiler.label: ReplicaProfiler,
+    RedundancyProfiler.label: RedundancyProfiler,
+}
+
+#: Every profiler family selectable via ``--family`` (DJXPerf included).
+FAMILY_CHOICES = ("djxperf",) + tuple(sorted(FAMILIES))
+
+
+def make_family(name: str, machine=None, sample_period: int = 64,
+                size_threshold: int = 0,
+                charge_overhead: bool = True) -> ObjectFamilyProfiler:
+    """Construct a family profiler by registry name."""
+    try:
+        cls = FAMILIES[name]
+    except KeyError:
+        raise KeyError(f"unknown profiler family {name!r}; "
+                       f"have {sorted(FAMILIES)}") from None
+    return cls(machine=machine, sample_period=sample_period,
+               size_threshold=size_threshold,
+               charge_overhead=charge_overhead)
+
+
+def replay_family(trace_path: str, family: str, sample_period: int = 64,
+                  size_threshold: int = 0):
+    """Re-run a family analyzer over a recorded trace (no simulation).
+
+    The trace must have been recorded with ``include_accesses=True`` —
+    family collectors are access-stream consumers.  Returns the same
+    :class:`~repro.core.analyzer.AnalysisResult` the live run produces,
+    byte-identical under ``to_dict``.
+    """
+    from repro.obs.replay import replay_events
+    from repro.obs.trace import TraceReader
+
+    reader = TraceReader(trace_path)
+    if not reader.includes_accesses:
+        raise ValueError(
+            f"{trace_path}: trace has no raw access events; family "
+            f"analyzers need them — record with include_accesses=True")
+    collector = make_family(family, machine=None,
+                            sample_period=sample_period,
+                            size_threshold=size_threshold,
+                            charge_overhead=False)
+    collector.enabled = True
+    reader = replay_events(trace_path, [collector])
+    return collector.analyze(reader.frame_resolver())
+
+
+__all__ = [
+    "FAMILIES",
+    "FAMILY_CHOICES",
+    "FamilyCostModel",
+    "ObjectFamilyProfiler",
+    "RedundancyProfiler",
+    "ReplicaProfiler",
+    "make_family",
+    "replay_family",
+]

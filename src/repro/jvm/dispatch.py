@@ -133,9 +133,11 @@ def compile_dispatch(machine, runtime, observed: bool = True
                     obj = deref(stack.pop(), bci, ins)
                     # element_address bounds-checks; the direct list read
                     # replaces get_element's re-check of the same bounds.
-                    memory_access(thread, obj.element_address(index),
-                                  obj.elem_size(), is_write=False)
-                    stack.append(obj.elements[index])
+                    address = obj.element_address(index)
+                    value = obj.elements[index]
+                    memory_access(thread, address, obj.elem_size(),
+                                  is_write=False, value=value)
+                    stack.append(value)
                     return nxt
             else:
                 def h(thread, frame, bci=bci, ins=ins, nxt=nxt):
@@ -206,7 +208,8 @@ def compile_dispatch(machine, runtime, observed: bool = True
                     # element_address bounds-checks; the direct list write
                     # replaces set_element's re-check of the same bounds.
                     memory_access(thread, obj.element_address(index),
-                                  obj.elem_size(), is_write=True)
+                                  obj.elem_size(), is_write=True,
+                                  value=value)
                     obj.elements[index] = value
                     return nxt
             else:
@@ -406,18 +409,20 @@ def compile_dispatch(machine, runtime, observed: bool = True
                     frame.pc = bci
                     stack = frame.stack
                     obj = deref(stack.pop(), bci, ins)
+                    value = obj.get_field(field_name)
                     memory_access(thread, obj.field_address(field_name),
-                                  8, is_write=False)
-                    stack.append(obj.get_field(field_name))
+                                  8, is_write=False, value=value)
+                    stack.append(value)
                     return nxt
             else:
                 def h(thread, frame, field_name=field_name, ins=ins,
                       bci=bci, nxt=nxt):
                     stack = frame.stack
                     obj = deref(stack.pop(), bci, ins)
+                    value = obj.get_field(field_name)
                     memory_access(thread, obj.field_address(field_name),
                                   8, is_write=False)
-                    stack.append(obj.get_field(field_name))
+                    stack.append(value)
                     return nxt
 
         elif op is Op.PUTFIELD:
@@ -431,7 +436,7 @@ def compile_dispatch(machine, runtime, observed: bool = True
                     value = stack.pop()
                     obj = deref(stack.pop(), bci, ins)
                     memory_access(thread, obj.field_address(field_name),
-                                  8, is_write=True)
+                                  8, is_write=True, value=value)
                     obj.set_field(field_name, value)
                     return nxt
             else:
@@ -452,14 +457,17 @@ def compile_dispatch(machine, runtime, observed: bool = True
                 def h(thread, frame, key=key, bci=bci, nxt=nxt):
                     frame.pc = bci
                     address = machine.static_address(key)
-                    memory_access(thread, address, 8, is_write=False)
-                    frame.stack.append(machine.get_static(key))
+                    value = machine.get_static(key)
+                    memory_access(thread, address, 8, is_write=False,
+                                  value=value)
+                    frame.stack.append(value)
                     return nxt
             else:
                 def h(thread, frame, key=key, nxt=nxt):
                     address = machine.static_address(key)
+                    value = machine.get_static(key)
                     memory_access(thread, address, 8, is_write=False)
-                    frame.stack.append(machine.get_static(key))
+                    frame.stack.append(value)
                     return nxt
 
         elif op is Op.PUTSTATIC:
@@ -469,14 +477,17 @@ def compile_dispatch(machine, runtime, observed: bool = True
                 def h(thread, frame, key=key, bci=bci, nxt=nxt):
                     frame.pc = bci
                     address = machine.static_address(key)
-                    memory_access(thread, address, 8, is_write=True)
-                    machine.set_static(key, frame.stack.pop())
+                    value = frame.stack.pop()
+                    memory_access(thread, address, 8, is_write=True,
+                                  value=value)
+                    machine.set_static(key, value)
                     return nxt
             else:
                 def h(thread, frame, key=key, nxt=nxt):
                     address = machine.static_address(key)
+                    value = frame.stack.pop()
                     memory_access(thread, address, 8, is_write=True)
-                    machine.set_static(key, frame.stack.pop())
+                    machine.set_static(key, value)
                     return nxt
 
         elif op is Op.ARRAYLENGTH:
@@ -486,7 +497,8 @@ def compile_dispatch(machine, runtime, observed: bool = True
                     stack = frame.stack
                     obj = deref(stack.pop(), bci, ins)
                     # length lives in the header's second word
-                    memory_access(thread, obj.addr + 8, 8, is_write=False)
+                    memory_access(thread, obj.addr + 8, 8, is_write=False,
+                                  value=obj.length)
                     stack.append(obj.length)
                     return nxt
             else:

@@ -407,9 +407,11 @@ class Interpreter:
             index = stack.pop()
             ref = stack.pop()
             obj = self._deref(ref, frame, ins)
-            machine.memory_access(thread, obj.element_address(index),
-                                  obj.elem_size(), is_write=False)
-            stack.append(obj.get_element(index))
+            address = obj.element_address(index)
+            value = obj.get_element(index)
+            machine.memory_access(thread, address, obj.elem_size(),
+                                  is_write=False, value=value)
+            stack.append(value)
         elif op is Op.IINC:
             index, delta = ins.args
             frame.set_local(index, frame.local(index) + delta)
@@ -429,7 +431,8 @@ class Interpreter:
             ref = stack.pop()
             obj = self._deref(ref, frame, ins)
             machine.memory_access(thread, obj.element_address(index),
-                                  obj.elem_size(), is_write=True)
+                                  obj.elem_size(), is_write=True,
+                                  value=value)
             obj.set_element(index, value)
         elif op is Op.ACONST_NULL:
             stack.append(None)
@@ -569,28 +572,34 @@ class Interpreter:
         elif op is Op.GETFIELD:
             ref = stack.pop()
             obj = self._deref(ref, frame, ins)
+            value = obj.get_field(ins.args[0])
             machine.memory_access(thread, obj.field_address(ins.args[0]), 8,
-                                  is_write=False)
-            stack.append(obj.get_field(ins.args[0]))
+                                  is_write=False, value=value)
+            stack.append(value)
         elif op is Op.PUTFIELD:
             value, ref = stack.pop(), stack.pop()
             obj = self._deref(ref, frame, ins)
             machine.memory_access(thread, obj.field_address(ins.args[0]), 8,
-                                  is_write=True)
+                                  is_write=True, value=value)
             obj.set_field(ins.args[0], value)
         elif op is Op.GETSTATIC:
             address = machine.static_address(ins.args[0])
-            machine.memory_access(thread, address, 8, is_write=False)
-            stack.append(machine.get_static(ins.args[0]))
+            value = machine.get_static(ins.args[0])
+            machine.memory_access(thread, address, 8, is_write=False,
+                                  value=value)
+            stack.append(value)
         elif op is Op.PUTSTATIC:
             address = machine.static_address(ins.args[0])
-            machine.memory_access(thread, address, 8, is_write=True)
-            machine.set_static(ins.args[0], stack.pop())
+            value = stack.pop()
+            machine.memory_access(thread, address, 8, is_write=True,
+                                  value=value)
+            machine.set_static(ins.args[0], value)
         elif op is Op.ARRAYLENGTH:
             ref = stack.pop()
             obj = self._deref(ref, frame, ins)
             # length lives in the header's second word
-            machine.memory_access(thread, obj.addr + 8, 8, is_write=False)
+            machine.memory_access(thread, obj.addr + 8, 8, is_write=False,
+                                  value=obj.length)
             stack.append(obj.length)
         elif op is Op.NOP:
             pass

@@ -51,6 +51,7 @@ from repro.obs.events import (
     GcMoveEvent,
     GcNotifyEvent,
     JitCompileEvent,
+    canon_value,
 )
 from repro.pmu.events import NUM_COMBOS
 
@@ -250,13 +251,20 @@ class Machine:
     # Memory
     # ------------------------------------------------------------------
     def memory_access(self, thread: JavaThread, address: int, size: int,
-                      is_write: bool, internal: bool = False) -> AccessResult:
+                      is_write: bool, internal: bool = False,
+                      value=None) -> AccessResult:
         """Route one access through the hierarchy and charge latency.
 
         Uses the hierarchy's pooled L1 fast path unless a collector is
         recording raw accesses — AccessEvents retain the result object,
         so recording runs get a fresh instance per access (the PMU is
         fine either way: it copies sample fields at overflow time).
+
+        ``value`` is the loaded or stored value when the call site knows
+        it (scalar interpreter accesses); bulk walks leave it ``None``.
+        It is canonicalised and attached to the AccessEvent only when a
+        subscribed collector wants raw accesses, so sampled-only runs
+        never pay for it.
         """
         if self._fastpath and not self.bus._accesses_wanted:
             result = self.hierarchy.access_hot(
@@ -267,7 +275,11 @@ class Machine:
         if not internal:
             bus = self.bus
             if bus.sampling or bus._accesses_wanted:
-                bus.observe_access(thread, result)
+                if value is not None and bus._accesses_wanted:
+                    value = canon_value(value)
+                else:
+                    value = None
+                bus.observe_access(thread, result, value)
         return result
 
     def touch_range(self, thread: JavaThread, start: int, end: int,
@@ -369,7 +381,7 @@ class Machine:
                                                   thread)
                 obj = self.heap.get(outer)
                 self.memory_access(thread, obj.element_address(i), 8,
-                                   is_write=True)
+                                   is_write=True, value=inner)
                 obj.set_element(i, inner)
         finally:
             self._native_roots.pop()

@@ -359,9 +359,13 @@ class EventBus:
         self._hot_entry = entry
         return entry
 
-    def observe_access(self, thread, result) -> None:
+    def observe_access(self, thread, result, value=None) -> None:
         """Hot path: count one access on armed samplers and (only when
         some collector asked for raw accesses) publish an AccessEvent.
+
+        ``value`` is the already-canonicalised loaded/stored value (or
+        ``None`` when the access site does not know it); it is only
+        attached to the event, never consulted by the PMU path.
 
         The caller pre-checks ``sampling or _accesses_wanted`` so the
         common unobserved run pays almost nothing.  With skip-ahead on,
@@ -402,7 +406,7 @@ class EventBus:
                         counter.observe(tid, result, ucontext=thread)
         if self._accesses_wanted:
             self.access_events_built += 1
-            self.publish(AccessEvent(thread.tid, result, thread))
+            self.publish(AccessEvent(thread.tid, result, thread, value))
 
     def _overflow(self, sampler_id: int, counter: PerfCounter,
                   remaining: int, tid: int, result, thread) -> None:

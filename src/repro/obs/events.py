@@ -127,6 +127,31 @@ class AllocEvent:
                           type_name=rec[5], path=_decode_path(rec[6]))
 
 
+def canon_value(value):
+    """Canonicalise an accessed value for events and traces.
+
+    Value-aware collectors (the redundancy and replica families) compare
+    values across live runs and trace replays, so the value carried on
+    an :class:`AccessEvent` must be a JSON-stable primitive: ints and
+    floats pass through, bools collapse to ints, heap references encode
+    as ``"@<oid>"`` (object ids are deterministic, so the encoding is
+    identical across engines and replays).  ``None`` stays ``None`` and
+    means *value unknown* — bulk walks (zeroing, streaming natives) and
+    loads of uninitialised reference slots report no value.
+    """
+    if value is None:
+        return None
+    cls = value.__class__
+    if cls is int or cls is float or cls is str:
+        return value
+    if cls is bool:
+        return int(value)
+    oid = getattr(value, "oid", None)
+    if oid is not None:
+        return f"@{oid}"
+    return repr(value)
+
+
 class AccessEvent:
     """One raw memory access (full-trace collectors only).
 
@@ -135,17 +160,21 @@ class AccessEvent:
     simulated access when (and only when) a subscribed collector sets
     ``wants_accesses``, so construction cost matters.  Field access
     delegates to the result, which outlives the access because nothing
-    mutates it.
+    mutates it.  ``value`` is the canonicalised value loaded or stored
+    (see :func:`canon_value`), or ``None`` when the access site does not
+    know it (bulk walks); it only rides events whose construction a
+    collector asked for, so the demand-driven skip path is unchanged.
     """
 
     kind = "access"
-    __slots__ = ("tid", "result", "thread")
+    __slots__ = ("tid", "result", "thread", "value")
 
     def __init__(self, tid: int, result: AccessResult,
-                 thread: Optional[object] = None) -> None:
+                 thread: Optional[object] = None, value=None) -> None:
         self.tid = tid
         self.result = result
         self.thread = thread
+        self.value = value
 
     @property
     def address(self) -> int:
@@ -185,13 +214,20 @@ class AccessEvent:
         return self.tid == other.tid and self.to_record() == other.to_record()
 
     def __repr__(self) -> str:
-        return f"AccessEvent(tid={self.tid}, {self.result!r})"
+        return f"AccessEvent(tid={self.tid}, value={self.value!r}, " \
+               f"{self.result!r})"
 
     def to_record(self) -> list:
         r = self.result
-        return ["ac", self.tid, r.address, r.size, int(r.is_write), r.cpu,
-                r.level, r.latency, r.l1_misses, r.l2_misses, r.l3_misses,
-                r.tlb_misses, r.home_node, int(r.remote), r.lines]
+        rec = ["ac", self.tid, r.address, r.size, int(r.is_write), r.cpu,
+               r.level, r.latency, r.l1_misses, r.l2_misses, r.l3_misses,
+               r.tlb_misses, r.home_node, int(r.remote), r.lines]
+        # The value rides as an optional 16th element so value-free
+        # traces (and traces from before values existed) decode
+        # unchanged.
+        if self.value is not None:
+            rec.append(self.value)
+        return rec
 
     @staticmethod
     def from_record(rec) -> "AccessEvent":
@@ -200,7 +236,8 @@ class AccessEvent:
             level=rec[6], latency=rec[7], l1_misses=rec[8], l2_misses=rec[9],
             l3_misses=rec[10], tlb_misses=rec[11], home_node=rec[12],
             remote=bool(rec[13]), lines=rec[14])
-        return AccessEvent(tid=rec[1], result=result)
+        return AccessEvent(tid=rec[1], result=result,
+                           value=rec[15] if len(rec) > 15 else None)
 
 
 @dataclass(frozen=True)

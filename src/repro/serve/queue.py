@@ -96,6 +96,9 @@ class JobSpec:
     variant: str = "baseline"
     period: int = 64
     threshold: int = 1024
+    #: Profiler family the job runs under ("djxperf", "replica",
+    #: "redundancy") — part of the profile-store dedupe key.
+    family: str = "djxperf"
     seed: Optional[int] = None
     #: Wall-clock seconds a single attempt may take (None = unlimited).
     timeout: Optional[float] = None
@@ -119,6 +122,7 @@ class JobSpec:
         return {"job_id": self.job_id, "kind": self.kind,
                 "workload": self.workload, "variant": self.variant,
                 "period": self.period, "threshold": self.threshold,
+                "family": self.family,
                 "seed": self.seed, "timeout": self.timeout,
                 "max_attempts": self.max_attempts,
                 "attempts": self.attempts,

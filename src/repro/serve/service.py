@@ -60,10 +60,11 @@ def _execute_profile(spec: JobSpec) -> dict:
     before = warm_cache_stats()
     run = run_profiled(workload, variant=spec.variant,
                        config=_job_config(spec), seed=spec.seed,
-                       trace_path=trace_path)
+                       trace_path=trace_path, family=spec.family)
     after = warm_cache_stats()
     return {
         "kind": "profile",
+        "family": spec.family,
         "analysis": run.analysis.to_dict(),
         "wall_cycles": run.result.wall_cycles,
         "total_samples": run.analysis.total(),
@@ -187,7 +188,8 @@ class ProfilingService:
         from repro.workloads import get_workload
 
         return profile_key_for(get_workload(spec.workload), spec.variant,
-                               _job_config(spec), seed=spec.seed)
+                               _job_config(spec), seed=spec.seed,
+                               family=spec.family)
 
     def _serve_from_store(self, spec: JobSpec) -> Optional[dict]:
         """A completed result for an exact-key repeat, or None.

@@ -69,8 +69,13 @@ def program_digest(program: JProgram) -> str:
     return _sha256("\n".join(lines))
 
 
-def config_digest(config: DjxConfig) -> str:
-    """Stable content hash of a profiler configuration."""
+def config_digest(config: DjxConfig, family: str = "djxperf") -> str:
+    """Stable content hash of a profiler configuration.
+
+    ``family`` is part of the identity: the same workload profiled
+    under DJXPerf and under the replica family are different results.
+    The default keeps every pre-family digest unchanged.
+    """
     payload = {
         "events": [event.name for event in config.events],
         "sample_period": config.sample_period,
@@ -80,6 +85,8 @@ def config_digest(config: DjxConfig) -> str:
         "costs": {name: getattr(config.costs, name)
                   for name in sorted(vars(config.costs))},
     }
+    if family != "djxperf":
+        payload["family"] = family
     return _sha256(json.dumps(payload, sort_keys=True))
 
 
@@ -99,7 +106,8 @@ class ProfileKey:
 
 
 def profile_key_for(workload, variant: str, config: DjxConfig,
-                    seed: Optional[int] = None) -> ProfileKey:
+                    seed: Optional[int] = None,
+                    family: str = "djxperf") -> ProfileKey:
     """Build the store key for profiling ``workload``/``variant``.
 
     Hashes the *uninstrumented* verified program — the identity of the
@@ -108,7 +116,8 @@ def profile_key_for(workload, variant: str, config: DjxConfig,
     program = workload.build_verified(variant)
     return ProfileKey(workload=workload.name, variant=variant,
                       program_hash=program_digest(program),
-                      config_hash=config_digest(config), seed=seed)
+                      config_hash=config_digest(config, family=family),
+                      seed=seed)
 
 
 # ----------------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.workloads import (  # noqa: F401
     known_bugs,
     numa_apps,
     numeric,
+    planted,
     suite,
     tlbhostile,
 )

@@ -1,0 +1,289 @@
+"""Planted-inefficiency workloads for the profiler families.
+
+Each workload plants exactly one inefficiency of the kind a family
+detects, at a known source line, next to control sites that perform the
+same volume of work *without* the inefficiency — so ranking tests can
+assert the planted site comes out on top, and overhead/speedup runs
+have a fixed variant that removes it.
+
+Replica family (:class:`~repro.families.ReplicaProfiler`):
+
+* ``dup-strings`` — a loop re-building the same constant-filled buffer
+  every iteration (the duplicate-string-churn pattern).  A small decoy
+  site makes a few 1KB replicas; a control site builds same-sized
+  buffers with iteration-unique contents.
+* ``dup-tables`` — a lookup table re-derived per iteration with
+  identical (index-patterned) contents, read twice per iteration so the
+  replicas are also hot.
+
+Redundancy family (:class:`~repro.families.RedundancyProfiler`):
+
+* ``dead-stores`` — buffers initialised with one value and fully
+  overwritten before the first read (the write-then-overwrite pattern).
+* ``silent-loads`` — an immutable table re-summed every iteration (the
+  redundant-recompute pattern); every load after the first pass
+  observes the value the previous pass already loaded.
+
+All sites the families should track are >= the default 1KB size
+threshold; background streaming uses bulk natives, which carry no
+values and are invisible to the value-aware families (by design).
+"""
+
+from __future__ import annotations
+
+from repro.heap.layout import Kind
+from repro.jvm.bytecode import MethodBuilder
+from repro.jvm.classfile import JProgram
+from repro.jvm.machine import MachineConfig
+from repro.workloads.base import Workload, register, sim_machine
+from repro.workloads.dsl import (
+    consume,
+    for_range,
+    stream_write_array,
+    sum_array,
+)
+
+#: Locals used by convention in the generated methods.
+_IT, _BUF, _IDX, _BG, _ACC, _CTL, _DEC = 0, 1, 2, 3, 4, 5, 6
+
+
+def _fill_with(b: MethodBuilder, array_var: int, length: int, idx_var: int,
+               push_value) -> None:
+    """Write ``push_value(b)``'s stack result to every element."""
+    for_range(
+        b, idx_var, length,
+        lambda b: (b.load(array_var).load(idx_var), push_value(b),
+                   b.astore()))
+
+
+class _PlantedWorkload(Workload):
+    """Common shape: baseline plants the inefficiency, ``fixed`` removes
+    it; the program body is supplied by :meth:`emit`."""
+
+    variants = ("baseline", "fixed")
+
+    def machine_config(self) -> MachineConfig:
+        return sim_machine(heap_size=512 * 1024)
+
+    def class_name(self) -> str:
+        return self.name.replace("-", "_").title().replace("_", "")
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self.check_variant(variant)
+        p = JProgram(f"{self.name}-{variant}")
+        b = MethodBuilder(self.class_name(), "run", first_line=10)
+        self.emit(b, fixed=variant == "fixed")
+        b.ret()
+        p.add_builder(b)
+        p.add_entry("run")
+        return p
+
+    def emit(self, b: MethodBuilder, fixed: bool) -> None:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Replica family
+# ----------------------------------------------------------------------
+@register
+class DupStrings(_PlantedWorkload):
+    """Constant-filled buffer rebuilt per iteration — pure replicas."""
+
+    name = "dup-strings"
+    paper_ref = "OJXPerf-style replicated objects (duplicate-string churn)"
+    description = "identical constant-filled buffers rebuilt every iteration"
+
+    ITERATIONS = 50
+    BUF_LEN = 512            # 2KB: well above the 1KB threshold
+    CTL_LEN = 256            # 1KB: tracked, but contents are unique
+    DECOYS = 4               # 3 decoy replicas of ~1KB each
+    ALLOC_LINE = 100
+    DECOY_LINE = 120
+    CONTROL_LINE = 130
+
+    def emit(self, b: MethodBuilder, fixed: bool) -> None:
+        b.line(11).iconst(2048).newarray(Kind.INT).store(_BG)
+
+        # Decoy replicas: a handful of identical 1KB buffers, cold.
+        def decoy(b: MethodBuilder) -> None:
+            b.line(self.DECOY_LINE)
+            b.iconst(self.CTL_LEN).newarray(Kind.INT).store(_DEC)
+            stream_write_array(b, _DEC, self.CTL_LEN, _IDX, value=3)
+
+        for_range(b, _IT, self.DECOYS, decoy)
+
+        if fixed:
+            # The fix: build the constant buffer once and share it.
+            b.line(self.ALLOC_LINE)
+            b.iconst(self.BUF_LEN).newarray(Kind.INT).store(_BUF)
+            stream_write_array(b, _BUF, self.BUF_LEN, _IDX, value=7)
+
+        def body(b: MethodBuilder) -> None:
+            if not fixed:
+                # Planted: same contents rebuilt from scratch each time.
+                b.line(self.ALLOC_LINE)
+                b.iconst(self.BUF_LEN).newarray(Kind.INT).store(_BUF)
+                stream_write_array(b, _BUF, self.BUF_LEN, _IDX, value=7)
+            b.line(104)
+            sum_array(b, _BUF, self.BUF_LEN, _IDX, _ACC)
+            consume(b, _ACC)
+            # Control: same-sized work with iteration-unique contents
+            # (idx+it, so no iteration collides with the decoy fill).
+            b.line(self.CONTROL_LINE)
+            b.iconst(self.CTL_LEN).newarray(Kind.INT).store(_CTL)
+            _fill_with(b, _CTL, self.CTL_LEN, _IDX,
+                       lambda b: b.load(_IDX).load(_IT).add())
+            sum_array(b, _CTL, self.CTL_LEN, _IDX, _ACC)
+            consume(b, _ACC)
+            # Unrelated application work (bulk, value-free).
+            b.line(140).load(_BG).native("stream_array", 1, False, 1)
+
+        for_range(b, _IT, self.ITERATIONS, body)
+
+
+@register
+class DupTables(_PlantedWorkload):
+    """Lookup table re-derived per iteration with identical contents."""
+
+    name = "dup-tables"
+    paper_ref = "OJXPerf-style replicated objects (re-derived table)"
+    description = "index-patterned table rebuilt per iteration, read twice"
+
+    ITERATIONS = 40
+    TABLE_LEN = 640          # 2.5KB
+    CTL_LEN = 256
+    ALLOC_LINE = 200
+    CONTROL_LINE = 230
+
+    def emit(self, b: MethodBuilder, fixed: bool) -> None:
+        b.line(11).iconst(1024).newarray(Kind.INT).store(_BG)
+
+        def derive_table(b: MethodBuilder) -> None:
+            b.line(self.ALLOC_LINE)
+            b.iconst(self.TABLE_LEN).newarray(Kind.INT).store(_BUF)
+            # table[i] = i — the same derivation every time.
+            _fill_with(b, _BUF, self.TABLE_LEN, _IDX,
+                       lambda b: b.load(_IDX))
+
+        if fixed:
+            derive_table(b)
+
+        def body(b: MethodBuilder) -> None:
+            if not fixed:
+                derive_table(b)
+            # The table is consulted twice per iteration (hot replicas).
+            b.line(205)
+            sum_array(b, _BUF, self.TABLE_LEN, _IDX, _ACC)
+            consume(b, _ACC)
+            sum_array(b, _BUF, self.TABLE_LEN, _IDX, _ACC)
+            consume(b, _ACC)
+            # Control: unique contents each iteration.
+            b.line(self.CONTROL_LINE)
+            b.iconst(self.CTL_LEN).newarray(Kind.INT).store(_CTL)
+            _fill_with(b, _CTL, self.CTL_LEN, _IDX,
+                       lambda b: b.load(_IDX).load(_IT).add())
+            sum_array(b, _CTL, self.CTL_LEN, _IDX, _ACC)
+            consume(b, _ACC)
+            b.line(240).load(_BG).native("stream_array", 1, False, 1)
+
+        for_range(b, _IT, self.ITERATIONS, body)
+
+
+# ----------------------------------------------------------------------
+# Redundancy family
+# ----------------------------------------------------------------------
+@register
+class DeadStores(_PlantedWorkload):
+    """Buffers fully initialised, then fully overwritten before any read."""
+
+    name = "dead-stores"
+    paper_ref = "JXPerf-style dead stores (write-then-overwrite)"
+    description = "init pass overwritten by a second pass before any read"
+
+    ITERATIONS = 40
+    BUF_LEN = 512
+    CTL_LEN = 256
+    ALLOC_LINE = 300
+    CONTROL_LINE = 330
+
+    def emit(self, b: MethodBuilder, fixed: bool) -> None:
+        b.line(11).iconst(2048).newarray(Kind.INT).store(_BG)
+
+        def body(b: MethodBuilder) -> None:
+            b.line(self.ALLOC_LINE)
+            b.iconst(self.BUF_LEN).newarray(Kind.INT).store(_BUF)
+            if not fixed:
+                # Planted: the init pass is never read — every one of
+                # these stores is dead the moment pass two lands.
+                b.line(self.ALLOC_LINE + 2)
+                stream_write_array(b, _BUF, self.BUF_LEN, _IDX, value=1)
+            b.line(self.ALLOC_LINE + 4)
+            stream_write_array(b, _BUF, self.BUF_LEN, _IDX, value=2)
+            sum_array(b, _BUF, self.BUF_LEN, _IDX, _ACC)
+            consume(b, _ACC)
+            # Control: write once, read once.
+            b.line(self.CONTROL_LINE)
+            b.iconst(self.CTL_LEN).newarray(Kind.INT).store(_CTL)
+            _fill_with(b, _CTL, self.CTL_LEN, _IDX,
+                       lambda b: b.load(_IT))
+            sum_array(b, _CTL, self.CTL_LEN, _IDX, _ACC)
+            consume(b, _ACC)
+            b.line(340).load(_BG).native("stream_array", 1, False, 1)
+
+        for_range(b, _IT, self.ITERATIONS, body)
+
+
+@register
+class SilentLoads(_PlantedWorkload):
+    """An immutable table re-summed every iteration (redundant recompute)."""
+
+    name = "silent-loads"
+    paper_ref = "JXPerf-style silent loads (redundant recompute)"
+    description = "unchanged table re-summed per iteration; loads are silent"
+
+    ITERATIONS = 40
+    TABLE_LEN = 1024         # 4KB immutable table
+    CTL_LEN = 256
+    ALLOC_LINE = 400
+    CONTROL_LINE = 430
+
+    def emit(self, b: MethodBuilder, fixed: bool) -> None:
+        b.line(11).iconst(1024).newarray(Kind.INT).store(_BG)
+        # The table: built once, never modified again.
+        b.line(self.ALLOC_LINE)
+        b.iconst(self.TABLE_LEN).newarray(Kind.INT).store(_BUF)
+        _fill_with(b, _BUF, self.TABLE_LEN, _IDX, lambda b: b.load(_IDX))
+
+        if fixed:
+            # The fix: compute the sum once, reuse the scalar.
+            b.line(self.ALLOC_LINE + 3)
+            sum_array(b, _BUF, self.TABLE_LEN, _IDX, _ACC)
+
+        def body(b: MethodBuilder) -> None:
+            if not fixed:
+                # Planted: every pass after the first re-loads values
+                # the previous pass already observed.
+                b.line(self.ALLOC_LINE + 5)
+                sum_array(b, _BUF, self.TABLE_LEN, _IDX, _ACC)
+            consume(b, _ACC)
+            # Control: refreshed between reads, so nothing is silent.
+            b.line(self.CONTROL_LINE)
+            b.iconst(self.CTL_LEN).newarray(Kind.INT).store(_CTL)
+            _fill_with(b, _CTL, self.CTL_LEN, _IDX,
+                       lambda b: b.load(_IDX).load(_IT).add())
+            sum_array(b, _CTL, self.CTL_LEN, _IDX, _ACC)
+            consume(b, _ACC)
+            b.line(440).load(_BG).native("stream_array", 1, False, 1)
+
+        for_range(b, _IT, self.ITERATIONS, body)
+
+
+#: name → (family, planted location) — what the ranking tests assert.
+PLANTED_SITES = {
+    "dup-strings": ("replica", ("DupStrings", "run", DupStrings.ALLOC_LINE)),
+    "dup-tables": ("replica", ("DupTables", "run", DupTables.ALLOC_LINE)),
+    "dead-stores": ("redundancy",
+                    ("DeadStores", "run", DeadStores.ALLOC_LINE)),
+    "silent-loads": ("redundancy",
+                     ("SilentLoads", "run", SilentLoads.ALLOC_LINE)),
+}

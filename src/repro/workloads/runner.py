@@ -25,6 +25,9 @@ from repro.core.profiler import DJXPerf, DjxConfig
 from repro.jvm.machine import Machine, MachineConfig, MachineResult
 from repro.workloads.base import Workload
 
+#: Profiler family run_profiled uses when none is named.
+DEFAULT_FAMILY = "djxperf"
+
 
 def _resolve_machine_config(workload: Workload,
                             machine_config: Optional[MachineConfig],
@@ -38,14 +41,22 @@ def _resolve_machine_config(workload: Workload,
 
 @dataclass
 class ProfiledRun:
-    """A workload run under DJXPerf."""
+    """A workload run under a profiler (DJXPerf or another family).
 
-    profiler: DJXPerf
+    ``profiler`` is a :class:`~repro.core.profiler.DJXPerf` for the
+    default family and an
+    :class:`~repro.families.ObjectFamilyProfiler` otherwise; both
+    expose ``analyze()`` and ``memory_footprint()``.
+    """
+
+    profiler: object
     machine: Machine
     result: MachineResult
     analysis: AnalysisResult
     #: Observation trace recorded alongside the run, if requested.
     trace_path: Optional[str] = None
+    #: Which profiler family produced ``analysis``.
+    family: str = DEFAULT_FAMILY
 
 
 def run_native(workload: Workload, variant: str = "baseline",
@@ -68,17 +79,36 @@ def run_profiled(workload: Workload, variant: str = "baseline",
                  machine_config: Optional[MachineConfig] = None,
                  trace_path: Optional[str] = None,
                  trace_accesses: bool = False,
-                 seed: Optional[int] = None) -> ProfiledRun:
-    """Run a variant under DJXPerf (launch mode) and analyze.
+                 seed: Optional[int] = None,
+                 family: str = DEFAULT_FAMILY) -> ProfiledRun:
+    """Run a variant under a profiler (launch mode) and analyze.
+
+    ``family`` selects the profiler: ``"djxperf"`` (default) or any
+    name in :data:`repro.families.FAMILIES` (``"replica"``,
+    ``"redundancy"``).  Family profilers take their sampling period and
+    size threshold from ``config``.
 
     With ``trace_path`` the machine's observation events are also
     recorded (see :mod:`repro.obs.trace`); ``trace_accesses`` adds the
-    raw access stream so the trace supports period resampling.
+    raw access stream so the trace supports period resampling.  Family
+    profilers consume the access stream, so their traces always include
+    it — replaying one reproduces the live analysis exactly.
     ``seed`` overrides the machine seed, as in :func:`run_native`.
     """
     workload.check_variant(variant)
-    profiler = DJXPerf(config or DjxConfig())
-    program = profiler.instrument(workload.build_verified(variant))
+    config = config or DjxConfig()
+    if family == DEFAULT_FAMILY:
+        profiler = DJXPerf(config)
+        program = profiler.instrument(workload.build_verified(variant))
+    else:
+        from repro.core.javaagent import instrument_program
+        from repro.families import make_family
+
+        profiler = make_family(family,
+                               sample_period=config.sample_period,
+                               size_threshold=config.size_threshold)
+        program = instrument_program(workload.build_verified(variant))
+        trace_accesses = True
     machine = Machine(program,
                       _resolve_machine_config(workload, machine_config, seed))
     writer = None
@@ -91,7 +121,8 @@ def run_profiled(workload: Workload, variant: str = "baseline",
         writer = TraceWriter(trace_path, machine=machine,
                              include_accesses=trace_accesses,
                              meta={"workload": workload.name,
-                                   "variant": variant})
+                                   "variant": variant,
+                                   "family": family})
         writer.attach(machine)
     profiler.attach(machine)
     try:
@@ -100,7 +131,8 @@ def run_profiled(workload: Workload, variant: str = "baseline",
         if writer is not None:
             writer.close()
     return ProfiledRun(profiler=profiler, machine=machine, result=result,
-                       analysis=profiler.analyze(), trace_path=trace_path)
+                       analysis=profiler.analyze(), trace_path=trace_path,
+                       family=family)
 
 
 def measure_speedup(workload: Workload,
@@ -151,7 +183,8 @@ class OverheadMeasurement:
 def measure_overhead(workload: Workload, variant: str = "baseline",
                      config: Optional[DjxConfig] = None,
                      trace_path: Optional[str] = None,
-                     seed: Optional[int] = None) -> OverheadMeasurement:
+                     seed: Optional[int] = None,
+                     family: str = DEFAULT_FAMILY) -> OverheadMeasurement:
     """Figure-4 style measurement: run native, then run profiled.
 
     The same ``seed`` is applied to both arms so the comparison is over
@@ -161,7 +194,7 @@ def measure_overhead(workload: Workload, variant: str = "baseline",
     if native.wall_cycles == 0:
         raise ZeroDivisionError(f"{workload.name}: native run took 0 cycles")
     profiled = run_profiled(workload, variant, config,
-                            trace_path=trace_path, seed=seed)
+                            trace_path=trace_path, seed=seed, family=family)
     return OverheadMeasurement(
         name=workload.name,
         native_cycles=native.wall_cycles,
@@ -174,18 +207,19 @@ def measure_overhead(workload: Workload, variant: str = "baseline",
 # ----------------------------------------------------------------------
 # Suite-scale parallel measurement
 # ----------------------------------------------------------------------
-#: (workload name, variant, config, trace_path, seed) — module-level so
-#: the task tuples and the worker stay picklable across the process pool.
+#: (workload name, variant, config, trace_path, seed, family) —
+#: module-level so the task tuples and the worker stay picklable across
+#: the process pool.
 _SuiteTask = Tuple[str, str, Optional[DjxConfig], Optional[str],
-                   Optional[int]]
+                   Optional[int], str]
 
 
 def _suite_overhead_worker(task: _SuiteTask) -> OverheadMeasurement:
     from repro.workloads.base import get_workload
 
-    name, variant, config, trace_path, seed = task
+    name, variant, config, trace_path, seed, family = task
     return measure_overhead(get_workload(name), variant, config,
-                            trace_path=trace_path, seed=seed)
+                            trace_path=trace_path, seed=seed, family=family)
 
 
 def _trace_path_for(trace_dir: Optional[str], name: str,
@@ -211,7 +245,8 @@ def measure_suite_overheads(names: Sequence[str], variant: str = "baseline",
                             trace_dir: Optional[str] = None,
                             seed: Optional[int] = None,
                             timeout: Optional[float] = None,
-                            retries: int = 1
+                            retries: int = 1,
+                            family: str = DEFAULT_FAMILY
                             ) -> List[OverheadMeasurement]:
     """Measure overhead for many workloads, fanned over a worker pool.
 
@@ -238,7 +273,7 @@ def measure_suite_overheads(names: Sequence[str], variant: str = "baseline",
         os.makedirs(trace_dir, exist_ok=True)
     tasks: List[_SuiteTask] = [
         (name, variant, config,
-         _trace_path_for(trace_dir, name, variant), seed)
+         _trace_path_for(trace_dir, name, variant), seed, family)
         for name in names]
     if jobs is None:
         jobs = min(len(tasks), os.cpu_count() or 1)

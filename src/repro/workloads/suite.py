@@ -142,7 +142,7 @@ def alloc_heavy_names() -> List[str]:
 
 
 def measure_suite(suite: str = "", config=None, jobs=None, trace_dir=None,
-                  seed=None, timeout=None):
+                  seed=None, timeout=None, family="djxperf"):
     """Run the Figure-4 overhead study, fanned over a worker pool.
 
     Returns ``[(SuiteSpec, OverheadMeasurement), ...]`` in row order.
@@ -151,12 +151,13 @@ def measure_suite(suite: str = "", config=None, jobs=None, trace_dir=None,
     period) replay rather than re-simulate.  ``seed`` overrides every
     row's machine seed so a whole study is reproducible from one knob;
     ``timeout`` bounds any single row so one hung workload cannot stall
-    the study.  See :func:`repro.workloads.runner.measure_suite_overheads`.
+    the study; ``family`` selects the profiler family every row runs
+    under.  See :func:`repro.workloads.runner.measure_suite_overheads`.
     """
     from repro.workloads.runner import measure_suite_overheads
 
     names = suite_names(suite)
     measurements = measure_suite_overheads(
         names, config=config, jobs=jobs, trace_dir=trace_dir, seed=seed,
-        timeout=timeout)
+        timeout=timeout, family=family)
     return [(SUITE_ROWS[name], m) for name, m in zip(names, measurements)]

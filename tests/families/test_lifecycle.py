@@ -1,0 +1,108 @@
+"""Capability-union lifecycle: families on the shared event bus.
+
+The bus builds AccessEvents/AllocEvents only while the refcounted union
+of subscribed collectors wants them.  Families are the first in-tree
+collectors that set ``wants_accesses``, so these tests pin that
+attaching one opts the machine into the access stream, detaching drops
+it back out, and running alongside DJXPerf keeps both profilers whole.
+"""
+
+from repro.baselines.codecentric import CodeCentricProfiler
+from repro.core import DjxConfig, DJXPerf
+from repro.core.javaagent import instrument_program
+from repro.families import make_family
+from repro.families.redundancy import RedundancyProfiler
+from repro.families.replica import ReplicaProfiler
+from repro.jvm.machine import Machine
+from repro.workloads import get_workload
+from repro.workloads.planted import PLANTED_SITES
+
+PERIOD = 64
+
+
+def _machine(name="dup-strings"):
+    workload = get_workload(name)
+    program = instrument_program(workload.build_verified())
+    return Machine(program, workload.machine_config())
+
+
+class TestCapabilityUnion:
+    def test_family_attach_raises_both_refcounts(self):
+        machine = _machine()
+        bus = machine.bus
+        assert (bus._accesses_wanted, bus._allocs_wanted) == (0, 0)
+        replica = ReplicaProfiler(sample_period=PERIOD).attach(machine)
+        assert (bus._accesses_wanted, bus._allocs_wanted) == (1, 1)
+        redundancy = RedundancyProfiler(sample_period=PERIOD).attach(machine)
+        assert (bus._accesses_wanted, bus._allocs_wanted) == (2, 2)
+        redundancy.detach()
+        assert (bus._accesses_wanted, bus._allocs_wanted) == (1, 1)
+        replica.detach()
+        assert (bus._accesses_wanted, bus._allocs_wanted) == (0, 0)
+
+    def test_djxperf_contributes_allocs_only(self):
+        machine = _machine()
+        bus = machine.bus
+        djx = DJXPerf(DjxConfig(sample_period=PERIOD))
+        djx.attach(machine)
+        assert (bus._accesses_wanted, bus._allocs_wanted) == (0, 1)
+        family = RedundancyProfiler(sample_period=PERIOD).attach(machine)
+        assert (bus._accesses_wanted, bus._allocs_wanted) == (1, 2)
+        family.detach()
+        # DJXPerf's alloc subscription survives the family's departure.
+        assert (bus._accesses_wanted, bus._allocs_wanted) == (0, 1)
+
+    def test_zero_capability_collectors_build_no_events(self):
+        # A family attached then detached before the run must leave the
+        # machine on the demand-driven skip path: a samples-only
+        # collector set builds zero Access/Alloc events end to end.
+        machine = _machine()
+        RedundancyProfiler(sample_period=PERIOD).attach(machine).detach()
+        perf = CodeCentricProfiler(sample_period=PERIOD)
+        perf.attach(machine)
+        machine.run()
+        bus = machine.bus
+        assert sum(perf.total_samples.values()) > 0
+        assert bus.access_events_built == 0
+        assert bus.alloc_events_built == 0
+
+    def test_attached_family_restores_both_streams(self):
+        machine = _machine()
+        family = ReplicaProfiler(sample_period=PERIOD).attach(machine)
+        machine.run()
+        bus = machine.bus
+        assert bus.access_events_built > 0
+        assert bus.alloc_events_built > 0
+        assert family.stats.accesses_seen == bus.access_events_built
+        assert family.stats.allocations_seen == bus.alloc_events_built
+
+
+class TestCoexistenceWithDjxperf:
+    def test_family_and_djxperf_both_profile_one_run(self):
+        workload = get_workload("dup-strings")
+        program = instrument_program(workload.build_verified())
+        machine = Machine(program, workload.machine_config())
+        djx = DJXPerf(DjxConfig(sample_period=PERIOD))
+        djx.attach(machine)
+        family = ReplicaProfiler(sample_period=PERIOD).attach(machine)
+        machine.run()
+
+        _, (cls, method, line) = PLANTED_SITES["dup-strings"]
+        analysis = family.analyze()
+        top = analysis.top_sites(1)[0].leaf
+        assert (top.class_name, top.method_name, top.line) \
+            == (cls, method, line)
+        # DJXPerf still resolves sites from the same run.
+        djx_analysis = djx.analyze()
+        assert djx_analysis.sites
+        assert djx.agent.stats.allocations_seen > 0
+
+    def test_detach_midstream_freezes_family_state(self):
+        machine = _machine()
+        family = make_family("redundancy", machine,
+                             sample_period=PERIOD).attach()
+        family.detach()
+        machine.run()
+        assert family.stats.accesses_seen == 0
+        assert family.stats.allocations_seen == 0
+        assert machine.bus.access_events_built == 0

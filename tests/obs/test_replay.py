@@ -89,6 +89,37 @@ class TestReplayEquivalence:
             replay_analyze(str(path), resample=True)
 
 
+class TestFamilyReplayParity:
+    """Family collectors reproduce their live analysis from a trace."""
+
+    CASES = [("dup-strings", "replica"), ("dead-stores", "redundancy")]
+
+    @pytest.mark.parametrize("workload,family", CASES)
+    def test_family_replay_is_byte_identical(self, workload, family,
+                                             tmp_path):
+        import json
+
+        from repro.families import replay_family
+        from repro.workloads import run_profiled
+
+        path = str(tmp_path / f"{workload}.trace.jsonl.gz")
+        run = run_profiled(get_workload(workload), config=DjxConfig(),
+                           family=family, trace_path=path)
+        replayed = replay_family(path, family,
+                                 sample_period=DjxConfig().sample_period,
+                                 size_threshold=DjxConfig().size_threshold)
+        assert json.dumps(replayed.to_dict(), sort_keys=True) \
+            == json.dumps(run.analysis.to_dict(), sort_keys=True)
+
+    def test_family_replay_needs_access_stream(self, tmp_path):
+        from repro.families import replay_family
+
+        path = tmp_path / "t.jsonl"
+        record_run("dup-strings", path, include_accesses=False)
+        with pytest.raises(ValueError, match="include_accesses"):
+            replay_family(str(path), "replica")
+
+
 class TestSharedRun:
     def test_four_profilers_observe_one_simulation(self):
         """DJXPerf + all three baselines subscribe to one machine.

@@ -94,6 +94,31 @@ class TestReplay:
         assert "DJXPerf object-centric profile" in capsys.readouterr().out
 
 
+class TestFamily:
+    def test_profile_replica_family(self, capsys):
+        assert main(["profile", "dup-strings", "--family", "replica",
+                     "--period", "64"]) == 0
+        assert "DupStrings.run:100" in capsys.readouterr().out
+
+    def test_profile_trace_then_family_replay(self, capsys, tmp_path):
+        trace = str(tmp_path / "ds.trace.jsonl.gz")
+        assert main(["profile", "dead-stores", "--family", "redundancy",
+                     "--period", "64", "--trace", trace]) == 0
+        assert "DeadStores.run:300" in capsys.readouterr().out
+        assert main(["replay", trace, "--family", "redundancy",
+                     "--period", "64"]) == 0
+        assert "DeadStores.run:300" in capsys.readouterr().out
+
+    def test_family_replay_rejects_resample(self, capsys, tmp_path):
+        trace = str(tmp_path / "dt.trace.jsonl.gz")
+        assert main(["profile", "dup-tables", "--family", "replica",
+                     "--period", "64", "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["replay", trace, "--family", "replica",
+                     "--resample"]) == 2
+        assert "DJXPerf-only" in capsys.readouterr().err
+
+
 class TestSuite:
     def test_suite_table(self, capsys):
         assert main(["suite", "--suite", "specjvm", "--jobs", "1",
