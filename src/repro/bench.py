@@ -77,8 +77,10 @@ from repro.workloads.suite import suite_names
 #: ``/5`` added the serve-load fleet arm (p50/p99 submit-to-verdict
 #: latency, dedupe hit rate, cross-shard reshard check);
 #: ``/6`` added the multi-process fleet-scaling arm (jobs/sec at 1 vs
-#: N supervised shard processes, warm compile-cache hit rate).
-SCHEMA = "repro-bench-throughput/6"
+#: N supervised shard processes, warm compile-cache hit rate);
+#: ``/7`` added the profile-guided optimization arm (per-workload
+#: verdict, before/after simulated cycles, verified speedup).
+SCHEMA = "repro-bench-throughput/7"
 
 #: Quick subset for CI: the heaviest row of each flavour, two
 #: streaming-native rows, and the engine-bound interpreter kernels.
@@ -91,6 +93,17 @@ SMALL_SUITE = ("mnemonics", "akka-uct", "avrora", "crypto",
 
 #: The paper's default PMU sampling period, used by the profiled arms.
 DJX_PERIOD = 64
+
+#: The profile-guided optimization arm's workloads, each paired with
+#: the profiler family whose advice drives its rewrite.  All four carry
+#: a planted inefficiency the transform catalog verifiably removes:
+#: unsized-growth (capacity presizing), padded-layout (field
+#: reordering), boxed-counters (boxed-array swap), redundant-fill
+#: (dead-store elimination, driven by the redundancy family).
+OPTIMIZE_SUITE = (("unsized-growth", "djxperf"),
+                  ("padded-layout", "djxperf"),
+                  ("boxed-counters", "djxperf"),
+                  ("redundant-fill", "redundancy"))
 
 
 @dataclass(frozen=True)
@@ -190,6 +203,12 @@ class BenchReport:
     repeat: int
     serve_load: Optional[Dict] = None
     fleet_scaling: Optional[Dict] = None
+    #: Per-workload profile-guided optimization verdicts (see
+    #: :func:`bench_optimize`): workload name -> {family, transform,
+    #: status, baseline_cycles, optimized_cycles, speedup}.  Cycles are
+    #: simulated, so unlike the wall-time arms they are deterministic
+    #: and transfer exactly between machines.
+    optimize: Optional[Dict] = None
 
     def _aggregate(self, arm: Callable[[BenchRow], Optional[ArmTiming]],
                    profiled: bool = False) -> Optional[ArmTiming]:
@@ -333,6 +352,8 @@ class BenchReport:
             out["serve_load"] = self.serve_load
         if self.fleet_scaling is not None:
             out["fleet_scaling"] = self.fleet_scaling
+        if self.optimize is not None:
+            out["optimize"] = self.optimize
         return out
 
 
@@ -635,6 +656,40 @@ def bench_suite(names: Optional[Sequence[str]] = None, repeat: int = 3,
     return BenchReport(rows=rows, repeat=repeat)
 
 
+def bench_optimize(suite=OPTIMIZE_SUITE, seed: Optional[int] = None,
+                   progress: Optional[Callable[[str, Dict], None]] = None
+                   ) -> Dict:
+    """Run the profile-guided optimizer over its workload suite.
+
+    Each ``(workload, family)`` pair goes through the full
+    :func:`repro.optim.engine.optimize_workload` loop — profile,
+    rewrite, verify, re-measure — and the arm records the verdict plus
+    before/after *simulated* cycles.  Simulated cycles are
+    deterministic, so the committed baseline's speedups reproduce
+    exactly on any machine; the gate (:func:`_check_optimize`) fails
+    when a committed ``accepted`` verdict flips or a verified speedup
+    shrinks below the floor.
+    """
+    from repro.optim.engine import optimize_workload
+
+    out: Dict = {}
+    for name, family in suite:
+        verdict = optimize_workload(name, family=family, seed=seed)
+        entry = {
+            "family": family,
+            "transform": verdict.transform,
+            "status": verdict.status,
+            "baseline_cycles": verdict.baseline_cycles,
+            "optimized_cycles": verdict.optimized_cycles,
+        }
+        if verdict.speedup is not None:
+            entry["speedup"] = round(verdict.speedup, 3)
+        out[name] = entry
+        if progress is not None:
+            progress(name, entry)
+    return out
+
+
 def write_report(report: BenchReport, path: str) -> None:
     with open(path, "w") as fh:
         json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
@@ -778,6 +833,47 @@ def _check_fleet_scaling(fleet: Dict, base: Dict,
     return failures
 
 
+def _check_optimize(optimize: Dict, base: Dict,
+                    tolerance: float) -> List[str]:
+    """Gate the optimization arm on verdicts and verified speedups.
+
+    Both quantities transfer exactly: verdicts and cycle counts come
+    out of the deterministic simulator, not wall clocks.  A workload
+    whose committed verdict is ``accepted`` must stay accepted — losing
+    a verified rewrite (transform stops matching, or the engine's
+    safety/improvement gates start rejecting it) is a regression in the
+    optimizer itself.  The measured speedup keeps the usual relative
+    floor so small deliberate cost-model changes don't trip the gate,
+    but a rewrite that stops helping does.
+    """
+    failures: List[str] = []
+    for name, committed in sorted(base.items()):
+        measured = optimize.get(name)
+        if measured is None:
+            failures.append(
+                f"optimize arm dropped workload {name} "
+                f"(committed verdict: {committed.get('status')})")
+            continue
+        if committed.get("status") == "accepted":
+            if measured.get("status") != "accepted":
+                failures.append(
+                    f"optimize verdict for {name} regressed: committed "
+                    f"accepted ({committed.get('transform')}), measured "
+                    f"{measured.get('status')}")
+                continue
+            committed_speedup = committed.get("speedup")
+            measured_speedup = measured.get("speedup")
+            if committed_speedup and measured_speedup:
+                floor = committed_speedup * (1.0 - tolerance)
+                if measured_speedup < floor:
+                    failures.append(
+                        f"verified speedup for {name} regressed: "
+                        f"measured {measured_speedup:.3f}x < floor "
+                        f"{floor:.3f}x (committed "
+                        f"{committed_speedup:.3f}x - {tolerance:.0%})")
+    return failures
+
+
 def check_regression(report: BenchReport, baseline: Dict,
                      tolerance: float = 0.20,
                      serve_tolerance: float = 1.0) -> List[str]:
@@ -794,7 +890,9 @@ def check_regression(report: BenchReport, baseline: Dict,
     dedupe hit rate (floor ``tolerance``), and the cross-shard reshard
     hit (see :func:`_check_serve_load`); a ``fleet_scaling`` section
     gates the multi-process scaling ratio and warm compile-cache hit
-    rate (see :func:`_check_fleet_scaling`).
+    rate (see :func:`_check_fleet_scaling`); an ``optimize`` section
+    gates the profile-guided optimizer's verdicts and verified
+    simulated-cycle speedups (see :func:`_check_optimize`).
     """
     failures: List[str] = []
     if report.rows:
@@ -809,7 +907,13 @@ def check_regression(report: BenchReport, baseline: Dict,
     if fleet is not None and base_fleet is not None:
         failures.extend(_check_fleet_scaling(fleet, base_fleet,
                                              tolerance))
-    if not report.rows and serve is None and fleet is None:
+    optimize = report.optimize
+    base_optimize = baseline.get("optimize")
+    if optimize is not None and base_optimize is not None:
+        failures.extend(_check_optimize(optimize, base_optimize,
+                                        tolerance))
+    if not report.rows and serve is None and fleet is None \
+            and optimize is None:
         failures.append("nothing to check: the run has neither engine "
                         "rows nor a serve arm section")
     return failures

@@ -216,6 +216,26 @@ def cmd_advise(args) -> int:
     return 0
 
 
+def cmd_optimize(args) -> int:
+    import json
+
+    from repro.optim.engine import optimize_workload
+
+    verdict = optimize_workload(
+        args.workload, variant=args.variant, family=args.family,
+        transform=args.transform, config=_config(args),
+        seed=args.seed, capacity=args.capacity, top=args.top)
+    if args.json:
+        print(json.dumps(verdict.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(verdict.render())
+    if verdict.status == "accepted":
+        return 0
+    if verdict.status == "no-candidate":
+        return 3
+    return 1
+
+
 def cmd_bench(args) -> int:
     import fnmatch
     import json
@@ -293,6 +313,21 @@ def cmd_bench(args) -> int:
                   f"dedupe {result.dedupe_hit_rate:.0%}  "
                   f"{result.throttled} throttled  "
                   f"cross-shard {cross}")
+    if args.optimize:
+        from repro.bench import bench_optimize
+
+        def optimize_progress(name, entry):
+            if args.json:
+                return
+            speedup = (f"  x{entry['speedup']:.2f}"
+                       if entry.get("speedup") else "")
+            print(f"{'OPTIMIZE':24s} {name:24s} "
+                  f"{entry['status']:12s} "
+                  f"{entry.get('transform') or '-':22s}{speedup}")
+
+        report = dataclasses.replace(
+            report, optimize=bench_optimize(seed=args.seed,
+                                            progress=optimize_progress))
     if args.fleet_scaling:
         from repro.serve.loadgen import run_fleet_scaling
 
@@ -587,17 +622,37 @@ def _fleet_in_process(args, policy) -> int:
 def cmd_submit(args) -> int:
     from repro.serve import JobSpec, SpoolQueue
 
-    if args.kind in ("profile", "bench"):
+    kind = "optimize" if args.optimize else args.kind
+    if kind in ("profile", "bench", "optimize"):
         # Fail fast: the daemon would only discover a bad name after
         # claiming the job (and burning its attempts).
         from repro.workloads import get_workload
         get_workload(args.workload)
+    meta = {}
+    if args.transform is not None:
+        meta["transform"] = args.transform
+    if args.capacity is not None:
+        meta["capacity"] = args.capacity
+    if meta and kind != "optimize":
+        print(f"error: --{next(iter(meta))} only applies to optimize "
+              f"jobs", file=sys.stderr)
+        return 2
+    threshold = args.threshold
+    if threshold is None:
+        # Optimize jobs track every allocation by default: their
+        # targets include small boxes the reporting threshold hides.
+        threshold = 0 if kind == "optimize" else 1024
+    if kind == "optimize":
+        # Validate the family/transform combination before enqueueing,
+        # so a bad request never burns daemon attempts.
+        from repro.optim.transforms import transforms_for
+        transforms_for(args.family, args.transform)
     queue = SpoolQueue(args.spool)
     spec = queue.submit(JobSpec(
-        job_id="", kind=args.kind, workload=args.workload,
+        job_id="", kind=kind, workload=args.workload,
         variant=args.variant, period=args.period,
-        threshold=args.threshold, family=args.family, seed=args.seed,
-        timeout=args.timeout, force=args.force))
+        threshold=threshold, family=args.family, seed=args.seed,
+        timeout=args.timeout, force=args.force, meta=meta))
     print(f"submitted {spec.job_id} "
           f"({spec.kind} {spec.workload}/{spec.variant}, "
           f"family {spec.family}, period {spec.period}, "
@@ -759,6 +814,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profiler_options(p_advise)
     p_advise.set_defaults(fn=cmd_advise)
 
+    p_optimize = sub.add_parser(
+        "optimize",
+        help="profile-guided optimization: profile, rewrite, verify")
+    p_optimize.add_argument("workload")
+    p_optimize.add_argument("--variant", default="baseline")
+    p_optimize.add_argument("--transform", default=None,
+                            help="pin one catalog transform instead of "
+                                 "letting the advice kind choose "
+                                 "(hoist, presize, reorder-fields, "
+                                 "swap-boxed-array, "
+                                 "eliminate-dead-stores)")
+    p_optimize.add_argument("--capacity", type=int, default=None,
+                            help="explicit target capacity for the "
+                                 "presize transform (default: derived "
+                                 "from the observed growth chain)")
+    p_optimize.add_argument("--top", type=int, default=8,
+                            help="advice entries to consider, in rank "
+                                 "order (default 8)")
+    p_optimize.add_argument("--seed", type=int, default=None,
+                            help="machine seed for every arm")
+    p_optimize.add_argument("--json", action="store_true",
+                            help="print the verdict as JSON")
+    _add_profiler_options(p_optimize)
+    # Optimize targets include small boxes/records; track everything.
+    p_optimize.set_defaults(fn=cmd_optimize, threshold=0)
+
     p_bench = sub.add_parser(
         "bench", help="measure simulator throughput")
     p_bench.add_argument("names", nargs="*", metavar="workload",
@@ -841,6 +922,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--fleet-requests", type=int, default=24,
                          help="jobs per fleet-scaling point "
                               "(default 24)")
+    p_bench.add_argument("--optimize", action="store_true",
+                         help="run the profile-guided optimization arm: "
+                              "optimize each deliberately-fixable "
+                              "workload and record before/after cycles "
+                              "and the acceptance verdict")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_fuzz = sub.add_parser(
@@ -956,7 +1042,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("workload")
     p_submit.add_argument("--variant", default="baseline")
     p_submit.add_argument("--kind", default="profile",
-                          choices=["profile", "bench", "fuzz"])
+                          choices=["profile", "bench", "fuzz", "optimize"])
+    p_submit.add_argument("--optimize", action="store_true",
+                          help="shorthand for --kind optimize")
+    p_submit.add_argument("--transform", default=None,
+                          help="pin one catalog transform "
+                               "(optimize jobs only)")
+    p_submit.add_argument("--capacity", type=int, default=None,
+                          help="explicit presize capacity "
+                               "(optimize jobs only)")
     p_submit.add_argument("--seed", type=int, default=None,
                           help="machine seed (part of the store key)")
     p_submit.add_argument("--timeout", type=float, default=None,
@@ -967,7 +1061,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--spool", default=DEFAULT_SPOOL,
                           help=f"spool directory (default {DEFAULT_SPOOL})")
     _add_profiler_options(p_submit)
-    p_submit.set_defaults(fn=cmd_submit)
+    # Sentinel: cmd_submit picks 0 for optimize jobs, 1024 otherwise.
+    p_submit.set_defaults(fn=cmd_submit, threshold=None)
 
     p_history = sub.add_parser(
         "history", help="list stored profiles")

@@ -13,15 +13,37 @@ from repro.optim.hoist import (
     hoist_allocations,
     hoist_program,
 )
+from repro.optim.engine import (
+    ACCEPTED,
+    NO_CANDIDATE,
+    REJECTED,
+    OptimizationVerdict,
+    optimize_workload,
+)
+from repro.optim.transforms import (
+    FAMILY_TRANSFORMS,
+    KIND_TRANSFORMS,
+    TRANSFORMS,
+    transforms_for,
+)
 
 __all__ = [
+    "ACCEPTED",
     "Advice",
     "AdviceKind",
     "AdviceThresholds",
+    "FAMILY_TRANSFORMS",
     "HoistCandidate",
+    "KIND_TRANSFORMS",
+    "NO_CANDIDATE",
+    "OptimizationVerdict",
+    "REJECTED",
+    "TRANSFORMS",
     "advise",
     "advise_site",
     "find_hoist_candidates",
     "hoist_allocations",
     "hoist_program",
+    "optimize_workload",
+    "transforms_for",
 ]

@@ -6,6 +6,14 @@ reordering (interchange/tiling) for strided misses, interleaved or
 first-touch allocation for NUMA problems (§7, Table 1).  This module
 encodes those triage rules so a profile can be turned into actionable,
 ranked advice automatically.
+
+The triage is family-aware: a DJXPerf analysis goes through the paper's
+bloat/NUMA/growth/locality rules, while analyses produced by the sibling
+collectors surface *their* planted metrics instead of being silently
+triaged as if they were miss profiles — a replica profile
+(``primary_event == "replica-score"``) reports duplicated bytes and
+replica counts, and a redundancy profile (``"redundancy"``) reports
+dead/silent store-load counts with the per-site redundancy fraction.
 """
 
 from __future__ import annotations
@@ -23,6 +31,9 @@ class AdviceKind(enum.Enum):
     IMPROVE_ACCESS_PATTERN = "improve-access-pattern"  # interchange/tiling
     NUMA_PLACEMENT = "numa-placement"           # interleave / first-touch
     GROW_INITIAL_CAPACITY = "grow-initial-capacity"    # churny growth
+    DEDUPLICATE_REPLICAS = "deduplicate-replicas"      # OJXPerf replicas
+    ELIMINATE_DEAD_STORES = "eliminate-dead-stores"    # JXPerf dead stores
+    REDUCE_REDUNDANT_LOADS = "reduce-redundant-loads"  # JXPerf silent ops
 
 
 @dataclass(frozen=True)
@@ -57,12 +68,57 @@ class AdviceThresholds:
     growth_size_spread: float = 8.0
 
 
+def _advise_replica_site(site: ResolvedSite, share: float) -> Advice:
+    """OJXPerf-family triage: rank by duplicated bytes."""
+    replicas = site.metric("replicas")
+    replica_bytes = site.metric("replica-bytes")
+    return Advice(
+        site=site, kind=AdviceKind.DEDUPLICATE_REPLICAS, metric_share=share,
+        rationale=(
+            f"{replicas} byte-identical replica object(s) totalling "
+            f"{replica_bytes} duplicated bytes; cache and reuse one "
+            f"instance (or hoist the allocation) instead of re-creating "
+            f"equal objects"))
+
+
+def _advise_redundancy_site(site: ResolvedSite, share: float) -> Advice:
+    """JXPerf-family triage: dead stores vs silent loads/stores."""
+    dead = site.metric("dead-stores")
+    silent = site.metric("silent-stores") + site.metric("silent-loads")
+    permille = site.metric("redundancy-permille")
+    if dead >= silent:
+        return Advice(
+            site=site, kind=AdviceKind.ELIMINATE_DEAD_STORES,
+            metric_share=share,
+            rationale=(
+                f"{dead} dead store(s) ({permille}/1000 of this site's "
+                f"tracked accesses are redundant); the overwritten or "
+                f"never-read writes can be eliminated"))
+    return Advice(
+        site=site, kind=AdviceKind.REDUCE_REDUNDANT_LOADS,
+        metric_share=share,
+        rationale=(
+            f"{silent} silent load(s)/store(s) ({permille}/1000 of this "
+            f"site's tracked accesses are redundant); cache the value in "
+            f"a local instead of re-touching memory"))
+
+
+#: primary_event → family-specific triage for non-DJXPerf analyses.
+_FAMILY_TRIAGE = {
+    "replica-score": _advise_replica_site,
+    "redundancy": _advise_redundancy_site,
+}
+
+
 def advise_site(analysis: AnalysisResult, site: ResolvedSite,
                 thresholds: AdviceThresholds) -> Optional[Advice]:
     """Triage one site; None when it is not worth optimising."""
     share = analysis.share(site)
     if share < thresholds.min_share:
         return None
+    family_triage = _FAMILY_TRIAGE.get(analysis.primary_event)
+    if family_triage is not None:
+        return family_triage(site, share)
     if site.remote_ratio >= thresholds.remote_ratio:
         return Advice(
             site=site, kind=AdviceKind.NUMA_PLACEMENT, metric_share=share,

@@ -169,7 +169,10 @@ def hoist_allocations(method: JMethod,
     if not candidates:
         return method, 0
 
-    # Hoist one candidate at a time (BCIs shift after each rewrite).
+    # Hoist one candidate at a time (BCIs shift after each rewrite),
+    # re-verifying after EVERY rewrite: the renumbering remaps branch
+    # targets, and a single bad remap must fail at the transform that
+    # introduced it, not after later rewrites have shifted the evidence.
     current = method
     hoisted = 0
     for _ in range(len(candidates)):
@@ -178,8 +181,8 @@ def hoist_allocations(method: JMethod,
             break
         current = _hoist_one(current, todo[0])
         hoisted += 1
-    verify(current.code, current.num_args, None,
-           f"{current.qualified_name}(hoisted)")
+        verify(current.code, current.num_args, None,
+               f"{current.qualified_name}(hoist #{hoisted})")
     return current, hoisted
 
 

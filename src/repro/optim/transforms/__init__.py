@@ -1,0 +1,34 @@
+"""Pluggable bytecode transform catalog for the optimizer engine.
+
+Importing this package registers every concrete transform.  The engine
+consumes the catalog through :data:`TRANSFORMS` and the family/kind
+gating tables; individual passes are also importable for direct use in
+tests.
+"""
+
+from repro.optim.transforms.base import (
+    FAMILY_TRANSFORMS,
+    KIND_TRANSFORMS,
+    TRANSFORMS,
+    Transform,
+    TransformResult,
+    register_transform,
+    transforms_for,
+)
+
+# Registration side effects — order fixes iteration order of TRANSFORMS.
+from repro.optim.transforms import hoisting as _hoisting      # noqa: F401
+from repro.optim.transforms import presize as _presize        # noqa: F401
+from repro.optim.transforms import layout as _layout          # noqa: F401
+from repro.optim.transforms import boxswap as _boxswap        # noqa: F401
+from repro.optim.transforms import deadstore as _deadstore    # noqa: F401
+
+__all__ = [
+    "FAMILY_TRANSFORMS",
+    "KIND_TRANSFORMS",
+    "TRANSFORMS",
+    "Transform",
+    "TransformResult",
+    "register_transform",
+    "transforms_for",
+]

@@ -1,0 +1,143 @@
+"""Data-structure swap: box array → flat primitive array (Makor et al.).
+
+The shape: a single-``int``-field box class, allocated per element and
+parked in an object array, read back through ``getfield``.  Every
+element costs an object header, a reference indirection and a second
+cache line.  The swap rewrites the array to a flat ``int[]`` and each
+box operation to its primitive equivalent — all replacements are
+1-for-1 at the same bcis, so branch targets never move:
+
+===========================  ===========================
+boxed                        flat
+===========================  ===========================
+``ANEWARRAY Box``            ``NEWARRAY INT``
+``NEW Box``                  ``ICONST 0``
+``STORE t``                  (unchanged — now holds an int)
+``LOAD t`` (before value)    ``NOP``
+``PUTFIELD f``               ``STORE t``
+``GETFIELD f`` (after ALOAD) ``NOP``
+===========================  ===========================
+
+The pass is deliberately rigid: every occurrence of the box class and
+its field across the whole program must match the table above, else it
+declines.  (Aliasing a box ref through other locals, calls or null
+checks falls outside the idiom.)  The engine's differential re-run and
+output-equality gate back the static checks dynamically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.heap.layout import Kind
+from repro.jvm.bytecode import Instruction, Op
+from repro.optim.advice import Advice, AdviceKind
+from repro.optim.transforms.base import (
+    Transform,
+    TransformResult,
+    pushes_one_operand,
+    register_transform,
+    replace_method,
+)
+
+
+class SwapBoxedArrayTransform(Transform):
+    """Replace a rigid boxed-array idiom with a flat int array."""
+
+    name = "swap-boxed-array"
+    advice_kinds = (AdviceKind.HOIST_ALLOCATION,)
+    description = "swap an array of single-field boxes for an int[]"
+
+    def _box_class(self, program, advice: Advice):
+        cls = program.classes.get(advice.site.dominant_type() or "")
+        if cls is None or cls.superclass is not None:
+            return None
+        if len(cls.all_fields) != 1 \
+                or cls.all_fields[0].kind is not Kind.INT:
+            return None
+        if any(other.superclass is cls
+               for other in program.classes.values()):
+            return None
+        field = cls.all_fields[0].name
+        for other in program.classes.values():
+            if other is not cls and other.has_field(field):
+                return None     # field name not unique: can't attribute
+        return cls
+
+    def _method_edits(self, code, cls_name: str, field: str
+                      ) -> Optional[Tuple[List[Tuple[int, Instruction]],
+                                          int]]:
+        """(edits, boxes matched) for one method, or None on a
+        non-conforming occurrence anywhere in it."""
+        edits: List[Tuple[int, Instruction]] = []
+        claimed = set()
+        boxes = 0
+        for bci, ins in enumerate(code):
+            if ins.op is not Op.NEW or ins.args[0] != cls_name:
+                continue
+            if bci + 4 >= len(code):
+                return None
+            store, load, push, put = code[bci + 1:bci + 5]
+            if store.op is not Op.STORE:
+                return None
+            local = store.args[0]
+            if load.op is not Op.LOAD or load.args[0] != local:
+                return None
+            if not pushes_one_operand(push):
+                return None
+            if put.op is not Op.PUTFIELD or put.args[0] != field:
+                return None
+            edits.append((bci, Instruction(Op.ICONST, (0,), ins.line)))
+            edits.append((bci + 2, Instruction(Op.NOP, (), load.line)))
+            edits.append((bci + 4,
+                          Instruction(Op.STORE, (local,), put.line)))
+            claimed.update(range(bci, bci + 5))
+            boxes += 1
+        for bci, ins in enumerate(code):
+            if bci in claimed:
+                continue
+            if ins.op is Op.ANEWARRAY and ins.args[0] == cls_name:
+                edits.append((bci, Instruction(Op.NEWARRAY, (Kind.INT,),
+                                               ins.line)))
+            elif ins.op is Op.GETFIELD and ins.args[0] == field:
+                if bci == 0 or code[bci - 1].op is not Op.ALOAD:
+                    return None
+                edits.append((bci, Instruction(Op.NOP, (), ins.line)))
+            elif ins.op is Op.PUTFIELD and ins.args[0] == field:
+                return None     # a write outside the matched idiom
+            elif ins.op is Op.MULTIANEWARRAY and cls_name in ins.args:
+                return None
+        return edits, boxes
+
+    def apply(self, program, advice: Advice,
+              capacity: Optional[int] = None) -> Optional[TransformResult]:
+        cls = self._box_class(program, advice)
+        if cls is None:
+            return None
+        field = cls.all_fields[0].name
+        per_method = {}
+        boxes = 0
+        for method in program.methods.values():
+            matched = self._method_edits(method.code, cls.name, field)
+            if matched is None:
+                return None
+            edits, method_boxes = matched
+            boxes += method_boxes
+            if edits:
+                per_method[method.name] = edits
+        if boxes == 0 or not per_method:
+            return None
+        out = program
+        for name, edits in per_method.items():
+            method = out.methods[name]
+            code = list(method.code)
+            for bci, replacement in edits:
+                code[bci] = replacement
+            out = replace_method(out, method, code)
+        return self._result(
+            out, advice,
+            f"swapped {boxes} {cls.name} box allocation(s) and their "
+            f"array(s) for flat int[] storage")
+
+
+register_transform(SwapBoxedArrayTransform())

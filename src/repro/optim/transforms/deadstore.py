@@ -1,0 +1,109 @@
+"""Dead-store elimination for redundancy-family advice (JXPerf).
+
+The redundancy profiler flags an array whose elements are written and
+then overwritten before any read — the classic double-initialisation:
+
+    buf = new int[n]
+    for i: buf[i] = 7        # every store dies
+    for i: buf[i] = f(i)     # the live fill
+
+The pass anchors on the advised allocation (``NEWARRAY``/``ANEWARRAY``
+at the site line, immediately ``STORE``\\ d to a local), then looks for
+two or more store idioms ``LOAD buf; LOAD i; <push>; ASTORE`` against
+that local.  The *first* idiom in bytecode order is the dying one; its
+four instructions become ``NOP``\\ s — same bcis, no branch targets
+move.  Eliding is only attempted when every instruction between the
+dead idiom and the next live one is plain loop plumbing (locals,
+constants, ``IINC``, branches): any call, field access or array *read*
+in the gap could observe the doomed values, so the pass declines.  The
+engine's output-equality and engine-differential gates back these
+static checks dynamically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.jvm.bytecode import CONDITIONAL_BRANCHES, Instruction, Op
+from repro.optim.advice import Advice, AdviceKind
+from repro.optim.transforms.base import (
+    Transform,
+    TransformResult,
+    pushes_one_operand,
+    register_transform,
+    replace_method,
+    site_method,
+)
+
+#: Ops allowed between the dead store idiom and the overwriting one.
+#: Nothing here can read an array element or escape a reference.
+_GAP_OPS = frozenset({Op.LOAD, Op.STORE, Op.ICONST, Op.IINC, Op.GOTO,
+                      Op.NOP}) | CONDITIONAL_BRANCHES
+
+
+class EliminateDeadStoresTransform(Transform):
+    """NOP out a fill loop whose stores are all overwritten unread."""
+
+    name = "eliminate-dead-stores"
+    advice_kinds = (AdviceKind.ELIMINATE_DEAD_STORES,)
+    description = "drop array stores that die before any read"
+
+    def _array_local(self, method, line: int) -> Optional[int]:
+        """Local the advised allocation is stored into, if direct."""
+        code = method.code
+        for bci, ins in enumerate(code):
+            if ins.op in (Op.NEWARRAY, Op.ANEWARRAY) \
+                    and method.line_of_bci(bci) == line \
+                    and bci + 1 < len(code) \
+                    and code[bci + 1].op is Op.STORE:
+                return code[bci + 1].args[0]
+        return None
+
+    def _store_idioms(self, code, local: int) -> List[int]:
+        """Start bcis of ``LOAD local; LOAD ?; <push>; ASTORE`` runs."""
+        starts = []
+        for bci in range(len(code) - 3):
+            first, index, push, store = code[bci:bci + 4]
+            if first.op is Op.LOAD and first.args[0] == local \
+                    and index.op is Op.LOAD \
+                    and pushes_one_operand(push) \
+                    and store.op is Op.ASTORE:
+                starts.append(bci)
+        return starts
+
+    def apply(self, program, advice: Advice,
+              capacity: Optional[int] = None) -> Optional[TransformResult]:
+        method = site_method(program, advice)
+        if method is None or advice.site.leaf is None:
+            return None
+        local = self._array_local(method, advice.site.leaf.line)
+        if local is None:
+            return None
+        code = method.code
+        idioms = self._store_idioms(code, local)
+        if len(idioms) < 2:
+            return None
+        dead, live = idioms[0], idioms[1]
+        gap = code[dead + 4:live]
+        if any(ins.op not in _GAP_OPS for ins in gap):
+            return None
+        # The doomed values must never leave this method: past the live
+        # fill, any use of the array is fine; before it, only the two
+        # idioms themselves may touch ``local``.
+        for bci in range(dead, live):
+            ins = code[bci]
+            if ins.op is Op.LOAD and ins.args[0] == local \
+                    and bci not in (dead, live):
+                return None
+        new_code = list(code)
+        for bci in range(dead, dead + 4):
+            new_code[bci] = Instruction(Op.NOP, (), code[bci].line)
+        out = replace_method(program, method, new_code)
+        line = method.line_of_bci(dead)
+        return self._result(
+            out, advice,
+            f"elided dead fill at {method.qualified_name}:{line} "
+            f"(overwritten before any read)")
+
+
+register_transform(EliminateDeadStoresTransform())

@@ -1,0 +1,47 @@
+"""Catalog wrapper around the loop-invariant allocation hoist pass."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.optim.advice import Advice, AdviceKind
+from repro.optim.hoist import find_hoist_candidates, hoist_allocations
+from repro.optim.transforms.base import (
+    Transform,
+    TransformResult,
+    register_transform,
+    site_method,
+)
+
+
+class HoistTransform(Transform):
+    """Hoist the advised allocation out of its loop (optim.hoist)."""
+
+    name = "hoist"
+    advice_kinds = (AdviceKind.HOIST_ALLOCATION,
+                    AdviceKind.DEDUPLICATE_REPLICAS)
+    description = "move a loop-invariant allocation to a preheader"
+
+    def apply(self, program, advice: Advice,
+              capacity: Optional[int] = None) -> Optional[TransformResult]:
+        method = site_method(program, advice)
+        if method is None:
+            return None
+        leaf = advice.site.leaf
+        candidates = find_hoist_candidates(method)
+        at_site = [c for c in candidates
+                   if method.line_of_bci(c.alloc_bci) == leaf.line]
+        if not at_site:
+            return None
+        new_method, hoisted = hoist_allocations(method, candidates)
+        if hoisted == 0:
+            return None
+        out = program.clone()
+        out.methods[method.name] = new_method
+        return self._result(
+            out, advice,
+            f"hoisted {hoisted} allocation(s) out of loop(s) in "
+            f"{method.qualified_name}")
+
+
+register_transform(HoistTransform())

@@ -1,0 +1,65 @@
+"""Field reordering: cluster hot fields ahead of never-accessed ones.
+
+Field offsets follow declaration order (:class:`repro.heap.layout
+.JClass`), so an object whose three touched fields are separated by
+runs of padding spreads every visit across several cache lines.  The
+rewrite is purely declarative — move every field the program actually
+accesses (any ``GETFIELD``/``PUTFIELD`` anywhere) to the front,
+preserving relative order within both groups — and cannot change
+behaviour: field access is by name, only addresses move.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.heap.layout import JClass
+from repro.jvm.bytecode import Op
+from repro.optim.advice import Advice, AdviceKind
+from repro.optim.transforms.base import (
+    Transform,
+    TransformResult,
+    register_transform,
+)
+
+
+class ReorderFieldsTransform(Transform):
+    """Pack accessed fields of the advised type onto leading lines."""
+
+    name = "reorder-fields"
+    advice_kinds = (AdviceKind.IMPROVE_ACCESS_PATTERN,
+                    AdviceKind.HOIST_ALLOCATION)
+    description = "declare hot fields first so sweeps touch fewer lines"
+
+    def apply(self, program, advice: Advice,
+              capacity: Optional[int] = None) -> Optional[TransformResult]:
+        type_name = advice.site.dominant_type()
+        if not type_name or type_name not in program.classes:
+            return None
+        cls = program.classes[type_name]
+        if cls.superclass is not None:
+            return None
+        if any(other.superclass is cls
+               for other in program.classes.values()):
+            return None
+        accessed = set()
+        for method in program.methods.values():
+            for ins in method.code:
+                if ins.op in (Op.GETFIELD, Op.PUTFIELD) \
+                        and cls.has_field(ins.args[0]):
+                    accessed.add(ins.args[0])
+        hot = [f for f in cls.all_fields if f.name in accessed]
+        cold = [f for f in cls.all_fields if f.name not in accessed]
+        if not hot or not cold:
+            return None
+        if hot + cold == cls.all_fields:
+            return None    # already packed
+        out = program.clone()
+        out.classes[cls.name] = JClass(cls.name, hot + cold)
+        return self._result(
+            out, advice,
+            f"reordered {cls.name}: {len(hot)} accessed field(s) moved "
+            f"ahead of {len(cold)} never-accessed one(s)")
+
+
+register_transform(ReorderFieldsTransform())

@@ -1,0 +1,80 @@
+"""Capacity presizing for growth-pattern allocation sites.
+
+The advised site is the *grow* allocation — the doubling re-allocation
+inside the growth chain (its length operand is loop-varying, so it can
+never be rewritten directly).  The actual fix lives elsewhere: the
+undersized constant initial allocation that forces the chain to run.
+This pass finds that constant — the smallest ``ICONST k; NEWARRAY``
+length in the program — and raises it to the capacity the chain was
+observed to reach (the advised site's ``max_size``), exactly the
+paper's AccessHistory fix (initial capacity 8 → 512).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.heap.layout import ELEM_SIZES, HEADER_SIZE, Kind
+from repro.jvm.bytecode import Instruction, Op
+from repro.optim.advice import Advice, AdviceKind
+from repro.optim.transforms.base import (
+    Transform,
+    TransformResult,
+    register_transform,
+    replace_method,
+)
+
+
+class PresizeTransform(Transform):
+    """Raise an undersized constant initial capacity."""
+
+    name = "presize"
+    advice_kinds = (AdviceKind.GROW_INITIAL_CAPACITY,)
+    description = "raise the initial capacity that feeds a growth chain"
+
+    def _target_capacity(self, advice: Advice) -> int:
+        """Element capacity the growth chain was observed to reach."""
+        payload = advice.site.max_size - HEADER_SIZE
+        elem = ELEM_SIZES[Kind.INT]
+        return max(1, payload // elem)
+
+    def _constant_newarrays(self, program) -> List[Tuple[object, int, int]]:
+        """Every ``ICONST k; NEWARRAY`` pair: (method, iconst_bci, k)."""
+        found = []
+        for method in program.methods.values():
+            code = method.code
+            for bci in range(len(code) - 1):
+                if code[bci].op is Op.ICONST \
+                        and code[bci + 1].op is Op.NEWARRAY \
+                        and code[bci].args[0] > 0:
+                    found.append((method, bci, code[bci].args[0]))
+        return found
+
+    def apply(self, program, advice: Advice,
+              capacity: Optional[int] = None) -> Optional[TransformResult]:
+        derived = capacity is None
+        if derived:
+            capacity = self._target_capacity(advice)
+        if capacity < 1:
+            return None
+        pairs = self._constant_newarrays(program)
+        if not pairs:
+            return None
+        method, bci, current = min(pairs, key=lambda p: p[2])
+        if current == capacity:
+            return None
+        if derived and current > capacity:
+            # Smallest constant already at or past the observed final
+            # capacity: nothing here looks like an undersized buffer.
+            return None
+        code = list(method.code)
+        code[bci] = Instruction(Op.ICONST, (capacity,), code[bci].line)
+        out = replace_method(program, method, code)
+        line = method.line_of_bci(bci)
+        return self._result(
+            out, advice,
+            f"raised initial capacity {current} -> {capacity} at "
+            f"{method.qualified_name}:{line}")
+
+
+register_transform(PresizeTransform())

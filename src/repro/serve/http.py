@@ -21,6 +21,10 @@ because the protocol surface is five JSON endpoints:
     Stored profiles merged across every shard, newest first.
 ``GET /regress/<workload>?variant=``
     Regression verdict for the fleet's newest record of a workload.
+``GET /optimize/<job_id>``
+    Stored optimizer verdict for a finished ``optimize`` job.
+``GET /optimize?workload=&status=&limit=``
+    Stored optimizer verdicts merged across every shard, newest first.
 ``GET /fleet``
     Per-shard queue depths, dedupe hit/miss counters, store stats.
 
@@ -46,9 +50,13 @@ _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
 #: Submission fields accepted from the wire, with coercions.
 _SUBMIT_FIELDS = {
     "workload": str, "variant": str, "kind": str, "tenant": str,
-    "period": int, "threshold": int, "priority": int, "seed": int,
-    "max_attempts": int, "timeout": float, "force": bool,
+    "family": str, "period": int, "threshold": int, "priority": int,
+    "seed": int, "max_attempts": int, "timeout": float, "force": bool,
 }
+
+#: Wire fields that ride in ``JobSpec.meta`` rather than spec fields
+#: (optimize-job knobs), with coercions.
+_META_FIELDS = {"transform": str, "capacity": int}
 
 
 class HttpError(Exception):
@@ -168,6 +176,10 @@ class HttpFrontDoor:
         if path.startswith("/regress/"):
             return await self._handle_regress(path[len("/regress/"):],
                                               query)
+        if path.startswith("/optimize/"):
+            return await self._handle_optimize(path[len("/optimize/"):])
+        if path == "/optimize":
+            return await self._handle_optimize_history(query)
         if path == "/fleet":
             return 200, self.fleet.stats(), {}
         raise HttpError(404, f"no route for {path}")
@@ -182,22 +194,36 @@ class HttpFrontDoor:
         if not isinstance(raw, dict):
             raise HttpError(400, "body must be a JSON object")
         fields = {}
+        meta = {}
         for name, value in raw.items():
             coerce = _SUBMIT_FIELDS.get(name)
-            if coerce is None:
+            meta_coerce = _META_FIELDS.get(name)
+            if coerce is None and meta_coerce is None:
                 raise HttpError(400, f"unknown field {name!r}")
             if value is not None:
                 try:
-                    fields[name] = coerce(value)
+                    if coerce is not None:
+                        fields[name] = coerce(value)
+                    else:
+                        meta[name] = meta_coerce(value)
                 except (TypeError, ValueError) as exc:
                     raise HttpError(
                         400, f"field {name!r}: {exc}") from exc
         fields.setdefault("kind", "profile")
-        if fields["kind"] in ("profile", "bench") and \
+        if fields["kind"] in ("profile", "bench", "optimize") and \
                 not fields.get("workload"):
             raise HttpError(400, "workload is required")
+        if meta and fields["kind"] != "optimize":
+            raise HttpError(
+                400, f"field {next(iter(meta))!r} only applies to "
+                     f"optimize jobs")
+        if fields["kind"] == "optimize":
+            # Optimization targets include small boxes and records the
+            # default reporting threshold hides; track everything
+            # unless the caller asked otherwise.
+            fields.setdefault("threshold", 0)
         try:
-            spec = JobSpec(job_id="", **fields)
+            spec = JobSpec(job_id="", meta=meta, **fields)
         except ValueError as exc:
             raise HttpError(400, str(exc)) from exc
         try:
@@ -243,6 +269,30 @@ class HttpFrontDoor:
         if verdict is None:
             raise HttpError(404, f"no stored profile for {workload!r}")
         return 200, verdict, {}
+
+    async def _handle_optimize(self, job_id: str
+                               ) -> Tuple[int, dict, Dict[str, str]]:
+        if not job_id:
+            raise HttpError(400, "job id is required")
+        row = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.fleet.optimize_verdict(job_id))
+        if row is None:
+            raise HttpError(404, f"no optimizer verdict for job "
+                                 f"{job_id!r}")
+        return 200, row, {}
+
+    async def _handle_optimize_history(self, query: Dict[str, str]
+                                       ) -> Tuple[int, dict,
+                                                  Dict[str, str]]:
+        try:
+            limit = int(query.get("limit", "50"))
+        except ValueError as exc:
+            raise HttpError(400, f"bad limit: {exc}") from exc
+        rows = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.fleet.optimize_history(
+                workload=query.get("workload") or None,
+                status=query.get("status") or None, limit=limit))
+        return 200, {"verdicts": rows}, {}
 
 
 # ----------------------------------------------------------------------

@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 #: Job kinds the daemon knows how to execute.
-JOB_KINDS = ("profile", "bench", "fuzz")
+JOB_KINDS = ("profile", "bench", "fuzz", "optimize")
 
 _STATES = ("pending", "running", "done", "failed")
 

@@ -334,7 +334,7 @@ class Fleet:
         Raises :class:`~repro.serve.queue.QuotaExceeded` on
         backpressure and ``KeyError`` on an unknown workload.
         """
-        if spec.kind in ("profile", "bench"):
+        if spec.kind in ("profile", "bench", "optimize"):
             _program_hash, shard = self._route_key(spec.workload,
                                                    spec.variant)
         else:
@@ -401,6 +401,28 @@ class Fleet:
         out = verdict.to_dict()
         out["shard"] = shard
         return out
+
+    def optimize_verdict(self, job_id: str) -> Optional[dict]:
+        """Stored optimizer verdict for a job, on whichever shard ran it."""
+        for shard, store in enumerate(self._front_stores):
+            row = store.get_optimize(job_id)
+            if row is not None:
+                row["shard"] = shard
+                return row
+        return None
+
+    def optimize_history(self, workload: Optional[str] = None,
+                         status: Optional[str] = None,
+                         limit: int = 50) -> List[dict]:
+        """Stored optimizer verdicts across every shard, newest first."""
+        merged: List[dict] = []
+        for shard, store in enumerate(self._front_stores):
+            for row in store.optimize_history(workload=workload,
+                                              status=status, limit=limit):
+                row["shard"] = shard
+                merged.append(row)
+        merged.sort(key=lambda r: (r["created_at"], r["id"]), reverse=True)
+        return merged[:limit]
 
     def _shard_heartbeat(self, shard: int) -> Optional[dict]:
         """The last heartbeat line a shard's daemon process wrote."""

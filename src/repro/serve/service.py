@@ -48,6 +48,8 @@ def execute_job(payload: dict) -> dict:
         return _execute_bench(spec)
     if spec.kind == "fuzz":
         return _execute_fuzz(spec)
+    if spec.kind == "optimize":
+        return _execute_optimize(spec)
     raise ValueError(f"unknown job kind {spec.kind!r}")
 
 
@@ -94,6 +96,18 @@ def _execute_bench(spec: JobSpec) -> dict:
         "ips": row.fastpath.ips,
         "aps": row.fastpath.aps,
     }
+
+
+def _execute_optimize(spec: JobSpec) -> dict:
+    from repro.optim.engine import optimize_workload
+
+    capacity = spec.meta.get("capacity")
+    verdict = optimize_workload(
+        spec.workload, variant=spec.variant, family=spec.family,
+        transform=spec.meta.get("transform"),
+        config=_job_config(spec), seed=spec.seed,
+        capacity=None if capacity is None else int(capacity))
+    return {"kind": "optimize", "verdict": verdict.to_dict()}
 
 
 def _execute_fuzz(spec: JobSpec) -> dict:
@@ -281,6 +295,14 @@ class ProfilingService:
         if result.get("kind") == "bench":
             row_id = self.store.put_bench(result["name"], result)
             return {**result, "bench_row_id": row_id}
+        if result.get("kind") == "optimize":
+            verdict = result["verdict"]
+            row_id = self.store.put_optimize(spec.job_id, verdict)
+            return {"kind": "optimize", "verdict_row_id": row_id,
+                    "status": verdict.get("status"),
+                    "transform": verdict.get("transform"),
+                    "speedup": verdict.get("speedup"),
+                    "verdict": verdict}
         return result
 
     def run_once(self, max_jobs: Optional[int] = None) -> List[dict]:

@@ -196,6 +196,18 @@ CREATE TABLE IF NOT EXISTS bench_rows (
     created_at   REAL NOT NULL,
     payload_hash TEXT NOT NULL REFERENCES payloads(hash)
 );
+CREATE TABLE IF NOT EXISTS optimize_verdicts (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id       TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    workload     TEXT NOT NULL,
+    variant      TEXT NOT NULL,
+    family       TEXT NOT NULL,
+    transform    TEXT,
+    status       TEXT NOT NULL,
+    payload_hash TEXT NOT NULL REFERENCES payloads(hash)
+);
+CREATE INDEX IF NOT EXISTS optimize_by_job ON optimize_verdicts (job_id);
 """
 
 
@@ -408,6 +420,59 @@ class ProfileStore:
         return [{"id": r[0], "name": r[1], "created_at": r[2],
                  "payload": self._load_payload(r[3])} for r in rows]
 
+    # -- optimize verdicts ----------------------------------------------
+    def put_optimize(self, job_id: str, verdict: dict,
+                     created_at: Optional[float] = None) -> int:
+        """Persist one optimizer verdict (``OptimizationVerdict.to_dict``).
+
+        The full verdict rides in the content-addressed payload; the
+        row keeps the fields queries filter on.
+        """
+        payload_hash, _, _ = self._put_payload(verdict)
+        created = time.time() if created_at is None else created_at
+        cursor = self._db.execute(
+            "INSERT INTO optimize_verdicts (job_id, created_at, workload, "
+            "variant, family, transform, status, payload_hash) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (job_id, created, verdict.get("workload", ""),
+             verdict.get("variant", ""), verdict.get("family", ""),
+             verdict.get("transform"), verdict.get("status", ""),
+             payload_hash))
+        self._db.commit()
+        return cursor.lastrowid
+
+    def get_optimize(self, job_id: str) -> Optional[dict]:
+        """Latest stored verdict for a job id, or None."""
+        row = self._db.execute(
+            "SELECT id, job_id, created_at, payload_hash "
+            "FROM optimize_verdicts WHERE job_id = ? "
+            "ORDER BY created_at DESC, id DESC LIMIT 1",
+            (job_id,)).fetchone()
+        if row is None:
+            return None
+        return {"id": row[0], "job_id": row[1], "created_at": row[2],
+                "verdict": self._load_payload(row[3])}
+
+    def optimize_history(self, workload: Optional[str] = None,
+                         status: Optional[str] = None,
+                         limit: int = 50) -> List[dict]:
+        """Stored verdicts newest-first, optionally filtered."""
+        clauses, params = [], []
+        if workload is not None:
+            clauses.append("workload = ?")
+            params.append(workload)
+        if status is not None:
+            clauses.append("status = ?")
+            params.append(status)
+        where = ("WHERE " + " AND ".join(clauses) + " ") if clauses else ""
+        rows = self._db.execute(
+            "SELECT id, job_id, created_at, payload_hash "
+            "FROM optimize_verdicts " + where +
+            "ORDER BY created_at DESC, id DESC LIMIT ?",
+            params + [limit]).fetchall()
+        return [{"id": r[0], "job_id": r[1], "created_at": r[2],
+                 "verdict": self._load_payload(r[3])} for r in rows]
+
     # -- stats ----------------------------------------------------------
     def stats(self) -> dict:
         profiles = self._db.execute(
@@ -417,6 +482,9 @@ class ProfileStore:
             "COALESCE(SUM(stored_bytes), 0) FROM payloads").fetchone()
         bench = self._db.execute(
             "SELECT COUNT(*) FROM bench_rows").fetchone()[0]
+        optimize = self._db.execute(
+            "SELECT COUNT(*) FROM optimize_verdicts").fetchone()[0]
         return {"profiles": profiles, "bench_rows": bench,
+                "optimize_verdicts": optimize,
                 "payloads": payloads, "raw_bytes": raw,
                 "stored_bytes": stored}

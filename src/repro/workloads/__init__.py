@@ -8,6 +8,7 @@ from repro.workloads.runner import (
     measure_overhead,
     measure_speedup,
     measure_suite_overheads,
+    profile_program,
     run_native,
     run_profiled,
 )
@@ -15,6 +16,7 @@ from repro.workloads.runner import (
 # Import for registration side effects.
 from repro.workloads import (  # noqa: F401
     bloat,
+    fixable,
     growth,
     insignificant,
     kernels,
@@ -35,6 +37,7 @@ __all__ = [
     "measure_overhead",
     "measure_speedup",
     "measure_suite_overheads",
+    "profile_program",
     "register",
     "run_native",
     "run_profiled",

@@ -1,0 +1,311 @@
+"""Deliberately-fixable workloads for the profile-guided optimizer.
+
+Each workload here plants exactly one memory inefficiency that one of
+the :mod:`repro.optim.transforms` passes can remove mechanically:
+
+* ``unsized-growth`` — a write buffer allocated at a tiny constant
+  capacity and doubled through a grow/arraycopy chain on every fill
+  (the scala-stm-bench7 shape, distilled).  Fix: capacity presizing.
+* ``padded-layout`` — hot fields scattered across a wide object full
+  of never-accessed padding, so every record sweep touches three cache
+  lines instead of one.  Fix: field reordering (hot fields first).
+* ``boxed-counters`` — an object array of single-field boxes filled
+  and summed through ``new``/``putfield``/``getfield``, the Makor
+  et al. replacement-candidate shape.  Fix: swap to a flat int array.
+* ``redundant-fill`` — a buffer written twice back to back, the first
+  pass never read (every store dead, JXPerf-style).  Fix: dead-store
+  elimination.
+
+Every workload also carries the hand-fixed variant so the usual
+speedup harness (and the transform tests) can compare the mechanical
+rewrite against the intended shape.  All variants of one workload
+print identical output — the optimizer's semantic gate relies on it.
+"""
+
+from __future__ import annotations
+
+from repro.heap.layout import FieldSpec, JClass, Kind
+from repro.jvm.bytecode import MethodBuilder
+from repro.jvm.classfile import JProgram
+from repro.jvm.machine import MachineConfig
+from repro.workloads.base import Workload, register, sim_machine
+from repro.workloads.dsl import for_range
+
+
+@register
+class UnsizedGrowth(Workload):
+    """Constant undersized buffer + doubling grow chain per fill."""
+
+    name = "unsized-growth"
+    paper_ref = "Table 1 / 7.3 (growth-pattern shape, distilled)"
+    description = "tiny initial capacity replayed through a grow chain"
+    variants = ("baseline", "presized")
+
+    ROUNDS = 12
+    APPENDS = 2048
+    INITIAL_CAPACITY = 8
+    PRESIZED_CAPACITY = 2048
+
+    def machine_config(self) -> MachineConfig:
+        return sim_machine(heap_size=1024 * 1024, num_nodes=1)
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self.check_variant(variant)
+        initial = (self.PRESIZED_CAPACITY if variant == "presized"
+                   else self.INITIAL_CAPACITY)
+        p = JProgram(f"{self.name}-{variant}")
+
+        # grow(old, capacity) -> double-size array with old copied in.
+        grow = MethodBuilder("Pipeline", "grow", num_args=2,
+                             source_file="Pipeline.java", first_line=40)
+        grow.line(41).load(1).iconst(2).mul().store(2)
+        grow.line(42).load(2).newarray(Kind.INT).store(3)
+        grow.load(0).iconst(0).load(3).iconst(0).load(1)
+        grow.native("arraycopy", 5, False)
+        grow.load(3).iret()
+        p.add_builder(grow)
+
+        # fill(): append APPENDS entries into a buffer that starts at
+        # the (under)sized initial capacity, growing on overflow, then
+        # sum it back.  The sum is capacity-independent.
+        fill = MethodBuilder("Pipeline", "fill",
+                             source_file="Pipeline.java", first_line=18)
+        _BUF, _CAP, _LEN, _I, _ACC = 0, 1, 2, 3, 4
+        fill.line(20).iconst(initial).newarray(Kind.INT).store(_BUF)
+        # Capacity is the buffer's length (ArrayList-style), so a
+        # presizing rewrite of the single allocation constant is
+        # coherent: the grow chain shrinks to match.
+        fill.line(21).load(_BUF).arraylength().store(_CAP)
+        fill.iconst(0).store(_LEN)
+
+        def append(b: MethodBuilder) -> None:
+            fits = b.new_label()
+            b.line(23).load(_LEN).load(_CAP).if_icmplt(fits)
+            b.line(24).load(_BUF).load(_CAP).invoke("grow", 2).store(_BUF)
+            b.load(_CAP).iconst(2).mul().store(_CAP)
+            b.place(fits)
+            b.line(26).load(_BUF).load(_LEN).load(_I).astore()
+            b.iinc(_LEN, 1)
+
+        for_range(fill, _I, self.APPENDS, append)
+        fill.iconst(0).store(_ACC)
+        for_range(fill, _I, self.APPENDS,
+                  lambda b: b.line(28).load(_ACC).load(_BUF).load(_I)
+                  .aload().add().store(_ACC))
+        fill.load(_ACC).iret()
+        p.add_builder(fill)
+
+        main = MethodBuilder("Pipeline", "main",
+                             source_file="Pipeline.java", first_line=1)
+        main.iconst(0).store(0)
+        for_range(main, 1, self.ROUNDS,
+                  lambda b: b.line(5).load(0).invoke("fill", 0)
+                  .add().store(0))
+        main.line(8).load(0).native("print", 1, False)
+        main.ret()
+        p.add_builder(main)
+        p.add_entry("main")
+        return p
+
+    def expected_grow_calls(self, variant: str) -> int:
+        capacity = (self.PRESIZED_CAPACITY if variant == "presized"
+                    else self.INITIAL_CAPACITY)
+        grows = 0
+        while capacity < self.APPENDS:
+            capacity *= 2
+            grows += 1
+        return grows * self.ROUNDS
+
+
+@register
+class PaddedLayout(Workload):
+    """Hot fields strided across padding-heavy records."""
+
+    name = "padded-layout"
+    paper_ref = "Table 1 (layout/packing shape)"
+    description = "three hot fields separated by cold padding fields"
+    variants = ("baseline", "packed")
+
+    RECORDS = 300
+    ROUNDS = 24
+    PADS_PER_GAP = 10
+    SIDE_LEN = 1024
+
+    HOT_FIELDS = ("hot0", "hot1", "hot2")
+
+    def machine_config(self) -> MachineConfig:
+        return sim_machine(heap_size=1024 * 1024, num_nodes=1)
+
+    def record_class(self, variant: str) -> JClass:
+        pads = [FieldSpec(f"pad{i}")
+                for i in range(2 * self.PADS_PER_GAP)]
+        if variant == "packed":
+            fields = [FieldSpec(name) for name in self.HOT_FIELDS] + pads
+        else:
+            gap = self.PADS_PER_GAP
+            fields = ([FieldSpec("hot0")] + pads[:gap]
+                      + [FieldSpec("hot1")] + pads[gap:]
+                      + [FieldSpec("hot2")])
+        return JClass("Record", fields)
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self.check_variant(variant)
+        p = JProgram(f"{self.name}-{variant}")
+        p.add_class(self.record_class(variant))
+
+        run = MethodBuilder("Layout", "run",
+                            source_file="Layout.java", first_line=8)
+        _ARR, _I, _ACC, _TMP, _R, _SIDE = 0, 1, 2, 3, 4, 5
+        run.line(9).iconst(self.SIDE_LEN).newarray(Kind.INT).store(_SIDE)
+        run.line(10).iconst(self.RECORDS).anewarray("Record").store(_ARR)
+
+        def fill(b: MethodBuilder) -> None:
+            b.line(12).new("Record").store(_TMP)
+            b.load(_TMP).load(_I).putfield("hot0")
+            b.line(13).load(_TMP).load(_I).iconst(2).mul().putfield("hot1")
+            b.load(_TMP).load(_I).iconst(3).mul().putfield("hot2")
+            b.line(14).load(_ARR).load(_I).load(_TMP).astore()
+
+        for_range(run, _I, self.RECORDS, fill)
+        run.iconst(0).store(_ACC)
+
+        def sweep(b: MethodBuilder) -> None:
+            def visit(b: MethodBuilder) -> None:
+                b.line(17).load(_ARR).load(_I).aload().store(_TMP)
+                b.load(_ACC).load(_TMP).getfield("hot0").add().store(_ACC)
+                b.line(18).load(_ACC).load(_TMP).getfield("hot1") \
+                    .add().store(_ACC)
+                b.load(_ACC).load(_TMP).getfield("hot2").add().store(_ACC)
+
+            for_range(b, _I, self.RECORDS, visit)
+            # Unrelated streaming traffic: keeps some sampled misses
+            # attributed away from Record, so share shifts are real.
+            b.line(20).load(_SIDE).native("stream_array", 1, False, 1)
+
+        for_range(run, _R, self.ROUNDS, sweep)
+        run.load(_ACC).iret()
+        p.add_builder(run)
+
+        main = MethodBuilder("Layout", "main",
+                             source_file="Layout.java", first_line=1)
+        main.line(2).invoke("run", 0).native("print", 1, False)
+        main.ret()
+        p.add_builder(main)
+        p.add_entry("main")
+        return p
+
+
+@register
+class BoxedCounters(Workload):
+    """Single-field boxes behind an object array (swap candidate)."""
+
+    name = "boxed-counters"
+    paper_ref = "PAPERS.md (Makor et al. data-structure replacement)"
+    description = "object array of one-field boxes filled and summed"
+    variants = ("baseline", "unboxed")
+
+    ROUNDS = 24
+    COUNT = 512
+
+    def machine_config(self) -> MachineConfig:
+        return sim_machine(heap_size=1024 * 1024, num_nodes=1)
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self.check_variant(variant)
+        boxed = variant == "baseline"
+        p = JProgram(f"{self.name}-{variant}")
+        if boxed:
+            p.add_class(JClass("BoxedLong", [FieldSpec("value")]))
+
+        rnd = MethodBuilder("Counters", "round",
+                            source_file="Counters.java", first_line=28)
+        _ARR, _I, _ACC, _TMP = 0, 1, 2, 3
+        if boxed:
+            rnd.line(30).iconst(self.COUNT).anewarray("BoxedLong") \
+                .store(_ARR)
+        else:
+            rnd.line(30).iconst(self.COUNT).newarray(Kind.INT).store(_ARR)
+
+        def fill(b: MethodBuilder) -> None:
+            if boxed:
+                b.line(32).new("BoxedLong").store(_TMP)
+                b.load(_TMP).load(_I).putfield("value")
+                b.line(33).load(_ARR).load(_I).load(_TMP).astore()
+            else:
+                b.line(33).load(_ARR).load(_I).load(_I).astore()
+
+        for_range(rnd, _I, self.COUNT, fill)
+        rnd.iconst(0).store(_ACC)
+
+        def read(b: MethodBuilder) -> None:
+            b.line(35).load(_ACC).load(_ARR).load(_I).aload()
+            if boxed:
+                b.getfield("value")
+            b.add().store(_ACC)
+
+        for_range(rnd, _I, self.COUNT, read)
+        rnd.load(_ACC).iret()
+        p.add_builder(rnd)
+
+        main = MethodBuilder("Counters", "main",
+                             source_file="Counters.java", first_line=1)
+        main.iconst(0).store(0)
+        for_range(main, 1, self.ROUNDS,
+                  lambda b: b.line(4).load(0).invoke("round", 0)
+                  .add().store(0))
+        main.line(6).load(0).native("print", 1, False)
+        main.ret()
+        p.add_builder(main)
+        p.add_entry("main")
+        return p
+
+
+@register
+class RedundantFill(Workload):
+    """Two back-to-back fills; the first pass is entirely dead stores."""
+
+    name = "redundant-fill"
+    paper_ref = "PAPERS.md (JXPerf dead-store shape)"
+    description = "buffer written twice, the first fill never read"
+    variants = ("baseline", "single-pass")
+
+    ROUNDS = 20
+    LENGTH = 2048
+
+    def machine_config(self) -> MachineConfig:
+        return sim_machine(heap_size=1024 * 1024, num_nodes=1)
+
+    def build(self, variant: str = "baseline") -> JProgram:
+        self.check_variant(variant)
+        dead_pass = variant == "baseline"
+        p = JProgram(f"{self.name}-{variant}")
+
+        rnd = MethodBuilder("Refill", "round",
+                            source_file="Refill.java", first_line=8)
+        _BUF, _I, _ACC = 0, 1, 2
+        rnd.line(10).iconst(self.LENGTH).newarray(Kind.INT).store(_BUF)
+        if dead_pass:
+            for_range(rnd, _I, self.LENGTH,
+                      lambda b: b.line(12).load(_BUF).load(_I)
+                      .iconst(7).astore())
+        for_range(rnd, _I, self.LENGTH,
+                  lambda b: b.line(14).load(_BUF).load(_I)
+                  .load(_I).astore())
+        rnd.iconst(0).store(_ACC)
+        for_range(rnd, _I, self.LENGTH,
+                  lambda b: b.line(16).load(_ACC).load(_BUF).load(_I)
+                  .aload().add().store(_ACC))
+        rnd.load(_ACC).iret()
+        p.add_builder(rnd)
+
+        main = MethodBuilder("Refill", "main",
+                             source_file="Refill.java", first_line=1)
+        main.iconst(0).store(0)
+        for_range(main, 1, self.ROUNDS,
+                  lambda b: b.line(4).load(0).invoke("round", 0)
+                  .add().store(0))
+        main.line(6).load(0).native("print", 1, False)
+        main.ret()
+        p.add_builder(main)
+        p.add_entry("main")
+        return p

@@ -74,6 +74,58 @@ def run_native(workload: Workload, variant: str = "baseline",
     return machine.run()
 
 
+def profile_program(program, machine_config: MachineConfig,
+                    config: Optional[DjxConfig] = None,
+                    trace_path: Optional[str] = None,
+                    trace_accesses: bool = False,
+                    family: str = DEFAULT_FAMILY,
+                    trace_meta: Optional[dict] = None) -> ProfiledRun:
+    """Run an already-built program under a profiler and analyze.
+
+    The program-level core of :func:`run_profiled`, exposed for callers
+    that construct or rewrite programs themselves (the profile-guided
+    optimizer re-profiles transformed programs through this).  The
+    program must be verified and UNinstrumented — instrumentation for
+    the selected family happens here.
+    """
+    config = config or DjxConfig()
+    if family == DEFAULT_FAMILY:
+        profiler = DJXPerf(config)
+        program = profiler.instrument(program)
+    else:
+        from repro.core.javaagent import instrument_program
+        from repro.families import make_family
+
+        profiler = make_family(family,
+                               sample_period=config.sample_period,
+                               size_threshold=config.size_threshold)
+        program = instrument_program(program)
+        trace_accesses = True
+    machine = Machine(program, machine_config)
+    writer = None
+    if trace_path is not None:
+        from repro.obs.trace import TraceWriter
+
+        # Attach the writer before the profiler so the profiler's
+        # SamplerOpenEvents land in the trace (replay needs them to
+        # adopt the recorded sampler ids).
+        meta = dict(trace_meta or {})
+        meta.setdefault("family", family)
+        writer = TraceWriter(trace_path, machine=machine,
+                             include_accesses=trace_accesses,
+                             meta=meta)
+        writer.attach(machine)
+    profiler.attach(machine)
+    try:
+        result = machine.run()
+    finally:
+        if writer is not None:
+            writer.close()
+    return ProfiledRun(profiler=profiler, machine=machine, result=result,
+                       analysis=profiler.analyze(), trace_path=trace_path,
+                       family=family)
+
+
 def run_profiled(workload: Workload, variant: str = "baseline",
                  config: Optional[DjxConfig] = None,
                  machine_config: Optional[MachineConfig] = None,
@@ -96,43 +148,13 @@ def run_profiled(workload: Workload, variant: str = "baseline",
     ``seed`` overrides the machine seed, as in :func:`run_native`.
     """
     workload.check_variant(variant)
-    config = config or DjxConfig()
-    if family == DEFAULT_FAMILY:
-        profiler = DJXPerf(config)
-        program = profiler.instrument(workload.build_verified(variant))
-    else:
-        from repro.core.javaagent import instrument_program
-        from repro.families import make_family
-
-        profiler = make_family(family,
-                               sample_period=config.sample_period,
-                               size_threshold=config.size_threshold)
-        program = instrument_program(workload.build_verified(variant))
-        trace_accesses = True
-    machine = Machine(program,
-                      _resolve_machine_config(workload, machine_config, seed))
-    writer = None
-    if trace_path is not None:
-        from repro.obs.trace import TraceWriter
-
-        # Attach the writer before the profiler so the profiler's
-        # SamplerOpenEvents land in the trace (replay needs them to
-        # adopt the recorded sampler ids).
-        writer = TraceWriter(trace_path, machine=machine,
-                             include_accesses=trace_accesses,
-                             meta={"workload": workload.name,
-                                   "variant": variant,
-                                   "family": family})
-        writer.attach(machine)
-    profiler.attach(machine)
-    try:
-        result = machine.run()
-    finally:
-        if writer is not None:
-            writer.close()
-    return ProfiledRun(profiler=profiler, machine=machine, result=result,
-                       analysis=profiler.analyze(), trace_path=trace_path,
-                       family=family)
+    return profile_program(
+        workload.build_verified(variant),
+        _resolve_machine_config(workload, machine_config, seed),
+        config=config, trace_path=trace_path,
+        trace_accesses=trace_accesses, family=family,
+        trace_meta={"workload": workload.name, "variant": variant,
+                    "family": family})
 
 
 def measure_speedup(workload: Workload,

@@ -69,3 +69,43 @@ class TestThresholds:
         text = str(advise(analysis)[0])
         assert "hoist-allocation" in text
         assert "Objectlayout.run:292" in text
+
+
+class TestFamilyTriage:
+    """Non-DJXPerf analyses get family-specific advice — replica and
+    redundancy profiles must surface their own metrics, not fall
+    through to (or be dropped by) the miss-based triage."""
+
+    def family_analysis(self, name, family):
+        from repro.workloads.runner import profile_program
+
+        workload = get_workload(name)
+        run = profile_program(workload.build_verified("baseline"),
+                              workload.machine_config(), family=family)
+        return run.analysis
+
+    def test_replica_profile_advises_deduplication(self):
+        analysis = self.family_analysis("objectlayout", family="replica")
+        advices = advise(analysis)
+        assert advices
+        top = advices[0]
+        assert top.kind is AdviceKind.DEDUPLICATE_REPLICAS
+        assert "duplicated bytes" in top.rationale
+
+    def test_redundancy_profile_advises_dead_store_elimination(self):
+        analysis = self.family_analysis("redundant-fill",
+                                        family="redundancy")
+        advices = advise(analysis)
+        assert advices
+        kinds = {a.kind for a in advices}
+        assert AdviceKind.ELIMINATE_DEAD_STORES in kinds
+        dead = next(a for a in advices
+                    if a.kind is AdviceKind.ELIMINATE_DEAD_STORES)
+        assert "/1000" in dead.rationale
+
+    def test_family_advice_not_misrouted_to_miss_triage(self):
+        analysis = self.family_analysis("redundant-fill",
+                                        family="redundancy")
+        kinds = {a.kind for a in advise(analysis)}
+        assert AdviceKind.HOIST_ALLOCATION not in kinds
+        assert AdviceKind.GROW_INITIAL_CAPACITY not in kinds

@@ -169,3 +169,73 @@ class TestStoreBackedVerdicts:
         assert verdict.status == REGRESSION
         locations = [f.location for f in verdict.findings]
         assert any("makeRoom" in loc for loc in locations)
+
+
+class TestImprovementDirection:
+    """Direction gating: the optimizer accepts on improvements and
+    rolls back on findings, so a swing reported in the wrong list
+    silently flips verdicts."""
+
+    def test_improved_site_lands_in_improvements_not_findings(self):
+        before = analysis({(1, 5): 16, (2, 7): 4})
+        after = analysis({(1, 5): 4, (2, 7): 16})
+        verdict = regress_analyses(before, after)
+        improved = {f.location for f in verdict.improvements}
+        assert "C.m1:5" in improved
+        assert all(f.location != "C.m1:5" for f in verdict.findings
+                   if f.kind == "share-swing")
+        # Improvements never regress the status on their own.
+        assert all(f.kind != "throughput-drop" for f in verdict.findings)
+
+    def test_improvement_direction_is_signed(self):
+        before = analysis({(1, 5): 16, (2, 7): 4})
+        after = analysis({(1, 5): 4, (2, 7): 16})
+        verdict = regress_analyses(before, after)
+        for f in verdict.improvements:
+            assert f.after < f.before
+        for f in verdict.findings:
+            if f.kind == "share-swing":
+                assert f.after > f.before
+
+    def test_unchanged_profile_reports_neither(self):
+        a = analysis({(1, 5): 10, (2, 7): 10})
+        verdict = regress_analyses(a, analysis({(1, 5): 10, (2, 7): 10}))
+        assert verdict.status == CLEAN
+        assert verdict.findings == []
+        assert verdict.improvements == []
+
+    def test_worsened_profile_is_regression_despite_dilution(self):
+        # Shares are zero-sum: a big new site *dilutes* the old one,
+        # so the old site shows up as an "improvement" even though
+        # nothing got better.  The status must still be REGRESSION —
+        # and this artifact is exactly why the optimizer's acceptance
+        # rule uses absolute metric drops, not share swings.
+        before = analysis({(1, 5): 10})
+        after = analysis({(1, 5): 10, (9, 42): 30})
+        verdict = regress_analyses(before, after)
+        assert verdict.status == REGRESSION
+        assert not verdict.ok
+        assert any(f.kind == "new-top-site" for f in verdict.findings)
+
+    def test_throughput_drop_triggers_optimizer_rollback(self):
+        """The engine's reject path keys off this exact finding kind."""
+        a = analysis({(1, 5): 10})
+        verdict = regress_analyses(a, analysis({(1, 5): 10}),
+                                   baseline_cycles=1000,
+                                   candidate_cycles=1300)
+        drops = [f for f in verdict.findings
+                 if f.kind == "throughput-drop"]
+        assert drops and verdict.status == REGRESSION
+        # Faster-than-baseline must NOT be flagged as a drop: the
+        # optimizer treats any throughput-drop finding as fatal.
+        faster = regress_analyses(a, analysis({(1, 5): 10}),
+                                  baseline_cycles=1300,
+                                  candidate_cycles=1000)
+        assert all(f.kind != "throughput-drop" for f in faster.findings)
+
+    def test_improvements_serialised_for_verdict_payloads(self):
+        before = analysis({(1, 5): 16, (2, 7): 4})
+        after = analysis({(1, 5): 4, (2, 7): 16})
+        data = regress_analyses(before, after).to_dict()
+        assert data["improvements"]
+        assert data["improvements"][0]["location"] == "C.m1:5"

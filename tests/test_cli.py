@@ -251,3 +251,67 @@ class TestServe:
         _, store = self.serve_args(tmp_path)
         assert main(["regress", "objectlayout", *store]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_accepted_rewrite_exits_zero(self, capsys):
+        assert main(["optimize", "unsized-growth"]) == 0
+        out = capsys.readouterr().out
+        assert "ACCEPTED" in out
+        assert "presize" in out
+        assert "identical observables" in out
+
+    def test_json_verdict(self, capsys):
+        import json
+
+        assert main(["optimize", "unsized-growth", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["status"] == "accepted"
+        assert data["speedup"] > 1.0
+
+    def test_rejected_rewrite_exits_one(self, capsys):
+        # Presizing down to 2 slots can't improve anything; the engine
+        # must roll the rewrite back and say so.
+        assert main(["optimize", "unsized-growth", "--capacity", "2"]) \
+            == 1
+        out = capsys.readouterr().out
+        assert "REJECTED" in out
+        assert "rolled back" in out
+
+    def test_family_selects_redundancy_transform(self, capsys):
+        assert main(["optimize", "redundant-fill",
+                     "--family", "redundancy"]) == 0
+        assert "eliminate-dead-stores" in capsys.readouterr().out
+
+    def test_bad_family_transform_combo_is_error(self, capsys):
+        assert main(["optimize", "redundant-fill",
+                     "--family", "redundancy",
+                     "--transform", "presize"]) == 2
+        assert "not applicable" in capsys.readouterr().err
+
+
+class TestSubmitOptimize:
+    def test_submit_optimize_shorthand(self, capsys, tmp_path):
+        spool = str(tmp_path / "spool")
+        assert main(["submit", "unsized-growth", "--optimize",
+                     "--spool", spool]) == 0
+        out = capsys.readouterr().out
+        assert "optimize unsized-growth" in out
+        assert "threshold 0" in out
+
+    def test_meta_flags_rejected_on_profile_jobs(self, capsys, tmp_path):
+        spool = str(tmp_path / "spool")
+        assert main(["submit", "unsized-growth", "--transform",
+                     "presize", "--spool", spool]) == 2
+        assert "only applies to optimize" in capsys.readouterr().err
+
+    def test_bad_combo_rejected_before_enqueue(self, capsys, tmp_path):
+        spool = str(tmp_path / "spool")
+        assert main(["submit", "unsized-growth", "--optimize",
+                     "--family", "redundancy", "--transform", "presize",
+                     "--spool", spool]) == 2
+        assert "not applicable" in capsys.readouterr().err
+        # Nothing was enqueued: the daemon never sees the bad job.
+        from repro.serve.queue import SpoolQueue
+
+        assert SpoolQueue(spool).pending_count() == 0

@@ -1,0 +1,77 @@
+"""Tests for the deliberately-fixable workloads."""
+
+import pytest
+
+from repro.jvm import Machine
+from repro.optim import AdviceKind, advise
+from repro.workloads import get_workload
+from repro.workloads.runner import profile_program
+
+FIXABLE = ("unsized-growth", "padded-layout", "boxed-counters",
+           "redundant-fill")
+
+
+@pytest.mark.parametrize("name", FIXABLE)
+class TestBuild:
+    def test_all_variants_verify_and_agree(self, name):
+        workload = get_workload(name)
+        outputs = set()
+        for variant in workload.variants:
+            program = workload.build_verified(variant)
+            result = Machine(program, workload.machine_config()).run()
+            outputs.add(tuple(result.output))
+        # Every variant of one workload prints the same thing — the
+        # optimizer's semantic gate depends on it.
+        assert len(outputs) == 1
+
+
+class TestUnsizedGrowth:
+    def test_fixed_variant_skips_the_grow_chain(self):
+        workload = get_workload("unsized-growth")
+        assert workload.expected_grow_calls("baseline") > 0
+        assert workload.expected_grow_calls("presized") == 0
+
+    def test_capacity_tracks_buffer_length(self):
+        # The capacity local is derived from the buffer itself
+        # (arraylength), so rewriting the single allocation constant
+        # rewrites the effective capacity too.  A desync here makes
+        # the presize transform incoherent — see the optimizer tests.
+        workload = get_workload("unsized-growth")
+        program = workload.build_verified("baseline")
+        fill = program.methods["fill"]
+        from repro.jvm import Op
+
+        assert any(ins.op is Op.ARRAYLENGTH for ins in fill.code)
+
+    def test_advice_flags_growth_site(self):
+        workload = get_workload("unsized-growth")
+        run = profile_program(workload.build_verified("baseline"),
+                              workload.machine_config())
+        kinds = {a.kind for a in advise(run.analysis)}
+        assert AdviceKind.GROW_INITIAL_CAPACITY in kinds
+
+
+class TestPlantedAdvice:
+    def test_padded_layout_flags_hot_fields(self):
+        workload = get_workload("padded-layout")
+        run = profile_program(workload.build_verified("baseline"),
+                              workload.machine_config())
+        assert advise(run.analysis)
+
+    def test_boxed_counters_flags_box_allocation(self):
+        from repro.core import DjxConfig
+
+        workload = get_workload("boxed-counters")
+        run = profile_program(workload.build_verified("baseline"),
+                              workload.machine_config(),
+                              config=DjxConfig(size_threshold=0))
+        kinds = {a.kind for a in advise(run.analysis)}
+        assert AdviceKind.HOIST_ALLOCATION in kinds
+
+    def test_redundant_fill_flags_dead_stores(self):
+        workload = get_workload("redundant-fill")
+        run = profile_program(workload.build_verified("baseline"),
+                              workload.machine_config(),
+                              family="redundancy")
+        kinds = {a.kind for a in advise(run.analysis)}
+        assert AdviceKind.ELIMINATE_DEAD_STORES in kinds
